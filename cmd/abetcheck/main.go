@@ -1,0 +1,58 @@
+// Command abetcheck audits one or more program definitions (JSON files)
+// against the ABET CAC Computer Science Program Criteria curriculum
+// requirements, including the PDC exposure requirement in force since
+// 2018.
+//
+// Usage:
+//
+//	abetcheck program.json [more.json ...]
+//	abetcheck -sample > program.json   # emit a template to edit
+//
+// Exit status is non-zero when any audited program fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdcedu/internal/curriculum"
+)
+
+func main() {
+	sample := flag.Bool("sample", false, "print a sample program definition and exit")
+	flag.Parse()
+
+	if *sample {
+		p := curriculum.BuildSurvey().Programs[6] // the dedicated-course program
+		if err := curriculum.EncodeProgram(os.Stdout, p); err != nil {
+			fmt.Fprintln(os.Stderr, "abetcheck:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: abetcheck [-sample] program.json [more.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		p, err := curriculum.LoadProgramFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abetcheck:", err)
+			os.Exit(1)
+		}
+		r, err := curriculum.CheckProgram(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abetcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Print(curriculum.RenderReport(r))
+		if !r.Pass {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,335 @@
+// Command pdclab runs the course-lab experiments the case-study
+// programs assign, printing the measurements students are asked to
+// produce: shared-memory speedup curves, loop-schedule and histogram
+// ablations, false-sharing demonstrations, SIMT divergence/coalescing
+// cliffs, MPI collective comparisons, OS scheduling policy metrics, and
+// lock-manager deadlock statistics.
+//
+// Usage:
+//
+//	pdclab <lab>
+//
+// Labs: speedup, schedule, falseshare, simt, mpi, sched, txn, philosophers, all
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+
+	"pdcedu/internal/arch"
+	"pdcedu/internal/conc"
+	"pdcedu/internal/mpi"
+	"pdcedu/internal/par"
+	"pdcedu/internal/perf"
+	"pdcedu/internal/sched"
+	"pdcedu/internal/simt"
+	"pdcedu/internal/taskgraph"
+	"pdcedu/internal/txn"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+	}
+	labs := map[string]func() error{
+		"speedup":      labSpeedup,
+		"schedule":     labSchedule,
+		"falseshare":   labFalseShare,
+		"simt":         labSIMT,
+		"mpi":          labMPI,
+		"sched":        labSched,
+		"txn":          labTxn,
+		"philosophers": labPhilosophers,
+		"dag":          labDAG,
+	}
+	name := os.Args[1]
+	if name == "all" {
+		for _, n := range []string{"speedup", "schedule", "falseshare", "simt", "mpi", "sched", "txn", "philosophers", "dag"} {
+			fmt.Printf("==== lab: %s ====\n", n)
+			if err := labs[n](); err != nil {
+				fail(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	lab, ok := labs[name]
+	if !ok {
+		usage()
+	}
+	if err := lab(); err != nil {
+		fail(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pdclab <speedup|schedule|falseshare|simt|mpi|sched|txn|philosophers|dag|all>")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdclab:", err)
+	os.Exit(1)
+}
+
+// labSpeedup measures strong scaling of the parallel sum and sort (LAU
+// course outcome 2: analyze the efficiency of a given parallel
+// algorithm).
+func labSpeedup() error {
+	const n = 1 << 22
+	xs := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	maxP := runtime.GOMAXPROCS(0)
+	ps := []int{1}
+	for p := 2; p <= maxP; p *= 2 {
+		ps = append(ps, p)
+	}
+	curve := perf.StrongScaling("parallel sum", ps, func(p int) {
+		_ = par.SumFloat64(xs, p)
+	}, perf.Options{Warmup: 1, Repetitions: 3})
+	t := perf.NewTable("Strong scaling: parallel sum of 4M float64",
+		"P", "time (s)", "speedup", "efficiency", "Karp-Flatt")
+	for _, pt := range curve.Points {
+		t.AddRow(pt.P, pt.Time, pt.Speedup, pt.Efficiency, pt.KarpFlatt)
+	}
+	fmt.Println(t.String())
+	fmt.Printf("fitted Amdahl serial fraction: %.4f\n", curve.FitSerialFraction(1e-4))
+	return nil
+}
+
+// labSchedule compares OpenMP-style loop schedules on skewed work.
+func labSchedule() error {
+	const n = 1 << 14
+	sink := make([]float64, n)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := 1.0001
+			for k := 0; k < i%509; k++ {
+				x *= 1.0001
+			}
+			sink[i] = x
+		}
+	}
+	t := perf.NewTable("Loop schedules on skewed iterations (lower is better)",
+		"schedule", "median time (s)")
+	for _, s := range []par.Schedule{par.Static, par.Dynamic, par.Guided} {
+		s := s
+		sample := perf.Measure(func() {
+			par.ForRange(n, par.ForOptions{Schedule: s, Chunk: 16}, body)
+		}, perf.Options{Warmup: 1, Repetitions: 5})
+		t.AddRow(s.String(), sample.Median())
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// labFalseShare contrasts padded and unpadded counters, in both real
+// time and simulated MESI invalidation traffic.
+func labFalseShare() error {
+	workers := 4
+	iters := 200000
+	up := perf.Measure(func() { arch.CountersUnpadded(workers, iters) },
+		perf.Options{Warmup: 1, Repetitions: 5})
+	pd := perf.Measure(func() { arch.CountersPadded(workers, iters) },
+		perf.Options{Warmup: 1, Repetitions: 5})
+	t := perf.NewTable("False sharing: 4 goroutines x 200k increments",
+		"layout", "median time (s)")
+	t.AddRow("unpadded (shared line)", up.Median())
+	t.AddRow("padded (line per counter)", pd.Median())
+	fmt.Println(t.String())
+
+	unStats, pdStats, err := arch.FalseSharingExperiment(workers, 10000, 64)
+	if err != nil {
+		return err
+	}
+	t2 := perf.NewTable("MESI simulation of the same pattern",
+		"layout", "invalidations", "bus transactions")
+	t2.AddRow("unpadded", unStats.Invalidations, unStats.Total())
+	t2.AddRow("padded", pdStats.Invalidations, pdStats.Total())
+	fmt.Println(t2.String())
+	return nil
+}
+
+// labSIMT shows the GPU performance cliffs: divergence and coalescing.
+func labSIMT() error {
+	d := simt.NewDevice()
+	uniform, err := simt.DivergentKernel(d, 1<<14, 1, 64, 256)
+	if err != nil {
+		return err
+	}
+	divergent, err := simt.DivergentKernel(d, 1<<14, 32, 64, 256)
+	if err != nil {
+		return err
+	}
+	t := perf.NewTable("SIMT divergence (16K threads)",
+		"kernel", "SIMT efficiency", "divergent branches", "est. cycles")
+	t.AddRow("uniform work", uniform.SIMTEfficiency, uniform.DivergentBranches, uniform.EstimatedCycles)
+	t.AddRow("1 heavy lane per warp", divergent.SIMTEfficiency, divergent.DivergentBranches, divergent.EstimatedCycles)
+	fmt.Println(t.String())
+
+	n := 1 << 12
+	src := d.NewBuffer(n * 32)
+	dst := d.NewBuffer(n)
+	unit, err := simt.StridedCopy(d, src, dst, n, 1, 256)
+	if err != nil {
+		return err
+	}
+	strided, err := simt.StridedCopy(d, src, dst, n, 32, 256)
+	if err != nil {
+		return err
+	}
+	t2 := perf.NewTable("Global memory coalescing (4K-element copy)",
+		"access pattern", "transactions", "coalescing efficiency", "est. cycles")
+	t2.AddRow("stride 1", unit.GlobalTransactions, unit.CoalescingEfficiency(), unit.EstimatedCycles)
+	t2.AddRow("stride 32", strided.GlobalTransactions, strided.CoalescingEfficiency(), strided.EstimatedCycles)
+	fmt.Println(t2.String())
+	return nil
+}
+
+// labMPI compares collective algorithms on the in-process transport.
+func labMPI() error {
+	const ranks = 8
+	vec := make([]float64, 1<<14)
+	tTree := perf.Measure(func() {
+		_ = mpi.Run(ranks, func(c *mpi.Comm) error {
+			_, err := c.Allreduce(vec, mpi.OpSum)
+			return err
+		})
+	}, perf.Options{Warmup: 1, Repetitions: 5})
+	tRing := perf.Measure(func() {
+		_ = mpi.Run(ranks, func(c *mpi.Comm) error {
+			_, err := c.AllreduceRing(vec, mpi.OpSum)
+			return err
+		})
+	}, perf.Options{Warmup: 1, Repetitions: 5})
+	t := perf.NewTable("All-reduce of 16K float64 across 8 ranks",
+		"algorithm", "median time (s)")
+	t.AddRow("binomial reduce+bcast", tTree.Median())
+	t.AddRow("ring (reduce-scatter + allgather)", tRing.Median())
+	fmt.Println(t.String())
+	return nil
+}
+
+// labSched compares CPU scheduling policies on one workload.
+func labSched() error {
+	procs := sched.RandomWorkload(50, 100, 20, 7)
+	results, err := sched.Policies(procs, 4, []int64{2, 4, 8})
+	if err != nil {
+		return err
+	}
+	t := perf.NewTable("CPU scheduling policies, 50-process workload",
+		"policy", "avg waiting", "avg turnaround", "avg response", "preemptions")
+	for _, r := range results {
+		t.AddRow(r.Policy, r.AvgWaiting(), r.AvgTurnaround(), r.AvgResponse(), r.Preemptions)
+	}
+	fmt.Println(t.String())
+
+	t2 := perf.NewTable("Multiprocessor scheduling (4 CPUs)",
+		"strategy", "makespan", "steals")
+	var lastMP sched.Result
+	for _, s := range []sched.MPStrategy{sched.GlobalQueue, sched.PerCPUQueue, sched.PerCPUStealing} {
+		r, err := sched.Multiprocessor(procs, 4, s)
+		if err != nil {
+			return err
+		}
+		t2.AddRow(s.String(), r.Makespan, r.Steals)
+		lastMP = r
+	}
+	fmt.Println(t2.String())
+
+	// Gantt chart of a small round-robin run plus the stealing schedule.
+	small, err := sched.RR(sched.RandomWorkload(6, 10, 8, 3), 3)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sched.Gantt(small, 72))
+	fmt.Println(sched.Gantt(lastMP, 72))
+	return nil
+}
+
+// labTxn measures abort rates under the three deadlock policies.
+func labTxn() error {
+	t := perf.NewTable("Concurrent bank transfers (hot accounts)",
+		"policy", "commits", "aborts")
+	for _, s := range []txn.Strategy{txn.Detect, txn.WoundWait, txn.WaitDie} {
+		db := txn.NewDB(s)
+		for i := 0; i < 4; i++ {
+			db.Set(fmt.Sprintf("acct%d", i), 10000)
+		}
+		done := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			w := w
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for i := 0; i < 200; i++ {
+					from := fmt.Sprintf("acct%d", (w+i)%4)
+					to := fmt.Sprintf("acct%d", (w+i+1)%4)
+					_ = txn.Transfer(db, from, to, 1, 100)
+				}
+			}()
+		}
+		for w := 0; w < 4; w++ {
+			<-done
+		}
+		t.AddRow(s.String(), db.Commits.Load(), db.Aborts.Load())
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// labDAG runs the CC2020 work-span exercise: analyze a task graph,
+// schedule it greedily, compare against Brent's bound, and emit DOT.
+func labDAG() error {
+	g := taskgraph.RandomLayered(6, 5, 0.5, 1, 10, 42)
+	a, err := g.Analyze()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("work T1 = %.1f, span Tinf = %.1f, parallelism = %.2f\n", a.Work, a.Span, a.Parallelism)
+	t := perf.NewTable("Greedy list scheduling vs Brent's bound",
+		"P", "makespan", "lower bound", "Brent upper bound")
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := g.ListSchedule(p)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p, res.Makespan, taskgraph.LowerBound(a, p), taskgraph.BrentUpperBound(a, p))
+	}
+	fmt.Println(t.String())
+	dot, err := g.DOT(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Graphviz (critical path in red), first lines:\n%s...\n",
+		firstLines(dot, 6))
+	return nil
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "")
+}
+
+// labPhilosophers runs the dining philosophers under each strategy.
+func labPhilosophers() error {
+	t := perf.NewTable("Dining philosophers (5 seats x 200 meals)",
+		"strategy", "total meals", "min meals", "retries")
+	for _, s := range []conc.PhilosopherStrategy{conc.OrderedForks, conc.Arbitrator, conc.TryBackoff} {
+		res, err := conc.DinePhilosophers(5, 200, s)
+		if err != nil {
+			return err
+		}
+		t.AddRow(s.String(), res.TotalMeals(), res.MinMeals(), res.Retries)
+	}
+	fmt.Println(t.String())
+	return nil
+}

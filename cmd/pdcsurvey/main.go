@@ -1,0 +1,67 @@
+// Command pdcsurvey regenerates the paper's analysis artifacts: Table I
+// (concept-to-course mapping), Fig. 2 (weighted PDC topic sums across
+// the 20 surveyed programs), Fig. 3 (PDC course shares by area), Table
+// II (CE2016) and Table III (SE2014), plus the full ABET audit of the
+// survey corpus.
+//
+// Usage:
+//
+//	pdcsurvey [-table1] [-fig2] [-fig3] [-table2] [-table3] [-audit]
+//
+// With no flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pdcedu/internal/curriculum"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print Table I (PDC concepts x courses)")
+	fig2 := flag.Bool("fig2", false, "print Fig. 2 (topic weighted sums)")
+	fig3 := flag.Bool("fig3", false, "print Fig. 3 (course shares)")
+	table2 := flag.Bool("table2", false, "print Table II (CE2016)")
+	table3 := flag.Bool("table3", false, "print Table III (SE2014)")
+	audit := flag.Bool("audit", false, "audit all 20 surveyed programs")
+	flag.Parse()
+
+	all := !*table1 && !*fig2 && !*fig3 && !*table2 && !*table3 && !*audit
+	sv := curriculum.BuildSurvey()
+
+	if all || *table1 {
+		fmt.Println(curriculum.RenderTableI())
+	}
+	if all || *fig2 {
+		fmt.Println(curriculum.RenderFig2(sv))
+	}
+	if all || *fig3 {
+		fmt.Println(curriculum.RenderFig3(sv))
+		fmt.Printf("surveyed programs: %d; PDC-bearing required courses: %d; programs with a dedicated PDC course: %d\n\n",
+			len(sv.Programs), sv.TotalPDCCourses(), sv.DedicatedCount())
+	}
+	if all || *table2 {
+		fmt.Println(curriculum.RenderTableII())
+	}
+	if all || *table3 {
+		fmt.Println(curriculum.RenderTableIII())
+	}
+	if all || *audit {
+		reports, err := sv.CheckAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdcsurvey:", err)
+			os.Exit(1)
+		}
+		pass := 0
+		for _, r := range reports {
+			if r.Pass {
+				pass++
+			} else {
+				fmt.Print(curriculum.RenderReport(r))
+			}
+		}
+		fmt.Printf("ABET CAC PDC audit: %d/%d surveyed programs meet the criteria\n", pass, len(reports))
+	}
+}

@@ -1,0 +1,147 @@
+// parcourse walks the three parts of the LAU dedicated parallel
+// programming course end to end, using the library's substrates the way
+// the labs use Pthreads/OpenMP, SIMD intrinsics and CUDA: shared-memory
+// data parallelism with speedup analysis, vectorization, and manycore
+// SIMT kernels — closing with the message-passing cluster part.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+
+	"pdcedu/internal/mpi"
+	"pdcedu/internal/par"
+	"pdcedu/internal/perf"
+	"pdcedu/internal/simd"
+	"pdcedu/internal/simt"
+)
+
+func main() {
+	part1SharedMemory()
+	part2Vectorization()
+	part3Manycore()
+	part4Cluster()
+}
+
+// Part 1 — multicore programming: parallel sum and parallel mergesort
+// with speedup/efficiency analysis (course outcome 2).
+func part1SharedMemory() {
+	fmt.Println("== Part 1: shared-memory multicore ==")
+	const n = 1 << 21
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	ps := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	curve := perf.StrongScaling("sum", ps, func(p int) {
+		_ = par.SumFloat64(xs, p)
+	}, perf.Options{Warmup: 1, Repetitions: 3})
+	t := perf.NewTable("Parallel sum scaling", "P", "speedup", "efficiency")
+	for _, pt := range curve.Points {
+		t.AddRow(pt.P, pt.Speedup, pt.Efficiency)
+	}
+	fmt.Println(t.String())
+
+	ints := make([]int, 1<<19)
+	for i := range ints {
+		ints[i] = rng.Intn(len(ints))
+	}
+	cmp := perf.Compare(
+		func() { buf := append([]int(nil), ints...); par.MergeSort(buf, 0) },
+		func() { buf := append([]int(nil), ints...); par.MergeSort(buf, 4) },
+		perf.Options{Warmup: 1, Repetitions: 3})
+	fmt.Printf("parallel merge sort vs sequential: %s\n\n", cmp)
+}
+
+// Part 2 — extracting data parallelism with vectors and SIMD.
+func part2Vectorization() {
+	fmt.Println("== Part 2: vectors and SIMD ==")
+	m, err := simd.NewMachine(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 1 << 16
+	x := make([]float64, n)
+	y := make([]float64, n)
+	if err := simd.SaxpyScalar(m, 2, x, y); err != nil {
+		log.Fatal(err)
+	}
+	scalarOps := m.Stats().ScalarOps
+	m.ResetStats()
+	if err := simd.SaxpyVector(m, 2, x, y); err != nil {
+		log.Fatal(err)
+	}
+	vectorOps := m.Stats().VectorOps
+	fmt.Printf("saxpy over %d elements: %d scalar instructions vs %d vector instructions (%.1fx, model %.1fx)\n\n",
+		n, scalarOps, vectorOps, float64(scalarOps)/float64(vectorOps), simd.SpeedupModel(n, 8))
+}
+
+// Part 3 — manycore SIMT: tiled matmul, reduction, divergence study
+// (the CUDA part of the course, ~60% of the term).
+func part3Manycore() {
+	fmt.Println("== Part 3: manycore SIMT ==")
+	d := simt.NewDevice()
+	n := 64
+	a := d.NewBuffer(n * n)
+	b := d.NewBuffer(n * n)
+	c := d.NewBuffer(n * n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n*n; i++ {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+	naive, err := simt.MatMulNaive(d, a, b, c, n, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiled, err := simt.MatMulTiled(d, a, b, c, n, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := perf.NewTable("64x64 matrix multiply on the SIMT device",
+		"kernel", "global transactions", "est. cycles")
+	t.AddRow("naive (global only)", naive.GlobalTransactions, naive.EstimatedCycles)
+	t.AddRow("tiled (shared memory)", tiled.GlobalTransactions, tiled.EstimatedCycles)
+	fmt.Println(t.String())
+
+	buf := d.FromSlice(make([]float64, 1<<16))
+	for i := range buf.Data {
+		buf.Data[i] = 1
+	}
+	out := d.NewBuffer(1)
+	st, err := simt.ReduceSum(d, buf, out, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduction of 64K ones = %.0f (%d blocks, SIMT efficiency %.2f)\n\n",
+		out.Data[0], st.Blocks, st.SIMTEfficiency)
+}
+
+// Part 4 — message-passing cluster computing (the NOW tradition): a
+// distributed dot product with allreduce, run over real TCP loopback.
+func part4Cluster() {
+	fmt.Println("== Part 4: message-passing cluster (NOW over TCP) ==")
+	const ranks = 4
+	const per = 1 << 12
+	err := mpi.RunTCP(ranks, func(c *mpi.Comm) error {
+		local := make([]float64, 1)
+		for i := 0; i < per; i++ {
+			v := float64(c.Rank()*per + i)
+			local[0] += v * 2 // x[i] * y[i] with y = 2x pattern folded in
+		}
+		global, err := c.Allreduce(local, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("distributed dot product across %d ranks: %.6g\n", ranks, global[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

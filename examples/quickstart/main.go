@@ -1,0 +1,58 @@
+// Quickstart: audit a computer science program against the ABET CAC
+// curriculum criteria (including the PDC exposure requirement) in a few
+// lines using the public pdcedu API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdcedu"
+)
+
+func main() {
+	// Define a program the way a department would describe it: required
+	// courses with the PDC components their descriptions document.
+	program := pdcedu.Program{
+		Institution: "Example State University",
+		Name:        "B.S. in Computer Science",
+		Courses: []pdcedu.Course{
+			{Code: "CS101", Title: "Programming I", Area: "Introductory Programming", Credits: 4, Required: true},
+			{Code: "CS102", Title: "Programming II", Area: "Introductory Programming", Credits: 4, Required: true},
+			{Code: "CS201", Title: "Data Structures", Area: "Data Structures", Credits: 3, Required: true},
+			{Code: "CS202", Title: "Algorithms", Area: "Algorithms", Credits: 3, Required: true},
+			{Code: "CS210", Title: "Computer Organization", Area: "Computer Organization/Architecture", Credits: 4, Required: true,
+				PDCTopics: []pdcedu.Topic{
+					"Parallelism and concurrency", "Multicore processors",
+					"Instruction Level Parallelism", "Flynn's taxonomy",
+					"Performance measurement, speed-up, and scalability",
+				}},
+			{Code: "CS310", Title: "Operating Systems", Area: "Operating Systems", Credits: 4, Required: true,
+				PDCTopics: []pdcedu.Topic{
+					"Programming with threads", "Atomicity",
+					"Inter-Process Communication (IPC)", "Shared vs. distributed memory",
+				}},
+			{Code: "CS320", Title: "Databases", Area: "Database Systems", Credits: 3, Required: true},
+			{Code: "CS330", Title: "Networks", Area: "Computer Networks", Credits: 3, Required: true,
+				PDCTopics: []pdcedu.Topic{"Client-server programming"}},
+			{Code: "CS301", Title: "Theory of Computation", Area: "Theory of Computation", Credits: 3, Required: true},
+			{Code: "CS401", Title: "Software Engineering", Area: "Software Engineering", Credits: 3, Required: true},
+			{Code: "MA201", Title: "Discrete Mathematics", Area: "Discrete Mathematics", Credits: 3, Required: true},
+			{Code: "MA301", Title: "Statistics", Area: "Probability and Statistics", Credits: 3, Required: true},
+			{Code: "CS499", Title: "Capstone", Area: "Capstone Project", Credits: 3, Required: true},
+			{Code: "CS450", Title: "Distributed Systems", Area: "Computer Networks", Credits: 3, Required: false},
+		},
+	}
+
+	report, err := pdcedu.CheckProgram(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pdcedu.RenderReport(report))
+
+	// Compare against the paper's canonical mapping and survey data.
+	fmt.Println()
+	fmt.Print(pdcedu.RenderTableI())
+	fmt.Println()
+	fmt.Print(pdcedu.RenderFig3(pdcedu.BuildSurvey()))
+}

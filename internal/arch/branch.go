@@ -1,0 +1,173 @@
+package arch
+
+import "fmt"
+
+// Predictor is a branch predictor: it predicts the outcome of the
+// branch at pc, then learns the actual outcome. Prediction accuracy
+// motivates the speculative Tomasulo machine the AUC course covers.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Name identifies the scheme.
+	Name() string
+}
+
+// AlwaysTaken predicts taken unconditionally (the static baseline).
+type AlwaysTaken struct{}
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool) {}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// OneBit is a table of 1-bit last-outcome predictors.
+type OneBit struct {
+	mask  uint64
+	table []bool
+}
+
+// NewOneBit creates a 1-bit predictor with 2^bits entries.
+func NewOneBit(bits int) (*OneBit, error) {
+	if bits <= 0 || bits > 24 {
+		return nil, fmt.Errorf("arch: predictor index bits must be in 1..24, got %d", bits)
+	}
+	n := 1 << bits
+	return &OneBit{mask: uint64(n - 1), table: make([]bool, n)}, nil
+}
+
+// Predict implements Predictor.
+func (p *OneBit) Predict(pc uint64) bool { return p.table[pc&p.mask] }
+
+// Update implements Predictor.
+func (p *OneBit) Update(pc uint64, taken bool) { p.table[pc&p.mask] = taken }
+
+// Name implements Predictor.
+func (p *OneBit) Name() string { return "1-bit" }
+
+// TwoBit is a table of 2-bit saturating counters (the classic scheme:
+// it takes two mispredictions to flip direction, fixing the loop-exit
+// double-miss of the 1-bit scheme).
+type TwoBit struct {
+	mask  uint64
+	table []uint8 // 0,1 = not taken; 2,3 = taken
+}
+
+// NewTwoBit creates a 2-bit predictor with 2^bits entries, initialized
+// weakly not-taken.
+func NewTwoBit(bits int) (*TwoBit, error) {
+	if bits <= 0 || bits > 24 {
+		return nil, fmt.Errorf("arch: predictor index bits must be in 1..24, got %d", bits)
+	}
+	n := 1 << bits
+	return &TwoBit{mask: uint64(n - 1), table: make([]uint8, n)}, nil
+}
+
+// Predict implements Predictor.
+func (p *TwoBit) Predict(pc uint64) bool { return p.table[pc&p.mask] >= 2 }
+
+// Update implements Predictor.
+func (p *TwoBit) Update(pc uint64, taken bool) {
+	i := pc & p.mask
+	if taken {
+		if p.table[i] < 3 {
+			p.table[i]++
+		}
+	} else if p.table[i] > 0 {
+		p.table[i]--
+	}
+}
+
+// Name implements Predictor.
+func (p *TwoBit) Name() string { return "2-bit" }
+
+// GShare combines a global history register with the PC (XOR-indexed
+// 2-bit counters), capturing correlated branches.
+type GShare struct {
+	mask    uint64
+	history uint64
+	table   []uint8
+}
+
+// NewGShare creates a gshare predictor with 2^bits entries.
+func NewGShare(bits int) (*GShare, error) {
+	if bits <= 0 || bits > 24 {
+		return nil, fmt.Errorf("arch: predictor index bits must be in 1..24, got %d", bits)
+	}
+	n := 1 << bits
+	return &GShare{mask: uint64(n - 1), table: make([]uint8, n)}, nil
+}
+
+func (p *GShare) index(pc uint64) uint64 { return (pc ^ p.history) & p.mask }
+
+// Predict implements Predictor.
+func (p *GShare) Predict(pc uint64) bool { return p.table[p.index(pc)] >= 2 }
+
+// Update implements Predictor.
+func (p *GShare) Update(pc uint64, taken bool) {
+	i := p.index(pc)
+	if taken {
+		if p.table[i] < 3 {
+			p.table[i]++
+		}
+	} else if p.table[i] > 0 {
+		p.table[i]--
+	}
+	p.history = (p.history << 1) & p.mask
+	if taken {
+		p.history |= 1
+	}
+}
+
+// Name implements Predictor.
+func (p *GShare) Name() string { return "gshare" }
+
+// BranchRecord is one dynamic branch in a trace.
+type BranchRecord struct {
+	PC    uint64
+	Taken bool
+}
+
+// PredictorAccuracy replays the trace through the predictor and returns
+// the fraction of correct predictions.
+func PredictorAccuracy(p Predictor, trace []BranchRecord) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, b := range trace {
+		if p.Predict(b.PC) == b.Taken {
+			correct++
+		}
+		p.Update(b.PC, b.Taken)
+	}
+	return float64(correct) / float64(len(trace))
+}
+
+// LoopTrace generates the dynamic branch stream of a loop executed
+// `trips` iterations `reps` times: taken (trips-1) times then not taken,
+// repeatedly — the pattern that separates 1-bit from 2-bit predictors.
+func LoopTrace(pc uint64, trips, reps int) []BranchRecord {
+	var out []BranchRecord
+	for r := 0; r < reps; r++ {
+		for i := 0; i < trips; i++ {
+			out = append(out, BranchRecord{PC: pc, Taken: i < trips-1})
+		}
+	}
+	return out
+}
+
+// AlternatingTrace generates a perfectly alternating branch — the
+// pattern gshare captures via history but per-PC counters cannot.
+func AlternatingTrace(pc uint64, n int) []BranchRecord {
+	out := make([]BranchRecord, n)
+	for i := range out {
+		out[i] = BranchRecord{PC: pc, Taken: i%2 == 0}
+	}
+	return out
+}

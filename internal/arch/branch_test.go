@@ -1,0 +1,100 @@
+package arch
+
+import "testing"
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewOneBit(0); err == nil {
+		t.Error("0-bit table accepted")
+	}
+	if _, err := NewTwoBit(30); err == nil {
+		t.Error("oversized table accepted")
+	}
+	if _, err := NewGShare(-1); err == nil {
+		t.Error("negative bits accepted")
+	}
+}
+
+func TestAlwaysTaken(t *testing.T) {
+	trace := LoopTrace(0x40, 10, 5)
+	acc := PredictorAccuracy(AlwaysTaken{}, trace)
+	// 9 of 10 branches per loop are taken.
+	if acc != 0.9 {
+		t.Errorf("always-taken accuracy = %g, want 0.9", acc)
+	}
+	if (AlwaysTaken{}).Name() != "always-taken" {
+		t.Error("name mismatch")
+	}
+}
+
+// TestLoopExitDoubleMiss verifies the textbook result: on a loop branch,
+// the 1-bit scheme mispredicts twice per loop execution (exit and
+// re-entry), the 2-bit scheme only once (exit).
+func TestLoopExitDoubleMiss(t *testing.T) {
+	const trips, reps = 10, 100
+	trace := LoopTrace(0x80, trips, reps)
+	ob, err := NewOneBit(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTwoBit(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOne := PredictorAccuracy(ob, trace)
+	accTwo := PredictorAccuracy(tb, trace)
+	// 1-bit: ~2 misses per rep; 2-bit: ~1 miss per rep (after warmup).
+	if accTwo <= accOne {
+		t.Errorf("2-bit (%.3f) should beat 1-bit (%.3f) on loop branches", accTwo, accOne)
+	}
+	wantTwo := 1 - 1.0/float64(trips) // asymptotically 1 miss per trip group
+	if accTwo < wantTwo-0.01 {
+		t.Errorf("2-bit accuracy = %.3f, want >= %.3f", accTwo, wantTwo-0.01)
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	trace := AlternatingTrace(0x100, 4000)
+	gs, err := NewGShare(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTwoBit(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accG := PredictorAccuracy(gs, trace)
+	accT := PredictorAccuracy(tb, trace)
+	if accG < 0.95 {
+		t.Errorf("gshare accuracy on alternation = %.3f, want >= 0.95", accG)
+	}
+	if accT > 0.6 {
+		t.Errorf("2-bit accuracy on alternation = %.3f, expected near-random", accT)
+	}
+}
+
+func TestPredictorEmptyTrace(t *testing.T) {
+	if PredictorAccuracy(AlwaysTaken{}, nil) != 0 {
+		t.Error("empty trace accuracy should be 0")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	ob, _ := NewOneBit(4)
+	tb, _ := NewTwoBit(4)
+	gs, _ := NewGShare(4)
+	if ob.Name() != "1-bit" || tb.Name() != "2-bit" || gs.Name() != "gshare" {
+		t.Error("predictor names wrong")
+	}
+}
+
+func BenchmarkGShare(b *testing.B) {
+	gs, err := NewGShare(14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := LoopTrace(0x44, 8, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PredictorAccuracy(gs, trace)
+	}
+}

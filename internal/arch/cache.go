@@ -1,0 +1,205 @@
+// Package arch implements the computer-architecture simulators behind
+// the "Computer Organization/Architecture" column of Table I and the AUC
+// case study: a set-associative cache, MESI bus-snooping multiprocessor
+// coherence (including false-sharing accounting), a classic 5-stage
+// pipeline with hazard detection and forwarding, Tomasulo's dynamically
+// scheduled architecture in both its non-speculative and speculative
+// (reorder-buffer) forms, and Flynn's taxonomy machine models.
+package arch
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ReplacementPolicy selects a cache eviction policy.
+type ReplacementPolicy int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU ReplacementPolicy = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+)
+
+// String returns the policy name.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return "unknown"
+	}
+}
+
+// CacheConfig describes a cache geometry.
+type CacheConfig struct {
+	// SizeBytes is the total capacity (must be Sets*Ways*BlockBytes).
+	Sets       int
+	Ways       int
+	BlockBytes int
+	Policy     ReplacementPolicy
+}
+
+// Validate checks the geometry for power-of-two block size and positive
+// dimensions.
+func (c CacheConfig) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("arch: cache dimensions must be positive: %+v", c)
+	}
+	if bits.OnesCount(uint(c.BlockBytes)) != 1 {
+		return fmt.Errorf("arch: block size %d is not a power of two", c.BlockBytes)
+	}
+	if bits.OnesCount(uint(c.Sets)) != 1 {
+		return fmt.Errorf("arch: set count %d is not a power of two", c.Sets)
+	}
+	return nil
+}
+
+// CacheStats accumulates access outcomes.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// Accesses returns total accesses.
+func (s CacheStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// HitRate returns the hit fraction, or 0 with no accesses.
+func (s CacheStats) HitRate() float64 {
+	n := s.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// MissRate returns the miss fraction.
+func (s CacheStats) MissRate() float64 {
+	n := s.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(n)
+}
+
+type cacheLine struct {
+	valid bool
+	tag   uint64
+	// lastUse orders LRU; fillTime orders FIFO.
+	lastUse  uint64
+	fillTime uint64
+}
+
+// Cache is a trace-driven set-associative cache simulator.
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	clock uint64
+	stats CacheStats
+}
+
+// NewCache creates a cache with the given geometry.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]cacheLine, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]cacheLine, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Access simulates one access to the byte address and reports whether it
+// hit. Writes and reads behave identically in this single-cache model
+// (write-allocate).
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	blockBits := bits.TrailingZeros(uint(c.cfg.BlockBytes))
+	setBits := bits.TrailingZeros(uint(c.cfg.Sets))
+	block := addr >> uint(blockBits)
+	setIdx := block & ((1 << uint(setBits)) - 1)
+	tag := block >> uint(setBits)
+	set := c.sets[setIdx]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lastUse = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Fill: choose an invalid way or evict per policy.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim == -1 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			switch c.cfg.Policy {
+			case LRU:
+				if set[i].lastUse < set[victim].lastUse {
+					victim = i
+				}
+			case FIFO:
+				if set[i].fillTime < set[victim].fillTime {
+					victim = i
+				}
+			}
+		}
+		c.stats.Evictions++
+	}
+	set[victim] = cacheLine{valid: true, tag: tag, lastUse: c.clock, fillTime: c.clock}
+	return false
+}
+
+// RunTrace replays a sequence of byte addresses and returns the stats.
+func (c *Cache) RunTrace(addrs []uint64) CacheStats {
+	for _, a := range addrs {
+		c.Access(a)
+	}
+	return c.stats
+}
+
+// AMAT returns the average memory access time for the given hit time and
+// miss penalty (in cycles), the formula every architecture course drills:
+// AMAT = hit + missRate*penalty.
+func (s CacheStats) AMAT(hitTime, missPenalty float64) float64 {
+	return hitTime + s.MissRate()*missPenalty
+}
+
+// StrideTrace generates n accesses starting at base with the given byte
+// stride — the workload that exposes spatial locality and conflict
+// misses in the cache labs.
+func StrideTrace(base uint64, n int, stride uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)*stride
+	}
+	return out
+}
+
+// RepeatTrace loops a working set of size blocks×blockBytes k times.
+func RepeatTrace(base uint64, blocks int, blockBytes uint64, k int) []uint64 {
+	var out []uint64
+	for rep := 0; rep < k; rep++ {
+		for b := 0; b < blocks; b++ {
+			out = append(out, base+uint64(b)*blockBytes)
+		}
+	}
+	return out
+}

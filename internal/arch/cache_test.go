@@ -1,0 +1,157 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheColdMissesThenHits(t *testing.T) {
+	c := mustCache(t, CacheConfig{Sets: 4, Ways: 2, BlockBytes: 64, Policy: LRU})
+	trace := RepeatTrace(0, 4, 64, 3) // 4 blocks, 3 passes
+	st := c.RunTrace(trace)
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 cold misses", st.Misses)
+	}
+	if st.Hits != 8 {
+		t.Errorf("hits = %d, want 8", st.Hits)
+	}
+	if st.HitRate() != 8.0/12.0 {
+		t.Errorf("hit rate = %g", st.HitRate())
+	}
+}
+
+func TestCacheSpatialLocality(t *testing.T) {
+	c := mustCache(t, CacheConfig{Sets: 64, Ways: 4, BlockBytes: 64, Policy: LRU})
+	// Sequential byte accesses: 1 miss per 64-byte block.
+	st := c.RunTrace(StrideTrace(0, 640, 1))
+	if st.Misses != 10 {
+		t.Errorf("sequential misses = %d, want 10", st.Misses)
+	}
+	// Stride == block size: every access misses (no reuse).
+	c2 := mustCache(t, CacheConfig{Sets: 4, Ways: 1, BlockBytes: 64, Policy: LRU})
+	st2 := c2.RunTrace(StrideTrace(0, 64, 64))
+	if st2.Hits != 0 {
+		t.Errorf("strided trace hits = %d, want 0", st2.Hits)
+	}
+}
+
+func TestCacheConflictMisses(t *testing.T) {
+	// Direct-mapped with 4 sets: addresses 0 and 4*64 collide in set 0.
+	c := mustCache(t, CacheConfig{Sets: 4, Ways: 1, BlockBytes: 64, Policy: LRU})
+	for i := 0; i < 6; i++ {
+		c.Access(0)
+		c.Access(4 * 64)
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("conflicting addresses should always miss direct-mapped, hits = %d", st.Hits)
+	}
+	// Two ways remove the conflict.
+	c2 := mustCache(t, CacheConfig{Sets: 4, Ways: 2, BlockBytes: 64, Policy: LRU})
+	for i := 0; i < 6; i++ {
+		c2.Access(0)
+		c2.Access(4 * 64 * 1) // same set, different tag
+	}
+	if c2.Stats().Misses != 2 {
+		t.Errorf("2-way misses = %d, want 2 cold misses only", c2.Stats().Misses)
+	}
+}
+
+func TestCacheLRUvsFIFO(t *testing.T) {
+	// Pattern A B A C A: with 2 ways LRU keeps A; FIFO evicts A on C.
+	mk := func(p ReplacementPolicy) CacheStats {
+		c := mustCache(t, CacheConfig{Sets: 1, Ways: 2, BlockBytes: 64, Policy: p})
+		for _, a := range []uint64{0, 64, 0, 128, 0} {
+			c.Access(a)
+		}
+		return c.Stats()
+	}
+	lru := mk(LRU)
+	fifo := mk(FIFO)
+	if lru.Hits != 2 { // A hits twice
+		t.Errorf("LRU hits = %d, want 2", lru.Hits)
+	}
+	if fifo.Hits != 1 { // second A hits, third A was evicted by C
+		t.Errorf("FIFO hits = %d, want 1", fifo.Hits)
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{Sets: 0, Ways: 1, BlockBytes: 64},
+		{Sets: 4, Ways: 0, BlockBytes: 64},
+		{Sets: 4, Ways: 1, BlockBytes: 0},
+		{Sets: 4, Ways: 1, BlockBytes: 63},
+		{Sets: 3, Ways: 1, BlockBytes: 64},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCacheStatsDerived(t *testing.T) {
+	var s CacheStats
+	if s.HitRate() != 0 || s.MissRate() != 0 {
+		t.Error("empty stats rates should be 0")
+	}
+	s = CacheStats{Hits: 90, Misses: 10}
+	if s.AMAT(1, 100) != 1+0.1*100 {
+		t.Errorf("AMAT = %g, want 11", s.AMAT(1, 100))
+	}
+}
+
+// Property: hits+misses equals accesses and a fully-associative cache
+// big enough for the working set has only cold misses.
+func TestCacheProperty(t *testing.T) {
+	f := func(addrsRaw []uint16) bool {
+		c, err := NewCache(CacheConfig{Sets: 1, Ways: 1024, BlockBytes: 64, Policy: LRU})
+		if err != nil {
+			return false
+		}
+		distinct := map[uint64]bool{}
+		for _, a := range addrsRaw {
+			addr := uint64(a)
+			c.Access(addr)
+			distinct[addr/64] = true
+		}
+		st := c.Stats()
+		if st.Accesses() != int64(len(addrsRaw)) {
+			return false
+		}
+		if len(distinct) <= 1024 && st.Misses != int64(len(distinct)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplacementPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || ReplacementPolicy(7).String() != "unknown" {
+		t.Error("ReplacementPolicy.String mismatch")
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := NewCache(CacheConfig{Sets: 256, Ways: 8, BlockBytes: 64, Policy: LRU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*48) % (1 << 20))
+	}
+}

@@ -1,0 +1,67 @@
+package arch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// padded separates a counter onto its own cache line (64-byte lines on
+// every mainstream CPU this code will meet).
+type padded struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// CountersUnpadded has each goroutine hammer an adjacent atomic in one
+// array — all counters share cache lines, so every increment invalidates
+// the line in the other cores' caches (false sharing).
+func CountersUnpadded(workers, iters int) []int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counters := make([]atomic.Int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				counters[w].Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]int64, workers)
+	for i := range counters {
+		out[i] = counters[i].Load()
+	}
+	return out
+}
+
+// CountersPadded is the same workload with one counter per cache line:
+// the fix the LAU course's shared-memory part teaches.
+func CountersPadded(workers, iters int) []int64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counters := make([]padded, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				counters[w].v.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	out := make([]int64, workers)
+	for i := range counters {
+		out[i] = counters[i].v.Load()
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package arch
+
+import "fmt"
+
+// FlynnClass is one of Flynn's four machine categories, the taxonomy
+// Table I places in the computer-organization column.
+type FlynnClass int
+
+const (
+	// SISD: single instruction stream, single data stream (a classic
+	// uniprocessor).
+	SISD FlynnClass = iota
+	// SIMD: single instruction stream applied to many data elements
+	// (vector and GPU-style machines).
+	SIMD
+	// MISD: multiple instruction streams over one data stream (systolic
+	// or redundant pipelines; mostly pedagogical).
+	MISD
+	// MIMD: multiple independent instruction and data streams
+	// (multicores, clusters).
+	MIMD
+)
+
+// String returns the class mnemonic.
+func (c FlynnClass) String() string {
+	switch c {
+	case SISD:
+		return "SISD"
+	case SIMD:
+		return "SIMD"
+	case MISD:
+		return "MISD"
+	case MIMD:
+		return "MIMD"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify returns the Flynn class for a machine with the given number
+// of concurrent instruction streams and data streams.
+func Classify(instructionStreams, dataStreams int) (FlynnClass, error) {
+	if instructionStreams <= 0 || dataStreams <= 0 {
+		return 0, fmt.Errorf("arch: stream counts must be positive (%d, %d)",
+			instructionStreams, dataStreams)
+	}
+	switch {
+	case instructionStreams == 1 && dataStreams == 1:
+		return SISD, nil
+	case instructionStreams == 1:
+		return SIMD, nil
+	case dataStreams == 1:
+		return MISD, nil
+	default:
+		return MIMD, nil
+	}
+}
+
+// FlynnModel predicts cycle counts for applying an op pipeline to data
+// under each organization; the numbers drive the taxonomy lecture demo.
+type FlynnModel struct {
+	// OpLatency is cycles per operation application.
+	OpLatency int
+	// Lanes is the SIMD width.
+	Lanes int
+	// Processors is the MIMD processor count.
+	Processors int
+	// Stages is the MISD pipeline depth (number of distinct ops).
+	Stages int
+}
+
+// Cycles predicts how many cycles the organization needs to apply its
+// operation(s) to n data items.
+func (m FlynnModel) Cycles(class FlynnClass, n int) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("arch: negative item count %d", n)
+	}
+	lat := int64(m.OpLatency)
+	if lat <= 0 {
+		lat = 1
+	}
+	switch class {
+	case SISD:
+		return int64(n) * lat, nil
+	case SIMD:
+		lanes := m.Lanes
+		if lanes <= 0 {
+			lanes = 1
+		}
+		groups := (int64(n) + int64(lanes) - 1) / int64(lanes)
+		return groups * lat, nil
+	case MISD:
+		// Systolic: each item flows through Stages units; after the
+		// pipe fills, one item completes per OpLatency cycles.
+		stages := m.Stages
+		if stages <= 0 {
+			stages = 1
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		return (int64(stages) + int64(n) - 1) * lat, nil
+	case MIMD:
+		procs := m.Processors
+		if procs <= 0 {
+			procs = 1
+		}
+		per := (int64(n) + int64(procs) - 1) / int64(procs)
+		return per * lat, nil
+	default:
+		return 0, fmt.Errorf("arch: unknown Flynn class %d", class)
+	}
+}

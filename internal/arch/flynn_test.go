@@ -1,0 +1,77 @@
+package arch
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		is, ds int
+		want   FlynnClass
+	}{
+		{1, 1, SISD}, {1, 8, SIMD}, {4, 1, MISD}, {4, 4, MIMD},
+	}
+	for _, c := range cases {
+		got, err := Classify(c.is, c.ds)
+		if err != nil || got != c.want {
+			t.Errorf("Classify(%d,%d) = %v,%v; want %v", c.is, c.ds, got, err, c.want)
+		}
+	}
+	if _, err := Classify(0, 1); err == nil {
+		t.Error("zero streams accepted")
+	}
+}
+
+func TestFlynnCycleModels(t *testing.T) {
+	m := FlynnModel{OpLatency: 2, Lanes: 4, Processors: 4, Stages: 3}
+	cases := []struct {
+		class FlynnClass
+		n     int
+		want  int64
+	}{
+		{SISD, 16, 32}, // 16 items * 2 cycles
+		{SIMD, 16, 8},  // 4 groups * 2
+		{SIMD, 17, 10}, // 5 groups * 2 (ragged)
+		{MISD, 16, 36}, // (3 + 16 - 1) * 2 systolic
+		{MIMD, 16, 8},  // 4 per proc * 2
+		{SISD, 0, 0},
+		{MISD, 0, 0},
+	}
+	for _, c := range cases {
+		got, err := m.Cycles(c.class, c.n)
+		if err != nil || got != c.want {
+			t.Errorf("%v n=%d: got %d,%v; want %d", c.class, c.n, got, err, c.want)
+		}
+	}
+	if _, err := m.Cycles(SISD, -1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := m.Cycles(FlynnClass(9), 4); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestFlynnDefensiveDefaults(t *testing.T) {
+	var m FlynnModel // all zero: must behave like 1-wide, 1-latency
+	if got, _ := m.Cycles(SIMD, 5); got != 5 {
+		t.Errorf("zero-value SIMD cycles = %d, want 5", got)
+	}
+	if got, _ := m.Cycles(MIMD, 5); got != 5 {
+		t.Errorf("zero-value MIMD cycles = %d, want 5", got)
+	}
+}
+
+func TestSIMDBeatsSISDModel(t *testing.T) {
+	m := FlynnModel{OpLatency: 1, Lanes: 8}
+	sisd, _ := m.Cycles(SISD, 1024)
+	simd, _ := m.Cycles(SIMD, 1024)
+	if simd*8 != sisd {
+		t.Errorf("8-lane SIMD should be 8x faster: %d vs %d", simd, sisd)
+	}
+}
+
+func TestFlynnClassString(t *testing.T) {
+	if SISD.String() != "SISD" || SIMD.String() != "SIMD" ||
+		MISD.String() != "MISD" || MIMD.String() != "MIMD" ||
+		FlynnClass(9).String() != "unknown" {
+		t.Error("FlynnClass.String mismatch")
+	}
+}

@@ -1,0 +1,186 @@
+package arch
+
+import "fmt"
+
+// MESIState is a coherence state of a cache line copy.
+type MESIState int
+
+const (
+	// Invalid: the copy holds no data.
+	Invalid MESIState = iota
+	// Shared: clean, possibly present in other caches.
+	Shared
+	// Exclusive: clean, present only here.
+	Exclusive
+	// Modified: dirty, present only here.
+	Modified
+)
+
+// String returns the one-letter state name.
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// BusStats counts snooping-bus traffic during a MESI simulation — the
+// quantities the architecture courses use to explain why false sharing
+// hurts.
+type BusStats struct {
+	BusRd         int64 // read misses served by the bus
+	BusRdX        int64 // write misses / read-for-ownership
+	BusUpgr       int64 // S->M upgrades
+	Invalidations int64 // copies invalidated in other caches
+	Writebacks    int64 // M lines flushed to memory
+	CacheToCache  int64 // transfers served by a peer cache
+}
+
+// Total returns all bus transactions (excluding per-copy invalidations).
+func (b BusStats) Total() int64 { return b.BusRd + b.BusRdX + b.BusUpgr }
+
+// MESIBus simulates N private caches kept coherent with the MESI
+// protocol over a snooping bus. Lines are tracked per cache-line
+// address; capacity is unbounded (coherence, not capacity, is the
+// lesson here).
+type MESIBus struct {
+	nCPUs     int
+	lineBytes uint64
+	// state[line][cpu]
+	state map[uint64][]MESIState
+	stats BusStats
+}
+
+// NewMESIBus creates a coherence simulator for nCPUs caches with the
+// given line size in bytes.
+func NewMESIBus(nCPUs int, lineBytes uint64) (*MESIBus, error) {
+	if nCPUs <= 0 {
+		return nil, fmt.Errorf("arch: need at least one CPU, got %d", nCPUs)
+	}
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("arch: line size %d must be a power of two", lineBytes)
+	}
+	return &MESIBus{nCPUs: nCPUs, lineBytes: lineBytes, state: map[uint64][]MESIState{}}, nil
+}
+
+// Stats returns accumulated bus statistics.
+func (m *MESIBus) Stats() BusStats { return m.stats }
+
+// LineOf returns the cache-line address containing the byte address.
+func (m *MESIBus) LineOf(addr uint64) uint64 { return addr / m.lineBytes }
+
+// State reports cpu's coherence state for the line containing addr.
+func (m *MESIBus) State(cpu int, addr uint64) MESIState {
+	sts, ok := m.state[m.LineOf(addr)]
+	if !ok {
+		return Invalid
+	}
+	return sts[cpu]
+}
+
+func (m *MESIBus) lineStates(addr uint64) []MESIState {
+	line := m.LineOf(addr)
+	sts, ok := m.state[line]
+	if !ok {
+		sts = make([]MESIState, m.nCPUs)
+		m.state[line] = sts
+	}
+	return sts
+}
+
+// Read simulates cpu reading the byte address.
+func (m *MESIBus) Read(cpu int, addr uint64) {
+	sts := m.lineStates(addr)
+	switch sts[cpu] {
+	case Modified, Exclusive, Shared:
+		return // hit, no bus traffic
+	case Invalid:
+		m.stats.BusRd++
+		shared := false
+		for other, st := range sts {
+			if other == cpu || st == Invalid {
+				continue
+			}
+			shared = true
+			if st == Modified {
+				m.stats.Writebacks++
+				m.stats.CacheToCache++
+			}
+			sts[other] = Shared
+		}
+		if shared {
+			sts[cpu] = Shared
+		} else {
+			sts[cpu] = Exclusive
+		}
+	}
+}
+
+// Write simulates cpu writing the byte address.
+func (m *MESIBus) Write(cpu int, addr uint64) {
+	sts := m.lineStates(addr)
+	switch sts[cpu] {
+	case Modified:
+		return // hit, already owned dirty
+	case Exclusive:
+		sts[cpu] = Modified // silent upgrade
+	case Shared:
+		m.stats.BusUpgr++
+		for other, st := range sts {
+			if other != cpu && st != Invalid {
+				sts[other] = Invalid
+				m.stats.Invalidations++
+			}
+		}
+		sts[cpu] = Modified
+	case Invalid:
+		m.stats.BusRdX++
+		for other, st := range sts {
+			if other == cpu || st == Invalid {
+				continue
+			}
+			if st == Modified {
+				m.stats.Writebacks++
+				m.stats.CacheToCache++
+			}
+			sts[other] = Invalid
+			m.stats.Invalidations++
+		}
+		sts[cpu] = Modified
+	}
+}
+
+// FalseSharingExperiment runs the canonical demonstration: each of nCPUs
+// writers updates its own counter `iters` times. With padding, each
+// counter sits on a private line; without, all counters share one line.
+// It returns the bus statistics of both configurations so callers can
+// compare invalidation traffic.
+func FalseSharingExperiment(nCPUs int, iters int, lineBytes uint64) (unpadded, padded BusStats, err error) {
+	run := func(stride uint64) (BusStats, error) {
+		bus, err := NewMESIBus(nCPUs, lineBytes)
+		if err != nil {
+			return BusStats{}, err
+		}
+		// Round-robin writers, the worst case for line ping-pong.
+		for i := 0; i < iters; i++ {
+			for cpu := 0; cpu < nCPUs; cpu++ {
+				bus.Write(cpu, uint64(cpu)*stride)
+			}
+		}
+		return bus.Stats(), nil
+	}
+	unpadded, err = run(8) // 8-byte counters packed into one line
+	if err != nil {
+		return
+	}
+	padded, err = run(lineBytes) // one counter per line
+	return
+}

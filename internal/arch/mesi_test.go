@@ -1,0 +1,178 @@
+package arch
+
+import "testing"
+
+func mustBus(t *testing.T, cpus int) *MESIBus {
+	t.Helper()
+	b, err := NewMESIBus(cpus, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMESIReadExclusiveThenShared(t *testing.T) {
+	b := mustBus(t, 2)
+	b.Read(0, 0)
+	if got := b.State(0, 0); got != Exclusive {
+		t.Errorf("after lone read state = %v, want E", got)
+	}
+	b.Read(1, 0)
+	if b.State(0, 0) != Shared || b.State(1, 0) != Shared {
+		t.Errorf("after second read states = %v/%v, want S/S", b.State(0, 0), b.State(1, 0))
+	}
+	if b.Stats().BusRd != 2 {
+		t.Errorf("BusRd = %d, want 2", b.Stats().BusRd)
+	}
+}
+
+func TestMESISilentEtoM(t *testing.T) {
+	b := mustBus(t, 2)
+	b.Read(0, 0)
+	before := b.Stats().Total()
+	b.Write(0, 0) // E -> M needs no bus transaction
+	if b.State(0, 0) != Modified {
+		t.Errorf("state = %v, want M", b.State(0, 0))
+	}
+	if b.Stats().Total() != before {
+		t.Error("E->M upgrade should be silent")
+	}
+}
+
+func TestMESIWriteInvalidatesSharers(t *testing.T) {
+	b := mustBus(t, 4)
+	for cpu := 0; cpu < 4; cpu++ {
+		b.Read(cpu, 0)
+	}
+	b.Write(0, 0)
+	if b.State(0, 0) != Modified {
+		t.Errorf("writer state = %v, want M", b.State(0, 0))
+	}
+	for cpu := 1; cpu < 4; cpu++ {
+		if b.State(cpu, 0) != Invalid {
+			t.Errorf("cpu %d state = %v, want I", cpu, b.State(cpu, 0))
+		}
+	}
+	if b.Stats().Invalidations != 3 {
+		t.Errorf("invalidations = %d, want 3", b.Stats().Invalidations)
+	}
+	if b.Stats().BusUpgr != 1 {
+		t.Errorf("BusUpgr = %d, want 1", b.Stats().BusUpgr)
+	}
+}
+
+func TestMESIDirtyLineServedByPeer(t *testing.T) {
+	b := mustBus(t, 2)
+	b.Write(0, 0) // I -> M via BusRdX
+	b.Read(1, 0)  // must write back and share
+	if b.State(0, 0) != Shared || b.State(1, 0) != Shared {
+		t.Errorf("states = %v/%v, want S/S", b.State(0, 0), b.State(1, 0))
+	}
+	st := b.Stats()
+	if st.Writebacks != 1 || st.CacheToCache != 1 {
+		t.Errorf("writebacks=%d cacheToCache=%d, want 1/1", st.Writebacks, st.CacheToCache)
+	}
+}
+
+func TestMESIWriteStealsDirtyLine(t *testing.T) {
+	b := mustBus(t, 2)
+	b.Write(0, 0)
+	b.Write(1, 0)
+	if b.State(0, 0) != Invalid || b.State(1, 0) != Modified {
+		t.Errorf("states = %v/%v, want I/M", b.State(0, 0), b.State(1, 0))
+	}
+	if b.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", b.Stats().Writebacks)
+	}
+}
+
+// Coherence invariant: at most one cache in M or E for a line; if any M
+// or E exists, no other cache holds the line in S.
+func TestMESISingleWriterInvariant(t *testing.T) {
+	b := mustBus(t, 4)
+	ops := []struct {
+		cpu   int
+		write bool
+		addr  uint64
+	}{
+		{0, false, 0}, {1, false, 0}, {2, true, 0}, {3, false, 0},
+		{0, true, 64}, {1, true, 64}, {2, false, 64}, {0, true, 0},
+		{3, true, 128}, {3, false, 0}, {1, true, 128},
+	}
+	for _, op := range ops {
+		if op.write {
+			b.Write(op.cpu, op.addr)
+		} else {
+			b.Read(op.cpu, op.addr)
+		}
+		for _, line := range []uint64{0, 64, 128} {
+			owners, sharers := 0, 0
+			for cpu := 0; cpu < 4; cpu++ {
+				switch b.State(cpu, line) {
+				case Modified, Exclusive:
+					owners++
+				case Shared:
+					sharers++
+				}
+			}
+			if owners > 1 {
+				t.Fatalf("line %d has %d owners after %+v", line, owners, op)
+			}
+			if owners == 1 && sharers > 0 {
+				t.Fatalf("line %d owned and shared after %+v", line, op)
+			}
+		}
+	}
+}
+
+func TestFalseSharingExperiment(t *testing.T) {
+	unpadded, padded, err := FalseSharingExperiment(4, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpadded.Invalidations <= padded.Invalidations {
+		t.Errorf("unpadded invalidations (%d) should exceed padded (%d)",
+			unpadded.Invalidations, padded.Invalidations)
+	}
+	if padded.Invalidations != 0 {
+		t.Errorf("padded counters should cause no invalidations, got %d", padded.Invalidations)
+	}
+}
+
+func TestMESIValidation(t *testing.T) {
+	if _, err := NewMESIBus(0, 64); err == nil {
+		t.Error("0 CPUs accepted")
+	}
+	if _, err := NewMESIBus(2, 48); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+}
+
+func TestMESIStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" || MESIState(9).String() != "?" {
+		t.Error("MESIState.String mismatch")
+	}
+}
+
+func TestCountersRuntime(t *testing.T) {
+	up := CountersUnpadded(4, 1000)
+	pd := CountersPadded(4, 1000)
+	for i := 0; i < 4; i++ {
+		if up[i] != 1000 || pd[i] != 1000 {
+			t.Fatalf("counter %d: unpadded=%d padded=%d, want 1000", i, up[i], pd[i])
+		}
+	}
+}
+
+func BenchmarkFalseSharingUnpadded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CountersUnpadded(4, 10000)
+	}
+}
+
+func BenchmarkFalseSharingPadded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		CountersPadded(4, 10000)
+	}
+}

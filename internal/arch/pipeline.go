@@ -1,0 +1,192 @@
+package arch
+
+import "fmt"
+
+// OpKind classifies instructions for the 5-stage pipeline model.
+type OpKind int
+
+const (
+	// ALU is a register-register operation (1-cycle EX).
+	ALU OpKind = iota
+	// Load reads memory into Dest (result available after MEM).
+	Load
+	// Store writes Src1 to memory (no destination).
+	Store
+	// Branch is a conditional branch resolved in EX.
+	Branch
+	// Nop does nothing.
+	Nop
+)
+
+// String returns the op name.
+func (k OpKind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case Nop:
+		return "nop"
+	default:
+		return "unknown"
+	}
+}
+
+// Instr is one instruction in the dynamic stream fed to the pipeline.
+// Registers are small integers; -1 means "no register".
+type Instr struct {
+	Kind OpKind
+	Dest int
+	Src1 int
+	Src2 int
+	// Taken marks a branch as taken (costing the flush penalty).
+	Taken bool
+}
+
+// PipelineConfig controls hazard handling.
+type PipelineConfig struct {
+	// Forwarding enables EX/MEM->EX bypassing; without it, consumers
+	// wait for the producer's WB stage (write-before-read register file).
+	Forwarding bool
+	// BranchPenalty is the number of bubbles injected after a taken
+	// branch resolves in EX (2 for the classic MIPS pipeline).
+	BranchPenalty int
+}
+
+// PipelineResult reports the cycle-accurate outcome.
+type PipelineResult struct {
+	Instructions  int
+	Cycles        int64
+	DataStalls    int64
+	ControlStalls int64
+	// CPI is Cycles per instruction.
+	CPI float64
+	// Speedup is versus an unpipelined machine taking 5 cycles per
+	// instruction.
+	SpeedupVsUnpipelined float64
+}
+
+// RunPipeline simulates the classic IF-ID-EX-MEM-WB pipeline over the
+// dynamic instruction stream and returns cycle counts and stall
+// breakdowns. It implements the standard teaching rules: one instruction
+// per stage, RAW hazards resolved by stalling in ID (with forwarding the
+// only remaining stall is the 1-cycle load-use case), registers written
+// in the first half of WB and read in the second half of ID, and taken
+// branches flushing BranchPenalty younger instructions.
+func RunPipeline(stream []Instr, cfg PipelineConfig) PipelineResult {
+	if cfg.BranchPenalty < 0 {
+		cfg.BranchPenalty = 0
+	}
+	n := len(stream)
+	res := PipelineResult{Instructions: n}
+	if n == 0 {
+		return res
+	}
+	// readyCycle[r] = earliest cycle a consumer's EX may start and see r.
+	readyCycle := map[int]int64{}
+	var cycle int64 // cycle in which the current instruction enters EX
+	var lastEX int64
+	fetchReady := int64(1) // earliest IF cycle of next instruction
+	for _, ins := range stream {
+		// IF and ID take 2 cycles after fetch; EX may stall for hazards.
+		earliestEX := fetchReady + 2
+		if earliestEX <= lastEX {
+			earliestEX = lastEX + 1
+		}
+		ex := earliestEX
+		for _, src := range []int{ins.Src1, ins.Src2} {
+			if src < 0 {
+				continue
+			}
+			if rc, ok := readyCycle[src]; ok && rc > ex {
+				ex = rc
+			}
+		}
+		res.DataStalls += ex - earliestEX
+		cycle = ex
+		lastEX = ex
+		// Producer availability for consumers.
+		if ins.Dest >= 0 && ins.Kind != Store && ins.Kind != Branch && ins.Kind != Nop {
+			if cfg.Forwarding {
+				if ins.Kind == Load {
+					// Load value exits MEM (cycle ex+1); consumer EX at ex+2.
+					readyCycle[ins.Dest] = ex + 2
+				} else {
+					// ALU result forwarded from EX: consumer EX at ex+1.
+					readyCycle[ins.Dest] = ex + 1
+				}
+			} else {
+				// WB at ex+2 writes the register file in the first half;
+				// consumer ID reads it then, so consumer EX >= ex+3... but
+				// ID-read means its EX can be ex+3.
+				readyCycle[ins.Dest] = ex + 3
+			}
+		}
+		// Control hazard: taken branch resolved at end of EX squashes
+		// the instructions fetched in the bubble window.
+		if ins.Kind == Branch && ins.Taken {
+			res.ControlStalls += int64(cfg.BranchPenalty)
+			fetchReady = ex + int64(cfg.BranchPenalty) - 1
+			if fetchReady < 1 {
+				fetchReady = 1
+			}
+		} else {
+			fetchReady++
+		}
+		if fetchReady <= 0 {
+			fetchReady = 1
+		}
+	}
+	// Last instruction retires 2 cycles after its EX (MEM, WB).
+	res.Cycles = cycle + 2
+	res.CPI = float64(res.Cycles) / float64(n)
+	res.SpeedupVsUnpipelined = float64(5*n) / float64(res.Cycles)
+	return res
+}
+
+// ILPStats summarizes instruction-level parallelism limits of a stream:
+// the length of the longest dependency chain and the available ILP
+// (instructions / chain length), the quantities the AUC architecture
+// course uses to motivate superscalar and VLIW designs.
+type ILPStats struct {
+	Instructions int
+	ChainLength  int
+	ILP          float64
+}
+
+// AnalyzeILP computes the dependence-chain statistics of a stream under
+// unit latencies.
+func AnalyzeILP(stream []Instr) ILPStats {
+	depth := map[int]int{} // register -> chain depth producing it
+	maxChain := 0
+	for _, ins := range stream {
+		d := 0
+		for _, src := range []int{ins.Src1, ins.Src2} {
+			if src >= 0 && depth[src] > d {
+				d = depth[src]
+			}
+		}
+		d++
+		if ins.Dest >= 0 {
+			depth[ins.Dest] = d
+		}
+		if d > maxChain {
+			maxChain = d
+		}
+	}
+	st := ILPStats{Instructions: len(stream), ChainLength: maxChain}
+	if maxChain > 0 {
+		st.ILP = float64(len(stream)) / float64(maxChain)
+	}
+	return st
+}
+
+// String renders the result compactly.
+func (r PipelineResult) String() string {
+	return fmt.Sprintf("%d instrs, %d cycles, CPI %.2f (data stalls %d, control stalls %d, speedup %.2fx)",
+		r.Instructions, r.Cycles, r.CPI, r.DataStalls, r.ControlStalls, r.SpeedupVsUnpipelined)
+}

@@ -1,0 +1,164 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineNoHazards(t *testing.T) {
+	stream := []Instr{
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 3, Src1: -1, Src2: -1},
+	}
+	r := RunPipeline(stream, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	// k + n - 1 = 5 + 3 - 1 = 7 cycles.
+	if r.Cycles != 7 {
+		t.Errorf("cycles = %d, want 7", r.Cycles)
+	}
+	if r.DataStalls != 0 || r.ControlStalls != 0 {
+		t.Errorf("stalls = %d/%d, want 0/0", r.DataStalls, r.ControlStalls)
+	}
+	if !strings.Contains(r.String(), "CPI") {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+func TestPipelineRAWWithoutForwarding(t *testing.T) {
+	stream := []Instr{
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: 1, Src2: -1}, // depends on previous
+	}
+	r := RunPipeline(stream, PipelineConfig{Forwarding: false, BranchPenalty: 2})
+	if r.DataStalls != 2 {
+		t.Errorf("data stalls = %d, want 2 (classic no-forwarding RAW)", r.DataStalls)
+	}
+	// 6 cycles base + 2 stalls.
+	if r.Cycles != 8 {
+		t.Errorf("cycles = %d, want 8", r.Cycles)
+	}
+}
+
+func TestPipelineRAWWithForwarding(t *testing.T) {
+	stream := []Instr{
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: 1, Src2: -1},
+	}
+	r := RunPipeline(stream, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	if r.DataStalls != 0 {
+		t.Errorf("EX->EX forwarding should remove all stalls, got %d", r.DataStalls)
+	}
+}
+
+func TestPipelineLoadUseHazard(t *testing.T) {
+	stream := []Instr{
+		{Kind: Load, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: 1, Src2: -1},
+	}
+	r := RunPipeline(stream, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	if r.DataStalls != 1 {
+		t.Errorf("load-use with forwarding = %d stalls, want 1", r.DataStalls)
+	}
+	// Independent instruction between load and use hides the stall.
+	stream2 := []Instr{
+		{Kind: Load, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 3, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: 1, Src2: -1},
+	}
+	r2 := RunPipeline(stream2, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	if r2.DataStalls != 0 {
+		t.Errorf("scheduled load-use = %d stalls, want 0", r2.DataStalls)
+	}
+}
+
+func TestPipelineBranchPenalty(t *testing.T) {
+	stream := []Instr{
+		{Kind: Branch, Dest: -1, Src1: -1, Src2: -1, Taken: true},
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+	}
+	r := RunPipeline(stream, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	if r.ControlStalls != 2 {
+		t.Errorf("control stalls = %d, want 2", r.ControlStalls)
+	}
+	nt := []Instr{
+		{Kind: Branch, Dest: -1, Src1: -1, Src2: -1, Taken: false},
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+	}
+	r2 := RunPipeline(nt, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	if r2.ControlStalls != 0 {
+		t.Errorf("not-taken branch stalls = %d, want 0", r2.ControlStalls)
+	}
+	if r2.Cycles >= r.Cycles {
+		t.Errorf("taken branch (%d cycles) should cost more than not-taken (%d)", r.Cycles, r2.Cycles)
+	}
+}
+
+func TestPipelineEmptyStream(t *testing.T) {
+	r := RunPipeline(nil, PipelineConfig{})
+	if r.Cycles != 0 || r.Instructions != 0 {
+		t.Errorf("empty stream result = %+v", r)
+	}
+}
+
+func TestPipelineForwardingSpeedsUpDependentChain(t *testing.T) {
+	var stream []Instr
+	for i := 0; i < 50; i++ {
+		stream = append(stream, Instr{Kind: ALU, Dest: 1, Src1: 1, Src2: -1})
+	}
+	slow := RunPipeline(stream, PipelineConfig{Forwarding: false})
+	fast := RunPipeline(stream, PipelineConfig{Forwarding: true})
+	if fast.Cycles >= slow.Cycles {
+		t.Errorf("forwarding (%d cycles) should beat stalling (%d cycles)", fast.Cycles, slow.Cycles)
+	}
+	if fast.CPI >= slow.CPI {
+		t.Errorf("forwarding CPI %.2f should beat %.2f", fast.CPI, slow.CPI)
+	}
+}
+
+func TestAnalyzeILP(t *testing.T) {
+	// Fully independent: chain length 1, ILP = n.
+	indep := []Instr{
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 2, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 3, Src1: -1, Src2: -1},
+	}
+	st := AnalyzeILP(indep)
+	if st.ChainLength != 1 || st.ILP != 3 {
+		t.Errorf("independent stream: chain=%d ilp=%g, want 1/3", st.ChainLength, st.ILP)
+	}
+	// Full chain: ILP = 1.
+	chain := []Instr{
+		{Kind: ALU, Dest: 1, Src1: -1, Src2: -1},
+		{Kind: ALU, Dest: 1, Src1: 1, Src2: -1},
+		{Kind: ALU, Dest: 1, Src1: 1, Src2: -1},
+	}
+	st2 := AnalyzeILP(chain)
+	if st2.ChainLength != 3 || st2.ILP != 1 {
+		t.Errorf("chained stream: chain=%d ilp=%g, want 3/1", st2.ChainLength, st2.ILP)
+	}
+	empty := AnalyzeILP(nil)
+	if empty.ILP != 0 {
+		t.Errorf("empty ILP = %g, want 0", empty.ILP)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	names := map[OpKind]string{ALU: "alu", Load: "load", Store: "store",
+		Branch: "branch", Nop: "nop", OpKind(42): "unknown"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	stream := make([]Instr, 1000)
+	for i := range stream {
+		stream[i] = Instr{Kind: ALU, Dest: i % 8, Src1: (i + 1) % 8, Src2: -1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RunPipeline(stream, PipelineConfig{Forwarding: true, BranchPenalty: 2})
+	}
+}

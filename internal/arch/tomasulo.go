@@ -1,0 +1,412 @@
+package arch
+
+import "fmt"
+
+// TOp is an operation executed by the Tomasulo machine.
+type TOp int
+
+const (
+	// TAdd and TSub use the add/sub reservation stations.
+	TAdd TOp = iota
+	// TSub is subtraction.
+	TSub
+	// TMul and TDiv use the multiply/divide stations.
+	TMul
+	// TDiv is division.
+	TDiv
+	// TLoad uses a load buffer; Src1 is the base register.
+	TLoad
+	// TBranch resolves a branch; in the speculative machine issue
+	// continues past it, in the non-speculative machine issue stalls
+	// until it resolves.
+	TBranch
+)
+
+// String returns the op mnemonic.
+func (o TOp) String() string {
+	switch o {
+	case TAdd:
+		return "ADD"
+	case TSub:
+		return "SUB"
+	case TMul:
+		return "MUL"
+	case TDiv:
+		return "DIV"
+	case TLoad:
+		return "LD"
+	case TBranch:
+		return "BR"
+	default:
+		return "?"
+	}
+}
+
+// fuClass maps an op to its station pool.
+func (o TOp) fuClass() int {
+	switch o {
+	case TMul, TDiv:
+		return fuMul
+	case TLoad:
+		return fuLoad
+	default:
+		return fuAdd
+	}
+}
+
+const (
+	fuAdd = iota
+	fuMul
+	fuLoad
+	fuClasses
+)
+
+// TInstr is a dynamic instruction for the Tomasulo machine. Registers
+// are indices into a flat register file; -1 means unused.
+type TInstr struct {
+	Op   TOp
+	Dest int
+	Src1 int
+	Src2 int
+	// Mispredicted marks a branch whose prediction was wrong; the
+	// speculative machine pays a flush at commit.
+	Mispredicted bool
+}
+
+// TomasuloConfig sizes the machine.
+type TomasuloConfig struct {
+	AddStations int
+	MulStations int
+	LoadBuffers int
+	// Latency gives execution cycles per op (defaults: add/sub 2,
+	// mul 10, div 40, load 2, branch 1).
+	Latency map[TOp]int
+	// Speculative enables the reorder buffer and issue past branches.
+	Speculative bool
+	// ROBSize bounds in-flight instructions in speculative mode.
+	ROBSize int
+	// MispredictPenalty is extra refill cycles after a flush.
+	MispredictPenalty int
+}
+
+// DefaultTomasuloConfig returns the textbook configuration
+// (3 add, 2 mul, 3 load stations; Hennessy-Patterson latencies).
+func DefaultTomasuloConfig(speculative bool) TomasuloConfig {
+	return TomasuloConfig{
+		AddStations: 3, MulStations: 2, LoadBuffers: 3,
+		Latency: map[TOp]int{
+			TAdd: 2, TSub: 2, TMul: 10, TDiv: 40, TLoad: 2, TBranch: 1,
+		},
+		Speculative: speculative, ROBSize: 8, MispredictPenalty: 1,
+	}
+}
+
+func (c TomasuloConfig) latency(op TOp) int {
+	if l, ok := c.Latency[op]; ok && l > 0 {
+		return l
+	}
+	switch op {
+	case TMul:
+		return 10
+	case TDiv:
+		return 40
+	case TBranch:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// instrState tracks one dynamic instruction's progress.
+type instrState int
+
+const (
+	stWaiting instrState = iota
+	stIssued
+	stExecuting
+	stExecDone
+	stWritten
+	stCommitted
+)
+
+// InstrTiming is the per-instruction worksheet row the architecture
+// courses fill in by hand; -1 marks events that do not apply.
+type InstrTiming struct {
+	Issue        int64
+	ExecStart    int64
+	ExecComplete int64
+	WriteCDB     int64
+	Commit       int64
+}
+
+// TomasuloResult reports the simulation outcome.
+type TomasuloResult struct {
+	Cycles  int64
+	Timings []InstrTiming
+	// IssueStallsRS counts cycles issue was blocked on a full station pool.
+	IssueStallsRS int64
+	// IssueStallsROB counts cycles issue was blocked on a full ROB.
+	IssueStallsROB int64
+	// BranchStalls counts cycles issue was blocked behind an unresolved
+	// branch (non-speculative machine only).
+	BranchStalls int64
+	// Flushes counts mispredict recoveries.
+	Flushes int64
+	// IPC is instructions per cycle.
+	IPC float64
+}
+
+type tomaInstr struct {
+	ins          TInstr
+	state        instrState
+	issue        int64
+	execStart    int64
+	execComplete int64
+	write        int64
+	commit       int64
+	// srcAvail[s] is the CDB cycle that produced operand s; the operand
+	// is usable from srcAvail[s]+1 on. srcWait[s] is the producing
+	// instruction index when the value is still in flight (-1 = in hand).
+	srcAvail [2]int64
+	srcWait  [2]int
+}
+
+// holdsStation reports whether the instruction currently occupies a
+// reservation station or load buffer.
+func (in *tomaInstr) holdsStation() bool {
+	return in.state == stIssued || in.state == stExecuting || in.state == stExecDone
+}
+
+// RunTomasulo simulates the dynamic instruction stream on the configured
+// machine and returns the timing worksheet. Rules (stated so results are
+// checkable by hand):
+//
+//   - Issue: one instruction per cycle, in program order, needing a free
+//     station of the right class (and a free ROB slot when speculative).
+//   - Operands: captured from the register file at issue, or tagged with
+//     the producing instruction; a value broadcast on the CDB in cycle c
+//     is usable from cycle c+1.
+//   - Execute: starts no earlier than the cycle after issue, once all
+//     operands are usable; functional units are fully pipelined.
+//   - Write: one CDB write per cycle (earliest-finished first, then
+//     program order); branches resolve without using the CDB. A station
+//     freed by a write is reusable by an issue in the same cycle.
+//   - Commit (speculative only): in order, one per cycle, the cycle
+//     after write at the earliest. A mispredicted branch flushes all
+//     younger instructions at commit; they re-issue after the penalty.
+func RunTomasulo(stream []TInstr, cfg TomasuloConfig) (TomasuloResult, error) {
+	if cfg.AddStations <= 0 || cfg.MulStations <= 0 || cfg.LoadBuffers <= 0 {
+		return TomasuloResult{}, fmt.Errorf("arch: station counts must be positive: %+v", cfg)
+	}
+	if cfg.Speculative && cfg.ROBSize <= 0 {
+		return TomasuloResult{}, fmt.Errorf("arch: speculative machine needs ROBSize > 0")
+	}
+	n := len(stream)
+	res := TomasuloResult{Timings: make([]InstrTiming, n)}
+	if n == 0 {
+		return res, nil
+	}
+
+	poolSize := [fuClasses]int{fuAdd: cfg.AddStations, fuMul: cfg.MulStations, fuLoad: cfg.LoadBuffers}
+	var poolUsed [fuClasses]int
+	instrs := make([]*tomaInstr, n)
+	reset := func(i int) {
+		instrs[i] = &tomaInstr{ins: stream[i], srcWait: [2]int{-1, -1}}
+	}
+	for i := range instrs {
+		reset(i)
+	}
+	// regProducer[r] = index of the youngest in-flight instruction that
+	// will write r.
+	regProducer := map[int]int{}
+	nextIssue := 0
+	issueBlockedUntil := int64(0)
+	committed := 0
+	written := 0 // completed (non-speculative termination)
+
+	rebuildProducers := func() {
+		regProducer = map[int]int{}
+		for i := 0; i < nextIssue; i++ {
+			in := instrs[i]
+			if in.holdsStation() && in.ins.Dest >= 0 && in.ins.Op != TBranch {
+				regProducer[in.ins.Dest] = i
+			}
+		}
+	}
+
+	// tryIssue attempts to issue instrs[nextIssue] at the given cycle.
+	tryIssue := func(cycle int64) {
+		if nextIssue >= n || cycle < issueBlockedUntil {
+			return
+		}
+		in := instrs[nextIssue]
+		if !cfg.Speculative {
+			for j := 0; j < nextIssue; j++ {
+				if instrs[j].ins.Op == TBranch && instrs[j].state < stWritten {
+					res.BranchStalls++
+					return
+				}
+			}
+		} else {
+			inFlight := 0
+			for j := committed; j < nextIssue; j++ {
+				if instrs[j].state != stWaiting && instrs[j].state != stCommitted {
+					inFlight++
+				}
+			}
+			if inFlight >= cfg.ROBSize {
+				res.IssueStallsROB++
+				return
+			}
+		}
+		class := in.ins.Op.fuClass()
+		if poolUsed[class] >= poolSize[class] {
+			res.IssueStallsRS++
+			return
+		}
+		poolUsed[class]++
+		in.state = stIssued
+		in.issue = cycle
+		for s, src := range [2]int{in.ins.Src1, in.ins.Src2} {
+			if src < 0 {
+				continue
+			}
+			if p, ok := regProducer[src]; ok {
+				prod := instrs[p]
+				if prod.state == stWritten || prod.state == stCommitted {
+					in.srcAvail[s] = prod.write
+				} else {
+					in.srcWait[s] = p
+				}
+			}
+		}
+		if in.ins.Dest >= 0 && in.ins.Op != TBranch {
+			regProducer[in.ins.Dest] = nextIssue
+		}
+		nextIssue++
+	}
+
+	var cycle int64
+	const maxCycles = 10_000_000
+	done := func() bool {
+		if cfg.Speculative {
+			return committed == n
+		}
+		return written == n
+	}
+	for !done() {
+		cycle++
+		if cycle > maxCycles {
+			return res, fmt.Errorf("arch: Tomasulo simulation exceeded %d cycles (livelock?)", maxCycles)
+		}
+
+		// ---- Commit (speculative, in order, one per cycle) ----
+		if cfg.Speculative && committed < n {
+			head := instrs[committed]
+			canCommit := head.state == stWritten && head.write < cycle
+			if head.ins.Op == TBranch {
+				canCommit = head.state >= stExecDone && head.execComplete < cycle
+				if canCommit && head.state != stWritten {
+					// Branch frees its station at commit.
+					poolUsed[fuAdd]--
+				}
+			}
+			if canCommit {
+				head.state = stCommitted
+				head.commit = cycle
+				committed++
+				if head.ins.Op == TBranch && head.ins.Mispredicted {
+					res.Flushes++
+					for j := committed; j < n; j++ {
+						if instrs[j].holdsStation() {
+							poolUsed[instrs[j].ins.Op.fuClass()]--
+						}
+						if instrs[j].state != stWaiting {
+							reset(j)
+						}
+					}
+					nextIssue = committed
+					issueBlockedUntil = cycle + int64(cfg.MispredictPenalty)
+					rebuildProducers()
+				}
+			}
+		}
+
+		// ---- CDB write (one non-branch result per cycle) ----
+		candIdx := -1
+		for i, in := range instrs {
+			if in.state == stExecDone && in.execComplete < cycle && in.ins.Op != TBranch {
+				if candIdx == -1 ||
+					in.execComplete < instrs[candIdx].execComplete ||
+					(in.execComplete == instrs[candIdx].execComplete && i < candIdx) {
+					candIdx = i
+				}
+			}
+		}
+		if candIdx >= 0 {
+			in := instrs[candIdx]
+			in.state = stWritten
+			in.write = cycle
+			written++
+			poolUsed[in.ins.Op.fuClass()]--
+			for _, other := range instrs {
+				for s := range other.srcWait {
+					if other.srcWait[s] == candIdx {
+						other.srcWait[s] = -1
+						other.srcAvail[s] = cycle
+					}
+				}
+			}
+			if p, ok := regProducer[in.ins.Dest]; ok && p == candIdx {
+				delete(regProducer, in.ins.Dest)
+			}
+		}
+		// Branches resolve without the CDB (non-speculative machine
+		// frees their station here; speculative frees at commit).
+		if !cfg.Speculative {
+			for _, in := range instrs {
+				if in.state == stExecDone && in.ins.Op == TBranch && in.execComplete < cycle {
+					in.state = stWritten
+					in.write = in.execComplete
+					written++
+					poolUsed[fuAdd]--
+				}
+			}
+		}
+
+		// ---- Execute ----
+		for _, in := range instrs {
+			if in.state == stIssued &&
+				in.issue < cycle &&
+				in.srcWait[0] == -1 && in.srcWait[1] == -1 &&
+				in.srcAvail[0] < cycle && in.srcAvail[1] < cycle {
+				in.state = stExecuting
+				in.execStart = cycle
+				in.execComplete = cycle + int64(cfg.latency(in.ins.Op)) - 1
+			}
+		}
+		for _, in := range instrs {
+			if in.state == stExecuting && in.execComplete <= cycle {
+				in.state = stExecDone
+			}
+		}
+
+		// ---- Issue ----
+		tryIssue(cycle)
+	}
+
+	for i, in := range instrs {
+		t := InstrTiming{Issue: in.issue, ExecStart: in.execStart,
+			ExecComplete: in.execComplete, WriteCDB: in.write, Commit: in.commit}
+		if in.ins.Op == TBranch && cfg.Speculative {
+			t.WriteCDB = -1
+		}
+		if !cfg.Speculative {
+			t.Commit = -1
+		}
+		res.Timings[i] = t
+	}
+	res.Cycles = cycle
+	res.IPC = float64(n) / float64(cycle)
+	return res, nil
+}

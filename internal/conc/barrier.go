@@ -1,0 +1,119 @@
+package conc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Barrier is a reusable (cyclic) synchronization barrier for a fixed
+// party count: the primitive behind bulk-synchronous parallel phases in
+// the shared-memory part of the LAU course. An optional action runs
+// exactly once per generation, by the last goroutine to arrive, before
+// the others are released.
+type Barrier struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	parties    int
+	waiting    int
+	generation uint64
+	action     func()
+}
+
+// NewBarrier creates a barrier for parties goroutines. It panics if
+// parties is not positive.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("conc: barrier parties must be positive, got %d", parties))
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// NewBarrierWithAction creates a barrier that runs action once per
+// generation when the last party arrives.
+func NewBarrierWithAction(parties int, action func()) *Barrier {
+	b := NewBarrier(parties)
+	b.action = action
+	return b
+}
+
+// Parties reports the number of goroutines the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Await blocks until all parties have called Await for the current
+// generation, then releases them together. It returns the index of the
+// caller's arrival within the generation (parties-1 for the last
+// arriver, matching java.util.concurrent.CyclicBarrier conventions).
+func (b *Barrier) Await() int {
+	b.mu.Lock()
+	gen := b.generation
+	index := b.waiting
+	b.waiting++
+	if b.waiting == b.parties {
+		if b.action != nil {
+			b.action()
+		}
+		b.waiting = 0
+		b.generation++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return index
+	}
+	for gen == b.generation {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return index
+}
+
+// Generation reports how many times the barrier has tripped.
+func (b *Barrier) Generation() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.generation
+}
+
+// Latch is a one-shot count-down latch: Wait blocks until CountDown has
+// been called n times. Further CountDown calls are no-ops.
+type Latch struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+// NewLatch creates a latch requiring n count-downs. n <= 0 creates an
+// already-open latch.
+func NewLatch(n int) *Latch {
+	l := &Latch{count: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// CountDown decrements the latch, releasing waiters at zero.
+func (l *Latch) CountDown() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count > 0 {
+		l.count--
+		if l.count == 0 {
+			l.cond.Broadcast()
+		}
+	}
+}
+
+// Wait blocks until the latch reaches zero.
+func (l *Latch) Wait() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.count > 0 {
+		l.cond.Wait()
+	}
+}
+
+// Count reports the remaining count.
+func (l *Latch) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}

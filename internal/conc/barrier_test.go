@@ -1,0 +1,110 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierPhases(t *testing.T) {
+	const parties, phases = 8, 20
+	b := NewBarrier(parties)
+	// Every goroutine increments a per-phase counter before the barrier;
+	// after the barrier the counter must equal parties.
+	counts := make([]int64, phases)
+	var fail atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				atomic.AddInt64(&counts[ph], 1)
+				b.Await()
+				if atomic.LoadInt64(&counts[ph]) != parties {
+					fail.Store(true)
+				}
+				b.Await() // second barrier so nobody races ahead into ph+1
+			}
+		}()
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Error("a goroutine crossed the barrier before all parties arrived")
+	}
+	if got := b.Generation(); got != phases*2 {
+		t.Errorf("generation = %d, want %d", got, phases*2)
+	}
+}
+
+func TestBarrierAction(t *testing.T) {
+	const parties, phases = 4, 10
+	var actions int64
+	b := NewBarrierWithAction(parties, func() { actions++ })
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				b.Await()
+			}
+		}()
+	}
+	wg.Wait()
+	if actions != phases {
+		t.Errorf("action ran %d times, want %d", actions, phases)
+	}
+}
+
+func TestBarrierLastArriverIndex(t *testing.T) {
+	b := NewBarrier(2)
+	idx := make(chan int, 2)
+	go func() { idx <- b.Await() }()
+	go func() { idx <- b.Await() }()
+	a, c := <-idx, <-idx
+	if a+c != 1 { // indices 0 and 1 in some order
+		t.Errorf("arrival indices = %d,%d; want {0,1}", a, c)
+	}
+}
+
+func TestBarrierPanicsOnBadParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) should panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestLatch(t *testing.T) {
+	l := NewLatch(3)
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", l.Count())
+	}
+	done := make(chan struct{})
+	go func() {
+		l.Wait()
+		close(done)
+	}()
+	l.CountDown()
+	l.CountDown()
+	select {
+	case <-done:
+		t.Fatal("latch opened early")
+	default:
+	}
+	l.CountDown()
+	<-done
+	// Extra countdowns are no-ops.
+	l.CountDown()
+	if l.Count() != 0 {
+		t.Errorf("Count after open = %d, want 0", l.Count())
+	}
+	l.Wait() // must not block on an open latch
+}
+
+func TestLatchAlreadyOpen(t *testing.T) {
+	NewLatch(0).Wait()
+	NewLatch(-5).Wait()
+}

@@ -1,0 +1,68 @@
+package conc
+
+import "sync"
+
+// Monitor is a Hoare-style monitor: a mutual-exclusion region with
+// named condition variables. SE2014 lists monitors (with semaphores) as
+// the essential concurrency primitives every software-engineering
+// graduate must master at the application level.
+//
+// Typical use:
+//
+//	m := conc.NewMonitor()
+//	notFull := m.NewCondition()
+//	m.Enter()
+//	for full() {
+//		notFull.Wait()
+//	}
+//	...
+//	m.Exit()
+type Monitor struct {
+	mu sync.Mutex
+}
+
+// NewMonitor creates an unlocked monitor.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// Enter acquires the monitor lock.
+func (m *Monitor) Enter() { m.mu.Lock() }
+
+// Exit releases the monitor lock.
+func (m *Monitor) Exit() { m.mu.Unlock() }
+
+// Do runs fn while holding the monitor lock.
+func (m *Monitor) Do(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn()
+}
+
+// Condition is a condition variable tied to its monitor's lock.
+type Condition struct {
+	cond *sync.Cond
+}
+
+// NewCondition creates a condition variable associated with the monitor.
+func (m *Monitor) NewCondition() *Condition {
+	return &Condition{cond: sync.NewCond(&m.mu)}
+}
+
+// Wait atomically releases the monitor and suspends the caller until
+// Signal or Broadcast; the monitor is re-acquired before Wait returns.
+// Callers must re-check their predicate in a loop (Mesa semantics).
+func (c *Condition) Wait() { c.cond.Wait() }
+
+// Signal wakes one waiter, if any.
+func (c *Condition) Signal() { c.cond.Signal() }
+
+// Broadcast wakes all waiters.
+func (c *Condition) Broadcast() { c.cond.Broadcast() }
+
+// WaitUntil blocks until pred() is true, re-checking after every wakeup.
+// The monitor must be held on entry and is held on return. This packages
+// the Mesa-style "wait in a loop" idiom that the courses drill.
+func (c *Condition) WaitUntil(pred func() bool) {
+	for !pred() {
+		c.cond.Wait()
+	}
+}

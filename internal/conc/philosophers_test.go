@@ -1,0 +1,64 @@
+package conc
+
+import "testing"
+
+func TestDinePhilosophersAllStrategies(t *testing.T) {
+	const n, meals = 5, 50
+	for _, s := range []PhilosopherStrategy{OrderedForks, Arbitrator, TryBackoff} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			res, err := DinePhilosophers(n, meals, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalMeals() != n*meals {
+				t.Errorf("TotalMeals = %d, want %d", res.TotalMeals(), n*meals)
+			}
+			if res.MinMeals() != meals {
+				t.Errorf("MinMeals = %d, want %d (everyone must finish)", res.MinMeals(), meals)
+			}
+		})
+	}
+}
+
+func TestDinePhilosophersValidation(t *testing.T) {
+	if _, err := DinePhilosophers(1, 10, OrderedForks); err == nil {
+		t.Error("1 philosopher should be rejected")
+	}
+	if _, err := DinePhilosophers(5, 0, OrderedForks); err == nil {
+		t.Error("0 meals should be rejected")
+	}
+}
+
+func TestPhilosopherStrategyString(t *testing.T) {
+	cases := map[PhilosopherStrategy]string{
+		OrderedForks:            "ordered-forks",
+		Arbitrator:              "arbitrator",
+		TryBackoff:              "try-backoff",
+		PhilosopherStrategy(42): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("String() = %q, want %q", s.String(), want)
+		}
+	}
+}
+
+func TestTableResultEmpty(t *testing.T) {
+	var r TableResult
+	if r.TotalMeals() != 0 || r.MinMeals() != 0 {
+		t.Error("empty result should be zeros")
+	}
+}
+
+func BenchmarkPhilosophersOrdered(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = DinePhilosophers(5, 20, OrderedForks)
+	}
+}
+
+func BenchmarkPhilosophersArbitrator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = DinePhilosophers(5, 20, Arbitrator)
+	}
+}

@@ -1,0 +1,130 @@
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by queue operations after Close.
+var ErrClosed = errors.New("conc: queue is closed")
+
+// BoundedQueue is the "properly synchronized queue" that CC2020 names as
+// a required PDC topic: a blocking, bounded, FIFO, multi-producer
+// multi-consumer queue built as a monitor with two condition variables.
+type BoundedQueue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	size     int
+	closed   bool
+}
+
+// NewBoundedQueue creates a queue holding at most capacity elements.
+// It panics if capacity is not positive.
+func NewBoundedQueue[T any](capacity int) *BoundedQueue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("conc: queue capacity must be positive, got %d", capacity))
+	}
+	q := &BoundedQueue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Put appends v, blocking while the queue is full. It returns ErrClosed
+// if the queue is (or becomes) closed while waiting.
+func (q *BoundedQueue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == len(q.buf) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends v without blocking; it reports false when full or closed.
+func (q *BoundedQueue[T]) TryPut(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.size == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Take removes and returns the oldest element, blocking while empty.
+// After Close, Take drains remaining elements and then returns ErrClosed.
+func (q *BoundedQueue[T]) Take() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.size == 0 {
+		return zero, ErrClosed
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.notFull.Signal()
+	return v, nil
+}
+
+// TryTake removes the oldest element without blocking.
+func (q *BoundedQueue[T]) TryTake() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.notFull.Signal()
+	return v, true
+}
+
+// Close marks the queue closed: pending and future Puts fail, Takes drain
+// the remaining elements then fail. Close is idempotent.
+func (q *BoundedQueue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.notFull.Broadcast()
+		q.notEmpty.Broadcast()
+	}
+}
+
+// Len reports the current number of queued elements.
+func (q *BoundedQueue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// Cap reports the queue capacity.
+func (q *BoundedQueue[T]) Cap() int { return len(q.buf) }
+
+// Closed reports whether Close has been called.
+func (q *BoundedQueue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

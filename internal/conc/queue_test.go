@@ -1,0 +1,207 @@
+package conc
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFOSingleThreaded(t *testing.T) {
+	q := NewBoundedQueue[int](3)
+	if q.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", q.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.TryPut(99) {
+		t.Error("TryPut should fail on a full queue")
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		v, err := q.Take()
+		if err != nil || v != i {
+			t.Fatalf("Take = %v,%v; want %d,nil", v, err, i)
+		}
+	}
+	if _, ok := q.TryTake(); ok {
+		t.Error("TryTake should fail on an empty queue")
+	}
+}
+
+func TestQueueWraparound(t *testing.T) {
+	q := NewBoundedQueue[string](2)
+	mustPut := func(s string) {
+		t.Helper()
+		if err := q.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustTake := func(want string) {
+		t.Helper()
+		v, err := q.Take()
+		if err != nil || v != want {
+			t.Fatalf("Take = %q,%v; want %q", v, err, want)
+		}
+	}
+	mustPut("a")
+	mustPut("b")
+	mustTake("a")
+	mustPut("c") // wraps
+	mustTake("b")
+	mustTake("c")
+}
+
+func TestQueueClose(t *testing.T) {
+	q := NewBoundedQueue[int](4)
+	_ = q.Put(1)
+	_ = q.Put(2)
+	q.Close()
+	if !q.Closed() {
+		t.Error("Closed should be true")
+	}
+	if err := q.Put(3); err != ErrClosed {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	// Drain semantics: remaining items still come out.
+	if v, err := q.Take(); err != nil || v != 1 {
+		t.Errorf("Take = %v,%v; want 1,nil", v, err)
+	}
+	if v, err := q.Take(); err != nil || v != 2 {
+		t.Errorf("Take = %v,%v; want 2,nil", v, err)
+	}
+	if _, err := q.Take(); err != ErrClosed {
+		t.Errorf("Take on drained closed queue = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueCloseUnblocksWaiters(t *testing.T) {
+	q := NewBoundedQueue[int](1)
+	_ = q.Put(1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // blocked producer
+		defer wg.Done()
+		if err := q.Put(2); err != ErrClosed {
+			t.Errorf("blocked Put = %v, want ErrClosed", err)
+		}
+	}()
+	empty := NewBoundedQueue[int](1)
+	go func() { // blocked consumer
+		defer wg.Done()
+		if _, err := empty.Take(); err != ErrClosed {
+			t.Errorf("blocked Take = %v, want ErrClosed", err)
+		}
+	}()
+	q.Close()
+	empty.Close()
+	wg.Wait()
+}
+
+// Property: with concurrent producers and consumers, every element is
+// delivered exactly once and per-producer order is preserved.
+func TestQueueConcurrentExactlyOnce(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 250
+	q := NewBoundedQueue[[2]int](8)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Put([2]int{p, i}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var mu sync.Mutex
+	got := make(map[[2]int]int)
+	lastSeen := make([][]int, producers) // per consumer, per producer
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		c := c
+		lastSeenC := make([]int, producers)
+		for i := range lastSeenC {
+			lastSeenC[i] = -1
+		}
+		lastSeen[c] = lastSeenC
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, err := q.Take()
+				if err != nil {
+					return
+				}
+				if v[1] <= lastSeenC[v[0]] {
+					t.Errorf("consumer %d saw producer %d items out of order", c, v[0])
+				}
+				lastSeenC[v[0]] = v[1]
+				mu.Lock()
+				got[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if len(got) != producers*perProducer {
+		t.Fatalf("received %d distinct items, want %d", len(got), producers*perProducer)
+	}
+	for k, n := range got {
+		if n != 1 {
+			t.Errorf("item %v delivered %d times", k, n)
+		}
+	}
+}
+
+// Property (quick): any single-threaded interleaving of puts then takes
+// returns the items in insertion order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(items []int16) bool {
+		if len(items) == 0 {
+			return true
+		}
+		q := NewBoundedQueue[int16](len(items))
+		for _, v := range items {
+			if err := q.Put(v); err != nil {
+				return false
+			}
+		}
+		out := make([]int16, 0, len(items))
+		for range items {
+			v, err := q.Take()
+			if err != nil {
+				return false
+			}
+			out = append(out, v)
+		}
+		for i := range items {
+			if out[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQueuePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBoundedQueue(0) should panic")
+		}
+	}()
+	NewBoundedQueue[int](0)
+}

@@ -1,0 +1,109 @@
+package conc
+
+import "sync"
+
+// RWPolicy selects which class of waiter a readers-writer lock favors.
+// The two policies bracket the classic starvation trade-off taught with
+// the readers-writers problem.
+type RWPolicy int
+
+const (
+	// ReaderPreference admits readers whenever any reader is active;
+	// writers can starve under a continuous read stream.
+	ReaderPreference RWPolicy = iota
+	// WriterPreference blocks new readers whenever a writer is waiting;
+	// readers can starve under a continuous write stream.
+	WriterPreference
+)
+
+// String returns the policy name.
+func (p RWPolicy) String() string {
+	switch p {
+	case ReaderPreference:
+		return "reader-preference"
+	case WriterPreference:
+		return "writer-preference"
+	default:
+		return "unknown"
+	}
+}
+
+// RWLock is a readers-writer lock built from a mutex and condition
+// variables, with a selectable preference policy. It exists to make the
+// first/second readers-writers problems executable; production code
+// should use sync.RWMutex.
+type RWLock struct {
+	mu             sync.Mutex
+	cond           *sync.Cond
+	policy         RWPolicy
+	activeReaders  int
+	activeWriter   bool
+	waitingWriters int
+}
+
+// NewRWLock creates a readers-writer lock with the given policy.
+func NewRWLock(policy RWPolicy) *RWLock {
+	l := &RWLock{policy: policy}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Policy reports the lock's preference policy.
+func (l *RWLock) Policy() RWPolicy { return l.policy }
+
+// RLock acquires the lock for reading.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.blockedReader() {
+		l.cond.Wait()
+	}
+	l.activeReaders++
+}
+
+func (l *RWLock) blockedReader() bool {
+	if l.activeWriter {
+		return true
+	}
+	if l.policy == WriterPreference && l.waitingWriters > 0 {
+		return true
+	}
+	return false
+}
+
+// RUnlock releases a read acquisition.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.activeReaders--
+	if l.activeReaders == 0 {
+		l.cond.Broadcast()
+	}
+}
+
+// Lock acquires the lock for writing (exclusive).
+func (l *RWLock) Lock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.waitingWriters++
+	for l.activeWriter || l.activeReaders > 0 {
+		l.cond.Wait()
+	}
+	l.waitingWriters--
+	l.activeWriter = true
+}
+
+// Unlock releases a write acquisition.
+func (l *RWLock) Unlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.activeWriter = false
+	l.cond.Broadcast()
+}
+
+// Readers reports the number of active readers (for tests/visualisation).
+func (l *RWLock) Readers() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activeReaders
+}

@@ -1,0 +1,69 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRWLockExclusionInvariants(t *testing.T) {
+	for _, policy := range []RWPolicy{ReaderPreference, WriterPreference} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			l := NewRWLock(policy)
+			var readers, writers int64
+			var bad atomic.Bool
+			const n, iters = 8, 200
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < iters; j++ {
+						if i%2 == 0 { // reader
+							l.RLock()
+							atomic.AddInt64(&readers, 1)
+							if atomic.LoadInt64(&writers) != 0 {
+								bad.Store(true)
+							}
+							atomic.AddInt64(&readers, -1)
+							l.RUnlock()
+						} else { // writer
+							l.Lock()
+							if atomic.AddInt64(&writers, 1) != 1 ||
+								atomic.LoadInt64(&readers) != 0 {
+								bad.Store(true)
+							}
+							atomic.AddInt64(&writers, -1)
+							l.Unlock()
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if bad.Load() {
+				t.Error("readers/writers invariant violated")
+			}
+		})
+	}
+}
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	l := NewRWLock(ReaderPreference)
+	l.RLock()
+	l.RLock() // a second reader must not block
+	if got := l.Readers(); got != 2 {
+		t.Errorf("Readers = %d, want 2", got)
+	}
+	l.RUnlock()
+	l.RUnlock()
+}
+
+func TestRWPolicyString(t *testing.T) {
+	if ReaderPreference.String() != "reader-preference" ||
+		WriterPreference.String() != "writer-preference" ||
+		RWPolicy(99).String() != "unknown" {
+		t.Error("RWPolicy.String mismatch")
+	}
+}

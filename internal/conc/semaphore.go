@@ -1,0 +1,75 @@
+// Package conc implements the classical concurrency primitives that the
+// SE2014 SEEK "Computing Essentials" knowledge unit names explicitly
+// (semaphores and monitors) and that the surveyed operating-systems and
+// systems-programming courses teach: counting and binary semaphores,
+// monitors with condition variables, cyclic barriers, spin locks, ticket
+// locks, count-down latches, properly synchronized bounded queues
+// (CC2020), sharded counters, and the dining-philosophers problem with
+// several deadlock-avoidance strategies.
+//
+// Everything is built from sync.Mutex, sync.Cond, channels, and
+// sync/atomic only, so each primitive's construction is itself teaching
+// material.
+package conc
+
+import (
+	"context"
+	"fmt"
+)
+
+// Semaphore is a counting semaphore built on a buffered channel: the
+// classic Dijkstra P/V primitive. A Semaphore with capacity 1 is a binary
+// semaphore (a mutex that any goroutine may release).
+type Semaphore struct {
+	slots chan struct{}
+	cap   int
+}
+
+// NewSemaphore creates a semaphore with the given number of permits.
+// It panics if capacity is not positive.
+func NewSemaphore(capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("conc: semaphore capacity must be positive, got %d", capacity))
+	}
+	return &Semaphore{slots: make(chan struct{}, capacity), cap: capacity}
+}
+
+// NewBinarySemaphore creates a semaphore with a single permit.
+func NewBinarySemaphore() *Semaphore { return NewSemaphore(1) }
+
+// Capacity reports the total number of permits.
+func (s *Semaphore) Capacity() int { return s.cap }
+
+// Acquire takes one permit, blocking until one is available (Dijkstra's P).
+func (s *Semaphore) Acquire() { s.slots <- struct{}{} }
+
+// Release returns one permit (Dijkstra's V). Releasing more permits than
+// the capacity blocks, which surfaces release-without-acquire bugs in
+// student code instead of silently widening the semaphore.
+func (s *Semaphore) Release() { <-s.slots }
+
+// TryAcquire takes a permit without blocking and reports success.
+func (s *Semaphore) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// AcquireContext takes a permit or gives up when ctx is done.
+func (s *Semaphore) AcquireContext(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// InUse reports how many permits are currently held.
+func (s *Semaphore) InUse() int { return len(s.slots) }
+
+// Available reports how many permits can be acquired without blocking.
+func (s *Semaphore) Available() int { return s.cap - len(s.slots) }

@@ -1,0 +1,141 @@
+package conc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreBasics(t *testing.T) {
+	s := NewSemaphore(2)
+	if s.Capacity() != 2 || s.Available() != 2 || s.InUse() != 0 {
+		t.Fatalf("fresh semaphore state wrong: cap=%d avail=%d inuse=%d",
+			s.Capacity(), s.Available(), s.InUse())
+	}
+	s.Acquire()
+	s.Acquire()
+	if s.Available() != 0 || s.InUse() != 2 {
+		t.Errorf("after 2 acquires: avail=%d inuse=%d", s.Available(), s.InUse())
+	}
+	if s.TryAcquire() {
+		t.Error("TryAcquire should fail when exhausted")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Error("TryAcquire should succeed after Release")
+	}
+}
+
+func TestSemaphorePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSemaphore(0) should panic")
+		}
+	}()
+	NewSemaphore(0)
+}
+
+func TestSemaphoreContext(t *testing.T) {
+	s := NewBinarySemaphore()
+	s.Acquire()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := s.AcquireContext(ctx); err == nil {
+		t.Error("AcquireContext should fail when semaphore is held and ctx expires")
+	}
+	s.Release()
+	if err := s.AcquireContext(context.Background()); err != nil {
+		t.Errorf("AcquireContext on free semaphore failed: %v", err)
+	}
+}
+
+// Property: a semaphore of capacity k never admits more than k goroutines
+// to the critical section simultaneously.
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	const k, workers, iters = 3, 16, 200
+	s := NewSemaphore(k)
+	var inside, maxInside int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Acquire()
+				n := atomic.AddInt64(&inside, 1)
+				for {
+					m := atomic.LoadInt64(&maxInside)
+					if n <= m || atomic.CompareAndSwapInt64(&maxInside, m, n) {
+						break
+					}
+				}
+				atomic.AddInt64(&inside, -1)
+				s.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside > k {
+		t.Errorf("observed %d goroutines inside a %d-capacity semaphore", maxInside, k)
+	}
+	if maxInside < 1 {
+		t.Error("no goroutine ever entered the critical section")
+	}
+}
+
+func TestMonitorBoundedBuffer(t *testing.T) {
+	// Build a bounded buffer from a monitor and two conditions, then
+	// verify producer/consumer transfer of every item exactly once.
+	const capacity, items = 4, 500
+	m := NewMonitor()
+	notFull := m.NewCondition()
+	notEmpty := m.NewCondition()
+	var buf []int
+	received := make([]bool, items)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			m.Enter()
+			notFull.WaitUntil(func() bool { return len(buf) < capacity })
+			buf = append(buf, i)
+			notEmpty.Signal()
+			m.Exit()
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			m.Enter()
+			notEmpty.WaitUntil(func() bool { return len(buf) > 0 })
+			v := buf[0]
+			buf = buf[1:]
+			notFull.Signal()
+			m.Exit()
+			if v < 0 || v >= items || received[v] {
+				t.Errorf("bad or duplicate item %d", v)
+				return
+			}
+			received[v] = true
+		}
+	}()
+	wg.Wait()
+	for i, ok := range received {
+		if !ok {
+			t.Fatalf("item %d never received", i)
+		}
+	}
+}
+
+func TestMonitorDo(t *testing.T) {
+	m := NewMonitor()
+	x := 0
+	m.Do(func() { x = 7 })
+	if x != 7 {
+		t.Errorf("Do did not run the function")
+	}
+}

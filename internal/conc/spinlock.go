@@ -1,0 +1,128 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinLock is a test-and-set spin lock. It demonstrates the busy-waiting
+// mutual-exclusion technique that architecture and OS courses contrast
+// with blocking locks; under contention it burns CPU, which the ablation
+// benchmarks make visible.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock spins until the lock is acquired, yielding the processor between
+// attempts (test-and-test-and-set to limit cache-line ping-pong).
+func (l *SpinLock) Lock() {
+	for {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		for l.state.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryLock attempts to acquire the lock without spinning.
+func (l *SpinLock) TryLock() bool { return l.state.CompareAndSwap(0, 1) }
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() { l.state.Store(0) }
+
+// TicketLock is a fair FIFO spin lock built from two counters; it is the
+// canonical example of enforcing bounded waiting (no starvation) with
+// atomic fetch-and-add.
+type TicketLock struct {
+	next    atomic.Uint64
+	serving atomic.Uint64
+}
+
+// Lock takes a ticket and spins until it is being served.
+func (l *TicketLock) Lock() {
+	ticket := l.next.Add(1) - 1
+	for l.serving.Load() != ticket {
+		runtime.Gosched()
+	}
+}
+
+// Unlock admits the next ticket holder.
+func (l *TicketLock) Unlock() { l.serving.Add(1) }
+
+// Counter abstracts the shared-counter implementations compared in the
+// coarse-vs-sharded-vs-atomic ablation (Table I's "atomicity" row).
+type Counter interface {
+	// Inc adds one to the counter. The shard hint lets sharded
+	// implementations avoid contention; others ignore it.
+	Inc(shard int)
+	// Value returns the current total.
+	Value() int64
+}
+
+// MutexCounter is a single mutex-protected counter (coarse locking).
+type MutexCounter struct {
+	lock SpinLock
+	n    int64
+}
+
+// Inc implements Counter.
+func (c *MutexCounter) Inc(int) {
+	c.lock.Lock()
+	c.n++
+	c.lock.Unlock()
+}
+
+// Value implements Counter.
+func (c *MutexCounter) Value() int64 {
+	c.lock.Lock()
+	defer c.lock.Unlock()
+	return c.n
+}
+
+// AtomicCounter uses a single atomic word (hardware fetch-and-add).
+type AtomicCounter struct {
+	n atomic.Int64
+}
+
+// Inc implements Counter.
+func (c *AtomicCounter) Inc(int) { c.n.Add(1) }
+
+// Value implements Counter.
+func (c *AtomicCounter) Value() int64 { return c.n.Load() }
+
+// shardPad separates shards onto distinct cache lines so that the sharded
+// counter demonstrates the fix for false sharing.
+type shardPad struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// ShardedCounter splits the count across padded per-shard slots and sums
+// them on read: high write throughput at the cost of an O(shards) read.
+type ShardedCounter struct {
+	shards []shardPad
+}
+
+// NewShardedCounter creates a counter with n shards (minimum 1).
+func NewShardedCounter(n int) *ShardedCounter {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedCounter{shards: make([]shardPad, n)}
+}
+
+// Inc implements Counter; callers should pass a stable per-goroutine shard.
+func (c *ShardedCounter) Inc(shard int) {
+	c.shards[shard%len(c.shards)].n.Add(1)
+}
+
+// Value implements Counter.
+func (c *ShardedCounter) Value() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].n.Load()
+	}
+	return sum
+}

@@ -1,0 +1,118 @@
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func hammerLock(t *testing.T, lock sync.Locker, workers, iters int) int {
+	t.Helper()
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				lock.Lock()
+				counter++
+				lock.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return counter
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	const workers, iters = 8, 500
+	if got := hammerLock(t, &l, workers, iters); got != workers*iters {
+		t.Errorf("counter = %d, want %d (lost updates imply broken mutual exclusion)",
+			got, workers*iters)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestTicketLockMutualExclusion(t *testing.T) {
+	var l TicketLock
+	const workers, iters = 8, 500
+	if got := hammerLock(t, &l, workers, iters); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestCountersAgree(t *testing.T) {
+	const workers, iters = 8, 1000
+	impls := map[string]Counter{
+		"mutex":   &MutexCounter{},
+		"atomic":  &AtomicCounter{},
+		"sharded": NewShardedCounter(workers),
+	}
+	for name, c := range impls {
+		c := c
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						c.Inc(w)
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Value(); got != workers*iters {
+				t.Errorf("Value = %d, want %d", got, workers*iters)
+			}
+		})
+	}
+}
+
+func TestShardedCounterMinimumShards(t *testing.T) {
+	c := NewShardedCounter(0)
+	c.Inc(5)
+	if c.Value() != 1 {
+		t.Errorf("Value = %d, want 1", c.Value())
+	}
+}
+
+func BenchmarkCounterMutex(b *testing.B) {
+	benchCounter(b, &MutexCounter{})
+}
+
+func BenchmarkCounterAtomic(b *testing.B) {
+	benchCounter(b, &AtomicCounter{})
+}
+
+func BenchmarkCounterSharded(b *testing.B) {
+	benchCounter(b, NewShardedCounter(runtime.GOMAXPROCS(0)))
+}
+
+func benchCounter(b *testing.B, c Counter) {
+	var id int64
+	b.RunParallel(func(pb *testing.PB) {
+		shard := int(id) // unique-ish per worker; exactness irrelevant
+		id++
+		for pb.Next() {
+			c.Inc(shard)
+		}
+	})
+}

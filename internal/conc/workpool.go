@@ -1,0 +1,205 @@
+package conc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a work-stealing task pool: each worker owns a deque, pops its
+// own tasks LIFO (locality) and steals FIFO from victims when idle —
+// the "task-based parallelism" model of the LAU course's shared-memory
+// part. Tasks may submit further tasks (fork-join style).
+type Pool struct {
+	deques  []*taskDeque
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	pending atomic.Int64
+	done    chan struct{}
+	wg      sync.WaitGroup
+	steals  atomic.Int64
+	nextSub atomic.Int64
+}
+
+// taskDeque is a mutex-protected double-ended task queue.
+type taskDeque struct {
+	mu    sync.Mutex
+	tasks []func()
+}
+
+// pushBottom adds a task at the owner end.
+func (d *taskDeque) pushBottom(t func()) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed task (owner side, LIFO).
+func (d *taskDeque) popBottom() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+// stealTop removes the oldest task (thief side, FIFO).
+func (d *taskDeque) stealTop() (func(), bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// NewPool starts a pool with the given worker count. It panics on a
+// non-positive count.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		panic(fmt.Sprintf("conc: pool workers must be positive, got %d", workers))
+	}
+	p := &Pool{
+		deques: make([]*taskDeque, workers),
+		done:   make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.deques {
+		p.deques[i] = &taskDeque{}
+	}
+	for w := 0; w < workers; w++ {
+		w := w
+		p.wg.Add(1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return len(p.deques) }
+
+// Steals reports how many tasks were executed by a worker other than
+// the one whose deque received them.
+func (p *Pool) Steals() int64 { return p.steals.Load() }
+
+// Submit enqueues a task (round-robin across deques) and wakes a
+// sleeping worker. Submitting to a closed pool panics.
+func (p *Pool) Submit(task func()) {
+	if task == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("conc: Submit on closed pool")
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	idx := int(p.nextSub.Add(1)) % len(p.deques)
+	if idx < 0 {
+		idx = -idx
+	}
+	p.deques[idx].pushBottom(task)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// worker runs tasks from its own deque, stealing when empty.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	for {
+		if t, ok := p.deques[id].popBottom(); ok {
+			p.run(t)
+			continue
+		}
+		// Steal attempt from a random victim ordering.
+		stolen := false
+		for _, v := range rng.Perm(len(p.deques)) {
+			if v == id {
+				continue
+			}
+			if t, ok := p.deques[v].stealTop(); ok {
+				p.steals.Add(1)
+				p.run(t)
+				stolen = true
+				break
+			}
+		}
+		if stolen {
+			continue
+		}
+		// Nothing anywhere: sleep until work arrives or shutdown.
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if p.anyWork() {
+			p.mu.Unlock()
+			continue
+		}
+		p.cond.Wait()
+		p.mu.Unlock()
+	}
+}
+
+// anyWork reports whether any deque holds a task (called with p.mu held
+// or not; the answer is advisory either way).
+func (p *Pool) anyWork() bool {
+	for _, d := range p.deques {
+		d.mu.Lock()
+		n := len(d.tasks)
+		d.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes one task, recovering panics so a bad task cannot kill a
+// worker, and accounts completion.
+func (p *Pool) run(t func()) {
+	defer func() {
+		recover() // task panics are contained
+		if p.pending.Add(-1) == 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}()
+	t()
+}
+
+// Wait blocks until every submitted task (including tasks submitted by
+// tasks) has completed.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for p.pending.Load() != 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the pool down after draining outstanding tasks. The pool
+// cannot be reused.
+func (p *Pool) Close() {
+	p.Wait()
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

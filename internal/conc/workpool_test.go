@@ -1,0 +1,124 @@
+package conc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count atomic.Int64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p.Submit(func() { count.Add(1) })
+	}
+	p.Wait()
+	if count.Load() != n {
+		t.Errorf("ran %d tasks, want %d", count.Load(), n)
+	}
+	if p.Workers() != 4 {
+		t.Errorf("Workers = %d", p.Workers())
+	}
+}
+
+func TestPoolForkJoin(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var leaves atomic.Int64
+	// Recursive task tree: each node spawns two children to depth 6.
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth == 0 {
+			leaves.Add(1)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			d := depth - 1
+			p.Submit(func() { spawn(d) })
+		}
+	}
+	p.Submit(func() { spawn(6) })
+	p.Wait()
+	if leaves.Load() != 64 {
+		t.Errorf("leaves = %d, want 64", leaves.Load())
+	}
+}
+
+func TestPoolWaitIsReusable(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var x atomic.Int64
+	p.Submit(func() { x.Add(1) })
+	p.Wait()
+	p.Submit(func() { x.Add(1) })
+	p.Wait()
+	if x.Load() != 2 {
+		t.Errorf("x = %d, want 2", x.Load())
+	}
+}
+
+func TestPoolPanickyTaskContained(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ok atomic.Bool
+	p.Submit(func() { panic("task bug") })
+	p.Submit(func() { ok.Store(true) })
+	p.Wait()
+	if !ok.Load() {
+		t.Error("pool died after a panicking task")
+	}
+}
+
+func TestPoolNilTaskIgnored(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	p.Submit(nil)
+	p.Wait()
+}
+
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Submit after Close should panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestPoolValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool(0) should panic")
+		}
+	}()
+	NewPool(0)
+}
+
+func TestPoolStealsOnImbalance(t *testing.T) {
+	// All tasks land on deque 0 modulo rotation; with a blocking first
+	// task the other workers must steal. We approximate by submitting
+	// many quick tasks and asserting the counter is sane (>= 0; steals
+	// are scheduling-dependent, especially on one core).
+	p := NewPool(4)
+	defer p.Close()
+	for i := 0; i < 200; i++ {
+		p.Submit(func() {})
+	}
+	p.Wait()
+	if p.Steals() < 0 {
+		t.Error("negative steals")
+	}
+}
+
+func BenchmarkPoolThroughput(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(func() {})
+	}
+	p.Wait()
+}

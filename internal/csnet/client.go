@@ -1,0 +1,105 @@
+package csnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a framed-protocol TCP client with a persistent connection.
+// It is safe for concurrent use; requests on one client serialize.
+type Client struct {
+	addr    string
+	timeout time.Duration
+	mu      sync.Mutex
+	conn    net.Conn
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("csnet: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, timeout: timeout, conn: conn}, nil
+}
+
+// Do sends a request and waits for its response.
+func (c *Client) Do(req Request) (Response, error) {
+	body, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	_ = c.conn.SetDeadline(deadline)
+	if err := WriteFrame(c.conn, body); err != nil {
+		return Response{}, err
+	}
+	respBody, err := ReadFrame(c.conn)
+	if err != nil {
+		return Response{}, fmt.Errorf("csnet: read response: %w", err)
+	}
+	return DecodeResponse(respBody)
+}
+
+// Get fetches a key; ok is false for StatusNotFound.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	resp, err := c.Do(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Value, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("csnet: get %q: %s", key, resp.Value)
+	}
+}
+
+// Set stores a key.
+func (c *Client) Set(key string, value []byte) error {
+	resp, err := c.Do(Request{Op: OpSet, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("csnet: set %q: %s", key, resp.Value)
+	}
+	return nil
+}
+
+// Del removes a key; ok is false if it did not exist.
+func (c *Client) Del(key string) (bool, error) {
+	resp, err := c.Do(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	resp, err := c.Do(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("csnet: ping failed: %s", resp.Status)
+	}
+	return nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,272 @@
+package csnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("frame = %q", got)
+	}
+}
+
+func TestFrameEmptyAndSizeGuard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty frame = %v, %v", got, err)
+	}
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(&buf, big); err != ErrFrameTooLarge {
+		t.Errorf("oversize write err = %v", err)
+	}
+	// A hostile header claiming a giant frame must be rejected.
+	var evil bytes.Buffer
+	evil.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&evil); err != ErrFrameTooLarge {
+		t.Errorf("hostile header err = %v", err)
+	}
+}
+
+// Property: request and response codecs round-trip arbitrary content.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(op byte, key string, value []byte) bool {
+		if len(key) > 0xFFFF {
+			key = key[:0xFFFF]
+		}
+		req := Request{Op: Op(op), Key: key, Value: value}
+		enc, err := EncodeRequest(req)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeRequest(enc)
+		if err != nil {
+			return false
+		}
+		if dec.Op != req.Op || dec.Key != req.Key || !bytes.Equal(dec.Value, req.Value) {
+			return false
+		}
+		resp := Response{Status: Status(op), Value: value}
+		dr, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			return false
+		}
+		return dr.Status == resp.Status && bytes.Equal(dr.Value, resp.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 0, 5, 'a'}, {1, 0, 1, 'k', 0, 0, 0, 9}} {
+		if _, err := DecodeRequest(b); err == nil {
+			t.Errorf("DecodeRequest(%v) accepted", b)
+		}
+	}
+	for _, b := range [][]byte{nil, {1}, {1, 0, 0, 0, 9}} {
+		if _, err := DecodeResponse(b); err == nil {
+			t.Errorf("DecodeResponse(%v) accepted", b)
+		}
+	}
+}
+
+func TestKVServerEndToEnd(t *testing.T) {
+	srv := NewServer(NewKVHandler(), 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("course", []byte("parallel programming")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("course")
+	if err != nil || !ok || string(v) != "parallel programming" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if _, ok, _ := c.Get("missing"); ok {
+		t.Error("missing key reported found")
+	}
+	if ok, err := c.Del("course"); err != nil || !ok {
+		t.Errorf("Del = %v,%v", ok, err)
+	}
+	if ok, _ := c.Del("course"); ok {
+		t.Error("double delete reported found")
+	}
+	// Echo and unknown op.
+	resp, err := c.Do(Request{Op: OpEcho, Value: []byte("abc")})
+	if err != nil || string(resp.Value) != "abc" {
+		t.Errorf("Echo = %+v, %v", resp, err)
+	}
+	resp, err = c.Do(Request{Op: Op(99)})
+	if err != nil || resp.Status != StatusError {
+		t.Errorf("unknown op = %+v, %v", resp, err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	kv := NewKVHandler()
+	srv := NewServer(kv, 32)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	const clients, perClient = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < perClient; j++ {
+				key := fmt.Sprintf("k-%d-%d", i, j)
+				if err := c.Set(key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+				v, ok, err := c.Get(key)
+				if err != nil || !ok || string(v) != key {
+					errs <- fmt.Errorf("get %s = %q,%v,%v", key, v, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if kv.Len() != clients*perClient {
+		t.Errorf("store has %d keys, want %d", kv.Len(), clients*perClient)
+	}
+}
+
+func TestServerShutdownUnblocksClients(t *testing.T) {
+	srv := NewServer(NewKVHandler(), 4)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Shutdown()
+	if err := c.Ping(); err == nil {
+		t.Error("ping succeeded after shutdown")
+	}
+	// Starting a shut-down server must fail.
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("restart of shut-down server accepted")
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	h := HandlerFunc(func(r Request) Response {
+		return Response{Status: StatusOK, Value: []byte(r.Key)}
+	})
+	resp := h.Serve(Request{Key: "xyz"})
+	if string(resp.Value) != "xyz" {
+		t.Errorf("HandlerFunc = %+v", resp)
+	}
+}
+
+func TestUDPEcho(t *testing.T) {
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := UDPEcho(addr, []byte("datagram"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "datagram" {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func TestUDPEchoTimeout(t *testing.T) {
+	// Nothing listening on this port: the read must time out.
+	_, err := UDPEcho("127.0.0.1:1", []byte("lost"), 50*time.Millisecond)
+	if err == nil {
+		t.Error("expected timeout against dead server")
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if OpPing.String() != "PING" || OpGet.String() != "GET" || OpSet.String() != "SET" ||
+		OpDel.String() != "DEL" || OpEcho.String() != "ECHO" || Op(77).String() != "UNKNOWN" {
+		t.Error("Op.String mismatch")
+	}
+	if StatusOK.String() != "OK" || StatusNotFound.String() != "NOT_FOUND" ||
+		StatusError.String() != "ERROR" || Status(77).String() != "UNKNOWN" {
+		t.Error("Status.String mismatch")
+	}
+}
+
+func TestKeyTooLong(t *testing.T) {
+	_, err := EncodeRequest(Request{Op: OpGet, Key: string(make([]byte, 70000))})
+	if err == nil {
+		t.Error("oversized key accepted")
+	}
+}
+
+func BenchmarkKVRoundTrip(b *testing.B) {
+	srv := NewServer(NewKVHandler(), 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown()
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package csnet
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// errWriter fails after n bytes to exercise framing error paths.
+type errWriter struct {
+	n int
+}
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, io.ErrClosedPipe
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteFrameErrors(t *testing.T) {
+	// Header write fails.
+	if err := WriteFrame(&errWriter{n: 2}, []byte("abc")); err == nil {
+		t.Error("header write error swallowed")
+	}
+	// Body write fails.
+	if err := WriteFrame(&errWriter{n: 5}, []byte("abcdef")); err == nil {
+		t.Error("body write error swallowed")
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10}) // claims 10 bytes
+	buf.WriteString("abc")         // delivers 3
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestServerRejectsMalformedRequest(t *testing.T) {
+	srv := NewServer(NewKVHandler(), 4)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Bypass the encoder: send a garbage frame directly via Do's
+	// internals is not possible, so spoof with a raw connection.
+	raw, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A syntactically valid but semantically garbage request should
+	// yield StatusError, not kill the connection.
+	resp, err := raw.Do(Request{Op: Op(200), Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusError {
+		t.Errorf("garbage op status = %v, want error", resp.Status)
+	}
+	if !strings.Contains(string(resp.Value), "unknown op") {
+		t.Errorf("error message = %q", resp.Value)
+	}
+	// The connection remains usable afterwards.
+	if err := raw.Ping(); err != nil {
+		t.Errorf("connection dead after protocol error: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+// Package csnet implements the network-programming content of the RIT
+// case-study course ("socket and datagram programming, application
+// protocol design"): length-prefixed message framing over TCP, a small
+// binary request/response key-value protocol, a concurrent TCP server
+// with a connection limit and graceful shutdown, a pooled client, and a
+// UDP datagram echo service.
+package csnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a frame body; protects servers from hostile or
+// corrupt length prefixes (the first lesson of protocol design).
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("csnet: frame exceeds maximum size")
+
+// WriteFrame writes a length-prefixed frame (4-byte big-endian length +
+// body).
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("csnet: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("csnet: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF is meaningful to callers: pass through
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("csnet: read frame body: %w", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,144 @@
+package csnet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a protocol operation code.
+type Op byte
+
+const (
+	// OpPing checks liveness.
+	OpPing Op = iota + 1
+	// OpGet reads a key.
+	OpGet
+	// OpSet writes a key.
+	OpSet
+	// OpDel removes a key.
+	OpDel
+	// OpEcho returns the value unchanged.
+	OpEcho
+)
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpDel:
+		return "DEL"
+	case OpEcho:
+		return "ECHO"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Status is a response status code.
+type Status byte
+
+const (
+	// StatusOK indicates success.
+	StatusOK Status = iota + 1
+	// StatusNotFound indicates a missing key.
+	StatusNotFound
+	// StatusError carries an error message in Value.
+	StatusError
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusError:
+		return "ERROR"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Request is a protocol request.
+type Request struct {
+	Op    Op
+	Key   string
+	Value []byte
+}
+
+// Response is a protocol response.
+type Response struct {
+	Status Status
+	Value  []byte
+}
+
+// EncodeRequest serializes a request:
+// op(1) keyLen(2) key valLen(4) val.
+func EncodeRequest(r Request) ([]byte, error) {
+	if len(r.Key) > 0xFFFF {
+		return nil, fmt.Errorf("csnet: key length %d exceeds 65535", len(r.Key))
+	}
+	buf := make([]byte, 0, 1+2+len(r.Key)+4+len(r.Value))
+	buf = append(buf, byte(r.Op))
+	var k [2]byte
+	binary.BigEndian.PutUint16(k[:], uint16(len(r.Key)))
+	buf = append(buf, k[:]...)
+	buf = append(buf, r.Key...)
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], uint32(len(r.Value)))
+	buf = append(buf, v[:]...)
+	buf = append(buf, r.Value...)
+	return buf, nil
+}
+
+// DecodeRequest parses a serialized request.
+func DecodeRequest(b []byte) (Request, error) {
+	var r Request
+	if len(b) < 7 {
+		return r, fmt.Errorf("csnet: request too short (%d bytes)", len(b))
+	}
+	r.Op = Op(b[0])
+	kl := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+kl+4 {
+		return r, fmt.Errorf("csnet: truncated request key")
+	}
+	r.Key = string(b[3 : 3+kl])
+	vl := int(binary.BigEndian.Uint32(b[3+kl : 3+kl+4]))
+	if len(b) != 3+kl+4+vl {
+		return r, fmt.Errorf("csnet: request length mismatch: have %d want %d", len(b), 3+kl+4+vl)
+	}
+	r.Value = b[3+kl+4:]
+	return r, nil
+}
+
+// EncodeResponse serializes a response: status(1) valLen(4) val.
+func EncodeResponse(r Response) []byte {
+	buf := make([]byte, 0, 1+4+len(r.Value))
+	buf = append(buf, byte(r.Status))
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], uint32(len(r.Value)))
+	buf = append(buf, v[:]...)
+	buf = append(buf, r.Value...)
+	return buf
+}
+
+// DecodeResponse parses a serialized response.
+func DecodeResponse(b []byte) (Response, error) {
+	var r Response
+	if len(b) < 5 {
+		return r, fmt.Errorf("csnet: response too short (%d bytes)", len(b))
+	}
+	r.Status = Status(b[0])
+	vl := int(binary.BigEndian.Uint32(b[1:5]))
+	if len(b) != 5+vl {
+		return r, fmt.Errorf("csnet: response length mismatch: have %d want %d", len(b), 5+vl)
+	}
+	r.Value = b[5:]
+	return r, nil
+}

@@ -1,0 +1,184 @@
+package csnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler processes one request; implementations must be safe for
+// concurrent use (the server runs one goroutine per connection).
+type Handler interface {
+	Serve(Request) Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Request) Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(r Request) Response { return f(r) }
+
+// Server is a concurrent framed-protocol TCP server.
+type Server struct {
+	handler  Handler
+	maxConns int
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup
+
+	// ActiveConns is exposed for tests and monitoring.
+	active sync.WaitGroup
+}
+
+// NewServer creates a server with the given handler; maxConns bounds
+// concurrent connections (0 means 128).
+func NewServer(h Handler, maxConns int) *Server {
+	if maxConns <= 0 {
+		maxConns = 128
+	}
+	return &Server{handler: h, maxConns: maxConns, conns: map[net.Conn]struct{}{}}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
+// accepting connections. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("csnet: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("csnet: server already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	sem := make(chan struct{}, s.maxConns)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			sem <- struct{}{}
+			s.mu.Lock()
+			if s.shutdown {
+				s.mu.Unlock()
+				conn.Close()
+				<-sem
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					s.mu.Lock()
+					delete(s.conns, conn)
+					s.mu.Unlock()
+					conn.Close()
+					<-sem
+				}()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// serveConn processes requests until the peer closes or errors.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		body, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(body)
+		var resp Response
+		if err != nil {
+			resp = Response{Status: StatusError, Value: []byte(err.Error())}
+		} else {
+			resp = s.handler.Serve(req)
+		}
+		if err := WriteFrame(conn, EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// Shutdown stops accepting, closes every connection and waits for the
+// handler goroutines to finish.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// KVHandler is a thread-safe in-memory key-value store handler — the
+// classic first server assignment.
+type KVHandler struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+}
+
+// NewKVHandler creates an empty store.
+func NewKVHandler() *KVHandler {
+	return &KVHandler{data: map[string][]byte{}}
+}
+
+// Serve implements Handler.
+func (kv *KVHandler) Serve(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{Status: StatusOK, Value: []byte("pong")}
+	case OpEcho:
+		return Response{Status: StatusOK, Value: req.Value}
+	case OpGet:
+		kv.mu.RLock()
+		v, ok := kv.data[req.Key]
+		kv.mu.RUnlock()
+		if !ok {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK, Value: v}
+	case OpSet:
+		val := append([]byte(nil), req.Value...)
+		kv.mu.Lock()
+		kv.data[req.Key] = val
+		kv.mu.Unlock()
+		return Response{Status: StatusOK}
+	case OpDel:
+		kv.mu.Lock()
+		_, ok := kv.data[req.Key]
+		delete(kv.data, req.Key)
+		kv.mu.Unlock()
+		if !ok {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK}
+	default:
+		return Response{Status: StatusError, Value: []byte(fmt.Sprintf("unknown op %d", req.Op))}
+	}
+}
+
+// Len reports the number of stored keys.
+func (kv *KVHandler) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}

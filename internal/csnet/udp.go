@@ -1,0 +1,56 @@
+package csnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// UDPEchoServer answers each datagram with its payload — the
+// connectionless half of the RIT course's "connections and datagrams"
+// unit. Close the returned connection to stop the server.
+func UDPEchoServer(addr string) (*net.UDPConn, string, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("csnet: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, "", fmt.Errorf("csnet: listen udp %s: %w", addr, err)
+	}
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, peer, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return // closed
+			}
+			// Echo back; drop on error (datagrams are best-effort).
+			_, _ = conn.WriteToUDP(buf[:n], peer)
+		}
+	}()
+	return conn, conn.LocalAddr().String(), nil
+}
+
+// UDPEcho sends one datagram and waits for the echo, demonstrating the
+// unreliable round trip (a timeout stands in for loss).
+func UDPEcho(addr string, payload []byte, timeout time.Duration) ([]byte, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("csnet: dial udp %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(payload); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64<<10)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, fmt.Errorf("csnet: udp echo read: %w", err)
+	}
+	return buf[:n], nil
+}

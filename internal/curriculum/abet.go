@@ -1,0 +1,156 @@
+package curriculum
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExposureArea is one of the curricular topics the ABET CS Program
+// Criteria require exposure to (Fig. 1 of the paper).
+type ExposureArea string
+
+// The five required exposure areas.
+const (
+	ExpArchitecture ExposureArea = "computer architecture and organization"
+	ExpInfoMgmt     ExposureArea = "information management"
+	ExpNetworking   ExposureArea = "networking and communication"
+	ExpOS           ExposureArea = "operating systems"
+	ExpPDC          ExposureArea = "parallel and distributed computing"
+)
+
+// ExposureAreas lists the Fig. 1 requirements in order.
+func ExposureAreas() []ExposureArea {
+	return []ExposureArea{ExpArchitecture, ExpInfoMgmt, ExpNetworking, ExpOS, ExpPDC}
+}
+
+// MinCSCredits is the CS Program Criteria curriculum floor
+// ("at least 40 semester credit hours (or equivalent)").
+const MinCSCredits = 40.0
+
+// areaExposure maps course areas to the non-PDC exposure areas they
+// evidence.
+func areaExposure(a Area) []ExposureArea {
+	switch a {
+	case CompOrg:
+		return []ExposureArea{ExpArchitecture}
+	case Databases:
+		return []ExposureArea{ExpInfoMgmt}
+	case Networks:
+		return []ExposureArea{ExpNetworking}
+	case OperatingSystems:
+		return []ExposureArea{ExpOS}
+	default:
+		return nil
+	}
+}
+
+// Finding is one line of an accreditation report.
+type Finding struct {
+	Satisfied bool
+	Criterion string
+	Evidence  string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	mark := "FAIL"
+	if f.Satisfied {
+		mark = "ok"
+	}
+	return fmt.Sprintf("[%-4s] %s — %s", mark, f.Criterion, f.Evidence)
+}
+
+// Report is the outcome of checking a program against the CS Program
+// Criteria curriculum requirements.
+type Report struct {
+	Program  string
+	Pass     bool
+	Findings []Finding
+	// PDCTopicsCovered lists the Table I topics found in required
+	// coursework.
+	PDCTopicsCovered []Topic
+	// PillarsCovered lists the CDER pillars evidenced.
+	PillarsCovered []Pillar
+}
+
+// CheckProgram audits a program against the ABET CAC CS Program Criteria
+// curriculum requirements as published since 2018 (Fig. 1 of the paper):
+//
+//  1. at least 40 semester credit hours of required computing coursework;
+//  2. exposure to computer architecture and organization, information
+//     management, networking and communication, and operating systems
+//     (evidenced by required courses in those areas);
+//  3. exposure to parallel and distributed computing — interpreted, per
+//     the CDER framework the paper cites, as required coursework that
+//     covers all three core PDC concepts: concurrency, parallelism, and
+//     distribution.
+func CheckProgram(p Program) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Program: p.Name, Pass: true}
+	add := func(ok bool, criterion, evidence string) {
+		rep.Findings = append(rep.Findings, Finding{Satisfied: ok, Criterion: criterion, Evidence: evidence})
+		if !ok {
+			rep.Pass = false
+		}
+	}
+
+	// Criterion 1: credit floor.
+	credits := p.RequiredCredits()
+	add(credits >= MinCSCredits,
+		fmt.Sprintf("at least %.0f semester credit hours of computing", MinCSCredits),
+		fmt.Sprintf("%.1f required credit hours found", credits))
+
+	// Criterion 2: the four non-PDC exposure areas.
+	covered := map[ExposureArea]string{}
+	for _, c := range p.RequiredCourses() {
+		for _, e := range areaExposure(c.Area) {
+			if _, ok := covered[e]; !ok {
+				covered[e] = c.Code
+			}
+		}
+	}
+	for _, e := range ExposureAreas() {
+		if e == ExpPDC {
+			continue
+		}
+		code, ok := covered[e]
+		evidence := "no required course found"
+		if ok {
+			evidence = "required course " + code
+		}
+		add(ok, "exposure to "+string(e), evidence)
+	}
+
+	// Criterion 3: PDC exposure via the CDER pillars.
+	topicSet := map[Topic]bool{}
+	pillarEvidence := map[Pillar]string{}
+	for _, c := range p.PDCCourses() {
+		for _, t := range c.PDCTopics {
+			topicSet[t] = true
+			for _, pl := range TopicPillars(t) {
+				if _, ok := pillarEvidence[pl]; !ok {
+					pillarEvidence[pl] = fmt.Sprintf("%s (%s)", c.Code, t)
+				}
+			}
+		}
+	}
+	for _, pl := range Pillars() {
+		ev, ok := pillarEvidence[pl]
+		if !ok {
+			ev = "no required coursework evidences this pillar"
+		}
+		add(ok, fmt.Sprintf("exposure to PDC: %s", pl), ev)
+		if ok {
+			rep.PillarsCovered = append(rep.PillarsCovered, pl)
+		}
+	}
+	for t := range topicSet {
+		rep.PDCTopicsCovered = append(rep.PDCTopicsCovered, t)
+	}
+	sort.Slice(rep.PDCTopicsCovered, func(i, j int) bool {
+		return rep.PDCTopicsCovered[i] < rep.PDCTopicsCovered[j]
+	})
+	return rep, nil
+}

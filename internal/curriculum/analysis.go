@@ -1,0 +1,108 @@
+package curriculum
+
+import (
+	"math"
+	"sort"
+)
+
+// TopicWeight is one bar of Fig. 2: a PDC topic and its weighted sum
+// over the surveyed programs' required courses.
+type TopicWeight struct {
+	Topic  Topic
+	Weight float64
+}
+
+// TopicFrequencies computes the Fig. 2 analysis: "a weighted sum of all
+// courses that tackle specific components of the PDC knowledge area" —
+// each required PDC-bearing course contributes its credit weight to
+// every Table I component its description documents. Results are sorted
+// by descending weight (ties by row order).
+func (s Survey) TopicFrequencies() []TopicWeight {
+	weights := map[Topic]float64{}
+	for _, p := range s.Programs {
+		for _, c := range p.PDCCourses() {
+			for _, t := range c.PDCTopics {
+				weights[t] += c.Credits
+			}
+		}
+	}
+	rowOrder := map[Topic]int{}
+	for i, t := range AllTopics() {
+		rowOrder[t] = i
+	}
+	out := make([]TopicWeight, 0, len(weights))
+	for _, t := range AllTopics() {
+		if w, ok := weights[t]; ok {
+			out = append(out, TopicWeight{Topic: t, Weight: w})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return rowOrder[out[i].Topic] < rowOrder[out[j].Topic]
+	})
+	return out
+}
+
+// AreaShare is one slice of Fig. 3.
+type AreaShare struct {
+	Area    Area
+	Courses int
+	Percent float64
+}
+
+// CourseShares computes the Fig. 3 analysis: the share of PDC-bearing
+// required courses by course area, as percentages rounded to the same
+// precision the paper reports (whole percent).
+func (s Survey) CourseShares() []AreaShare {
+	counts := map[Area]int{}
+	total := 0
+	for _, p := range s.Programs {
+		for _, c := range p.PDCCourses() {
+			counts[c.Area]++
+			total++
+		}
+	}
+	var out []AreaShare
+	for _, a := range PDCAreas() {
+		n := counts[a]
+		pct := 0.0
+		if total > 0 {
+			pct = float64(n) / float64(total) * 100
+		}
+		out = append(out, AreaShare{Area: a, Courses: n, Percent: pct})
+	}
+	return out
+}
+
+// RoundedShares returns Fig. 3's whole-percent values in PDCAreas order.
+func (s Survey) RoundedShares() []int {
+	var out []int
+	for _, sh := range s.CourseShares() {
+		out = append(out, int(math.Round(sh.Percent)))
+	}
+	return out
+}
+
+// TotalPDCCourses counts PDC-bearing required courses across the survey.
+func (s Survey) TotalPDCCourses() int {
+	n := 0
+	for _, p := range s.Programs {
+		n += len(p.PDCCourses())
+	}
+	return n
+}
+
+// CheckAll audits every surveyed program and returns the reports.
+func (s Survey) CheckAll() ([]Report, error) {
+	var out []Report
+	for _, p := range s.Programs {
+		r, err := CheckProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package curriculum
+
+// Competency links a CC2020 draft PDC competency (Section II of the
+// paper) to the module of this repository that makes it executable —
+// the index that turns the paper's recommended topics into runnable
+// course material.
+type Competency struct {
+	// Topic is the CC2020 topic, verbatim from the paper.
+	Topic string
+	// Module is the implementing package path.
+	Module string
+	// Artifact names the concrete entry point.
+	Artifact string
+}
+
+// CC2020Competencies returns the topic-to-module index. Every topic in
+// CC2020Topics has an entry (tested), so the repository demonstrably
+// covers the paper's recommended PDC competency list.
+func CC2020Competencies() []Competency {
+	return []Competency{
+		{
+			Topic:    "a parallel divide-and-conquer algorithm",
+			Module:   "internal/par",
+			Artifact: "par.MergeSort / par.QuickSort",
+		},
+		{
+			Topic:    "critical path",
+			Module:   "internal/taskgraph",
+			Artifact: "taskgraph.Graph.Analyze (work, span, critical path, Brent's bound)",
+		},
+		{
+			Topic:    "race conditions",
+			Module:   "internal/race",
+			Artifact: "race.Detect (vector-clock happens-before detector)",
+		},
+		{
+			Topic:    "processes",
+			Module:   "internal/sched",
+			Artifact: "sched.Process + the scheduling policies",
+		},
+		{
+			Topic:    "deadlocks",
+			Module:   "internal/sched, internal/txn, internal/conc",
+			Artifact: "sched.RAG / sched.Banker / txn.LockManager / conc.DinePhilosophers",
+		},
+		{
+			Topic:    "properly synchronized queues",
+			Module:   "internal/conc",
+			Artifact: "conc.BoundedQueue (monitor with two condition variables)",
+		},
+	}
+}

@@ -1,0 +1,26 @@
+package curriculum
+
+import "testing"
+
+// TestEveryCC2020TopicHasAnImplementation verifies the repository-level
+// completeness claim: each CC2020 PDC topic the paper names maps to an
+// implementing module.
+func TestEveryCC2020TopicHasAnImplementation(t *testing.T) {
+	comps := CC2020Competencies()
+	byTopic := map[string]Competency{}
+	for _, c := range comps {
+		if c.Module == "" || c.Artifact == "" {
+			t.Errorf("competency %q lacks module/artifact", c.Topic)
+		}
+		byTopic[c.Topic] = c
+	}
+	for _, topic := range CC2020Topics() {
+		if _, ok := byTopic[topic]; !ok {
+			t.Errorf("CC2020 topic %q has no implementing module", topic)
+		}
+	}
+	if len(comps) != len(CC2020Topics()) {
+		t.Errorf("competency index has %d entries, topics list has %d",
+			len(comps), len(CC2020Topics()))
+	}
+}

@@ -1,0 +1,430 @@
+package curriculum
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTableIMatchesPaper pins the canonical mapping to the published
+// Table I: row set, column sets, and the total of 29 marks.
+func TestTableIMatchesPaper(t *testing.T) {
+	m := CanonicalMapping()
+	if len(m) != 14 {
+		t.Fatalf("Table I has %d rows, want 14", len(m))
+	}
+	if got := MarkCount(); got != 29 {
+		t.Errorf("Table I mark count = %d, want 29", got)
+	}
+	want := map[Topic][]Area{
+		Threads:         {SystemsProgramming, OperatingSystems, Networks},
+		Transactions:    {Databases},
+		ParallelismConc: {SystemsProgramming, CompOrg, OperatingSystems, Databases, Networks},
+		SharedMemProg:   {SystemsProgramming, OperatingSystems},
+		IPC:             {SystemsProgramming, OperatingSystems, Networks},
+		Atomicity:       {SystemsProgramming, OperatingSystems},
+		PerfSpeedup:     {CompOrg},
+		Multicore:       {CompOrg},
+		SharedVsDist:    {CompOrg, OperatingSystems, Networks},
+		SIMDVector:      {CompOrg},
+		ILP:             {CompOrg},
+		FlynnTaxonomy:   {CompOrg},
+		ClientServer:    {SystemsProgramming, Networks},
+		MemoryCaching:   {SystemsProgramming, CompOrg, OperatingSystems},
+	}
+	for topic, areas := range want {
+		got := m[topic]
+		if len(got) != len(areas) {
+			t.Errorf("%s: %d marks, want %d", topic, len(got), len(areas))
+			continue
+		}
+		for i := range areas {
+			if got[i] != areas[i] {
+				t.Errorf("%s column %d = %s, want %s", topic, i, got[i], areas[i])
+			}
+		}
+	}
+	// "Parallelism and concurrency" spans all five columns.
+	if len(m[ParallelismConc]) != len(TableIColumns()) {
+		t.Error("parallelism and concurrency must span every course column")
+	}
+}
+
+func TestRenderTableI(t *testing.T) {
+	out := RenderTableI()
+	for _, want := range []string{"Table I", "SysProg", "CompOrg/Arch", "OS", "DB", "Networks",
+		string(FlynnTaxonomy), string(Transactions)} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+	// 14 topic rows, each with at least one x.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2+1+14 { // title + header + rule + 14 rows
+		t.Errorf("Table I renders %d lines, want 17", len(lines))
+	}
+}
+
+// TestFig3MatchesPaperPercentages pins the survey aggregates to the
+// paper's pie chart: OS 25%, SysProg 22%, CompOrg 28%, ParProg 3%,
+// Networks 19%, DBMS 3%.
+func TestFig3MatchesPaperPercentages(t *testing.T) {
+	sv := BuildSurvey()
+	if len(sv.Programs) != 20 {
+		t.Fatalf("survey has %d programs, want 20", len(sv.Programs))
+	}
+	if got := sv.TotalPDCCourses(); got != 36 {
+		t.Fatalf("survey has %d PDC courses, want 36", got)
+	}
+	got := sv.RoundedShares()
+	want := []int{25, 22, 28, 3, 19, 3} // in PDCAreas() order
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("share[%s] = %d%%, want %d%%", PDCAreas()[i], got[i], w)
+		}
+	}
+	// Exact counts behind the percentages.
+	counts := map[Area]int{}
+	for _, sh := range sv.CourseShares() {
+		counts[sh.Area] = sh.Courses
+	}
+	wantCounts := map[Area]int{
+		OperatingSystems: 9, SystemsProgramming: 8, CompOrg: 10,
+		ParallelProgramming: 1, Networks: 7, Databases: 1,
+	}
+	for a, w := range wantCounts {
+		if counts[a] != w {
+			t.Errorf("count[%s] = %d, want %d", a, counts[a], w)
+		}
+	}
+}
+
+// TestSurveyOneDedicatedCourse pins the paper's Section III finding:
+// "out of the 20 surveyed programs, only one program had a dedicated
+// parallel programming course".
+func TestSurveyOneDedicatedCourse(t *testing.T) {
+	sv := BuildSurvey()
+	if got := sv.DedicatedCount(); got != 1 {
+		t.Errorf("dedicated-course programs = %d, want 1", got)
+	}
+}
+
+// TestAllSurveyedProgramsPassPDC verifies the paper's premise that the
+// surveyed accredited programs satisfy the criteria.
+func TestAllSurveyedProgramsPassPDC(t *testing.T) {
+	sv := BuildSurvey()
+	reports, err := sv.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 20 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("%s fails the criteria:\n%s", r.Program, RenderReport(r))
+		}
+		if len(r.PillarsCovered) != 3 {
+			t.Errorf("%s covers %d pillars, want 3", r.Program, len(r.PillarsCovered))
+		}
+	}
+}
+
+// TestFig2Shape checks the qualitative structure of Fig. 2: parallelism
+// and concurrency (present in every PDC-bearing course family) dominates,
+// and every reported topic has positive weight.
+func TestFig2Shape(t *testing.T) {
+	sv := BuildSurvey()
+	freqs := sv.TopicFrequencies()
+	if len(freqs) == 0 {
+		t.Fatal("no topic frequencies")
+	}
+	if freqs[0].Topic != ParallelismConc {
+		t.Errorf("top topic = %s, want %s", freqs[0].Topic, ParallelismConc)
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i].Weight > freqs[i-1].Weight {
+			t.Error("frequencies not sorted descending")
+		}
+		if freqs[i].Weight <= 0 {
+			t.Errorf("topic %s has non-positive weight", freqs[i].Topic)
+		}
+	}
+	// Every Table I topic appears in the corpus (all course families are
+	// represented among the 36 PDC courses).
+	if len(freqs) != 14 {
+		t.Errorf("%d topics have weight, want all 14", len(freqs))
+	}
+	// Transactions appears only via the DB course and the dedicated
+	// course: weight 6 (two 3-credit courses).
+	for _, f := range freqs {
+		if f.Topic == Transactions && f.Weight != 6 {
+			t.Errorf("transactions weight = %g, want 6", f.Weight)
+		}
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	sv := BuildSurvey()
+	fig2 := RenderFig2(sv)
+	if !strings.Contains(fig2, "Fig. 2") || !strings.Contains(fig2, "#") {
+		t.Error("Fig. 2 render malformed")
+	}
+	fig3 := RenderFig3(sv)
+	for _, want := range []string{"Fig. 3", "OS (9 courses)", "25.0%", "ParProg (1 courses)"} {
+		if !strings.Contains(fig3, want) {
+			t.Errorf("Fig. 3 render missing %q:\n%s", want, fig3)
+		}
+	}
+}
+
+// TestTableIIAndIIIMatchPaper pins the CE2016/SE2014 data.
+func TestTableIIAndIIIMatchPaper(t *testing.T) {
+	ce := CE2016()
+	if len(ce) != 4 {
+		t.Fatalf("Table II has %d areas, want 4", len(ce))
+	}
+	wantII := map[string][]string{
+		"Computing Algorithms":          {"Parallel algorithms/threading"},
+		"Architecture and Organization": {"Multi/Many-core architectures", "Distributed system architectures"},
+		"Systems Resource Management":   {"Concurrent processing support"},
+		"Software Design":               {"Event-driven and concurrent programming"},
+	}
+	for _, ka := range ce {
+		want, ok := wantII[ka.Name]
+		if !ok {
+			t.Errorf("unexpected Table II area %q", ka.Name)
+			continue
+		}
+		if len(ka.Units) != len(want) {
+			t.Errorf("%s has %d units, want %d", ka.Name, len(ka.Units), len(want))
+			continue
+		}
+		for i := range want {
+			if ka.Units[i] != want[i] {
+				t.Errorf("%s unit %d = %q, want %q", ka.Name, i, ka.Units[i], want[i])
+			}
+		}
+	}
+	se := SE2014()
+	if len(se) != 1 || se[0].Name != "Computing Essentials" || len(se[0].Units) != 2 {
+		t.Fatalf("Table III shape wrong: %+v", se)
+	}
+	if !strings.Contains(se[0].Units[0], "semaphores and monitors") {
+		t.Error("Table III missing concurrency primitives row")
+	}
+	if !strings.Contains(se[0].Units[1], "distributed software") {
+		t.Error("Table III missing distributed construction row")
+	}
+	if !strings.Contains(RenderTableII(), "Multi/Many-core") {
+		t.Error("Table II render malformed")
+	}
+	if !strings.Contains(RenderTableIII(), "Concurrency primitives") {
+		t.Error("Table III render malformed")
+	}
+}
+
+func TestGuidelineLists(t *testing.T) {
+	if len(CS2013PDC()) != 3 {
+		t.Error("CS2013 PDC definition should have 3 parts")
+	}
+	cc := CC2020Topics()
+	if len(cc) != 6 {
+		t.Errorf("CC2020 topics = %d, want 6", len(cc))
+	}
+	joined := strings.Join(cc, ",")
+	for _, want := range []string{"divide-and-conquer", "critical path", "race conditions", "synchronized queues"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("CC2020 topics missing %q", want)
+		}
+	}
+}
+
+func TestCheckProgramFailures(t *testing.T) {
+	// Too few credits, missing areas, no PDC.
+	p := Program{
+		Name: "Tiny College CS",
+		Courses: []Course{
+			{Code: "CS1", Title: "Programming", Area: IntroProgramming, Credits: 3, Required: true},
+		},
+	}
+	r, err := CheckProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Error("tiny program passed")
+	}
+	fails := 0
+	for _, f := range r.Findings {
+		if !f.Satisfied {
+			fails++
+		}
+	}
+	// 1 credit + 4 areas + 3 pillars = 8 findings, all failing.
+	if fails != 8 {
+		t.Errorf("failing findings = %d, want 8", fails)
+	}
+	if !strings.Contains(RenderReport(r), "DOES NOT MEET") {
+		t.Error("report verdict missing")
+	}
+	// A passing report renders the opposite verdict.
+	ok := BuildSurvey().Programs[0]
+	rep, err := CheckProgram(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(RenderReport(rep), "MEETS") {
+		t.Error("passing verdict missing")
+	}
+}
+
+func TestCheckProgramPartialPDC(t *testing.T) {
+	// A program with concurrency-only coverage must fail the
+	// parallelism and distribution pillars.
+	p := BuildSurvey().Programs[0]
+	for i := range p.Courses {
+		if p.Courses[i].HasPDC() {
+			p.Courses[i].PDCTopics = []Topic{Threads, Atomicity}
+		}
+	}
+	r, err := CheckProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Error("concurrency-only program passed")
+	}
+	if len(r.PillarsCovered) != 1 || r.PillarsCovered[0] != Concurrency {
+		t.Errorf("pillars = %v, want [concurrency]", r.PillarsCovered)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	bad := []Program{
+		{Name: ""},
+		{Name: "X", Courses: []Course{{Code: "", Credits: 3}}},
+		{Name: "X", Courses: []Course{{Code: "A", Credits: 3}, {Code: "A", Credits: 3}}},
+		{Name: "X", Courses: []Course{{Code: "A", Credits: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d validated", i)
+		}
+		if _, err := CheckProgram(p); err == nil {
+			t.Errorf("program %d checked", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := BuildSurvey().Programs[6]
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || len(got.Courses) != len(p.Courses) {
+		t.Errorf("round trip lost data: %s %d", got.Name, len(got.Courses))
+	}
+	// Invalid JSON rejected.
+	if _, err := DecodeProgram(strings.NewReader(`{"Name":}`)); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Unknown fields rejected.
+	if _, err := DecodeProgram(strings.NewReader(`{"Name":"x","Bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestJSONFiles(t *testing.T) {
+	p := BuildSurvey().Programs[0]
+	path := t.TempDir() + "/prog.json"
+	if err := SaveProgramFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProgramFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name {
+		t.Errorf("loaded %q, want %q", got.Name, p.Name)
+	}
+	if _, err := LoadProgramFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTopicPillarsCoverAll(t *testing.T) {
+	for _, topic := range AllTopics() {
+		if len(TopicPillars(topic)) == 0 {
+			t.Errorf("topic %s maps to no pillar", topic)
+		}
+	}
+	if TopicPillars(Topic("bogus")) != nil {
+		t.Error("unknown topic should map to nil")
+	}
+	if len(Pillars()) != 3 {
+		t.Error("want 3 pillars")
+	}
+}
+
+func TestAreaTopicsDedicatedCoversEverything(t *testing.T) {
+	if len(AreaTopics(ParallelProgramming)) != 14 {
+		t.Error("dedicated course must cover all 14 topics")
+	}
+	// CompOrg course covers exactly its Table I column (8 topics).
+	co := AreaTopics(CompOrg)
+	if len(co) != 8 {
+		t.Errorf("CompOrg covers %d topics, want 8", len(co))
+	}
+	if len(AreaTopics(Capstone)) != 0 {
+		t.Error("capstone should cover no PDC topics")
+	}
+}
+
+func TestSurveyProgramsAreValid(t *testing.T) {
+	for _, p := range BuildSurvey().Programs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if p.RequiredCredits() < MinCSCredits {
+			t.Errorf("%s has only %.0f credits", p.Name, p.RequiredCredits())
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RenderTableI()
+	}
+}
+
+func BenchmarkFig2Analysis(b *testing.B) {
+	sv := BuildSurvey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sv.TopicFrequencies()
+	}
+}
+
+func BenchmarkFig3Analysis(b *testing.B) {
+	sv := BuildSurvey()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sv.CourseShares()
+	}
+}
+
+func BenchmarkCheckProgram(b *testing.B) {
+	p := BuildSurvey().Programs[6]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CheckProgram(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package curriculum
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSectionVClaim reproduces Section V: engineering programs that
+// attain their curricular guidelines necessarily cover PDC.
+func TestSectionVClaim(t *testing.T) {
+	for _, p := range SampleEngineeringPrograms() {
+		r, err := CheckEngineeringProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Pass {
+			t.Errorf("%s does not cover its PDC units:\n%s", p.Name, RenderReport(r))
+		}
+	}
+}
+
+func TestEngineeringUnitCounts(t *testing.T) {
+	ce, err := requiredUnits(ComputerEngineering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: 1 + 2 + 1 + 1 = 5 core units.
+	if len(ce) != 5 {
+		t.Errorf("CE units = %d, want 5", len(ce))
+	}
+	se, err := requiredUnits(SoftwareEng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III: 2 core topics.
+	if len(se) != 2 {
+		t.Errorf("SE units = %d, want 2", len(se))
+	}
+}
+
+func TestEngineeringProgramMissingUnitsFails(t *testing.T) {
+	p := EngineeringProgram{
+		Name:       "Partial CE",
+		Discipline: ComputerEngineering,
+		CoveredUnits: []string{
+			"Parallel algorithms/threading",
+			"Concurrent processing support",
+		},
+	}
+	r, err := CheckEngineeringProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Error("partial coverage passed")
+	}
+	missing := 0
+	for _, f := range r.Findings {
+		if !f.Satisfied {
+			missing++
+			if !strings.Contains(f.Criterion, "computer engineering") {
+				t.Errorf("finding lacks discipline label: %s", f.Criterion)
+			}
+		}
+	}
+	if missing != 3 {
+		t.Errorf("missing units = %d, want 3", missing)
+	}
+}
+
+func TestEngineeringValidation(t *testing.T) {
+	if _, err := CheckEngineeringProgram(EngineeringProgram{Name: "X", Discipline: "civil"}); err == nil {
+		t.Error("unknown discipline accepted")
+	}
+	if _, err := CheckEngineeringProgram(EngineeringProgram{Discipline: SoftwareEng}); err == nil {
+		t.Error("nameless program accepted")
+	}
+}

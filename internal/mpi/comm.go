@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv.
+const (
+	// AnySource matches messages from every rank.
+	AnySource = -1
+	// AnyTag matches every tag.
+	AnyTag = -1
+)
+
+// collectiveTagBase separates internal collective traffic from user tags
+// (user tags must be non-negative).
+const collectiveTagBase = -1000
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// transport delivers envelopes to remote mailboxes.
+type transport interface {
+	send(env Envelope) error
+}
+
+// chanTransport delivers directly into the destination mailbox.
+type chanTransport struct {
+	boxes []*mailbox
+}
+
+func (t *chanTransport) send(env Envelope) error {
+	t.boxes[env.To].deposit(env)
+	return nil
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	rank int
+	size int
+	box  *mailbox
+	tr   transport
+	// collSeq numbers collective calls so their internal tags match
+	// across ranks (MPI requires identical collective call order).
+	collSeq int
+}
+
+// Rank returns the caller's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+func (c *Comm) checkRank(r int, op string) error {
+	if r < 0 || r >= c.size {
+		return fmt.Errorf("mpi: %s: rank %d out of range [0,%d)", op, r, c.size)
+	}
+	return nil
+}
+
+// Send delivers v to rank `to` with the given tag (buffered standard
+// mode: it returns once the message is deposited). The payload is shared
+// by reference on the in-process transport: treat sent values as frozen.
+func (c *Comm) Send(to, tag int, v any) error {
+	if err := c.checkRank(to, "Send"); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: Send: user tags must be non-negative, got %d", tag)
+	}
+	return c.tr.send(Envelope{From: c.rank, To: to, Tag: tag, Payload: v})
+}
+
+// sendInternal bypasses tag validation for collectives.
+func (c *Comm) sendInternal(to, tag int, v any) error {
+	if err := c.checkRank(to, "collective"); err != nil {
+		return err
+	}
+	return c.tr.send(Envelope{From: c.rank, To: to, Tag: tag, Payload: v})
+}
+
+// Recv blocks until a message matching (source, tag) arrives; wildcards
+// AnySource/AnyTag are allowed.
+func (c *Comm) Recv(source, tag int) (any, Status, error) {
+	if source != AnySource {
+		if err := c.checkRank(source, "Recv"); err != nil {
+			return nil, Status{}, err
+		}
+	}
+	env, ok := c.box.receive(source, tag)
+	if !ok {
+		return nil, Status{}, fmt.Errorf("mpi: rank %d: world shut down during Recv", c.rank)
+	}
+	return env.Payload, Status{Source: env.From, Tag: env.Tag}, nil
+}
+
+// Sendrecv performs a combined send and receive, safe against the
+// head-to-head exchange deadlock.
+func (c *Comm) Sendrecv(to, sendTag int, v any, from, recvTag int) (any, Status, error) {
+	req, err := c.Isend(to, sendTag, v)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	payload, st, err := c.Recv(from, recvTag)
+	if err != nil {
+		return nil, Status{}, err
+	}
+	if err := req.Wait(); err != nil {
+		return nil, Status{}, err
+	}
+	return payload, st, nil
+}
+
+// Request is a handle on a non-blocking operation.
+type Request struct {
+	done    chan struct{}
+	mu      sync.Mutex
+	payload any
+	status  Status
+	err     error
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (r *Request) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Payload returns the received value; valid after Wait on an Irecv.
+func (r *Request) Payload() (any, Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.payload, r.status
+}
+
+// Isend starts a non-blocking send.
+func (c *Comm) Isend(to, tag int, v any) (*Request, error) {
+	if err := c.checkRank(to, "Isend"); err != nil {
+		return nil, err
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: Isend: user tags must be non-negative, got %d", tag)
+	}
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		err := c.tr.send(Envelope{From: c.rank, To: to, Tag: tag, Payload: v})
+		req.mu.Lock()
+		req.err = err
+		req.mu.Unlock()
+	}()
+	return req, nil
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(source, tag int) (*Request, error) {
+	if source != AnySource {
+		if err := c.checkRank(source, "Irecv"); err != nil {
+			return nil, err
+		}
+	}
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(req.done)
+		payload, st, err := c.Recv(source, tag)
+		req.mu.Lock()
+		req.payload, req.status, req.err = payload, st, err
+		req.mu.Unlock()
+	}()
+	return req, nil
+}
+
+// WaitAll waits for every request and returns the first error.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Probe reports whether a matching message is waiting, without
+// consuming it.
+func (c *Comm) Probe(source, tag int) bool {
+	c.box.mu.Lock()
+	defer c.box.mu.Unlock()
+	for _, env := range c.box.queue {
+		if env.matches(source, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run starts an n-rank world on the in-process transport and executes
+// prog once per rank, each on its own goroutine. It returns the first
+// error any rank returned (every rank runs to completion regardless).
+// As with real MPI, a rank that blocks forever in Recv (because its
+// peer never sends) hangs the world; use test timeouts to surface such
+// deadlocks in student programs.
+func Run(n int, prog func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	tr := &chanTransport{boxes: boxes}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			errs[r] = prog(&Comm{rank: r, size: n, box: boxes[r], tr: tr})
+		}()
+	}
+	wg.Wait()
+	for i := range boxes {
+		boxes[i].close()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package mpi implements an MPI-style message-passing library for the
+// cluster-programming part of the LAU course (taught on the Network of
+// Workstations model since 1996): ranks with blocking and non-blocking
+// tagged point-to-point messaging, wildcard receives, and the standard
+// collectives (barrier, binomial-tree broadcast, reduce, naive and ring
+// all-reduce, scatter/gather/allgather/alltoall).
+//
+// Two transports are provided: the default in-process transport built on
+// shared mailboxes (one goroutine per rank), and a TCP loopback
+// transport (RunTCP) that exchanges gob-encoded frames over real
+// sockets, exercising the same programs in NOW mode.
+package mpi
+
+import "sync"
+
+// Envelope is one message in flight.
+type Envelope struct {
+	From    int
+	To      int
+	Tag     int
+	Payload any
+}
+
+// matches reports whether the envelope satisfies a receive for
+// (source, tag), honouring AnySource/AnyTag wildcards.
+func (e Envelope) matches(source, tag int) bool {
+	if source != AnySource && e.From != source {
+		return false
+	}
+	if tag != AnyTag && e.Tag != tag {
+		return false
+	}
+	return true
+}
+
+// mailbox is a rank's incoming-message queue with selective receive:
+// messages from the same (source, tag) pair are received in send order
+// (the MPI non-overtaking guarantee).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// deposit enqueues an incoming envelope.
+func (m *mailbox) deposit(env Envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, env)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// receive blocks until a matching envelope arrives and removes it.
+// It returns false if the mailbox is closed while waiting.
+func (m *mailbox) receive(source, tag int) (Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, env := range m.queue {
+			if env.matches(source, tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return env, true
+			}
+		}
+		if m.closed {
+			return Envelope{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// tryReceive removes a matching envelope without blocking.
+func (m *mailbox) tryReceive(source, tag int) (Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, env := range m.queue {
+		if env.matches(source, tag) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return env, true
+		}
+	}
+	return Envelope{}, false
+}
+
+// close releases all blocked receivers.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,469 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("zero-size world accepted")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, "ping"); err != nil {
+				return err
+			}
+			v, st, err := c.Recv(1, 8)
+			if err != nil {
+				return err
+			}
+			if v.(string) != "pong" || st.Source != 1 || st.Tag != 8 {
+				return fmt.Errorf("got %v from %+v", v, st)
+			}
+			return nil
+		}
+		v, _, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "ping" {
+			return fmt.Errorf("got %v", v)
+		}
+		return c.Send(0, 8, "pong")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Send(5, 0, 1); err == nil {
+			return fmt.Errorf("out-of-range destination accepted")
+		}
+		if err := c.Send(0, -3, 1); err == nil {
+			return fmt.Errorf("negative user tag accepted")
+		}
+		if _, err := c.Isend(9, 0, 1); err == nil {
+			return fmt.Errorf("Isend bad rank accepted")
+		}
+		if _, err := c.Irecv(9, 0); err == nil {
+			return fmt.Errorf("Irecv bad rank accepted")
+		}
+		if c.Size() != 1 {
+			return fmt.Errorf("size = %d", c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardsAndOrdering(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1, 2:
+			for i := 0; i < 5; i++ {
+				if err := c.Send(0, c.Rank(), float64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			// Per-source FIFO must hold even with AnySource receives.
+			next := map[int]float64{}
+			for i := 0; i < 10; i++ {
+				v, st, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					return err
+				}
+				f := v.(float64)
+				if f != next[st.Source] {
+					return fmt.Errorf("source %d out of order: got %g want %g", st.Source, f, next[st.Source])
+				}
+				next[st.Source]++
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectiveReceiveByTag(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, "low"); err != nil {
+				return err
+			}
+			return c.Send(1, 2, "high")
+		}
+		// Receive tag 2 first even though tag 1 arrived first.
+		v, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "high" {
+			return fmt.Errorf("tag-2 recv got %v", v)
+		}
+		v, _, err = c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "low" {
+			return fmt.Errorf("tag-1 recv got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonBlockingAndProbe(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 3, []float64{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			return req.Wait()
+		}
+		req, err := c.Irecv(0, 3)
+		if err != nil {
+			return err
+		}
+		if err := req.Wait(); err != nil {
+			return err
+		}
+		if !req.Test() {
+			return fmt.Errorf("Test false after Wait")
+		}
+		v, st := req.Payload()
+		vec := v.([]float64)
+		if len(vec) != 3 || vec[2] != 3 || st.Source != 0 {
+			return fmt.Errorf("payload %v status %+v", v, st)
+		}
+		if c.Probe(0, AnyTag) {
+			return fmt.Errorf("Probe true on empty mailbox")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchangeNoDeadlock(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		right := (c.Rank() + 1) % c.Size()
+		left := (c.Rank() - 1 + c.Size()) % c.Size()
+		v, st, err := c.Sendrecv(right, 5, c.Rank(), left, 5)
+		if err != nil {
+			return err
+		}
+		if v.(int) != left || st.Source != left {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), v, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 5
+	var entered int64
+	err := Run(n, func(c *Comm) error {
+		for round := 0; round < 3; round++ {
+			atomic.AddInt64(&entered, 1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if got := atomic.LoadInt64(&entered); got < int64((round+1)*n) {
+				return fmt.Errorf("rank %d passed barrier with only %d entries", c.Rank(), got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastVariantsAllWorldSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := Run(n, func(c *Comm) error {
+				root := n / 2
+				v, err := c.Bcast(root, fmt.Sprintf("hello-%d", root))
+				if err != nil {
+					return err
+				}
+				if v.(string) != fmt.Sprintf("hello-%d", root) {
+					return fmt.Errorf("rank %d Bcast got %v", c.Rank(), v)
+				}
+				v, err = c.BcastLinear(0, 42)
+				if err != nil {
+					return err
+				}
+				if v.(int) != 42 {
+					return fmt.Errorf("rank %d BcastLinear got %v", c.Rank(), v)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := Run(n, func(c *Comm) error {
+				v := []float64{float64(c.Rank()), 1}
+				res, err := c.Reduce(0, v, OpSum)
+				if err != nil {
+					return err
+				}
+				wantSum := float64(n*(n-1)) / 2
+				if c.Rank() == 0 {
+					if res[0] != wantSum || res[1] != float64(n) {
+						return fmt.Errorf("Reduce got %v", res)
+					}
+				} else if res != nil {
+					return fmt.Errorf("non-root got %v", res)
+				}
+				all, err := c.Allreduce(v, OpSum)
+				if err != nil {
+					return err
+				}
+				if all[0] != wantSum || all[1] != float64(n) {
+					return fmt.Errorf("Allreduce got %v", all)
+				}
+				mx, err := c.Allreduce([]float64{float64(c.Rank())}, OpMax)
+				if err != nil {
+					return err
+				}
+				if mx[0] != float64(n-1) {
+					return fmt.Errorf("max got %v", mx)
+				}
+				mn, err := c.Allreduce([]float64{float64(c.Rank())}, OpMin)
+				if err != nil {
+					return err
+				}
+				if mn[0] != 0 {
+					return fmt.Errorf("min got %v", mn)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllreduceRingMatchesTree(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			err := Run(n, func(c *Comm) error {
+				vec := make([]float64, 4*n+3)
+				for i := range vec {
+					vec[i] = float64(c.Rank()*100 + i)
+				}
+				tree, err := c.Allreduce(vec, OpSum)
+				if err != nil {
+					return err
+				}
+				ring, err := c.AllreduceRing(vec, OpSum)
+				if err != nil {
+					return err
+				}
+				for i := range tree {
+					if math.Abs(tree[i]-ring[i]) > 1e-9 {
+						return fmt.Errorf("rank %d: ring[%d]=%g tree=%g", c.Rank(), i, ring[i], tree[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllreduceRingValidation(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if _, err := c.AllreduceRing([]float64{1}, OpSum); err == nil {
+			return fmt.Errorf("short vector accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterGatherAllgatherAlltoall(t *testing.T) {
+	const n = 4
+	err := Run(n, func(c *Comm) error {
+		// Scatter from root 1.
+		var full []float64
+		if c.Rank() == 1 {
+			full = make([]float64, 2*n)
+			for i := range full {
+				full[i] = float64(i)
+			}
+		}
+		part, err := c.Scatter(1, full)
+		if err != nil {
+			return err
+		}
+		if len(part) != 2 || part[0] != float64(2*c.Rank()) {
+			return fmt.Errorf("rank %d scatter got %v", c.Rank(), part)
+		}
+		// Gather back on root 1.
+		got, err := c.Gather(1, part)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := range got {
+				if got[i] != float64(i) {
+					return fmt.Errorf("gather[%d] = %g", i, got[i])
+				}
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root gather got %v", got)
+		}
+		// Allgather.
+		all, err := c.Allgather([]float64{float64(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if all[i] != float64(i) {
+				return fmt.Errorf("allgather = %v", all)
+			}
+		}
+		// Alltoall: rank r sends value r*10+j to rank j.
+		send := make([]float64, n)
+		for j := range send {
+			send[j] = float64(c.Rank()*10 + j)
+		}
+		recv, err := c.Alltoall(send)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if recv[i] != float64(i*10+c.Rank()) {
+				return fmt.Errorf("alltoall = %v", recv)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, make([]float64, 4)); err == nil {
+				return fmt.Errorf("indivisible scatter accepted")
+			}
+		}
+		if _, err := c.Alltoall(make([]float64, 4)); err == nil {
+			return fmt.Errorf("indivisible alltoall accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgErrorPropagates(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestProgPanicBecomesError(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("panic should surface as error")
+	}
+}
+
+func BenchmarkBcastBinomial(b *testing.B) { benchBcast(b, true) }
+func BenchmarkBcastLinear(b *testing.B)   { benchBcast(b, false) }
+
+func benchBcast(b *testing.B, binomial bool) {
+	payload := make([]float64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := Run(16, func(c *Comm) error {
+			var err error
+			if binomial {
+				_, err = c.Bcast(0, payload)
+			} else {
+				_, err = c.BcastLinear(0, payload)
+			}
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllreduceTree(b *testing.B) { benchAllreduce(b, false) }
+func BenchmarkAllreduceRing(b *testing.B) { benchAllreduce(b, true) }
+
+func benchAllreduce(b *testing.B, ring bool) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := Run(8, func(c *Comm) error {
+			vec := make([]float64, 1<<14)
+			var err error
+			if ring {
+				_, err = c.AllreduceRing(vec, OpSum)
+			} else {
+				_, err = c.Allreduce(vec, OpSum)
+			}
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Payload kinds carried by the TCP wire format. The in-process transport
+// passes values untyped; the wire restricts payloads to the types the
+// library's own APIs use.
+const (
+	kindToken  = iota // struct{}{}
+	kindFloats        // []float64
+	kindFloat         // float64
+	kindInt           // int
+	kindString        // string
+)
+
+// wireFrame is the gob-encoded on-the-wire representation of Envelope.
+type wireFrame struct {
+	From, To, Tag int
+	Kind          int
+	Floats        []float64
+	Float         float64
+	Int           int
+	Str           string
+}
+
+func encodePayload(v any) (wireFrame, error) {
+	switch p := v.(type) {
+	case struct{}:
+		return wireFrame{Kind: kindToken}, nil
+	case []float64:
+		return wireFrame{Kind: kindFloats, Floats: p}, nil
+	case float64:
+		return wireFrame{Kind: kindFloat, Float: p}, nil
+	case int:
+		return wireFrame{Kind: kindInt, Int: p}, nil
+	case string:
+		return wireFrame{Kind: kindString, Str: p}, nil
+	case nil:
+		return wireFrame{Kind: kindFloats}, nil
+	default:
+		return wireFrame{}, fmt.Errorf("mpi: TCP transport cannot carry payload type %T", v)
+	}
+}
+
+func (f wireFrame) payload() any {
+	switch f.Kind {
+	case kindToken:
+		return struct{}{}
+	case kindFloats:
+		return f.Floats
+	case kindFloat:
+		return f.Float
+	case kindInt:
+		return f.Int
+	case kindString:
+		return f.Str
+	default:
+		return nil
+	}
+}
+
+// tcpTransport sends frames to the switch over the rank's connection.
+type tcpTransport struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func (t *tcpTransport) send(env Envelope) error {
+	frame, err := encodePayload(env.Payload)
+	if err != nil {
+		return err
+	}
+	frame.From, frame.To, frame.Tag = env.From, env.To, env.Tag
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(frame)
+}
+
+// RunTCP starts an n-rank world in NOW (network-of-workstations) mode:
+// every rank owns a real TCP connection over the loopback interface to a
+// central switch that routes frames, exercising sockets, framing and
+// serialization on the same programs Run executes in-process.
+func RunTCP(n int, prog func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("mpi: listen: %w", err)
+	}
+	defer ln.Close()
+
+	// Switch: accept n connections, learn each rank's identity, then
+	// route frames between them until all connections close.
+	type peer struct {
+		conn net.Conn
+		dec  *gob.Decoder
+		out  chan wireFrame
+	}
+	peers := make([]*peer, n)
+	var switchReady sync.WaitGroup
+	switchReady.Add(1)
+	var routerWg sync.WaitGroup
+	var switchErr error
+	go func() {
+		defer switchReady.Done()
+		// Phase 1: accept every connection and register its rank, so no
+		// router starts before every destination is known.
+		for i := 0; i < n; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				switchErr = err
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var hello wireFrame
+			if err := dec.Decode(&hello); err != nil {
+				switchErr = fmt.Errorf("mpi: switch hello: %w", err)
+				return
+			}
+			r := hello.From
+			if r < 0 || r >= n || peers[r] != nil {
+				switchErr = fmt.Errorf("mpi: switch: bad hello rank %d", r)
+				return
+			}
+			peers[r] = &peer{conn: conn, dec: dec, out: make(chan wireFrame, 64)}
+		}
+		// Phase 2: start one writer and one router per peer.
+		for _, p := range peers {
+			p := p
+			go func() {
+				enc := gob.NewEncoder(p.conn)
+				for f := range p.out {
+					if err := enc.Encode(f); err != nil {
+						return
+					}
+				}
+			}()
+			routerWg.Add(1)
+			go func() {
+				defer routerWg.Done()
+				for {
+					var f wireFrame
+					if err := p.dec.Decode(&f); err != nil {
+						return
+					}
+					if f.To >= 0 && f.To < n && peers[f.To] != nil {
+						peers[f.To].out <- f
+					}
+				}
+			}()
+		}
+	}()
+
+	addr := ln.Addr().String()
+	boxes := make([]*mailbox, n)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	conns := make([]net.Conn, n)
+	for r := 0; r < n; r++ {
+		r := r
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("mpi: dial: %w", err)
+		}
+		conns[r] = conn
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			enc := gob.NewEncoder(conn)
+			tr := &tcpTransport{enc: enc}
+			// Hello frame announces our rank to the switch.
+			if err := tr.send(Envelope{From: r, To: -1, Tag: 0, Payload: struct{}{}}); err != nil {
+				errs[r] = err
+				return
+			}
+			// Reader: deposit inbound frames into the mailbox.
+			go func() {
+				dec := gob.NewDecoder(conn)
+				for {
+					var f wireFrame
+					if err := dec.Decode(&f); err != nil {
+						boxes[r].close()
+						return
+					}
+					boxes[r].deposit(Envelope{From: f.From, To: f.To, Tag: f.Tag, Payload: f.payload()})
+				}
+			}()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
+				}
+			}()
+			errs[r] = prog(&Comm{rank: r, size: n, box: boxes[r], tr: tr})
+		}()
+	}
+	wg.Wait()
+	// Teardown: closing the rank-side connections EOFs the switch's
+	// routers; once they exit, the per-peer writers are stopped and the
+	// switch-side sockets released (otherwise long bench runs exhaust
+	// file descriptors).
+	for _, conn := range conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	switchReady.Wait()
+	routerWg.Wait()
+	for _, p := range peers {
+		if p != nil {
+			close(p.out)
+			p.conn.Close()
+		}
+	}
+	if switchErr != nil {
+		return switchErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTCPPingPong(t *testing.T) {
+	err := RunTCP(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, "ping"); err != nil {
+				return err
+			}
+			v, _, err := c.Recv(1, 2)
+			if err != nil {
+				return err
+			}
+			if v.(string) != "pong" {
+				return fmt.Errorf("got %v", v)
+			}
+			return nil
+		}
+		v, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if v.(string) != "ping" {
+			return fmt.Errorf("got %v", v)
+		}
+		return c.Send(0, 2, "pong")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const n = 4
+	err := RunTCP(n, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		all, err := c.Allreduce([]float64{float64(c.Rank()), 1}, OpSum)
+		if err != nil {
+			return err
+		}
+		if all[0] != 6 || all[1] != 4 {
+			return fmt.Errorf("rank %d allreduce = %v", c.Rank(), all)
+		}
+		ring, err := c.AllreduceRing([]float64{1, 2, 3, 4, 5, 6, 7, 8}, OpSum)
+		if err != nil {
+			return err
+		}
+		if ring[0] != 4 || ring[7] != 32 {
+			return fmt.Errorf("rank %d ring = %v", c.Rank(), ring)
+		}
+		v, err := c.Bcast(2, 3.25)
+		if err != nil {
+			return err
+		}
+		if v.(float64) != 3.25 {
+			return fmt.Errorf("bcast got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPPayloadTypes(t *testing.T) {
+	err := RunTCP(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, 42); err != nil {
+				return err
+			}
+			if err := c.Send(1, 2, 2.5); err != nil {
+				return err
+			}
+			if err := c.Send(1, 3, []float64{9, 8}); err != nil {
+				return err
+			}
+			// Unsupported payload type must fail loudly.
+			if err := c.Send(1, 4, map[string]int{"x": 1}); err == nil {
+				return fmt.Errorf("unsupported payload accepted")
+			}
+			return c.Send(1, 4, "done")
+		}
+		if v, _, err := c.Recv(0, 1); err != nil || v.(int) != 42 {
+			return fmt.Errorf("int payload: %v %v", v, err)
+		}
+		if v, _, err := c.Recv(0, 2); err != nil || v.(float64) != 2.5 {
+			return fmt.Errorf("float payload: %v %v", v, err)
+		}
+		if v, _, err := c.Recv(0, 3); err != nil || v.([]float64)[1] != 8 {
+			return fmt.Errorf("slice payload: %v %v", v, err)
+		}
+		if v, _, err := c.Recv(0, 4); err != nil || v.(string) != "done" {
+			return fmt.Errorf("string payload: %v %v", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPValidation(t *testing.T) {
+	if err := RunTCP(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("zero-size TCP world accepted")
+	}
+}
+
+func BenchmarkTCPPingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := RunTCP(2, func(c *Comm) error {
+			if c.Rank() == 0 {
+				if err := c.Send(1, 1, []float64{1}); err != nil {
+					return err
+				}
+				_, _, err := c.Recv(1, 2)
+				return err
+			}
+			if _, _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+			return c.Send(0, 2, []float64{2})
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodePayloadKinds(t *testing.T) {
+	cases := []struct {
+		in   any
+		kind int
+	}{
+		{struct{}{}, kindToken},
+		{[]float64{1, 2}, kindFloats},
+		{3.5, kindFloat},
+		{42, kindInt},
+		{"hello", kindString},
+		{nil, kindFloats},
+	}
+	for _, c := range cases {
+		f, err := encodePayload(c.in)
+		if err != nil {
+			t.Fatalf("encodePayload(%v): %v", c.in, err)
+		}
+		if f.Kind != c.kind {
+			t.Errorf("encodePayload(%v) kind = %d, want %d", c.in, f.Kind, c.kind)
+		}
+	}
+	if _, err := encodePayload(map[string]int{}); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	if _, err := encodePayload([]int{1}); err == nil {
+		t.Error("[]int should be unsupported on the wire")
+	}
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	for _, v := range []any{struct{}{}, 7, 2.25, "str", []float64{9}} {
+		f, err := encodePayload(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.payload()
+		switch want := v.(type) {
+		case []float64:
+			vec, ok := got.([]float64)
+			if !ok || len(vec) != len(want) || vec[0] != want[0] {
+				t.Errorf("slice round trip = %v", got)
+			}
+		default:
+			if got != v {
+				t.Errorf("round trip %v -> %v", v, got)
+			}
+		}
+	}
+	// Unknown kind decodes to nil rather than panicking.
+	if (wireFrame{Kind: 99}).payload() != nil {
+		t.Error("unknown kind should decode to nil")
+	}
+}
+
+// Property: float64 vectors survive the wire frame unchanged.
+func TestWireFloatsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		fr, err := encodePayload(xs)
+		if err != nil {
+			return false
+		}
+		got, ok := fr.payload().([]float64)
+		if !ok || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] && !(xs[i] != xs[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelopeMatching(t *testing.T) {
+	env := Envelope{From: 3, Tag: 7}
+	cases := []struct {
+		source, tag int
+		want        bool
+	}{
+		{3, 7, true},
+		{AnySource, 7, true},
+		{3, AnyTag, true},
+		{AnySource, AnyTag, true},
+		{2, 7, false},
+		{3, 8, false},
+	}
+	for _, c := range cases {
+		if got := env.matches(c.source, c.tag); got != c.want {
+			t.Errorf("matches(%d,%d) = %v, want %v", c.source, c.tag, got, c.want)
+		}
+	}
+}
+
+func TestMailboxTryReceive(t *testing.T) {
+	m := newMailbox()
+	if _, ok := m.tryReceive(AnySource, AnyTag); ok {
+		t.Error("tryReceive on empty mailbox succeeded")
+	}
+	m.deposit(Envelope{From: 1, Tag: 5, Payload: "x"})
+	m.deposit(Envelope{From: 1, Tag: 6, Payload: "y"})
+	env, ok := m.tryReceive(1, 6)
+	if !ok || env.Payload.(string) != "y" {
+		t.Errorf("selective tryReceive = %v, %v", env, ok)
+	}
+	env, ok = m.tryReceive(AnySource, AnyTag)
+	if !ok || env.Payload.(string) != "x" {
+		t.Errorf("remaining message = %v, %v", env, ok)
+	}
+}
+
+func TestMailboxCloseUnblocks(t *testing.T) {
+	m := newMailbox()
+	done := make(chan bool)
+	go func() {
+		_, ok := m.receive(AnySource, AnyTag)
+		done <- ok
+	}()
+	m.close()
+	if ok := <-done; ok {
+		t.Error("receive on closed mailbox reported success")
+	}
+}

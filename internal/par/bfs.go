@@ -1,0 +1,145 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Graph is an adjacency-list graph for the parallel graph-algorithm
+// unit ("selected parallel algorithms and related theoretical analysis
+// ... in a design and analysis of algorithms course", §III of the
+// paper).
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph creates a graph with n vertices and no edges. It panics on a
+// non-positive vertex count.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("par: graph must have positive vertex count, got %d", n))
+	}
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Len returns the vertex count.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge inserts an undirected edge. It returns an error on invalid
+// endpoints.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("par: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	g.adj[u] = append(g.adj[u], v)
+	if u != v {
+		g.adj[v] = append(g.adj[v], u)
+	}
+	return nil
+}
+
+// RandomGraph generates a connected-ish random graph: a Hamiltonian
+// backbone (guaranteeing connectivity) plus extra random edges up to
+// the given average degree.
+func RandomGraph(n, avgDegree int, seed int64) *Graph {
+	g := NewGraph(n)
+	rng := rand.New(rand.NewSource(seed))
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(v-1, v)
+	}
+	extra := n * (avgDegree - 2) / 2
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// BFSSeq computes single-source shortest hop counts sequentially;
+// unreachable vertices get -1.
+func BFSSeq(g *Graph, src int) ([]int, error) {
+	if src < 0 || src >= g.Len() {
+		return nil, fmt.Errorf("par: BFS source %d out of range [0,%d)", src, g.Len())
+	}
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for level := 1; len(frontier) > 0; level++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.adj[u] {
+				if dist[v] == -1 {
+					dist[v] = level
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist, nil
+}
+
+// BFSPar computes the same distances with level-synchronous parallel
+// BFS: the frontier is expanded by `workers` goroutines, vertices are
+// claimed with compare-and-swap, and per-worker next-frontier buffers
+// avoid shared appends — the standard first parallel graph algorithm.
+func BFSPar(g *Graph, src, workers int) ([]int, error) {
+	if src < 0 || src >= g.Len() {
+		return nil, fmt.Errorf("par: BFS source %d out of range [0,%d)", src, g.Len())
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	n := g.Len()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for level := int32(1); len(frontier) > 0; level++ {
+		nexts := make([][]int, workers)
+		var wg sync.WaitGroup
+		block := (len(frontier) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * block
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + block
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				var local []int
+				for _, u := range frontier[lo:hi] {
+					for _, v := range g.adj[u] {
+						if atomic.CompareAndSwapInt32(&dist[v], -1, level) {
+							local = append(local, v)
+						}
+					}
+				}
+				nexts[w] = local
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, local := range nexts {
+			frontier = append(frontier, local...)
+		}
+	}
+	out := make([]int, n)
+	for i, d := range dist {
+		out[i] = int(d)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSKnownGraph(t *testing.T) {
+	// Path 0-1-2-3 with a shortcut 0-3 and an isolated vertex 4.
+	g := NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{0, 1, 2, 1, -1}
+	for name, fn := range map[string]func() ([]int, error){
+		"seq": func() ([]int, error) { return BFSSeq(g, 0) },
+		"par": func() ([]int, error) { return BFSPar(g, 0, 3) },
+	} {
+		got, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: dist[%d] = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBFSValidation(t *testing.T) {
+	g := NewGraph(3)
+	if err := g.AddEdge(0, 9); err == nil {
+		t.Error("bad edge accepted")
+	}
+	if _, err := BFSSeq(g, 9); err == nil {
+		t.Error("bad source accepted (seq)")
+	}
+	if _, err := BFSPar(g, -1, 2); err == nil {
+		t.Error("bad source accepted (par)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGraph(0) should panic")
+		}
+	}()
+	NewGraph(0)
+}
+
+// Property: parallel and sequential BFS agree on random graphs for any
+// worker count and source.
+func TestBFSAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw, degRaw, wRaw, srcRaw uint8) bool {
+		n := int(nRaw%200) + 2
+		deg := int(degRaw%6) + 2
+		w := int(wRaw%8) + 1
+		src := int(srcRaw) % n
+		g := RandomGraph(n, deg, seed)
+		seq, err1 := BFSSeq(g, src)
+		par, err2 := BFSPar(g, src, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSSelfLoop(t *testing.T) {
+	g := NewGraph(2)
+	if err := g.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := BFSSeq(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 || d[1] != 1 {
+		t.Errorf("self-loop distances = %v", d)
+	}
+}
+
+func BenchmarkBFSSeq(b *testing.B) { benchBFS(b, true) }
+func BenchmarkBFSPar(b *testing.B) { benchBFS(b, false) }
+
+func benchBFS(b *testing.B, seq bool) {
+	g := RandomGraph(50_000, 8, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if seq {
+			_, err = BFSSeq(g, 0)
+		} else {
+			_, err = BFSPar(g, 0, 0)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// HistogramMethod selects how a parallel histogram resolves concurrent
+// updates to shared bins — the classic "atomicity" lab (Table I row 6).
+type HistogramMethod int
+
+const (
+	// HistAtomic updates shared bins with atomic adds.
+	HistAtomic HistogramMethod = iota
+	// HistLocked guards the whole bin array with one mutex.
+	HistLocked
+	// HistPrivate gives each worker a private copy and merges at the
+	// end (privatization: the fastest and the pattern GPUs need too).
+	HistPrivate
+)
+
+// String returns the method name.
+func (m HistogramMethod) String() string {
+	switch m {
+	case HistAtomic:
+		return "atomic"
+	case HistLocked:
+		return "locked"
+	case HistPrivate:
+		return "private"
+	default:
+		return "unknown"
+	}
+}
+
+// Histogram bins xs into bins equal-width buckets over [min, max) using
+// the given method and worker count. Values outside the range are
+// clamped into the edge bins. It panics if bins <= 0 or max <= min.
+func Histogram(xs []float64, bins int, min, max float64, method HistogramMethod, workers int) []int64 {
+	if bins <= 0 {
+		panic(fmt.Sprintf("par: histogram bins must be positive, got %d", bins))
+	}
+	if max <= min {
+		panic(fmt.Sprintf("par: histogram range [%g,%g) is empty", min, max))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	width := (max - min) / float64(bins)
+	binOf := func(v float64) int {
+		b := int((v - min) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+
+	switch method {
+	case HistAtomic:
+		out := make([]int64, bins)
+		ForRange(len(xs), ForOptions{Workers: workers}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt64(&out[binOf(xs[i])], 1)
+			}
+		})
+		return out
+	case HistLocked:
+		out := make([]int64, bins)
+		var mu sync.Mutex
+		ForRange(len(xs), ForOptions{Workers: workers}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				b := binOf(xs[i])
+				mu.Lock()
+				out[b]++
+				mu.Unlock()
+			}
+		})
+		return out
+	case HistPrivate:
+		n := len(xs)
+		if workers > n && n > 0 {
+			workers = n
+		}
+		privates := make([][]int64, workers)
+		var wg sync.WaitGroup
+		block := 0
+		if workers > 0 {
+			block = (n + workers - 1) / workers
+		}
+		for w := 0; w < workers; w++ {
+			lo := w * block
+			if lo >= n {
+				privates[w] = nil
+				continue
+			}
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				local := make([]int64, bins)
+				for i := lo; i < hi; i++ {
+					local[binOf(xs[i])]++
+				}
+				privates[w] = local
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		out := make([]int64, bins)
+		for _, local := range privates {
+			for b, c := range local {
+				out[b] += c
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("par: unknown histogram method %d", method))
+	}
+}

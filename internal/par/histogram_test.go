@@ -1,0 +1,90 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 50_000)
+	for i := range xs {
+		xs[i] = rng.Float64()*10 - 1 // some out-of-range values
+	}
+	ref := Histogram(xs, 16, 0, 8, HistPrivate, 1)
+	for _, m := range []HistogramMethod{HistAtomic, HistLocked, HistPrivate} {
+		got := Histogram(xs, 16, 0, 8, m, 4)
+		var total int64
+		for b, c := range got {
+			total += c
+			if c != ref[b] {
+				t.Errorf("%s: bin %d = %d, want %d", m, b, c, ref[b])
+			}
+		}
+		if total != int64(len(xs)) {
+			t.Errorf("%s: total %d, want %d", m, total, len(xs))
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	xs := []float64{-100, 0, 0.5, 0.999, 100}
+	got := Histogram(xs, 2, 0, 1, HistPrivate, 2)
+	if got[0] != 2 { // -100 clamped + 0
+		t.Errorf("bin 0 = %d, want 2", got[0])
+	}
+	if got[1] != 3 { // 0.5, 0.999, 100 clamped
+		t.Errorf("bin 1 = %d, want 3", got[1])
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bins":  func() { Histogram(nil, 0, 0, 1, HistAtomic, 1) },
+		"range": func() { Histogram(nil, 4, 1, 1, HistAtomic, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramMethodString(t *testing.T) {
+	if HistAtomic.String() != "atomic" || HistLocked.String() != "locked" ||
+		HistPrivate.String() != "private" || HistogramMethod(9).String() != "unknown" {
+		t.Error("HistogramMethod.String mismatch")
+	}
+}
+
+func TestHistogramEmptyInput(t *testing.T) {
+	for _, m := range []HistogramMethod{HistAtomic, HistLocked, HistPrivate} {
+		got := Histogram(nil, 4, 0, 1, m, 4)
+		for b, c := range got {
+			if c != 0 {
+				t.Errorf("%s: empty input bin %d = %d", m, b, c)
+			}
+		}
+	}
+}
+
+func BenchmarkHistogramAtomic(b *testing.B)  { benchHist(b, HistAtomic) }
+func BenchmarkHistogramLocked(b *testing.B)  { benchHist(b, HistLocked) }
+func BenchmarkHistogramPrivate(b *testing.B) { benchHist(b, HistPrivate) }
+
+func benchHist(b *testing.B, m HistogramMethod) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 1<<18)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Histogram(xs, 64, 0, 1, m, 0)
+	}
+}

@@ -1,0 +1,183 @@
+package par
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+// KV is an intermediate key/value pair emitted by a map function.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// MapReduce runs the two-phase map-reduce pattern over inputs in-process:
+// mappers emit KV pairs, pairs are hash-partitioned ("shuffled") across
+// reducers, and each reducer folds all values of a key with reduceFn.
+// The result maps every key to its reduction. mapWorkers and reducers
+// default to GOMAXPROCS when non-positive.
+func MapReduce[In any, K comparable, V any](
+	inputs []In,
+	mapFn func(In, func(K, V)),
+	reduceFn func(K, []V) V,
+	mapWorkers, reducers int,
+) map[K]V {
+	if mapWorkers <= 0 {
+		mapWorkers = runtime.GOMAXPROCS(0)
+	}
+	if reducers <= 0 {
+		reducers = runtime.GOMAXPROCS(0)
+	}
+
+	// Map phase: each worker collects emissions into per-reducer buckets
+	// (privatization — no shared state during mapping).
+	type bucketSet = []map[K][]V
+	perWorker := make([]bucketSet, mapWorkers)
+	var wg sync.WaitGroup
+	block := (len(inputs) + mapWorkers - 1) / mapWorkers
+	for w := 0; w < mapWorkers; w++ {
+		lo := w * block
+		if lo >= len(inputs) {
+			perWorker[w] = nil
+			continue
+		}
+		hi := lo + block
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buckets := make(bucketSet, reducers)
+			for r := range buckets {
+				buckets[r] = make(map[K][]V)
+			}
+			emit := func(k K, v V) {
+				r := partitionKey(k, reducers)
+				buckets[r][k] = append(buckets[r][k], v)
+			}
+			for i := lo; i < hi; i++ {
+				mapFn(inputs[i], emit)
+			}
+			perWorker[w] = buckets
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle + reduce phase: reducer r merges bucket r of every worker.
+	results := make([]map[K]V, reducers)
+	for r := 0; r < reducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			merged := make(map[K][]V)
+			for _, buckets := range perWorker {
+				if buckets == nil {
+					continue
+				}
+				for k, vs := range buckets[r] {
+					merged[k] = append(merged[k], vs...)
+				}
+			}
+			out := make(map[K]V, len(merged))
+			for k, vs := range merged {
+				out[k] = reduceFn(k, vs)
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	total := make(map[K]V)
+	for _, m := range results {
+		for k, v := range m {
+			total[k] = v
+		}
+	}
+	return total
+}
+
+// partitionKey maps a key to a reducer index via FNV hashing of its
+// formatted representation.
+func partitionKey[K comparable](k K, reducers int) int {
+	h := fnv.New32a()
+	writeKey(h, k)
+	return int(h.Sum32() % uint32(reducers))
+}
+
+type hashWriter interface{ Write(p []byte) (int, error) }
+
+func writeKey[K comparable](h hashWriter, k K) {
+	switch v := any(k).(type) {
+	case string:
+		_, _ = h.Write([]byte(v))
+	case int:
+		writeInt(h, uint64(v))
+	case int32:
+		writeInt(h, uint64(v))
+	case int64:
+		writeInt(h, uint64(v))
+	case uint64:
+		writeInt(h, v)
+	default:
+		// Fallback: distribute by memory-independent formatting.
+		_, _ = h.Write([]byte(anyString(v)))
+	}
+}
+
+func writeInt(h hashWriter, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+}
+
+func anyString(v any) string {
+	type stringer interface{ String() string }
+	if s, ok := v.(stringer); ok {
+		return s.String()
+	}
+	return ""
+}
+
+// WordCount is the canonical map-reduce example: it counts word
+// occurrences across documents using the given worker counts.
+func WordCount(docs []string, mapWorkers, reducers int) map[string]int {
+	return MapReduce(docs,
+		func(doc string, emit func(string, int)) {
+			start := -1
+			for i := 0; i <= len(doc); i++ {
+				isLetter := i < len(doc) && (doc[i] == '\'' ||
+					('a' <= doc[i] && doc[i] <= 'z') ||
+					('A' <= doc[i] && doc[i] <= 'Z'))
+				if isLetter {
+					if start < 0 {
+						start = i
+					}
+				} else if start >= 0 {
+					emit(lower(doc[start:i]), 1)
+					start = -1
+				}
+			}
+		},
+		func(_ string, counts []int) int {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			return total
+		},
+		mapWorkers, reducers)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog and THE cat",
+		"Fox fox FOX",
+	}
+	got := WordCount(docs, 2, 2)
+	want := map[string]int{
+		"the": 3, "quick": 1, "brown": 1, "fox": 4,
+		"lazy": 1, "dog": 1, "and": 1, "cat": 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct words, want %d: %v", len(got), len(want), got)
+	}
+	for w, c := range want {
+		if got[w] != c {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], c)
+		}
+	}
+}
+
+func TestWordCountEmptyAndDefaults(t *testing.T) {
+	if got := WordCount(nil, 0, 0); len(got) != 0 {
+		t.Errorf("empty corpus should give empty counts, got %v", got)
+	}
+	got := WordCount([]string{"a"}, -1, -1)
+	if got["a"] != 1 {
+		t.Errorf("default worker counts broken: %v", got)
+	}
+}
+
+func TestMapReduceIntKeys(t *testing.T) {
+	inputs := make([]int, 1000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	// Sum the values in each residue class mod 7.
+	got := MapReduce(inputs,
+		func(x int, emit func(int, int)) { emit(x%7, x) },
+		func(_ int, vs []int) int {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			return s
+		}, 4, 3)
+	for r := 0; r < 7; r++ {
+		want := 0
+		for i := 0; i < 1000; i++ {
+			if i%7 == r {
+				want += i
+			}
+		}
+		if got[r] != want {
+			t.Errorf("class %d: got %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestMapReduceResultsIndependentOfWorkerCount(t *testing.T) {
+	docs := make([]string, 50)
+	for i := range docs {
+		docs[i] = fmt.Sprintf("word%d common word%d common", i%5, i%3)
+	}
+	ref := WordCount(docs, 1, 1)
+	for _, mw := range []int{2, 5} {
+		for _, r := range []int{1, 4} {
+			got := WordCount(docs, mw, r)
+			if len(got) != len(ref) {
+				t.Fatalf("mw=%d r=%d: %d words, want %d", mw, r, len(got), len(ref))
+			}
+			for k, v := range ref {
+				if got[k] != v {
+					t.Errorf("mw=%d r=%d: count[%q] = %d, want %d", mw, r, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkWordCount(b *testing.B) {
+	docs := make([]string, 200)
+	for i := range docs {
+		docs[i] = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = WordCount(docs, 0, 0)
+	}
+}

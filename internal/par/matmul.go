@@ -1,0 +1,160 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix. It panics on non-positive dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("par: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// RandomMatrix fills a matrix with deterministic pseudo-random values.
+func RandomMatrix(rows, cols int, seed int64) *Matrix {
+	m := NewMatrix(rows, cols)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Equal reports element-wise equality within tol.
+func (m *Matrix) Equal(other *Matrix, tol float64) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - other.Data[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// MulSeq computes a*b with the naive triple loop (the course baseline).
+// It panics on dimension mismatch.
+func MulSeq(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("par: matmul dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.Data[i*a.Cols+k]
+			if aik == 0 {
+				continue
+			}
+			rowB := b.Data[k*b.Cols:]
+			rowC := c.Data[i*c.Cols:]
+			for j := 0; j < b.Cols; j++ {
+				rowC[j] += aik * rowB[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulPar computes a*b with rows parallelized across workers under the
+// given schedule, the standard first OpenMP exercise.
+func MulPar(a, b *Matrix, opt ForOptions) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("par: matmul dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	ForRange(a.Rows, opt, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for k := 0; k < a.Cols; k++ {
+				aik := a.Data[i*a.Cols+k]
+				if aik == 0 {
+					continue
+				}
+				rowB := b.Data[k*b.Cols:]
+				rowC := c.Data[i*c.Cols:]
+				for j := 0; j < b.Cols; j++ {
+					rowC[j] += aik * rowB[j]
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MulBlocked computes a*b with cache-friendly tiling (block size bs) and
+// row-band parallelism: the "performance tuning" step in the LAU labs.
+func MulBlocked(a, b *Matrix, bs int, opt ForOptions) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("par: matmul dimension mismatch %dx%d * %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if bs <= 0 {
+		bs = 64
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	nBands := (a.Rows + bs - 1) / bs
+	ForRange(nBands, opt, func(bandLo, bandHi int) {
+		for band := bandLo; band < bandHi; band++ {
+			i0 := band * bs
+			i1 := i0 + bs
+			if i1 > a.Rows {
+				i1 = a.Rows
+			}
+			for k0 := 0; k0 < a.Cols; k0 += bs {
+				k1 := k0 + bs
+				if k1 > a.Cols {
+					k1 = a.Cols
+				}
+				for j0 := 0; j0 < b.Cols; j0 += bs {
+					j1 := j0 + bs
+					if j1 > b.Cols {
+						j1 = b.Cols
+					}
+					for i := i0; i < i1; i++ {
+						for k := k0; k < k1; k++ {
+							aik := a.Data[i*a.Cols+k]
+							if aik == 0 {
+								continue
+							}
+							rowB := b.Data[k*b.Cols:]
+							rowC := c.Data[i*c.Cols:]
+							for j := j0; j < j1; j++ {
+								rowC[j] += aik * rowB[j]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,113 @@
+package par
+
+import "testing"
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Errorf("At(1,2) = %g, want 5", m.At(1, 2))
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 5 {
+		t.Errorf("Transpose wrong: %+v", tr)
+	}
+}
+
+func TestMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0,1) should panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestMulKnownResult(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	b := NewMatrix(2, 2)
+	copy(b.Data, []float64{5, 6, 7, 8})
+	want := []float64{19, 22, 43, 50}
+	c := MulSeq(a, b)
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("MulSeq[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMulVariantsAgree(t *testing.T) {
+	a := RandomMatrix(37, 53, 1)
+	b := RandomMatrix(53, 29, 2)
+	ref := MulSeq(a, b)
+	par := MulPar(a, b, ForOptions{Workers: 4, Schedule: Dynamic, Chunk: 3})
+	if !ref.Equal(par, 1e-9) {
+		t.Error("MulPar disagrees with MulSeq")
+	}
+	for _, bs := range []int{1, 8, 16, 100} {
+		blk := MulBlocked(a, b, bs, ForOptions{Workers: 4})
+		if !ref.Equal(blk, 1e-9) {
+			t.Errorf("MulBlocked(bs=%d) disagrees with MulSeq", bs)
+		}
+	}
+	// Default block size path.
+	blk := MulBlocked(a, b, 0, ForOptions{Workers: 2})
+	if !ref.Equal(blk, 1e-9) {
+		t.Error("MulBlocked default bs disagrees")
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	for name, fn := range map[string]func(){
+		"seq":     func() { MulSeq(a, b) },
+		"par":     func() { MulPar(a, b, ForOptions{}) },
+		"blocked": func() { MulBlocked(a, b, 8, ForOptions{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: dimension mismatch should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixEqualShapes(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 3)
+	if a.Equal(b, 1) {
+		t.Error("matrices of different shape must not be Equal")
+	}
+}
+
+func BenchmarkMatMulSeq(b *testing.B) {
+	x := RandomMatrix(256, 256, 3)
+	y := RandomMatrix(256, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulSeq(x, y)
+	}
+}
+
+func BenchmarkMatMulPar(b *testing.B) {
+	x := RandomMatrix(256, 256, 3)
+	y := RandomMatrix(256, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulPar(x, y, ForOptions{})
+	}
+}
+
+func BenchmarkMatMulBlocked(b *testing.B) {
+	x := RandomMatrix(256, 256, 3)
+	y := RandomMatrix(256, 256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulBlocked(x, y, 64, ForOptions{})
+	}
+}

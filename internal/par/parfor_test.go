@@ -1,0 +1,112 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForAllSchedulesCoverEveryIndexOnce(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		sched := sched
+		t.Run(sched.String(), func(t *testing.T) {
+			const n = 10_000
+			seen := make([]int64, n)
+			For(n, ForOptions{Workers: 8, Schedule: sched, Chunk: 16}, func(i int) {
+				atomic.AddInt64(&seen[i], 1)
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("index %d visited %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForRangeChunksAreDisjoint(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		sched := sched
+		t.Run(sched.String(), func(t *testing.T) {
+			const n = 5000
+			var total atomic.Int64
+			ForRange(n, ForOptions{Workers: 4, Schedule: sched, Chunk: 7}, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("bad range [%d,%d)", lo, hi)
+				}
+				total.Add(int64(hi - lo))
+			})
+			if total.Load() != n {
+				t.Errorf("ranges covered %d iterations, want %d", total.Load(), n)
+			}
+		})
+	}
+}
+
+func TestForEdgeCases(t *testing.T) {
+	ran := false
+	For(0, ForOptions{}, func(int) { ran = true })
+	For(-3, ForOptions{}, func(int) { ran = true })
+	if ran {
+		t.Error("body must not run for n <= 0")
+	}
+	// Single iteration, many workers.
+	count := 0
+	For(1, ForOptions{Workers: 16}, func(int) { count++ })
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+	// Workers default and single worker path.
+	var sum int
+	For(100, ForOptions{Workers: 1}, func(i int) { sum += i })
+	if sum != 4950 {
+		t.Errorf("sequential path sum = %d, want 4950", sum)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" ||
+		Guided.String() != "guided" || Schedule(9).String() != "unknown" {
+		t.Error("Schedule.String mismatch")
+	}
+}
+
+// Property: every (n, workers, schedule) combination sums 0..n-1 correctly.
+func TestForSumProperty(t *testing.T) {
+	f := func(nRaw uint16, wRaw, sRaw uint8) bool {
+		n := int(nRaw % 4096)
+		workers := int(wRaw%15) + 1
+		sched := Schedule(sRaw % 3)
+		var sum atomic.Int64
+		For(n, ForOptions{Workers: workers, Schedule: sched}, func(i int) {
+			sum.Add(int64(i))
+		})
+		return sum.Load() == int64(n)*int64(n-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForStatic(b *testing.B)  { benchFor(b, Static) }
+func BenchmarkForDynamic(b *testing.B) { benchFor(b, Dynamic) }
+func BenchmarkForGuided(b *testing.B)  { benchFor(b, Guided) }
+
+// benchFor runs a skewed workload (cost grows with index) so the
+// schedules differ: the ablation bench for DESIGN.md's scheduling choice.
+func benchFor(b *testing.B, s Schedule) {
+	const n = 1 << 12
+	sink := make([]float64, n)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		ForRange(n, ForOptions{Schedule: s, Chunk: 8}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x := 1.0001
+				for k := 0; k < i%257; k++ {
+					x *= 1.0001
+				}
+				sink[i] = x
+			}
+		})
+	}
+}

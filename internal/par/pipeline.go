@@ -1,0 +1,52 @@
+package par
+
+import "sync"
+
+// Stage transforms one item; stages are chained by Pipeline.
+type Stage[T any] func(T) T
+
+// Pipeline runs items through a linear chain of stages connected by
+// channels, with each stage running `replicas` goroutines — pipeline
+// parallelism plus stage replication, the two throughput levers the
+// courses contrast with data parallelism. Output order is not
+// guaranteed when replicas > 1.
+func Pipeline[T any](items []T, stages []Stage[T], replicas, buffer int) []T {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	in := make(chan T, buffer)
+	go func() {
+		for _, it := range items {
+			in <- it
+		}
+		close(in)
+	}()
+	cur := in
+	for _, st := range stages {
+		st := st
+		out := make(chan T, buffer)
+		var wg sync.WaitGroup
+		for r := 0; r < replicas; r++ {
+			wg.Add(1)
+			go func(src chan T) {
+				defer wg.Done()
+				for v := range src {
+					out <- st(v)
+				}
+			}(cur)
+		}
+		go func() {
+			wg.Wait()
+			close(out)
+		}()
+		cur = out
+	}
+	results := make([]T, 0, len(items))
+	for v := range cur {
+		results = append(results, v)
+	}
+	return results
+}

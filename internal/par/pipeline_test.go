@@ -1,0 +1,60 @@
+package par
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPipelineSingleReplicaPreservesOrder(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	double := Stage[int](func(x int) int { return x * 2 })
+	addOne := Stage[int](func(x int) int { return x + 1 })
+	got := Pipeline(items, []Stage[int]{double, addOne}, 1, 0)
+	want := []int{3, 5, 7, 9, 11}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPipelineReplicatedDeliversAll(t *testing.T) {
+	n := 500
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	sq := Stage[int](func(x int) int { return x * x })
+	got := Pipeline(items, []Stage[int]{sq}, 4, 8)
+	if len(got) != n {
+		t.Fatalf("got %d items, want %d", len(got), n)
+	}
+	sort.Ints(got)
+	for i := range got {
+		if got[i] != i*i {
+			t.Fatalf("sorted out[%d] = %d, want %d", i, got[i], i*i)
+		}
+	}
+}
+
+func TestPipelineNoStages(t *testing.T) {
+	items := []string{"x", "y"}
+	got := Pipeline(items, nil, 1, 0)
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("identity pipeline = %v", got)
+	}
+}
+
+func TestPipelineEmptyInput(t *testing.T) {
+	got := Pipeline(nil, []Stage[int]{func(x int) int { return x }}, 2, 2)
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d items", len(got))
+	}
+}
+
+func TestPipelineDefensiveArgs(t *testing.T) {
+	got := Pipeline([]int{1}, []Stage[int]{func(x int) int { return x }}, -1, -1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("pipeline with bad args = %v", got)
+	}
+}

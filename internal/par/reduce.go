@@ -1,0 +1,150 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Reduce combines xs with the associative operation op in parallel using
+// a two-level reduction: each of p workers folds a contiguous block, then
+// the partials are folded sequentially. identity must satisfy
+// op(identity, x) == x. op must be associative for the result to equal
+// the sequential fold; commutativity is not required because blocks are
+// combined in index order.
+func Reduce[T any](xs []T, identity T, op func(a, b T) T, workers int) T {
+	n := len(xs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return identity
+	}
+	if workers <= 1 {
+		acc := identity
+		for _, x := range xs {
+			acc = op(acc, x)
+		}
+		return acc
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		if lo >= n {
+			partials[w] = identity
+			continue
+		}
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for _, x := range xs[lo:hi] {
+				acc = op(acc, x)
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range partials {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// SumFloat64 computes the parallel sum of xs.
+func SumFloat64(xs []float64, workers int) float64 {
+	return Reduce(xs, 0, func(a, b float64) float64 { return a + b }, workers)
+}
+
+// SumInt64 computes the parallel sum of xs.
+func SumInt64(xs []int64, workers int) int64 {
+	return Reduce(xs, 0, func(a, b int64) int64 { return a + b }, workers)
+}
+
+// MaxFloat64 returns the maximum of xs and false when xs is empty.
+func MaxFloat64(xs []float64, workers int) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := Reduce(xs[1:], xs[0], func(a, b float64) float64 {
+		if a >= b {
+			return a
+		}
+		return b
+	}, workers)
+	return m, true
+}
+
+// Dot computes the parallel dot product of equal-length vectors.
+// It panics if the lengths differ.
+func Dot(a, b []float64, workers int) float64 {
+	if len(a) != len(b) {
+		panic("par: Dot length mismatch")
+	}
+	n := len(a)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return 0
+	}
+	if workers <= 1 {
+		s := 0.0
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	partials := make([]float64, workers)
+	block := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		if lo >= n {
+			continue
+		}
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += a[i] * b[i]
+			}
+			partials[w] = s
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	s := 0.0
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}
+
+// Map applies f to every element of xs in parallel and returns the
+// resulting slice.
+func Map[T, U any](xs []T, workers int, f func(T) U) []U {
+	out := make([]U, len(xs))
+	ForRange(len(xs), ForOptions{Workers: workers}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(xs[i])
+		}
+	})
+	return out
+}

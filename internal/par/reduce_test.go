@@ -1,0 +1,100 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceMatchesSequentialFold(t *testing.T) {
+	xs := make([]int64, 10_001)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	want := int64(10_000) * 10_001 / 2
+	for _, w := range []int{0, 1, 2, 7, 64} {
+		if got := SumInt64(xs, w); got != want {
+			t.Errorf("SumInt64(workers=%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestReduceEmptyAndIdentity(t *testing.T) {
+	if got := SumInt64(nil, 4); got != 0 {
+		t.Errorf("empty sum = %d, want 0", got)
+	}
+	got := Reduce([]string{"a", "b", "c"}, "", func(a, b string) string { return a + b }, 2)
+	if got != "abc" {
+		t.Errorf("ordered string reduce = %q, want %q (associative op must preserve order)", got, "abc")
+	}
+}
+
+func TestMaxFloat64(t *testing.T) {
+	if _, ok := MaxFloat64(nil, 4); ok {
+		t.Error("MaxFloat64(nil) should report !ok")
+	}
+	xs := []float64{3, -1, 4, 1, 5, 9, 2, 6}
+	if m, ok := MaxFloat64(xs, 3); !ok || m != 9 {
+		t.Errorf("MaxFloat64 = %v,%v; want 9,true", m, ok)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b, 2); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil, 4); got != 0 {
+		t.Errorf("empty Dot = %g, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2}, 1)
+}
+
+// Property: parallel sum equals sequential sum for random inputs and
+// any worker count (integer arithmetic, so exact equality holds).
+func TestReduceProperty(t *testing.T) {
+	f := func(raw []int32, wRaw uint8) bool {
+		xs := make([]int64, len(raw))
+		var want int64
+		for i, v := range raw {
+			xs[i] = int64(v)
+			want += int64(v)
+		}
+		return SumInt64(xs, int(wRaw%16)+1) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5}
+	ys := Map(xs, 3, func(x int) int { return x * x })
+	for i, y := range ys {
+		if y != xs[i]*xs[i] {
+			t.Errorf("Map[%d] = %d, want %d", i, y, xs[i]*xs[i])
+		}
+	}
+}
+
+func BenchmarkSumSequential(b *testing.B) { benchSum(b, 1) }
+func BenchmarkSumParallel(b *testing.B)   { benchSum(b, 0) }
+
+func benchSum(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1<<20)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SumFloat64(xs, workers)
+	}
+}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// InclusiveScan computes the parallel inclusive prefix combination of xs
+// under the associative op, writing the result into a new slice:
+// out[i] = xs[0] op xs[1] op ... op xs[i].
+//
+// It uses the classic three-phase block algorithm (local scan, exclusive
+// scan of block totals, local fix-up), the same structure students later
+// meet again in the SIMT scan kernel.
+func InclusiveScan[T any](xs []T, identity T, op func(a, b T) T, workers int) []T {
+	n := len(xs)
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		acc := identity
+		for i, x := range xs {
+			acc = op(acc, x)
+			out[i] = acc
+		}
+		return out
+	}
+	block := (n + workers - 1) / workers
+	nBlocks := (n + block - 1) / block
+	totals := make([]T, nBlocks)
+
+	// Phase 1: independent local scans per block.
+	var wg sync.WaitGroup
+	for b := 0; b < nBlocks; b++ {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = op(acc, xs[i])
+				out[i] = acc
+			}
+			totals[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 2: sequential exclusive scan over the (few) block totals.
+	offsets := make([]T, nBlocks)
+	acc := identity
+	for b := 0; b < nBlocks; b++ {
+		offsets[b] = acc
+		acc = op(acc, totals[b])
+	}
+
+	// Phase 3: add each block's offset to its local results.
+	for b := 1; b < nBlocks; b++ {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			off := offsets[b]
+			for i := lo; i < hi; i++ {
+				out[i] = op(off, out[i])
+			}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExclusiveScan computes out[i] = xs[0] op ... op xs[i-1], with
+// out[0] = identity.
+func ExclusiveScan[T any](xs []T, identity T, op func(a, b T) T, workers int) []T {
+	n := len(xs)
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	inc := InclusiveScan(xs, identity, op, workers)
+	out[0] = identity
+	copy(out[1:], inc[:n-1])
+	return out
+}
+
+// PrefixSums is InclusiveScan specialized to int64 addition.
+func PrefixSums(xs []int64, workers int) []int64 {
+	return InclusiveScan(xs, 0, func(a, b int64) int64 { return a + b }, workers)
+}

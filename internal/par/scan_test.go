@@ -1,0 +1,110 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func seqInclusiveScan(xs []int64) []int64 {
+	out := make([]int64, len(xs))
+	var acc int64
+	for i, x := range xs {
+		acc += x
+		out[i] = acc
+	}
+	return out
+}
+
+func TestInclusiveScanMatchesSequential(t *testing.T) {
+	xs := make([]int64, 9_973) // prime length exercises ragged blocks
+	for i := range xs {
+		xs[i] = int64(i%13 - 6)
+	}
+	want := seqInclusiveScan(xs)
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		got := PrefixSums(xs, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: scan[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	xs := []int64{3, 1, 4, 1, 5}
+	got := ExclusiveScan(xs, 0, func(a, b int64) int64 { return a + b }, 2)
+	want := []int64{0, 3, 4, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("exclusive[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEmpty(t *testing.T) {
+	if got := PrefixSums(nil, 4); len(got) != 0 {
+		t.Errorf("scan of empty slice has length %d", len(got))
+	}
+	got := ExclusiveScan[int64](nil, 0, func(a, b int64) int64 { return a + b }, 4)
+	if len(got) != 0 {
+		t.Errorf("exclusive scan of empty slice has length %d", len(got))
+	}
+}
+
+func TestScanSingleElement(t *testing.T) {
+	got := PrefixSums([]int64{42}, 8)
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("scan([42]) = %v", got)
+	}
+}
+
+// Property: the scan prefix property — out[i] - out[i-1] == xs[i] — and
+// agreement with the sequential scan for random inputs and worker counts.
+func TestScanProperty(t *testing.T) {
+	f := func(raw []int16, wRaw uint8) bool {
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		got := PrefixSums(xs, int(wRaw%9)+1)
+		want := seqInclusiveScan(xs)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Non-commutative (but associative) op: string concatenation order must
+// be preserved by the block scan.
+func TestScanNonCommutativeOp(t *testing.T) {
+	xs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	got := InclusiveScan(xs, "", func(a, b string) string { return a + b }, 3)
+	want := []string{"a", "ab", "abc", "abcd", "abcde", "abcdef", "abcdefg"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkScanSequential(b *testing.B) { benchScan(b, 1) }
+func BenchmarkScanParallel(b *testing.B)   { benchScan(b, 0) }
+
+func benchScan(b *testing.B, workers int) {
+	xs := make([]int64, 1<<20)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PrefixSums(xs, workers)
+	}
+}

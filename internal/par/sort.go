@@ -1,0 +1,135 @@
+package par
+
+import (
+	"cmp"
+	"sort"
+	"sync"
+)
+
+// sequentialThreshold is the subproblem size below which the parallel
+// sorts fall back to the sequential algorithm; recursion overhead
+// dominates below it.
+const sequentialThreshold = 2048
+
+// MergeSort sorts xs in place using parallel divide-and-conquer merge
+// sort — the algorithm CC2020 names as the required "parallel
+// divide-and-conquer" exemplar. depth limits goroutine fan-out to 2^depth
+// concurrent sorters; depth <= 0 sorts sequentially.
+func MergeSort[T cmp.Ordered](xs []T, depth int) {
+	buf := make([]T, len(xs))
+	mergeSortRec(xs, buf, depth)
+}
+
+func mergeSortRec[T cmp.Ordered](xs, buf []T, depth int) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	if depth <= 0 || n <= sequentialThreshold {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return
+	}
+	mid := n / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSortRec(xs[:mid], buf[:mid], depth-1)
+	}()
+	mergeSortRec(xs[mid:], buf[mid:], depth-1)
+	wg.Wait()
+	merge(xs, buf, mid)
+}
+
+// merge merges the two sorted halves xs[:mid], xs[mid:] through buf.
+func merge[T cmp.Ordered](xs, buf []T, mid int) {
+	copy(buf, xs)
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(xs) {
+		if buf[j] < buf[i] {
+			xs[k] = buf[j]
+			j++
+		} else {
+			xs[k] = buf[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		xs[k] = buf[i]
+		i++
+		k++
+	}
+	for j < len(xs) {
+		xs[k] = buf[j]
+		j++
+		k++
+	}
+}
+
+// QuickSort sorts xs in place using parallel quicksort with
+// median-of-three pivot selection. depth limits parallel recursion as in
+// MergeSort.
+func QuickSort[T cmp.Ordered](xs []T, depth int) {
+	quickSortRec(xs, depth)
+}
+
+func quickSortRec[T cmp.Ordered](xs []T, depth int) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	if depth <= 0 || n <= sequentialThreshold {
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return
+	}
+	p := partition(xs)
+	childDepth := depth - 1
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(left []T) {
+		defer wg.Done()
+		quickSortRec(left, childDepth)
+	}(xs[:p])
+	quickSortRec(xs[p+1:], childDepth)
+	wg.Wait()
+}
+
+// partition performs Hoare-style partitioning around a median-of-three
+// pivot and returns the pivot's final index.
+func partition[T cmp.Ordered](xs []T) int {
+	n := len(xs)
+	mid := n / 2
+	// Median-of-three: order first, middle, last.
+	if xs[mid] < xs[0] {
+		xs[mid], xs[0] = xs[0], xs[mid]
+	}
+	if xs[n-1] < xs[0] {
+		xs[n-1], xs[0] = xs[0], xs[n-1]
+	}
+	if xs[n-1] < xs[mid] {
+		xs[n-1], xs[mid] = xs[mid], xs[n-1]
+	}
+	pivot := xs[mid]
+	// Move pivot to n-2 position region via Lomuto on value.
+	xs[mid], xs[n-2] = xs[n-2], xs[mid]
+	store := 0
+	for i := 0; i < n-2; i++ {
+		if xs[i] < pivot {
+			xs[i], xs[store] = xs[store], xs[i]
+			store++
+		}
+	}
+	xs[store], xs[n-2] = xs[n-2], xs[store]
+	return store
+}
+
+// IsSorted reports whether xs is in non-decreasing order.
+func IsSorted[T cmp.Ordered](xs []T) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package par
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomInts(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.Intn(n * 2)
+	}
+	return xs
+}
+
+func TestMergeSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 100, 5000, 100_000} {
+		xs := randomInts(n, int64(n))
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		MergeSort(xs, 4)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: MergeSort[%d] = %d, want %d", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuickSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 100, 5000, 100_000} {
+		xs := randomInts(n, int64(n)+42)
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		QuickSort(xs, 4)
+		for i := range want {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: QuickSort[%d] = %d, want %d", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortAdversarialInputs(t *testing.T) {
+	cases := map[string]func(n int) []int{
+		"sorted": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = i
+			}
+			return xs
+		},
+		"reversed": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = n - i
+			}
+			return xs
+		},
+		"allequal": func(n int) []int {
+			xs := make([]int, n)
+			for i := range xs {
+				xs[i] = 7
+			}
+			return xs
+		},
+	}
+	const n = 10_000
+	for name, gen := range cases {
+		for _, alg := range []string{"merge", "quick"} {
+			xs := gen(n)
+			if alg == "merge" {
+				MergeSort(xs, 3)
+			} else {
+				QuickSort(xs, 3)
+			}
+			if !IsSorted(xs) {
+				t.Errorf("%s sort failed on %s input", alg, name)
+			}
+		}
+	}
+}
+
+// Property: parallel sorts are a permutation of the input in sorted order.
+func TestSortProperty(t *testing.T) {
+	f := func(raw []int16, depth uint8) bool {
+		xs := make([]int, len(raw))
+		counts := map[int]int{}
+		for i, v := range raw {
+			xs[i] = int(v)
+			counts[int(v)]++
+		}
+		ys := append([]int(nil), xs...)
+		MergeSort(xs, int(depth%5))
+		QuickSort(ys, int(depth%5))
+		if !IsSorted(xs) || !IsSorted(ys) {
+			return false
+		}
+		for _, v := range xs {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted([]int{}) || !IsSorted([]int{1}) || !IsSorted([]int{1, 1, 2}) {
+		t.Error("IsSorted false negatives")
+	}
+	if IsSorted([]int{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func BenchmarkMergeSortSeq(b *testing.B) { benchSort(b, 0, true) }
+func BenchmarkMergeSortPar(b *testing.B) { benchSort(b, 6, true) }
+func BenchmarkQuickSortSeq(b *testing.B) { benchSort(b, 0, false) }
+func BenchmarkQuickSortPar(b *testing.B) { benchSort(b, 6, false) }
+
+func benchSort(b *testing.B, depth int, useMerge bool) {
+	const n = 1 << 18
+	src := randomInts(n, 99)
+	buf := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		if useMerge {
+			MergeSort(buf, depth)
+		} else {
+			QuickSort(buf, depth)
+		}
+	}
+}

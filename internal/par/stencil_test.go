@@ -1,0 +1,114 @@
+package par
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrid2DBasics(t *testing.T) {
+	g := NewGrid2D(3, 4)
+	g.Set(1, 2, 7)
+	if g.At(1, 2) != 7 {
+		t.Errorf("At = %g, want 7", g.At(1, 2))
+	}
+	c := g.Clone()
+	c.Set(1, 2, 9)
+	if g.At(1, 2) != 7 {
+		t.Error("Clone is not independent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid2D(0,1) should panic")
+		}
+	}()
+	NewGrid2D(0, 1)
+}
+
+func TestJacobiConvergesToLinearProfile(t *testing.T) {
+	// 1D-like strip: top edge 100, bottom edge 0; the steady state in
+	// the middle row of a tall thin plate approaches the mean of the
+	// boundaries far from the sides. Use a small plate and just verify
+	// convergence + boundedness + symmetry.
+	g := HotPlate(18, 18, 100)
+	res := Jacobi(g, 1e-8, 100000, 4)
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	// Maximum principle: all interior values within boundary range.
+	for i := 1; i < g.Rows-1; i++ {
+		for j := 1; j < g.Cols-1; j++ {
+			v := g.At(i, j)
+			if v < -1e-9 || v > 100+1e-9 {
+				t.Fatalf("cell (%d,%d) = %g escapes boundary range", i, j, v)
+			}
+		}
+	}
+	// Left-right symmetry of the hot plate solution.
+	for i := 1; i < g.Rows-1; i++ {
+		for j := 1; j < g.Cols/2; j++ {
+			a := g.At(i, j)
+			b := g.At(i, g.Cols-1-j)
+			if math.Abs(a-b) > 1e-6 {
+				t.Fatalf("asymmetry at row %d: %g vs %g", i, a, b)
+			}
+		}
+	}
+	// Monotone decay away from the hot edge along the center column.
+	mid := g.Cols / 2
+	prev := 100.0
+	for i := 1; i < g.Rows-1; i++ {
+		v := g.At(i, mid)
+		if v > prev+1e-9 {
+			t.Fatalf("temperature rises away from hot edge at row %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestJacobiWorkerCountsAgree(t *testing.T) {
+	ref := HotPlate(20, 12, 50)
+	refRes := Jacobi(ref, 1e-7, 50000, 1)
+	for _, w := range []int{2, 4, 7} {
+		g := HotPlate(20, 12, 50)
+		res := Jacobi(g, 1e-7, 50000, w)
+		if res.Iterations != refRes.Iterations {
+			t.Errorf("workers=%d iterations=%d, want %d", w, res.Iterations, refRes.Iterations)
+		}
+		for i := range g.Data {
+			if math.Abs(g.Data[i]-ref.Data[i]) > 1e-9 {
+				t.Fatalf("workers=%d cell %d = %g, want %g", w, i, g.Data[i], ref.Data[i])
+			}
+		}
+	}
+}
+
+func TestJacobiDegenerate(t *testing.T) {
+	// Grid with no interior converges immediately.
+	g := NewGrid2D(2, 2)
+	res := Jacobi(g, 1e-6, 10, 2)
+	if !res.Converged {
+		t.Error("no-interior grid should converge trivially")
+	}
+	// Iteration cap respected.
+	g2 := HotPlate(64, 64, 100)
+	res2 := Jacobi(g2, 1e-30, 5, 2)
+	if res2.Converged || res2.Iterations != 5 {
+		t.Errorf("cap run: %+v", res2)
+	}
+	// Non-positive tolerance defaults instead of spinning forever.
+	g3 := HotPlate(8, 8, 1)
+	res3 := Jacobi(g3, 0, 100000, 2)
+	if !res3.Converged {
+		t.Error("default tolerance should converge")
+	}
+}
+
+func BenchmarkJacobiSeq(b *testing.B) { benchJacobi(b, 1) }
+func BenchmarkJacobiPar(b *testing.B) { benchJacobi(b, 0) }
+
+func benchJacobi(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		g := HotPlate(128, 128, 100)
+		_ = Jacobi(g, 1e-3, 500, workers)
+	}
+}

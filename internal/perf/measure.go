@@ -1,0 +1,130 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options controls a measurement run.
+type Options struct {
+	// Warmup is the number of untimed executions before measurement.
+	Warmup int
+	// Repetitions is the number of timed executions (minimum 1).
+	Repetitions int
+	// MinTime, when positive, keeps adding repetitions until the total
+	// measured time reaches this duration (bounded by MaxRepetitions).
+	MinTime time.Duration
+	// MaxRepetitions caps adaptive repetition growth (default 1000).
+	MaxRepetitions int
+}
+
+// DefaultOptions are sensible defaults for course labs: 2 warmups and 5
+// timed repetitions.
+func DefaultOptions() Options {
+	return Options{Warmup: 2, Repetitions: 5, MaxRepetitions: 1000}
+}
+
+// Measure times fn under the given options and returns the sample of
+// per-execution durations in seconds.
+func Measure(fn func(), opt Options) *Sample {
+	if opt.Repetitions < 1 {
+		opt.Repetitions = 1
+	}
+	if opt.MaxRepetitions < opt.Repetitions {
+		opt.MaxRepetitions = opt.Repetitions
+	}
+	for i := 0; i < opt.Warmup; i++ {
+		fn()
+	}
+	s := &Sample{}
+	var total time.Duration
+	for i := 0; i < opt.MaxRepetitions; i++ {
+		start := time.Now()
+		fn()
+		elapsed := time.Since(start)
+		s.AddDuration(elapsed)
+		total += elapsed
+		if i+1 >= opt.Repetitions && (opt.MinTime <= 0 || total >= opt.MinTime) {
+			break
+		}
+	}
+	return s
+}
+
+// CompareResult reports a baseline/candidate comparison.
+type CompareResult struct {
+	Baseline  Summary
+	Candidate Summary
+	// Speedup is baseline mean / candidate mean.
+	Speedup float64
+	// Significant is true when the 95% confidence intervals of the two
+	// means do not overlap.
+	Significant bool
+}
+
+// Compare measures two functions under the same options and reports the
+// speedup of candidate over baseline.
+func Compare(baseline, candidate func(), opt Options) CompareResult {
+	b := Measure(baseline, opt).Summarize()
+	c := Measure(candidate, opt).Summarize()
+	res := CompareResult{Baseline: b, Candidate: c}
+	if c.Mean > 0 {
+		res.Speedup = b.Mean / c.Mean
+	}
+	bLo, bHi := b.Mean-b.CI95, b.Mean+b.CI95
+	cLo, cHi := c.Mean-c.CI95, c.Mean+c.CI95
+	res.Significant = bHi < cLo || cHi < bLo
+	return res
+}
+
+// String renders the comparison on one line.
+func (r CompareResult) String() string {
+	sig := ""
+	if r.Significant {
+		sig = " (significant)"
+	}
+	return fmt.Sprintf("speedup %.2fx: baseline %.6gs -> candidate %.6gs%s",
+		r.Speedup, r.Baseline.Mean, r.Candidate.Mean, sig)
+}
+
+// StrongScaling runs fn(p) for each processor count in ps on a fixed
+// problem and returns the resulting curve. fn must perform the entire
+// fixed-size workload using p workers.
+func StrongScaling(name string, ps []int, fn func(p int), opt Options) ScalingCurve {
+	times := make(map[int]float64, len(ps))
+	for _, p := range ps {
+		p := p
+		s := Measure(func() { fn(p) }, opt)
+		times[p] = s.Median()
+	}
+	return BuildScalingCurve(name, times)
+}
+
+// WeakScalingPoint is one row of a weak-scaling experiment.
+type WeakScalingPoint struct {
+	P          int
+	Time       float64
+	Efficiency float64 // T(1) / T(p); 1.0 is perfect weak scaling
+}
+
+// WeakScaling runs fn(p) for each p with a problem size proportional to
+// p (the caller scales the workload inside fn) and reports how close the
+// runtime stays to the single-processor runtime.
+func WeakScaling(ps []int, fn func(p int), opt Options) []WeakScalingPoint {
+	var out []WeakScalingPoint
+	var base float64
+	for i, p := range ps {
+		p := p
+		s := Measure(func() { fn(p) }, opt)
+		t := s.Median()
+		if i == 0 {
+			base = t
+		}
+		eff := 0.0
+		if t > 0 {
+			eff = base / t
+		}
+		out = append(out, WeakScalingPoint{P: p, Time: t, Efficiency: eff})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Speedup returns sequentialTime / parallelTime, the quantity students
+// plot in every lab of the case-study courses.
+func Speedup(sequential, parallel float64) float64 {
+	if parallel <= 0 {
+		return math.Inf(1)
+	}
+	return sequential / parallel
+}
+
+// Efficiency returns Speedup / p, the per-processor utilization.
+func Efficiency(sequential, parallel float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return Speedup(sequential, parallel) / float64(p)
+}
+
+// AmdahlSpeedup predicts the speedup on p processors of a program whose
+// serial (non-parallelizable) fraction is f, per Amdahl's law:
+//
+//	S(p) = 1 / (f + (1-f)/p)
+func AmdahlSpeedup(f float64, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	den := f + (1-f)/float64(p)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// AmdahlLimit returns the asymptotic speedup bound 1/f as p grows without
+// bound. It is infinite when f == 0.
+func AmdahlLimit(f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / f
+}
+
+// GustafsonSpeedup predicts scaled speedup on p processors when the
+// problem grows with the machine (Gustafson-Barsis):
+//
+//	S(p) = p - f*(p-1)
+func GustafsonSpeedup(f float64, p int) float64 {
+	return float64(p) - f*float64(p-1)
+}
+
+// KarpFlatt computes the experimentally determined serial fraction from a
+// measured speedup s on p processors:
+//
+//	e = (1/s - 1/p) / (1 - 1/p)
+//
+// A rising e across p values indicates parallel overhead growth; a flat e
+// indicates a genuinely serial component. Defined for p >= 2.
+func KarpFlatt(speedup float64, p int) (float64, error) {
+	if p < 2 {
+		return 0, fmt.Errorf("perf: Karp-Flatt metric requires p >= 2, got %d", p)
+	}
+	if speedup <= 0 {
+		return 0, fmt.Errorf("perf: Karp-Flatt metric requires positive speedup, got %g", speedup)
+	}
+	pf := float64(p)
+	return (1/speedup - 1/pf) / (1 - 1/pf), nil
+}
+
+// ScalingPoint is one row of a scaling experiment: the processor count,
+// the measured time, and derived quantities.
+type ScalingPoint struct {
+	P          int
+	Time       float64
+	Speedup    float64
+	Efficiency float64
+	KarpFlatt  float64 // NaN for P == 1
+}
+
+// ScalingCurve is a strong- or weak-scaling result across processor counts.
+type ScalingCurve struct {
+	Name   string
+	Points []ScalingPoint
+}
+
+// BuildScalingCurve derives speedup/efficiency/Karp-Flatt rows from a map
+// of processor count to measured time. The baseline is times[1] when
+// present, otherwise the time at the smallest processor count (scaled as
+// if that configuration were perfectly efficient).
+func BuildScalingCurve(name string, times map[int]float64) ScalingCurve {
+	ps := make([]int, 0, len(times))
+	for p := range times {
+		if p > 0 {
+			ps = append(ps, p)
+		}
+	}
+	sort.Ints(ps)
+	curve := ScalingCurve{Name: name}
+	if len(ps) == 0 {
+		return curve
+	}
+	base, ok := times[1]
+	if !ok {
+		base = times[ps[0]] * float64(ps[0])
+	}
+	for _, p := range ps {
+		t := times[p]
+		sp := Speedup(base, t)
+		pt := ScalingPoint{
+			P:          p,
+			Time:       t,
+			Speedup:    sp,
+			Efficiency: sp / float64(p),
+			KarpFlatt:  math.NaN(),
+		}
+		if p >= 2 {
+			if kf, err := KarpFlatt(sp, p); err == nil {
+				pt.KarpFlatt = kf
+			}
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve
+}
+
+// MaxSpeedup reports the largest speedup observed on the curve.
+func (c ScalingCurve) MaxSpeedup() float64 {
+	best := 0.0
+	for _, pt := range c.Points {
+		if pt.Speedup > best {
+			best = pt.Speedup
+		}
+	}
+	return best
+}
+
+// FitSerialFraction estimates the Amdahl serial fraction that best fits
+// the measured curve, via least squares over f in [0,1] sampled at the
+// given resolution (e.g. 1e-4). This mirrors the curve-fitting exercise
+// in the LAU course's profiling part.
+func (c ScalingCurve) FitSerialFraction(resolution float64) float64 {
+	if resolution <= 0 {
+		resolution = 1e-4
+	}
+	bestF, bestErr := 0.0, math.Inf(1)
+	for f := 0.0; f <= 1.0; f += resolution {
+		sse := 0.0
+		for _, pt := range c.Points {
+			pred := AmdahlSpeedup(f, pt.P)
+			d := pred - pt.Speedup
+			sse += d * d
+		}
+		if sse < bestErr {
+			bestErr = sse
+			bestF = f
+		}
+	}
+	return bestF
+}

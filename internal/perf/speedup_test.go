@@ -1,0 +1,153 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup(10,2) = %g, want 5", got)
+	}
+	if got := Efficiency(10, 2, 5); got != 1 {
+		t.Errorf("Efficiency(10,2,5) = %g, want 1", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup with zero parallel time should be +Inf")
+	}
+	if Efficiency(1, 1, 0) != 0 {
+		t.Error("Efficiency with p=0 should be 0")
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	// Fully parallel program: linear speedup.
+	if got := AmdahlSpeedup(0, 8); !almostEqual(got, 8, 1e-12) {
+		t.Errorf("AmdahlSpeedup(0,8) = %g, want 8", got)
+	}
+	// Fully serial program: no speedup.
+	if got := AmdahlSpeedup(1, 64); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("AmdahlSpeedup(1,64) = %g, want 1", got)
+	}
+	// The textbook example: f=0.1, p=10 -> S = 1/(0.1+0.9/10) = 5.263...
+	if got := AmdahlSpeedup(0.1, 10); !almostEqual(got, 1/(0.1+0.09), 1e-12) {
+		t.Errorf("AmdahlSpeedup(0.1,10) = %g", got)
+	}
+	if got := AmdahlLimit(0.1); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("AmdahlLimit(0.1) = %g, want 10", got)
+	}
+	if !math.IsInf(AmdahlLimit(0), 1) {
+		t.Error("AmdahlLimit(0) should be +Inf")
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	if got := GustafsonSpeedup(0, 16); got != 16 {
+		t.Errorf("GustafsonSpeedup(0,16) = %g, want 16", got)
+	}
+	if got := GustafsonSpeedup(1, 16); got != 1 {
+		t.Errorf("GustafsonSpeedup(1,16) = %g, want 1", got)
+	}
+	// f=0.1, p=10 -> 10 - 0.9 = 9.1
+	if got := GustafsonSpeedup(0.1, 10); !almostEqual(got, 9.1, 1e-12) {
+		t.Errorf("GustafsonSpeedup(0.1,10) = %g, want 9.1", got)
+	}
+}
+
+func TestKarpFlatt(t *testing.T) {
+	// Perfect linear speedup implies zero serial fraction.
+	e, err := KarpFlatt(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e, 0, 1e-12) {
+		t.Errorf("KarpFlatt(8,8) = %g, want 0", e)
+	}
+	// No speedup at all implies serial fraction 1.
+	e, err = KarpFlatt(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e, 1, 1e-12) {
+		t.Errorf("KarpFlatt(1,8) = %g, want 1", e)
+	}
+	if _, err := KarpFlatt(2, 1); err == nil {
+		t.Error("KarpFlatt with p=1 should error")
+	}
+	if _, err := KarpFlatt(0, 4); err == nil {
+		t.Error("KarpFlatt with zero speedup should error")
+	}
+}
+
+// Property: Karp-Flatt inverts Amdahl — measuring an ideal Amdahl program
+// recovers its serial fraction.
+func TestKarpFlattInvertsAmdahl(t *testing.T) {
+	f := func(fr float64, pRaw uint8) bool {
+		fr = math.Mod(math.Abs(fr), 1)
+		p := int(pRaw%31) + 2
+		s := AmdahlSpeedup(fr, p)
+		e, err := KarpFlatt(s, p)
+		if err != nil {
+			return false
+		}
+		return almostEqual(e, fr, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildScalingCurve(t *testing.T) {
+	times := map[int]float64{1: 8, 2: 4, 4: 2, 8: 1}
+	c := BuildScalingCurve("ideal", times)
+	if len(c.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(c.Points))
+	}
+	for _, pt := range c.Points {
+		if !almostEqual(pt.Speedup, float64(pt.P), 1e-12) {
+			t.Errorf("P=%d speedup=%g, want %d", pt.P, pt.Speedup, pt.P)
+		}
+		if !almostEqual(pt.Efficiency, 1, 1e-12) {
+			t.Errorf("P=%d efficiency=%g, want 1", pt.P, pt.Efficiency)
+		}
+	}
+	if !almostEqual(c.MaxSpeedup(), 8, 1e-12) {
+		t.Errorf("MaxSpeedup = %g, want 8", c.MaxSpeedup())
+	}
+	if !math.IsNaN(c.Points[0].KarpFlatt) {
+		t.Error("Karp-Flatt at p=1 should be NaN")
+	}
+}
+
+func TestBuildScalingCurveWithoutBaseline(t *testing.T) {
+	times := map[int]float64{2: 4, 4: 2}
+	c := BuildScalingCurve("nobase", times)
+	if len(c.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(c.Points))
+	}
+	// Synthetic baseline = 4*2 = 8 => speedups 2 and 4.
+	if !almostEqual(c.Points[0].Speedup, 2, 1e-12) || !almostEqual(c.Points[1].Speedup, 4, 1e-12) {
+		t.Errorf("speedups = %g,%g want 2,4", c.Points[0].Speedup, c.Points[1].Speedup)
+	}
+}
+
+func TestFitSerialFraction(t *testing.T) {
+	const f = 0.2
+	times := map[int]float64{}
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		times[p] = 1 / AmdahlSpeedup(f, p)
+	}
+	c := BuildScalingCurve("amdahl-0.2", times)
+	got := c.FitSerialFraction(1e-3)
+	if !almostEqual(got, f, 2e-3) {
+		t.Errorf("FitSerialFraction = %g, want %g", got, f)
+	}
+}
+
+func TestEmptyScalingCurve(t *testing.T) {
+	c := BuildScalingCurve("empty", nil)
+	if len(c.Points) != 0 || c.MaxSpeedup() != 0 {
+		t.Error("empty curve should have no points and zero max speedup")
+	}
+}

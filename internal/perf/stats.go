@@ -1,0 +1,171 @@
+// Package perf provides the measurement methodology that the surveyed
+// courses teach: repeated timing with summary statistics, speedup and
+// efficiency computation, Amdahl/Gustafson/Karp-Flatt models, and
+// strong/weak scaling experiment drivers.
+//
+// The package corresponds to the "performance measurement, speed-up, and
+// scalability" row of Table I in the paper and to LAU course outcome 3
+// ("experimentally analyzing and tuning parallel software").
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of repeated measurements of one quantity.
+// The zero value is an empty sample ready for use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends one observation to the sample.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddDuration appends one timing observation, recorded in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns a copy of the raw observations in insertion order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func (s *Sample) Variance() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s.values)))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	vals := s.Values()
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vals[lo]
+	}
+	frac := pos - float64(lo)
+	return vals[lo]*(1-frac) + vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CI95 returns the half-width of an approximate 95% confidence interval
+// for the mean, using the normal critical value 1.96. Course labs use it
+// to decide whether two configurations differ meaningfully.
+func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Summary is a compact, printable digest of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	Max    float64
+	CI95   float64
+}
+
+// Summarize computes the Summary of the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Median: s.Median(),
+		Max:    s.Max(),
+		CI95:   s.CI95(),
+	}
+}
+
+// String renders the summary on one line.
+func (sm Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.2g sd=%.3g min=%.6g med=%.6g max=%.6g",
+		sm.N, sm.Mean, sm.CI95, sm.StdDev, sm.Min, sm.Median, sm.Max)
+}

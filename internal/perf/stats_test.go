@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty sample should be all zeros: %+v", s.Summarize())
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", s.Mean())
+	}
+	// Population sd of this classic dataset is 2; sample sd is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if !almostEqual(s.StdDev(), want, 1e-12) {
+		t.Errorf("StdDev = %g, want %g", s.StdDev(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if s.Median() != 3 {
+		t.Errorf("Median = %g, want 3", s.Median())
+	}
+}
+
+func TestSampleAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if !almostEqual(s.Mean(), 1.5, 1e-12) {
+		t.Errorf("AddDuration stored %g, want 1.5", s.Mean())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	got := s.Summarize().String()
+	if got == "" {
+		t.Fatal("Summary.String is empty")
+	}
+}
+
+// Property: mean always lies within [min, max], and quantiles are monotone.
+func TestSampleProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in variance.
+			s.Add(math.Mod(v, 1e6))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := s.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVarianceOfConstant(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(42)
+	}
+	if s.Variance() != 0 {
+		t.Errorf("variance of constant sample = %g, want 0", s.Variance())
+	}
+	if s.CI95() != 0 {
+		t.Errorf("CI95 of constant sample = %g, want 0", s.CI95())
+	}
+}

@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them as an aligned ASCII table, the
+// output format used by the benchmark harness for every reproduced paper
+// table and figure.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+				row[i] = fmt.Sprintf("%.0f", v)
+			} else {
+				row[i] = fmt.Sprintf("%.3f", v)
+			}
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := width[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal ASCII bar chart for label/value pairs, used to
+// print Fig. 2-style topic histograms. maxWidth is the widest bar in
+// characters (default 40 when <= 0).
+func Bar(title string, labels []string, values []float64, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if i < len(values) && values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, l := range labels {
+		if i >= len(values) {
+			break
+		}
+		v := values[i]
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(v / maxVal * float64(maxWidth)))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.3g\n", maxLabel, l, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Pie renders label/percentage pairs in the style used for Fig. 3.
+func Pie(title string, labels []string, percents []float64) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for i, l := range labels {
+		if i >= len(percents) {
+			break
+		}
+		fmt.Fprintf(&b, "%-*s : %5.1f%%\n", maxLabel, l, percents[i])
+	}
+	return b.String()
+}

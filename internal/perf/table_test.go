@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "Course", "Share")
+	tb.AddRow("Operating Systems", 25.0)
+	tb.AddRow("DBMS", 3.0)
+	out := tb.String()
+	for _, want := range []string{"Table X", "Course", "Operating Systems", "25", "DBMS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(3.14159)
+	if !strings.Contains(tb.String(), "3.142") {
+		t.Errorf("non-integral float should render with 3 decimals: %s", tb.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := Bar("Fig 2", []string{"alpha", "beta"}, []float64{10, 5}, 20)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "####") {
+		t.Errorf("bar chart malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 bars
+		t.Errorf("expected 3 lines, got %d:\n%s", len(lines), out)
+	}
+	alphaBars := strings.Count(lines[1], "#")
+	betaBars := strings.Count(lines[2], "#")
+	if alphaBars != 20 || betaBars != 10 {
+		t.Errorf("bar lengths = %d,%d want 20,10", alphaBars, betaBars)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	if out := Bar("", nil, nil, 0); out != "" {
+		t.Errorf("empty bar chart should be empty, got %q", out)
+	}
+	out := Bar("", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Errorf("zero value should have no bar: %q", out)
+	}
+}
+
+func TestPie(t *testing.T) {
+	out := Pie("Fig 3", []string{"OS", "Networks"}, []float64{25, 19})
+	if !strings.Contains(out, "25.0%") || !strings.Contains(out, "19.0%") {
+		t.Errorf("pie output malformed:\n%s", out)
+	}
+}

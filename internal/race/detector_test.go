@@ -1,0 +1,200 @@
+package race
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnsynchronizedWritesRace(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+	}
+	races := Detect(trace)
+	if len(races) != 1 {
+		t.Fatalf("got %d races, want 1: %v", len(races), races)
+	}
+	if races[0].Addr != "x" {
+		t.Errorf("race on %q, want x", races[0].Addr)
+	}
+	if !strings.Contains(races[0].String(), "race on \"x\"") {
+		t.Errorf("String() = %q", races[0].String())
+	}
+}
+
+func TestReadReadDoesNotRace(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpRead, Addr: "x"},
+		{Thread: 2, Op: OpRead, Addr: "x"},
+	}
+	if HasRace(trace) {
+		t.Error("two reads must not race")
+	}
+}
+
+func TestReadWriteRaces(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpRead, Addr: "x"},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+	}
+	if !HasRace(trace) {
+		t.Error("concurrent read/write must race")
+	}
+}
+
+func TestLockOrderingRemovesRace(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpLock, Addr: "m"},
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpUnlock, Addr: "m"},
+		{Thread: 2, Op: OpLock, Addr: "m"},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+		{Thread: 2, Op: OpUnlock, Addr: "m"},
+	}
+	if races := Detect(trace); len(races) != 0 {
+		t.Errorf("properly locked writes reported as races: %v", races)
+	}
+}
+
+func TestDifferentLocksDoNotSynchronize(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpLock, Addr: "m1"},
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpUnlock, Addr: "m1"},
+		{Thread: 2, Op: OpLock, Addr: "m2"},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+		{Thread: 2, Op: OpUnlock, Addr: "m2"},
+	}
+	if !HasRace(trace) {
+		t.Error("writes under different locks must race")
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	// Parent writes, forks child; child writes; parent joins, then writes.
+	trace := []Event{
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpFork, Target: 2},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpJoin, Target: 2},
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+	}
+	if races := Detect(trace); len(races) != 0 {
+		t.Errorf("fork/join ordered accesses reported as races: %v", races)
+	}
+}
+
+func TestForkWithoutJoinRaces(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpFork, Target: 2},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpWrite, Addr: "x"}, // no join: concurrent with child
+	}
+	if !HasRace(trace) {
+		t.Error("parent/child writes without join must race")
+	}
+}
+
+func TestDistinctAddressesNeverRace(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 2, Op: OpWrite, Addr: "y"},
+	}
+	if HasRace(trace) {
+		t.Error("accesses to distinct variables must not race")
+	}
+}
+
+func TestSameThreadNeverRaces(t *testing.T) {
+	trace := []Event{
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpRead, Addr: "x"},
+	}
+	if HasRace(trace) {
+		t.Error("program order must order same-thread accesses")
+	}
+}
+
+func TestPredictiveDetection(t *testing.T) {
+	// The observed interleaving has T1's unlock before T2's lock of a
+	// DIFFERENT mutex, so the accesses are ordered in the interleaving
+	// but unordered by happens-before: still a race.
+	trace := []Event{
+		{Thread: 1, Op: OpLock, Addr: "m1"},
+		{Thread: 1, Op: OpWrite, Addr: "x"},
+		{Thread: 1, Op: OpUnlock, Addr: "m1"},
+		{Thread: 2, Op: OpWrite, Addr: "x"},
+	}
+	if !HasRace(trace) {
+		t.Error("predictive detector should flag unordered accesses even when serialized in the trace")
+	}
+}
+
+func TestVClockLaws(t *testing.T) {
+	a := VClock{1: 1}
+	b := VClock{1: 2}
+	if !a.HappensBefore(b) || b.HappensBefore(a) {
+		t.Error("HappensBefore on totally ordered clocks wrong")
+	}
+	c := VClock{2: 1}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("disjoint clocks should be concurrent")
+	}
+	if a.Concurrent(a.Copy()) {
+		t.Error("a clock is not concurrent with itself")
+	}
+}
+
+// Property: HappensBefore is irreflexive and antisymmetric.
+func TestVClockPartialOrderProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := VClock{1: uint64(a0), 2: uint64(a1)}
+		b := VClock{1: uint64(b0), 2: uint64(b1)}
+		if a.HappensBefore(a) {
+			return false
+		}
+		if a.HappensBefore(b) && b.HappensBefore(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpRead: "read", OpWrite: "write", OpLock: "lock",
+		OpUnlock: "unlock", OpFork: "fork", OpJoin: "join", Op(99): "unknown",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	if races := Detect(nil); len(races) != 0 {
+		t.Errorf("empty trace produced races: %v", races)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	var trace []Event
+	for i := 0; i < 200; i++ {
+		tid := i%4 + 1
+		trace = append(trace,
+			Event{Thread: tid, Op: OpLock, Addr: "m"},
+			Event{Thread: tid, Op: OpWrite, Addr: "x"},
+			Event{Thread: tid, Op: OpUnlock, Addr: "m"},
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Detect(trace)
+	}
+}

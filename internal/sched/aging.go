@@ -1,0 +1,55 @@
+package sched
+
+import "fmt"
+
+// PriorityAging runs non-preemptive priority scheduling with aging: a
+// waiting process's effective priority improves by one level for every
+// `agingQuantum` time units it has waited, bounding starvation — the
+// standard fix the OS courses pair with "deadline and starvation".
+// agingQuantum <= 0 disables aging (pure priority).
+func PriorityAging(procs []Process, agingQuantum int64) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	pending := byArrival(procs)
+	var slices []Slice
+	t := int64(0)
+	effective := func(p Process, now int64) float64 {
+		eff := float64(p.Priority)
+		if agingQuantum > 0 && now > p.Arrival {
+			eff -= float64(now-p.Arrival) / float64(agingQuantum)
+		}
+		return eff
+	}
+	for len(pending) > 0 {
+		best := -1
+		for i, p := range pending {
+			if p.Arrival > t {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			ei, eb := effective(p, t), effective(pending[best], t)
+			if ei < eb || (ei == eb && priLess(p, pending[best])) {
+				best = i
+			}
+		}
+		if best == -1 {
+			t = pending[0].Arrival
+			continue
+		}
+		p := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		slices = append(slices, Slice{PID: p.ID, Start: t, End: t + p.Burst})
+		t += p.Burst
+	}
+	name := "priority-aging"
+	if agingQuantum <= 0 {
+		name = "priority-aging(off)"
+	} else {
+		name = fmt.Sprintf("priority-aging(q=%d)", agingQuantum)
+	}
+	return finalize(name, procs, slices, 0, 0), nil
+}

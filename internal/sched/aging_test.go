@@ -1,0 +1,73 @@
+package sched
+
+import "testing"
+
+// starvationWorkload: one low-priority job at t=0 plus a stream of
+// high-priority jobs arriving back to back.
+func starvationWorkload() []Process {
+	procs := []Process{{ID: 0, Arrival: 0, Burst: 5, Priority: 9}}
+	for i := 1; i <= 20; i++ {
+		procs = append(procs, Process{
+			ID: i, Arrival: int64(i - 1), Burst: 3, Priority: 1,
+		})
+	}
+	return procs
+}
+
+func TestAgingBoundsStarvation(t *testing.T) {
+	procs := starvationWorkload()
+	noAging, err := PriorityAging(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aging, err := PriorityAging(procs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitedNo := noAging.Metrics[0].Waiting
+	waitedAging := aging.Metrics[0].Waiting
+	if waitedAging >= waitedNo {
+		t.Errorf("aging waiting %d should beat pure priority %d", waitedAging, waitedNo)
+	}
+	// Without aging the low-priority job runs dead last.
+	if noAging.Metrics[0].Completion != noAging.Makespan {
+		t.Errorf("without aging the starved job should finish last (%d vs %d)",
+			noAging.Metrics[0].Completion, noAging.Makespan)
+	}
+}
+
+func TestAgingMatchesPriorityWhenDisabled(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 10, Priority: 3},
+		{ID: 1, Arrival: 0, Burst: 1, Priority: 1},
+		{ID: 2, Arrival: 0, Burst: 2, Priority: 4},
+	}
+	np, err := PriorityNP(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := PriorityAging(procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.AvgWaiting() != ag.AvgWaiting() {
+		t.Errorf("disabled aging avg wait %g != priority-np %g", ag.AvgWaiting(), np.AvgWaiting())
+	}
+}
+
+func TestAgingValidationAndGaps(t *testing.T) {
+	if _, err := PriorityAging([]Process{{ID: 0, Burst: 0}}, 1); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 2, Priority: 1},
+		{ID: 1, Arrival: 10, Burst: 2, Priority: 1},
+	}
+	r, err := PriorityAging(procs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 12 {
+		t.Errorf("makespan = %d, want 12", r.Makespan)
+	}
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RAG is a resource-allocation graph for single-instance resources:
+// assignment edges (resource -> process) and request edges
+// (process -> resource). A cycle implies deadlock.
+type RAG struct {
+	// held[resource] = process currently holding it (-1 when free).
+	held map[string]int
+	// requests[process] = set of resources it is waiting for.
+	requests map[int]map[string]bool
+}
+
+// NewRAG creates an empty resource-allocation graph.
+func NewRAG() *RAG {
+	return &RAG{held: map[string]int{}, requests: map[int]map[string]bool{}}
+}
+
+// Assign records that process p holds resource r. It returns an error if
+// the resource is already held by a different process.
+func (g *RAG) Assign(p int, r string) error {
+	if holder, ok := g.held[r]; ok && holder != p {
+		return fmt.Errorf("sched: resource %q already held by process %d", r, holder)
+	}
+	g.held[r] = p
+	// Holding satisfies any pending request.
+	if reqs, ok := g.requests[p]; ok {
+		delete(reqs, r)
+	}
+	return nil
+}
+
+// Request records that process p is waiting for resource r.
+func (g *RAG) Request(p int, r string) {
+	if g.requests[p] == nil {
+		g.requests[p] = map[string]bool{}
+	}
+	g.requests[p][r] = true
+}
+
+// Release frees resource r.
+func (g *RAG) Release(r string) { delete(g.held, r) }
+
+// DetectDeadlock looks for a cycle in the wait-for graph derived from
+// the RAG and returns the processes on one cycle (sorted), or nil.
+func (g *RAG) DetectDeadlock() []int {
+	// waitFor[p] = set of processes p waits on.
+	waitFor := map[int][]int{}
+	procs := map[int]bool{}
+	for p, reqs := range g.requests {
+		procs[p] = true
+		for r := range reqs {
+			if holder, ok := g.held[r]; ok && holder != p {
+				waitFor[p] = append(waitFor[p], holder)
+				procs[holder] = true
+			}
+		}
+	}
+	// DFS cycle detection with colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	parent := map[int]int{}
+	var cycle []int
+	var dfs func(p int) bool
+	dfs = func(p int) bool {
+		color[p] = gray
+		targets := append([]int(nil), waitFor[p]...)
+		sort.Ints(targets)
+		for _, q := range targets {
+			switch color[q] {
+			case white:
+				parent[q] = p
+				if dfs(q) {
+					return true
+				}
+			case gray:
+				// Found a cycle q -> ... -> p -> q.
+				cycle = []int{q}
+				for cur := p; cur != q; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				return true
+			}
+		}
+		color[p] = black
+		return false
+	}
+	ids := make([]int, 0, len(procs))
+	for p := range procs {
+		ids = append(ids, p)
+	}
+	sort.Ints(ids)
+	for _, p := range ids {
+		if color[p] == white && dfs(p) {
+			sort.Ints(cycle)
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Banker implements the Banker's algorithm for deadlock avoidance with
+// multi-instance resources.
+type Banker struct {
+	available  []int
+	max        [][]int
+	allocation [][]int
+}
+
+// NewBanker creates a banker state. max[i][j] is process i's maximum
+// claim on resource j; allocation starts at zero.
+func NewBanker(available []int, max [][]int) (*Banker, error) {
+	for i, row := range max {
+		if len(row) != len(available) {
+			return nil, fmt.Errorf("sched: max row %d has %d resources, want %d", i, len(row), len(available))
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("sched: negative max claim at [%d][%d]", i, j)
+			}
+		}
+	}
+	for j, v := range available {
+		if v < 0 {
+			return nil, fmt.Errorf("sched: negative available at resource %d", j)
+		}
+	}
+	b := &Banker{
+		available:  append([]int(nil), available...),
+		max:        make([][]int, len(max)),
+		allocation: make([][]int, len(max)),
+	}
+	for i := range max {
+		b.max[i] = append([]int(nil), max[i]...)
+		b.allocation[i] = make([]int, len(available))
+	}
+	return b, nil
+}
+
+// need returns max - allocation for process i.
+func (b *Banker) need(i int) []int {
+	out := make([]int, len(b.available))
+	for j := range out {
+		out[j] = b.max[i][j] - b.allocation[i][j]
+	}
+	return out
+}
+
+// IsSafe runs the safety algorithm and returns a safe completion order
+// when one exists.
+func (b *Banker) IsSafe() (bool, []int) {
+	work := append([]int(nil), b.available...)
+	finished := make([]bool, len(b.max))
+	var order []int
+	for {
+		progressed := false
+		for i := range b.max {
+			if finished[i] {
+				continue
+			}
+			need := b.need(i)
+			ok := true
+			for j := range need {
+				if need[j] > work[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for j := range work {
+					work[j] += b.allocation[i][j]
+				}
+				finished[i] = true
+				order = append(order, i)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for _, f := range finished {
+		if !f {
+			return false, nil
+		}
+	}
+	return true, order
+}
+
+// Request attempts to grant process i the requested resources. It
+// returns an error when the request exceeds the declared maximum or
+// available resources, and (false, nil) when granting would make the
+// state unsafe (the request is then not granted).
+func (b *Banker) Request(i int, req []int) (bool, error) {
+	if i < 0 || i >= len(b.max) {
+		return false, fmt.Errorf("sched: unknown process %d", i)
+	}
+	if len(req) != len(b.available) {
+		return false, fmt.Errorf("sched: request has %d resources, want %d", len(req), len(b.available))
+	}
+	need := b.need(i)
+	for j, v := range req {
+		if v < 0 {
+			return false, fmt.Errorf("sched: negative request at resource %d", j)
+		}
+		if v > need[j] {
+			return false, fmt.Errorf("sched: process %d requests %d of resource %d beyond declared need %d",
+				i, v, j, need[j])
+		}
+	}
+	for j, v := range req {
+		if v > b.available[j] {
+			// Must wait: not an error, just cannot be granted now.
+			return false, nil
+		}
+	}
+	// Tentatively grant, test safety, roll back if unsafe.
+	for j, v := range req {
+		b.available[j] -= v
+		b.allocation[i][j] += v
+	}
+	safe, _ := b.IsSafe()
+	if !safe {
+		for j, v := range req {
+			b.available[j] += v
+			b.allocation[i][j] -= v
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// ReleaseAll returns all of process i's allocation to the pool.
+func (b *Banker) ReleaseAll(i int) error {
+	if i < 0 || i >= len(b.max) {
+		return fmt.Errorf("sched: unknown process %d", i)
+	}
+	for j, v := range b.allocation[i] {
+		b.available[j] += v
+		b.allocation[i][j] = 0
+	}
+	return nil
+}
+
+// Available returns a copy of the currently free resource vector.
+func (b *Banker) Available() []int { return append([]int(nil), b.available...) }

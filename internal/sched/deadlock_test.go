@@ -1,0 +1,190 @@
+package sched
+
+import "testing"
+
+func TestRAGDetectsSimpleCycle(t *testing.T) {
+	g := NewRAG()
+	// P1 holds A, wants B; P2 holds B, wants A: classic deadlock.
+	if err := g.Assign(1, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Assign(2, "B"); err != nil {
+		t.Fatal(err)
+	}
+	g.Request(1, "B")
+	g.Request(2, "A")
+	cycle := g.DetectDeadlock()
+	if len(cycle) != 2 || cycle[0] != 1 || cycle[1] != 2 {
+		t.Errorf("cycle = %v, want [1 2]", cycle)
+	}
+}
+
+func TestRAGNoCycleNoDeadlock(t *testing.T) {
+	g := NewRAG()
+	_ = g.Assign(1, "A")
+	g.Request(2, "A") // P2 waits, but P1 waits on nothing
+	if cycle := g.DetectDeadlock(); cycle != nil {
+		t.Errorf("false deadlock: %v", cycle)
+	}
+}
+
+func TestRAGThreeWayCycle(t *testing.T) {
+	g := NewRAG()
+	_ = g.Assign(1, "A")
+	_ = g.Assign(2, "B")
+	_ = g.Assign(3, "C")
+	g.Request(1, "B")
+	g.Request(2, "C")
+	g.Request(3, "A")
+	cycle := g.DetectDeadlock()
+	if len(cycle) != 3 {
+		t.Errorf("cycle = %v, want 3 processes", cycle)
+	}
+}
+
+func TestRAGReleaseBreaksDeadlock(t *testing.T) {
+	g := NewRAG()
+	_ = g.Assign(1, "A")
+	_ = g.Assign(2, "B")
+	g.Request(1, "B")
+	g.Request(2, "A")
+	if g.DetectDeadlock() == nil {
+		t.Fatal("expected deadlock before release")
+	}
+	g.Release("B")
+	if cycle := g.DetectDeadlock(); cycle != nil {
+		t.Errorf("deadlock persists after release: %v", cycle)
+	}
+}
+
+func TestRAGDoubleAssign(t *testing.T) {
+	g := NewRAG()
+	_ = g.Assign(1, "A")
+	if err := g.Assign(2, "A"); err == nil {
+		t.Error("assigning a held resource to another process should fail")
+	}
+	if err := g.Assign(1, "A"); err != nil {
+		t.Errorf("re-assigning to the same holder should be a no-op: %v", err)
+	}
+}
+
+func TestRAGAssignClearsRequest(t *testing.T) {
+	g := NewRAG()
+	_ = g.Assign(1, "A")
+	g.Request(2, "A")
+	g.Release("A")
+	_ = g.Assign(2, "A")
+	g.Request(1, "A")
+	// P1 waits on P2, but P2 waits on nothing: no cycle.
+	if cycle := g.DetectDeadlock(); cycle != nil {
+		t.Errorf("false deadlock after grant: %v", cycle)
+	}
+}
+
+// TestBankerTextbook uses the example from Silberschatz §8.6.2:
+// 5 processes, 3 resource types A(10) B(5) C(7).
+func TestBankerTextbook(t *testing.T) {
+	b, err := NewBanker([]int{10, 5, 7}, [][]int{
+		{7, 5, 3},
+		{3, 2, 2},
+		{9, 0, 2},
+		{2, 2, 2},
+		{4, 3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the textbook allocation state.
+	alloc := [][]int{
+		{0, 1, 0},
+		{2, 0, 0},
+		{3, 0, 2},
+		{2, 1, 1},
+		{0, 0, 2},
+	}
+	for i, row := range alloc {
+		ok, err := b.Request(i, row)
+		if err != nil || !ok {
+			t.Fatalf("setup request %d failed: ok=%v err=%v", i, ok, err)
+		}
+	}
+	safe, order := b.IsSafe()
+	if !safe {
+		t.Fatal("textbook state should be safe")
+	}
+	if len(order) != 5 {
+		t.Errorf("safe order covers %d processes, want 5", len(order))
+	}
+	// P1 requests (1,0,2): grantable per the textbook.
+	ok, err := b.Request(1, []int{1, 0, 2})
+	if err != nil || !ok {
+		t.Errorf("P1 request (1,0,2) should be granted: ok=%v err=%v", ok, err)
+	}
+	// P0 requests (0,2,0): leaves the system unsafe per the textbook.
+	ok, err = b.Request(0, []int{0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("P0 request (0,2,0) should be denied as unsafe")
+	}
+}
+
+func TestBankerRejectsExcessRequests(t *testing.T) {
+	b, err := NewBanker([]int{3}, [][]int{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Request(0, []int{3}); err == nil {
+		t.Error("request beyond declared max should error")
+	}
+	if _, err := b.Request(0, []int{-1}); err == nil {
+		t.Error("negative request should error")
+	}
+	if _, err := b.Request(5, []int{1}); err == nil {
+		t.Error("unknown process should error")
+	}
+	if _, err := b.Request(0, []int{1, 1}); err == nil {
+		t.Error("wrong-arity request should error")
+	}
+	if ok, err := b.Request(0, []int{2}); err != nil || !ok {
+		t.Errorf("valid request denied: ok=%v err=%v", ok, err)
+	}
+	// Resources exhausted: next request must wait (false, nil).
+	b2, _ := NewBanker([]int{1}, [][]int{{1}, {1}})
+	if ok, err := b2.Request(0, []int{1}); err != nil || !ok {
+		t.Fatalf("first request failed: %v %v", ok, err)
+	}
+	if ok, err := b2.Request(1, []int{1}); err != nil || ok {
+		t.Errorf("request exceeding available should wait, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBankerReleaseAll(t *testing.T) {
+	b, _ := NewBanker([]int{2}, [][]int{{2}, {2}})
+	_, _ = b.Request(0, []int{2})
+	if got := b.Available()[0]; got != 0 {
+		t.Fatalf("available = %d, want 0", got)
+	}
+	if err := b.ReleaseAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Available()[0]; got != 2 {
+		t.Errorf("available after release = %d, want 2", got)
+	}
+	if err := b.ReleaseAll(7); err == nil {
+		t.Error("releasing unknown process should error")
+	}
+}
+
+func TestBankerConstructionValidation(t *testing.T) {
+	if _, err := NewBanker([]int{1}, [][]int{{1, 2}}); err == nil {
+		t.Error("ragged max matrix accepted")
+	}
+	if _, err := NewBanker([]int{-1}, nil); err == nil {
+		t.Error("negative available accepted")
+	}
+	if _, err := NewBanker([]int{1}, [][]int{{-1}}); err == nil {
+		t.Error("negative max accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders a Result's schedule as an ASCII Gantt chart, one row per
+// CPU, with time compressed to at most maxWidth columns — the chart the
+// OS courses have students draw by hand.
+func Gantt(r Result, maxWidth int) string {
+	if len(r.Slices) == 0 {
+		return "(empty schedule)\n"
+	}
+	if maxWidth <= 0 {
+		maxWidth = 80
+	}
+	makespan := r.Makespan
+	if makespan == 0 {
+		makespan = 1
+	}
+	scale := 1.0
+	if int(makespan) > maxWidth {
+		scale = float64(maxWidth) / float64(makespan)
+	}
+	col := func(t int64) int { return int(float64(t) * scale) }
+
+	cpus := map[int][]Slice{}
+	for _, s := range r.Slices {
+		cpus[s.CPU] = append(cpus[s.CPU], s)
+	}
+	ids := make([]int, 0, len(cpus))
+	for cpu := range cpus {
+		ids = append(ids, cpu)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (makespan %d)\n", r.Policy, r.Makespan)
+	for _, cpu := range ids {
+		slices := cpus[cpu]
+		sort.Slice(slices, func(i, j int) bool { return slices[i].Start < slices[j].Start })
+		row := make([]byte, col(makespan)+1)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range slices {
+			glyph := pidGlyph(s.PID)
+			lo, hi := col(s.Start), col(s.End)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < len(row); i++ {
+				row[i] = glyph
+			}
+		}
+		fmt.Fprintf(&b, "cpu%-2d |%s|\n", cpu, string(row))
+	}
+	return b.String()
+}
+
+// pidGlyph picks a stable printable character for a process ID.
+func pidGlyph(pid int) byte {
+	const glyphs = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	if pid < 0 {
+		return '?'
+	}
+	return glyphs[pid%len(glyphs)]
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersAllProcesses(t *testing.T) {
+	r, err := RR(textbook(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(r, 60)
+	if !strings.Contains(out, "rr(q=4)") {
+		t.Error("policy name missing")
+	}
+	for _, glyph := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("process glyph %s missing:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "cpu0") {
+		t.Error("cpu row missing")
+	}
+}
+
+func TestGanttMultiprocessorRows(t *testing.T) {
+	procs := RandomWorkload(10, 10, 10, 1)
+	r, err := Multiprocessor(procs, 3, GlobalQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gantt(r, 40)
+	for _, row := range []string{"cpu0", "cpu1", "cpu2"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("row %s missing:\n%s", row, out)
+		}
+	}
+}
+
+func TestGanttEmptyAndDefaults(t *testing.T) {
+	if got := Gantt(Result{}, 10); !strings.Contains(got, "empty") {
+		t.Errorf("empty schedule render = %q", got)
+	}
+	r, _ := FCFS(textbook())
+	if out := Gantt(r, 0); !strings.Contains(out, "cpu0") {
+		t.Error("default width render failed")
+	}
+}
+
+func TestPidGlyph(t *testing.T) {
+	if pidGlyph(-1) != '?' {
+		t.Error("negative pid glyph")
+	}
+	if pidGlyph(0) != '0' || pidGlyph(10) != 'A' {
+		t.Error("glyph mapping wrong")
+	}
+}

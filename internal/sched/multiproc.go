@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// MPStrategy selects a multiprocessor scheduling organization, the
+// "scheduling on single and multiprocessor systems" topic from the AUC
+// operating-systems case study.
+type MPStrategy int
+
+const (
+	// GlobalQueue shares one FCFS ready queue among all CPUs: perfect
+	// load sharing, but a real system pays lock contention for it.
+	GlobalQueue MPStrategy = iota
+	// PerCPUQueue assigns arrivals to per-CPU queues round-robin; idle
+	// CPUs spin on their own queue only (affinity, imbalance risk).
+	PerCPUQueue
+	// PerCPUStealing is PerCPUQueue plus work stealing: an idle CPU
+	// takes work from the longest backlog.
+	PerCPUStealing
+)
+
+// String returns the strategy name.
+func (s MPStrategy) String() string {
+	switch s {
+	case GlobalQueue:
+		return "global-queue"
+	case PerCPUQueue:
+		return "per-cpu"
+	case PerCPUStealing:
+		return "per-cpu-stealing"
+	default:
+		return "unknown"
+	}
+}
+
+// cpuEvent orders CPU availability in the simulation.
+type cpuEvent struct {
+	free int64
+	cpu  int
+}
+
+type cpuHeap []cpuEvent
+
+func (h cpuHeap) Len() int { return len(h) }
+func (h cpuHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].cpu < h[j].cpu
+}
+func (h cpuHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *cpuHeap) Push(x any)   { *h = append(*h, x.(cpuEvent)) }
+func (h *cpuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Multiprocessor simulates non-preemptive scheduling of the workload on
+// `cpus` identical processors under the given strategy.
+func Multiprocessor(procs []Process, cpus int, strategy MPStrategy) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	if cpus <= 0 {
+		return Result{}, fmt.Errorf("sched: need at least one CPU, got %d", cpus)
+	}
+	pending := byArrival(procs)
+	queues := make([][]Process, cpus) // per-CPU; index 0 doubles as the global queue
+	h := make(cpuHeap, cpus)
+	for i := range h {
+		h[i] = cpuEvent{free: 0, cpu: i}
+	}
+	heap.Init(&h)
+	var slices []Slice
+	steals := 0
+	nextAssign := 0
+
+	admit := func(now int64) {
+		for len(pending) > 0 && pending[0].Arrival <= now {
+			p := pending[0]
+			pending = pending[1:]
+			switch strategy {
+			case GlobalQueue:
+				queues[0] = append(queues[0], p)
+			default:
+				queues[nextAssign%cpus] = append(queues[nextAssign%cpus], p)
+				nextAssign++
+			}
+		}
+	}
+
+	for {
+		ev := heap.Pop(&h).(cpuEvent)
+		now := ev.free
+		admit(now)
+		var q int
+		switch strategy {
+		case GlobalQueue:
+			q = 0
+		default:
+			q = ev.cpu
+			if len(queues[q]) == 0 && strategy == PerCPUStealing {
+				// Steal from the longest backlog.
+				victim, best := -1, 1
+				for i := range queues {
+					if len(queues[i]) > best {
+						victim, best = i, len(queues[i])
+					}
+				}
+				if victim >= 0 {
+					q = victim
+					steals++
+				}
+			}
+		}
+		if len(queues[q]) == 0 {
+			// Nothing runnable for this CPU now.
+			if len(pending) == 0 {
+				// Drain: if every queue is empty we are done.
+				done := true
+				for i := range queues {
+					if len(queues[i]) > 0 {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+				// Another CPU's queue has work (no stealing): this CPU
+				// is finished; drop it from the simulation.
+				if h.Len() == 0 {
+					// Shouldn't happen: remaining work but no CPUs. Put
+					// this CPU back pointing at the stragglers' queue.
+					for i := range queues {
+						if len(queues[i]) > 0 {
+							q = i
+							break
+						}
+					}
+					p := queues[q][0]
+					queues[q] = queues[q][1:]
+					start := now
+					slices = append(slices, Slice{PID: p.ID, CPU: ev.cpu, Start: start, End: start + p.Burst})
+					heap.Push(&h, cpuEvent{free: start + p.Burst, cpu: ev.cpu})
+				}
+				continue
+			}
+			// Sleep until the next arrival.
+			heap.Push(&h, cpuEvent{free: pending[0].Arrival, cpu: ev.cpu})
+			continue
+		}
+		p := queues[q][0]
+		queues[q] = queues[q][1:]
+		start := now
+		if p.Arrival > start {
+			start = p.Arrival
+		}
+		slices = append(slices, Slice{PID: p.ID, CPU: ev.cpu, Start: start, End: start + p.Burst})
+		heap.Push(&h, cpuEvent{free: start + p.Burst, cpu: ev.cpu})
+	}
+	res := finalize(fmt.Sprintf("mp-%s(cpus=%d)", strategy, cpus), procs, slices, 0, steals)
+	return res, nil
+}
+
+// CPUUtilization returns per-CPU busy fractions over the makespan.
+func CPUUtilization(r Result, cpus int) []float64 {
+	busy := make([]int64, cpus)
+	for _, s := range r.Slices {
+		if s.CPU >= 0 && s.CPU < cpus {
+			busy[s.CPU] += s.End - s.Start
+		}
+	}
+	out := make([]float64, cpus)
+	if r.Makespan == 0 {
+		return out
+	}
+	for i, b := range busy {
+		out[i] = float64(b) / float64(r.Makespan)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiprocessorStrategiesCompleteAllWork(t *testing.T) {
+	procs := RandomWorkload(40, 100, 20, 7)
+	var totalBurst int64
+	for _, p := range procs {
+		totalBurst += p.Burst
+	}
+	for _, s := range []MPStrategy{GlobalQueue, PerCPUQueue, PerCPUStealing} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			r, err := Multiprocessor(procs, 4, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ran := map[int]int64{}
+			for _, sl := range r.Slices {
+				ran[sl.PID] += sl.End - sl.Start
+			}
+			for _, p := range procs {
+				if ran[p.ID] != p.Burst {
+					t.Errorf("process %d ran %d, want %d", p.ID, ran[p.ID], p.Burst)
+				}
+			}
+			// 4 CPUs must not be slower than 1 CPU and not faster than
+			// the perfect-split lower bound.
+			if r.Makespan*4 < totalBurst {
+				t.Errorf("makespan %d beats the lower bound %d/4", r.Makespan, totalBurst)
+			}
+		})
+	}
+}
+
+func TestMultiprocessorNoOverlapPerCPU(t *testing.T) {
+	procs := RandomWorkload(30, 50, 15, 3)
+	r, err := Multiprocessor(procs, 3, GlobalQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCPU := map[int][]Slice{}
+	for _, s := range r.Slices {
+		perCPU[s.CPU] = append(perCPU[s.CPU], s)
+	}
+	for cpu, slices := range perCPU {
+		for i := 0; i < len(slices); i++ {
+			for j := i + 1; j < len(slices); j++ {
+				a, b := slices[i], slices[j]
+				if a.Start < b.End && b.Start < a.End {
+					t.Errorf("CPU %d runs two processes at once: %+v %+v", cpu, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestStealingHelpsImbalance(t *testing.T) {
+	// All long jobs round-robin to queues; one queue gets the huge job.
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 100},
+		{ID: 1, Arrival: 0, Burst: 1},
+		{ID: 2, Arrival: 0, Burst: 1},
+		{ID: 3, Arrival: 0, Burst: 1},
+		{ID: 4, Arrival: 0, Burst: 1},
+		{ID: 5, Arrival: 0, Burst: 1},
+	}
+	noSteal, err := Multiprocessor(procs, 2, PerCPUQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steal, err := Multiprocessor(procs, 2, PerCPUStealing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steal.Makespan > noSteal.Makespan {
+		t.Errorf("stealing makespan %d worse than static %d", steal.Makespan, noSteal.Makespan)
+	}
+	if steal.Steals == 0 {
+		t.Error("expected at least one steal on an imbalanced workload")
+	}
+}
+
+func TestMultiprocessorValidation(t *testing.T) {
+	if _, err := Multiprocessor(textbook(), 0, GlobalQueue); err == nil {
+		t.Error("0 CPUs accepted")
+	}
+	if _, err := Multiprocessor([]Process{{ID: 0, Burst: 0}}, 2, GlobalQueue); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 10},
+		{ID: 1, Arrival: 0, Burst: 10},
+	}
+	r, err := Multiprocessor(procs, 2, GlobalQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := CPUUtilization(r, 2)
+	for cpu, u := range util {
+		if u != 1.0 {
+			t.Errorf("CPU %d utilization = %g, want 1.0", cpu, u)
+		}
+	}
+	empty := CPUUtilization(Result{}, 2)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Error("utilization of empty result should be zero")
+	}
+}
+
+func TestMPStrategyString(t *testing.T) {
+	if GlobalQueue.String() != "global-queue" || PerCPUQueue.String() != "per-cpu" ||
+		PerCPUStealing.String() != "per-cpu-stealing" || MPStrategy(9).String() != "unknown" {
+		t.Error("MPStrategy.String mismatch")
+	}
+}
+
+// Property: more CPUs never increase the global-queue makespan.
+func TestMoreCPUsNeverHurtProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		procs := RandomWorkload(n, 0, 30, seed)
+		prev := int64(-1)
+		for _, cpus := range []int{1, 2, 4} {
+			r, err := Multiprocessor(procs, cpus, GlobalQueue)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && r.Makespan > prev {
+				return false
+			}
+			prev = r.Makespan
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMultiprocessorGlobal(b *testing.B) {
+	procs := RandomWorkload(500, 1000, 40, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multiprocessor(procs, 8, GlobalQueue); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiprocessorStealing(b *testing.B) {
+	procs := RandomWorkload(500, 1000, 40, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multiprocessor(procs, 8, PerCPUStealing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

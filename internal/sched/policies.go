@@ -1,0 +1,351 @@
+package sched
+
+import "fmt"
+
+// FCFS runs processes first-come-first-served (non-preemptive).
+func FCFS(procs []Process) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	ordered := byArrival(procs)
+	var slices []Slice
+	t := int64(0)
+	for _, p := range ordered {
+		if p.Arrival > t {
+			t = p.Arrival
+		}
+		slices = append(slices, Slice{PID: p.ID, Start: t, End: t + p.Burst})
+		t += p.Burst
+	}
+	return finalize("fcfs", procs, slices, 0, 0), nil
+}
+
+// SJF runs the shortest job first, non-preemptively, among arrived
+// processes (ties broken by arrival then ID).
+func SJF(procs []Process) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	pending := byArrival(procs)
+	var slices []Slice
+	t := int64(0)
+	for len(pending) > 0 {
+		// Collect arrived processes; if none, jump to next arrival.
+		arrivedIdx := -1
+		for i, p := range pending {
+			if p.Arrival <= t {
+				if arrivedIdx == -1 || less(p, pending[arrivedIdx]) {
+					arrivedIdx = i
+				}
+			}
+		}
+		if arrivedIdx == -1 {
+			t = pending[0].Arrival
+			continue
+		}
+		p := pending[arrivedIdx]
+		pending = append(pending[:arrivedIdx], pending[arrivedIdx+1:]...)
+		slices = append(slices, Slice{PID: p.ID, Start: t, End: t + p.Burst})
+		t += p.Burst
+	}
+	return finalize("sjf", procs, slices, 0, 0), nil
+}
+
+func less(a, b Process) bool {
+	if a.Burst != b.Burst {
+		return a.Burst < b.Burst
+	}
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// SRTF runs shortest-remaining-time-first (preemptive SJF).
+func SRTF(procs []Process) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	return preemptiveSim("srtf", procs, func(a, b *simProc) bool {
+		if a.remaining != b.remaining {
+			return a.remaining < b.remaining
+		}
+		return a.p.ID < b.p.ID
+	})
+}
+
+// PriorityNP runs non-preemptive priority scheduling (lower Priority
+// value first).
+func PriorityNP(procs []Process) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	pending := byArrival(procs)
+	var slices []Slice
+	t := int64(0)
+	for len(pending) > 0 {
+		best := -1
+		for i, p := range pending {
+			if p.Arrival <= t {
+				if best == -1 || priLess(p, pending[best]) {
+					best = i
+				}
+			}
+		}
+		if best == -1 {
+			t = pending[0].Arrival
+			continue
+		}
+		p := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		slices = append(slices, Slice{PID: p.ID, Start: t, End: t + p.Burst})
+		t += p.Burst
+	}
+	return finalize("priority-np", procs, slices, 0, 0), nil
+}
+
+// PriorityP runs preemptive priority scheduling.
+func PriorityP(procs []Process) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	return preemptiveSim("priority-p", procs, func(a, b *simProc) bool {
+		if a.p.Priority != b.p.Priority {
+			return a.p.Priority < b.p.Priority
+		}
+		return a.p.ID < b.p.ID
+	})
+}
+
+func priLess(a, b Process) bool {
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+type simProc struct {
+	p         Process
+	remaining int64
+}
+
+// preemptiveSim is the shared engine for SRTF and preemptive priority:
+// at every arrival or completion it re-selects the best ready process.
+func preemptiveSim(policy string, procs []Process, better func(a, b *simProc) bool) (Result, error) {
+	pending := byArrival(procs)
+	ready := []*simProc{}
+	var slices []Slice
+	preemptions := 0
+	t := int64(0)
+	var running *simProc
+	admit := func() {
+		for len(pending) > 0 && pending[0].Arrival <= t {
+			ready = append(ready, &simProc{p: pending[0], remaining: pending[0].Burst})
+			pending = pending[1:]
+		}
+	}
+	for {
+		admit()
+		if running == nil && len(ready) == 0 {
+			if len(pending) == 0 {
+				break
+			}
+			t = pending[0].Arrival
+			continue
+		}
+		// Pick the best among ready + running.
+		best := running
+		bestIdx := -1
+		for i, sp := range ready {
+			if best == nil || better(sp, best) {
+				best = sp
+				bestIdx = i
+			}
+		}
+		if bestIdx >= 0 {
+			if running != nil {
+				ready = append(ready, running)
+				preemptions++
+			}
+			ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+			running = best
+		}
+		// Run until completion or next arrival, whichever first.
+		runUntil := t + running.remaining
+		if len(pending) > 0 && pending[0].Arrival < runUntil {
+			runUntil = pending[0].Arrival
+		}
+		slices = append(slices, Slice{PID: running.p.ID, Start: t, End: runUntil})
+		running.remaining -= runUntil - t
+		t = runUntil
+		if running.remaining == 0 {
+			running = nil
+		}
+	}
+	return finalize(policy, procs, mergeSlices(slices), preemptions, 0), nil
+}
+
+// RR runs round-robin with the given time quantum. A process preempted by
+// quantum expiry re-enters the queue behind processes that arrived during
+// its slice (the standard textbook convention).
+func RR(procs []Process, quantum int64) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	if quantum <= 0 {
+		return Result{}, fmt.Errorf("sched: round-robin quantum must be positive, got %d", quantum)
+	}
+	pending := byArrival(procs)
+	var queue []*simProc
+	var slices []Slice
+	preemptions := 0
+	t := int64(0)
+	admit := func(now int64) {
+		for len(pending) > 0 && pending[0].Arrival <= now {
+			queue = append(queue, &simProc{p: pending[0], remaining: pending[0].Burst})
+			pending = pending[1:]
+		}
+	}
+	admit(t)
+	for len(queue) > 0 || len(pending) > 0 {
+		if len(queue) == 0 {
+			t = pending[0].Arrival
+			admit(t)
+			continue
+		}
+		sp := queue[0]
+		queue = queue[1:]
+		run := quantum
+		if sp.remaining < run {
+			run = sp.remaining
+		}
+		slices = append(slices, Slice{PID: sp.p.ID, Start: t, End: t + run})
+		sp.remaining -= run
+		t += run
+		admit(t)
+		if sp.remaining > 0 {
+			queue = append(queue, sp)
+			preemptions++
+		}
+	}
+	return finalize(fmt.Sprintf("rr(q=%d)", quantum), procs, mergeSlices(slices), preemptions, 0), nil
+}
+
+// MLFQ runs a multi-level feedback queue: level i uses quanta[i]; a
+// process exhausting its quantum is demoted one level; the lowest level
+// is round-robin. boostEvery, when positive, periodically moves all
+// processes back to the top level to prevent starvation.
+func MLFQ(procs []Process, quanta []int64, boostEvery int64) (Result, error) {
+	if err := Validate(procs); err != nil {
+		return Result{}, err
+	}
+	if len(quanta) == 0 {
+		return Result{}, fmt.Errorf("sched: MLFQ needs at least one level")
+	}
+	for i, q := range quanta {
+		if q <= 0 {
+			return Result{}, fmt.Errorf("sched: MLFQ level %d has non-positive quantum %d", i, q)
+		}
+	}
+	pending := byArrival(procs)
+	levels := make([][]*simProc, len(quanta))
+	var slices []Slice
+	preemptions := 0
+	t := int64(0)
+	lastBoost := int64(0)
+	admit := func(now int64) {
+		for len(pending) > 0 && pending[0].Arrival <= now {
+			levels[0] = append(levels[0], &simProc{p: pending[0], remaining: pending[0].Burst})
+			pending = pending[1:]
+		}
+	}
+	boost := func(now int64) {
+		if boostEvery <= 0 {
+			return
+		}
+		for now-lastBoost >= boostEvery {
+			lastBoost += boostEvery
+			for l := 1; l < len(levels); l++ {
+				levels[0] = append(levels[0], levels[l]...)
+				levels[l] = nil
+			}
+		}
+	}
+	admit(t)
+	remainingProcs := func() bool {
+		if len(pending) > 0 {
+			return true
+		}
+		for _, l := range levels {
+			if len(l) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for remainingProcs() {
+		lvl := -1
+		for i := range levels {
+			if len(levels[i]) > 0 {
+				lvl = i
+				break
+			}
+		}
+		if lvl == -1 {
+			t = pending[0].Arrival
+			admit(t)
+			boost(t)
+			continue
+		}
+		sp := levels[lvl][0]
+		levels[lvl] = levels[lvl][1:]
+		run := quanta[lvl]
+		if sp.remaining < run {
+			run = sp.remaining
+		}
+		slices = append(slices, Slice{PID: sp.p.ID, Start: t, End: t + run})
+		sp.remaining -= run
+		t += run
+		admit(t)
+		boost(t)
+		if sp.remaining > 0 {
+			next := lvl + 1
+			if next >= len(levels) {
+				next = len(levels) - 1
+			}
+			levels[next] = append(levels[next], sp)
+			preemptions++
+		}
+	}
+	return finalize("mlfq", procs, mergeSlices(slices), preemptions, 0), nil
+}
+
+// Policies runs every single-CPU policy on the same workload for
+// side-by-side comparison, in a fixed order.
+func Policies(procs []Process, rrQuantum int64, mlfqQuanta []int64) ([]Result, error) {
+	type entry struct {
+		name string
+		run  func() (Result, error)
+	}
+	entries := []entry{
+		{"fcfs", func() (Result, error) { return FCFS(procs) }},
+		{"sjf", func() (Result, error) { return SJF(procs) }},
+		{"srtf", func() (Result, error) { return SRTF(procs) }},
+		{"priority-np", func() (Result, error) { return PriorityNP(procs) }},
+		{"priority-p", func() (Result, error) { return PriorityP(procs) }},
+		{"rr", func() (Result, error) { return RR(procs, rrQuantum) }},
+		{"mlfq", func() (Result, error) { return MLFQ(procs, mlfqQuanta, 0) }},
+	}
+	out := make([]Result, 0, len(entries))
+	for _, e := range entries {
+		r, err := e.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

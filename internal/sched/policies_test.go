@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// textbook is the classic 3-process example used across OS textbooks:
+// P0(arr 0, burst 24), P1(arr 0, burst 3), P2(arr 0, burst 3).
+func textbook() []Process {
+	return []Process{
+		{ID: 0, Arrival: 0, Burst: 24},
+		{ID: 1, Arrival: 0, Burst: 3},
+		{ID: 2, Arrival: 0, Burst: 3},
+	}
+}
+
+func TestFCFSTextbook(t *testing.T) {
+	r, err := FCFS(textbook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waiting: P0=0, P1=24, P2=27 -> avg 17.
+	if got := r.AvgWaiting(); got != 17 {
+		t.Errorf("FCFS avg waiting = %g, want 17", got)
+	}
+	if r.Makespan != 30 {
+		t.Errorf("makespan = %d, want 30", r.Makespan)
+	}
+}
+
+func TestSJFTextbook(t *testing.T) {
+	r, err := SJF(textbook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SJF: P1(0-3), P2(3-6), P0(6-30): waiting 6,0,3 -> avg 3.
+	if got := r.AvgWaiting(); got != 3 {
+		t.Errorf("SJF avg waiting = %g, want 3", got)
+	}
+}
+
+func TestRRTextbook(t *testing.T) {
+	r, err := RR(textbook(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic result with q=4: P0 waits 6, P1 waits 4, P2 waits 7 -> 17/3.
+	if got := r.AvgWaiting(); got != 17.0/3.0 {
+		t.Errorf("RR avg waiting = %g, want %g", got, 17.0/3.0)
+	}
+	if r.Preemptions == 0 {
+		t.Error("RR of a long job should preempt at least once")
+	}
+}
+
+func TestSRTFClassic(t *testing.T) {
+	// Silberschatz example: arrivals 0,1,2,3 with bursts 8,4,9,5.
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 8},
+		{ID: 1, Arrival: 1, Burst: 4},
+		{ID: 2, Arrival: 2, Burst: 9},
+		{ID: 3, Arrival: 3, Burst: 5},
+	}
+	r, err := SRTF(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known answer: average waiting time 6.5.
+	if got := r.AvgWaiting(); got != 6.5 {
+		t.Errorf("SRTF avg waiting = %g, want 6.5", got)
+	}
+}
+
+func TestPriorityPolicies(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 10, Priority: 3},
+		{ID: 1, Arrival: 0, Burst: 1, Priority: 1},
+		{ID: 2, Arrival: 0, Burst: 2, Priority: 4},
+		{ID: 3, Arrival: 0, Burst: 1, Priority: 5},
+		{ID: 4, Arrival: 0, Burst: 5, Priority: 2},
+	}
+	r, err := PriorityNP(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order: P1, P4, P0, P2, P3 -> waiting 6,0,16,18,1 -> avg 8.2.
+	if got := r.AvgWaiting(); got != 8.2 {
+		t.Errorf("PriorityNP avg waiting = %g, want 8.2", got)
+	}
+	// Preemptive version on same all-at-zero arrivals gives same result.
+	rp, err := PriorityP(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.AvgWaiting(); got != 8.2 {
+		t.Errorf("PriorityP avg waiting = %g, want 8.2", got)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 10, Priority: 5},
+		{ID: 1, Arrival: 2, Burst: 2, Priority: 1}, // preempts P0
+	}
+	r, err := PriorityP(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Preemptions != 1 {
+		t.Errorf("Preemptions = %d, want 1", r.Preemptions)
+	}
+	if r.Metrics[1].Response != 0 {
+		t.Errorf("high-priority response = %d, want 0", r.Metrics[1].Response)
+	}
+}
+
+func TestMLFQDemotion(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 20}, // CPU hog: demoted
+		{ID: 1, Arrival: 1, Burst: 2},  // short job: finishes at top level
+	}
+	r, err := MLFQ(procs, []int64{2, 4, 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics[1].Completion > 6 {
+		t.Errorf("short job completed at %d; MLFQ should favor it", r.Metrics[1].Completion)
+	}
+	if r.Metrics[0].Completion != 22 {
+		t.Errorf("total work should finish at 22, got %d", r.Metrics[0].Completion)
+	}
+}
+
+func TestMLFQBoost(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 30},
+		{ID: 1, Arrival: 0, Burst: 30},
+	}
+	r, err := MLFQ(procs, []int64{2, 4}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 60 {
+		t.Errorf("makespan = %d, want 60", r.Makespan)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := [][]Process{
+		{{ID: 0, Burst: 0}},
+		{{ID: 0, Burst: 5, Arrival: -1}},
+		{{ID: 0, Burst: 1}, {ID: 0, Burst: 2}},
+	}
+	for i, procs := range bad {
+		if _, err := FCFS(procs); err == nil {
+			t.Errorf("case %d: invalid workload accepted", i)
+		}
+	}
+	if _, err := RR(textbook(), 0); err == nil {
+		t.Error("RR with zero quantum accepted")
+	}
+	if _, err := MLFQ(textbook(), nil, 0); err == nil {
+		t.Error("MLFQ with no levels accepted")
+	}
+	if _, err := MLFQ(textbook(), []int64{0}, 0); err == nil {
+		t.Error("MLFQ with zero quantum accepted")
+	}
+}
+
+func TestIdleGapHandling(t *testing.T) {
+	procs := []Process{
+		{ID: 0, Arrival: 0, Burst: 2},
+		{ID: 1, Arrival: 10, Burst: 2},
+	}
+	for name, fn := range map[string]func() (Result, error){
+		"fcfs":  func() (Result, error) { return FCFS(procs) },
+		"sjf":   func() (Result, error) { return SJF(procs) },
+		"srtf":  func() (Result, error) { return SRTF(procs) },
+		"prio":  func() (Result, error) { return PriorityNP(procs) },
+		"priop": func() (Result, error) { return PriorityP(procs) },
+		"rr":    func() (Result, error) { return RR(procs, 3) },
+		"mlfq":  func() (Result, error) { return MLFQ(procs, []int64{3}, 0) },
+	} {
+		r, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Makespan != 12 {
+			t.Errorf("%s: makespan = %d, want 12 (idle gap mishandled)", name, r.Makespan)
+		}
+		if r.Metrics[1].Waiting != 0 {
+			t.Errorf("%s: P1 waiting = %d, want 0", name, r.Metrics[1].Waiting)
+		}
+	}
+}
+
+// Property: for any workload, every policy (a) schedules each process
+// for exactly its burst, (b) never runs two slices concurrently, and
+// (c) SJF's average waiting <= FCFS's on simultaneous arrivals
+// (SJF optimality among non-preemptive policies).
+func TestPolicyInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		procs := RandomWorkload(n, 0, 20, seed) // all arrive at 0
+		fcfs, err1 := FCFS(procs)
+		sjf, err2 := SJF(procs)
+		rr, err3 := RR(procs, 3)
+		srtf, err4 := SRTF(procs)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		for _, r := range []Result{fcfs, sjf, rr, srtf} {
+			ran := map[int]int64{}
+			for _, s := range r.Slices {
+				if s.End <= s.Start {
+					return false
+				}
+				ran[s.PID] += s.End - s.Start
+			}
+			for _, p := range procs {
+				if ran[p.ID] != p.Burst {
+					return false
+				}
+			}
+			// Slices on the single CPU must not overlap.
+			for i := 0; i < len(r.Slices); i++ {
+				for j := i + 1; j < len(r.Slices); j++ {
+					a, b := r.Slices[i], r.Slices[j]
+					if a.Start < b.End && b.Start < a.End {
+						return false
+					}
+				}
+			}
+		}
+		if sjf.AvgWaiting() > fcfs.AvgWaiting()+1e-9 {
+			return false
+		}
+		// SRTF is optimal among all policies for average waiting.
+		if srtf.AvgWaiting() > sjf.AvgWaiting()+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoliciesRunner(t *testing.T) {
+	rs, err := Policies(textbook(), 4, []int64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 7 {
+		t.Fatalf("got %d results, want 7", len(rs))
+	}
+	if rs[0].Policy != "fcfs" || rs[5].Policy != "rr(q=4)" {
+		t.Errorf("unexpected policy order: %v, %v", rs[0].Policy, rs[5].Policy)
+	}
+	if _, err := Policies(textbook(), 0, []int64{2}); err == nil {
+		t.Error("invalid quantum should propagate an error")
+	}
+}
+
+func BenchmarkSRTF(b *testing.B) {
+	procs := RandomWorkload(200, 500, 50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SRTF(procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLFQ(b *testing.B) {
+	procs := RandomWorkload(200, 500, 50, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MLFQ(procs, []int64{2, 4, 8}, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package sched implements the deterministic CPU-scheduling and deadlock
+// simulators behind the operating-systems content that every surveyed
+// program uses for PDC coverage: FCFS, SJF, SRTF, round-robin, priority
+// and multi-level feedback queue scheduling on one processor;
+// global-queue and per-CPU (with optional work stealing) scheduling on
+// multiprocessors; resource-allocation-graph deadlock detection; and the
+// Banker's algorithm for deadlock avoidance.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Process is one schedulable job.
+type Process struct {
+	ID      int
+	Name    string
+	Arrival int64 // arrival time
+	Burst   int64 // total CPU demand
+	// Priority orders priority-based policies; lower value means higher
+	// priority.
+	Priority int
+}
+
+// Slice is one contiguous run of a process on a CPU in the Gantt chart.
+type Slice struct {
+	PID   int
+	CPU   int
+	Start int64
+	End   int64
+}
+
+// ProcMetrics are the per-process scheduling metrics the OS courses grade.
+type ProcMetrics struct {
+	PID        int
+	Completion int64
+	Turnaround int64 // completion - arrival
+	Waiting    int64 // turnaround - burst
+	Response   int64 // first run - arrival
+}
+
+// Result is the outcome of one scheduling simulation.
+type Result struct {
+	Policy   string
+	Slices   []Slice
+	Metrics  map[int]ProcMetrics
+	Makespan int64
+	// Preemptions counts involuntary context switches.
+	Preemptions int
+	// Steals counts work-stealing migrations (multiprocessor only).
+	Steals int
+}
+
+// AvgWaiting returns the mean waiting time across processes.
+func (r Result) AvgWaiting() float64 { return r.avg(func(m ProcMetrics) int64 { return m.Waiting }) }
+
+// AvgTurnaround returns the mean turnaround time across processes.
+func (r Result) AvgTurnaround() float64 {
+	return r.avg(func(m ProcMetrics) int64 { return m.Turnaround })
+}
+
+// AvgResponse returns the mean response time across processes.
+func (r Result) AvgResponse() float64 { return r.avg(func(m ProcMetrics) int64 { return m.Response }) }
+
+func (r Result) avg(f func(ProcMetrics) int64) float64 {
+	if len(r.Metrics) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, m := range r.Metrics {
+		sum += f(m)
+	}
+	return float64(sum) / float64(len(r.Metrics))
+}
+
+// Validate checks a workload for simulation: positive bursts, non-negative
+// arrivals, unique IDs.
+func Validate(procs []Process) error {
+	seen := make(map[int]bool, len(procs))
+	for _, p := range procs {
+		if p.Burst <= 0 {
+			return fmt.Errorf("sched: process %d has non-positive burst %d", p.ID, p.Burst)
+		}
+		if p.Arrival < 0 {
+			return fmt.Errorf("sched: process %d has negative arrival %d", p.ID, p.Arrival)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("sched: duplicate process ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	return nil
+}
+
+// RandomWorkload generates n processes with arrivals in [0, arrivalSpan)
+// and bursts in [1, maxBurst], deterministically from seed.
+func RandomWorkload(n int, arrivalSpan, maxBurst int64, seed int64) []Process {
+	rng := rand.New(rand.NewSource(seed))
+	procs := make([]Process, n)
+	for i := range procs {
+		arr := int64(0)
+		if arrivalSpan > 0 {
+			arr = rng.Int63n(arrivalSpan)
+		}
+		procs[i] = Process{
+			ID:       i,
+			Name:     fmt.Sprintf("P%d", i),
+			Arrival:  arr,
+			Burst:    1 + rng.Int63n(maxBurst),
+			Priority: rng.Intn(10),
+		}
+	}
+	return procs
+}
+
+// byArrival sorts processes by (arrival, ID) for deterministic handling.
+func byArrival(procs []Process) []Process {
+	out := append([]Process(nil), procs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Arrival != out[j].Arrival {
+			return out[i].Arrival < out[j].Arrival
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// finalize fills derived metrics given first-run and completion times.
+func finalize(policy string, procs []Process, slices []Slice, preemptions, steals int) Result {
+	res := Result{
+		Policy:      policy,
+		Slices:      slices,
+		Metrics:     make(map[int]ProcMetrics, len(procs)),
+		Preemptions: preemptions,
+		Steals:      steals,
+	}
+	first := map[int]int64{}
+	last := map[int]int64{}
+	for _, s := range slices {
+		if f, ok := first[s.PID]; !ok || s.Start < f {
+			first[s.PID] = s.Start
+		}
+		if l, ok := last[s.PID]; !ok || s.End > l {
+			last[s.PID] = s.End
+		}
+		if s.End > res.Makespan {
+			res.Makespan = s.End
+		}
+	}
+	for _, p := range procs {
+		m := ProcMetrics{PID: p.ID, Completion: last[p.ID]}
+		m.Turnaround = m.Completion - p.Arrival
+		m.Waiting = m.Turnaround - p.Burst
+		m.Response = first[p.ID] - p.Arrival
+		res.Metrics[p.ID] = m
+	}
+	return res
+}
+
+// mergeSlices coalesces adjacent slices of the same process on the same
+// CPU so Gantt output stays compact.
+func mergeSlices(slices []Slice) []Slice {
+	if len(slices) == 0 {
+		return slices
+	}
+	out := []Slice{slices[0]}
+	for _, s := range slices[1:] {
+		top := &out[len(out)-1]
+		if top.PID == s.PID && top.CPU == s.CPU && top.End == s.Start {
+			top.End = s.End
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package simd
+
+import "fmt"
+
+// SaxpyScalar computes y = a*x + y one element at a time, counting one
+// scalar op per element on the machine (the baseline the labs vectorize).
+func SaxpyScalar(m *Machine, a float64, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("simd: saxpy length mismatch")
+	}
+	for i := range x {
+		y[i] = a*x[i] + y[i]
+		m.stats.ScalarOps++
+	}
+	return nil
+}
+
+// SaxpyVector computes y = a*x + y with vector FMA instructions.
+func SaxpyVector(m *Machine, a float64, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("simd: saxpy length mismatch")
+	}
+	ax := make([]float64, len(x))
+	for i := range ax {
+		ax[i] = a
+	}
+	return m.FMA(y, ax, x, y)
+}
+
+// DotScalar computes the dot product with scalar ops.
+func DotScalar(m *Machine, x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("simd: dot length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+		m.stats.ScalarOps++
+	}
+	return s, nil
+}
+
+// DotVector computes the dot product with a vector multiply and a vector
+// reduction.
+func DotVector(m *Machine, x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("simd: dot length mismatch")
+	}
+	prod := make([]float64, len(x))
+	if err := m.Mul(prod, x, y); err != nil {
+		return 0, err
+	}
+	return m.ReduceSum(prod), nil
+}
+
+// SpeedupModel predicts the dynamic-instruction-count ratio between the
+// scalar and vector versions of an n-element streaming kernel on a
+// machine of the given width: n / ceil(n/width).
+func SpeedupModel(n, width int) float64 {
+	if n <= 0 || width <= 0 {
+		return 0
+	}
+	chunks := (n + width - 1) / width
+	return float64(n) / float64(chunks)
+}

@@ -1,0 +1,198 @@
+// Package simd implements a software vector machine: the "extracting
+// data parallelism using vectors and SIMD" part of the LAU dedicated
+// course and the "SIMD and vector processors" row of Table I. Kernels
+// are written against explicit vector registers with lane masks; the
+// machine counts vector and scalar instructions so labs can verify the
+// expected Width-fold reduction in dynamic instruction count.
+package simd
+
+import "fmt"
+
+// Machine is a vector processor model with a fixed lane width.
+type Machine struct {
+	width int
+	stats OpStats
+}
+
+// OpStats counts dynamic instructions executed on the machine.
+type OpStats struct {
+	VectorOps   int64 // whole-vector instructions issued
+	ScalarOps   int64 // scalar (one-lane) instructions issued
+	LanesActive int64 // total active lanes across vector ops
+	LanesMasked int64 // total masked-off lanes across vector ops
+}
+
+// NewMachine creates a machine with the given lane width.
+func NewMachine(width int) (*Machine, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("simd: lane width must be positive, got %d", width)
+	}
+	return &Machine{width: width}, nil
+}
+
+// Width reports the machine's lane count.
+func (m *Machine) Width() int { return m.width }
+
+// Stats returns the accumulated instruction counts.
+func (m *Machine) Stats() OpStats { return m.stats }
+
+// ResetStats zeroes the instruction counters.
+func (m *Machine) ResetStats() { m.stats = OpStats{} }
+
+// VectorUtilization is the fraction of lanes that did useful work.
+func (s OpStats) VectorUtilization() float64 {
+	total := s.LanesActive + s.LanesMasked
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LanesActive) / float64(total)
+}
+
+// lanewise applies op across dst/a/b in vector-width chunks, masking the
+// ragged tail, and accounts instructions.
+func (m *Machine) lanewise(dst, a, b []float64, op func(x, y float64) float64) error {
+	if len(dst) != len(a) || (b != nil && len(a) != len(b)) {
+		return fmt.Errorf("simd: length mismatch dst=%d a=%d b=%d", len(dst), len(a), len(b))
+	}
+	n := len(a)
+	for lo := 0; lo < n; lo += m.width {
+		hi := lo + m.width
+		active := m.width
+		if hi > n {
+			active = n - lo
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			y := 0.0
+			if b != nil {
+				y = b[i]
+			}
+			dst[i] = op(a[i], y)
+		}
+		m.stats.VectorOps++
+		m.stats.LanesActive += int64(active)
+		m.stats.LanesMasked += int64(m.width - active)
+	}
+	return nil
+}
+
+// Add computes dst = a + b as vector instructions.
+func (m *Machine) Add(dst, a, b []float64) error {
+	return m.lanewise(dst, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Mul computes dst = a * b as vector instructions.
+func (m *Machine) Mul(dst, a, b []float64) error {
+	return m.lanewise(dst, a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Scale computes dst = s * a as vector instructions.
+func (m *Machine) Scale(dst []float64, s float64, a []float64) error {
+	return m.lanewise(dst, a, nil, func(x, _ float64) float64 { return s * x })
+}
+
+// FMA computes dst = a*b + c as single fused vector instructions.
+func (m *Machine) FMA(dst, a, b, c []float64) error {
+	if len(dst) != len(a) || len(a) != len(b) || len(b) != len(c) {
+		return fmt.Errorf("simd: FMA length mismatch")
+	}
+	n := len(a)
+	for lo := 0; lo < n; lo += m.width {
+		hi := lo + m.width
+		active := m.width
+		if hi > n {
+			active = n - lo
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i]*b[i] + c[i]
+		}
+		m.stats.VectorOps++
+		m.stats.LanesActive += int64(active)
+		m.stats.LanesMasked += int64(m.width - active)
+	}
+	return nil
+}
+
+// MaskedAdd computes dst[i] = a[i]+b[i] where mask[i], else dst[i]=a[i];
+// masked-off lanes are counted as idle (the divergence cost model).
+func (m *Machine) MaskedAdd(dst, a, b []float64, mask []bool) error {
+	if len(dst) != len(a) || len(a) != len(b) || len(b) != len(mask) {
+		return fmt.Errorf("simd: masked add length mismatch")
+	}
+	n := len(a)
+	for lo := 0; lo < n; lo += m.width {
+		hi := lo + m.width
+		if hi > n {
+			hi = n
+		}
+		active := 0
+		for i := lo; i < hi; i++ {
+			if mask[i] {
+				dst[i] = a[i] + b[i]
+				active++
+			} else {
+				dst[i] = a[i]
+			}
+		}
+		m.stats.VectorOps++
+		m.stats.LanesActive += int64(active)
+		m.stats.LanesMasked += int64(m.width - active)
+	}
+	return nil
+}
+
+// ReduceSum sums a using vector partial sums plus a final horizontal
+// reduction (log2(width) scalar ops, charged as scalar instructions).
+func (m *Machine) ReduceSum(a []float64) float64 {
+	partial := make([]float64, m.width)
+	n := len(a)
+	for lo := 0; lo < n; lo += m.width {
+		hi := lo + m.width
+		active := m.width
+		if hi > n {
+			active = n - lo
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			partial[i-lo] += a[i]
+		}
+		m.stats.VectorOps++
+		m.stats.LanesActive += int64(active)
+		m.stats.LanesMasked += int64(m.width - active)
+	}
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+		m.stats.ScalarOps++
+	}
+	return sum
+}
+
+// Gather loads a[idx[i]] into dst as one vector instruction per chunk —
+// the irregular-access primitive whose cost GPUs and vector machines
+// both expose.
+func (m *Machine) Gather(dst, a []float64, idx []int) error {
+	if len(dst) != len(idx) {
+		return fmt.Errorf("simd: gather length mismatch dst=%d idx=%d", len(dst), len(idx))
+	}
+	n := len(idx)
+	for lo := 0; lo < n; lo += m.width {
+		hi := lo + m.width
+		active := m.width
+		if hi > n {
+			active = n - lo
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			if idx[i] < 0 || idx[i] >= len(a) {
+				return fmt.Errorf("simd: gather index %d out of range [0,%d)", idx[i], len(a))
+			}
+			dst[i] = a[idx[i]]
+		}
+		m.stats.VectorOps++
+		m.stats.LanesActive += int64(active)
+		m.stats.LanesMasked += int64(m.width - active)
+	}
+	return nil
+}

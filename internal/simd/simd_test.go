@@ -1,0 +1,287 @@
+package simd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustMachine(t *testing.T, w int) *Machine {
+	t.Helper()
+	m, err := NewMachine(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineValidation(t *testing.T) {
+	if _, err := NewMachine(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	m := mustMachine(t, 8)
+	if m.Width() != 8 {
+		t.Errorf("Width = %d, want 8", m.Width())
+	}
+}
+
+func TestAddMulScale(t *testing.T) {
+	m := mustMachine(t, 4)
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	dst := make([]float64, 5)
+	if err := m.Add(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if dst[i] != a[i]+b[i] {
+			t.Errorf("Add[%d] = %g", i, dst[i])
+		}
+	}
+	if err := m.Mul(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if dst[4] != 250 {
+		t.Errorf("Mul[4] = %g, want 250", dst[4])
+	}
+	if err := m.Scale(dst, 2, a); err != nil {
+		t.Fatal(err)
+	}
+	if dst[2] != 6 {
+		t.Errorf("Scale[2] = %g, want 6", dst[2])
+	}
+	// 5 elements at width 4 = 2 vector ops per call, 3 calls = 6.
+	if m.Stats().VectorOps != 6 {
+		t.Errorf("VectorOps = %d, want 6", m.Stats().VectorOps)
+	}
+	// Tail masking: 3 lanes idle per call.
+	if m.Stats().LanesMasked != 9 {
+		t.Errorf("LanesMasked = %d, want 9", m.Stats().LanesMasked)
+	}
+}
+
+func TestLengthMismatches(t *testing.T) {
+	m := mustMachine(t, 4)
+	short := []float64{1}
+	long := []float64{1, 2}
+	if err := m.Add(short, long, long); err == nil {
+		t.Error("Add length mismatch accepted")
+	}
+	if err := m.FMA(short, long, long, long); err == nil {
+		t.Error("FMA length mismatch accepted")
+	}
+	if err := m.MaskedAdd(short, long, long, []bool{true}); err == nil {
+		t.Error("MaskedAdd length mismatch accepted")
+	}
+	if err := m.Gather(short, long, []int{0, 1}); err == nil {
+		t.Error("Gather length mismatch accepted")
+	}
+	if _, err := DotScalar(m, short, long); err == nil {
+		t.Error("DotScalar mismatch accepted")
+	}
+	if _, err := DotVector(m, short, long); err == nil {
+		t.Error("DotVector mismatch accepted")
+	}
+	if err := SaxpyScalar(m, 1, short, long); err == nil {
+		t.Error("SaxpyScalar mismatch accepted")
+	}
+	if err := SaxpyVector(m, 1, short, long); err == nil {
+		t.Error("SaxpyVector mismatch accepted")
+	}
+}
+
+func TestFMA(t *testing.T) {
+	m := mustMachine(t, 2)
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	c := []float64{7, 8, 9}
+	dst := make([]float64, 3)
+	if err := m.FMA(dst, a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 18, 27}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("FMA[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMaskedAddUtilization(t *testing.T) {
+	m := mustMachine(t, 4)
+	a := []float64{1, 1, 1, 1}
+	b := []float64{1, 1, 1, 1}
+	mask := []bool{true, false, true, false}
+	dst := make([]float64, 4)
+	if err := m.MaskedAdd(dst, a, b, mask); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 1, 2, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("MaskedAdd[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+	if got := m.Stats().VectorUtilization(); got != 0.5 {
+		t.Errorf("utilization = %g, want 0.5", got)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	m := mustMachine(t, 8)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = 1
+	}
+	if got := m.ReduceSum(xs); got != 1000 {
+		t.Errorf("ReduceSum = %g, want 1000", got)
+	}
+	if m.Stats().ScalarOps != 8 { // horizontal reduction
+		t.Errorf("ScalarOps = %d, want 8", m.Stats().ScalarOps)
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := mustMachine(t, 4)
+	a := []float64{10, 20, 30, 40}
+	idx := []int{3, 0, 2}
+	dst := make([]float64, 3)
+	if err := m.Gather(dst, a, idx); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 40 || dst[1] != 10 || dst[2] != 30 {
+		t.Errorf("Gather = %v", dst)
+	}
+	if err := m.Gather(dst, a, []int{0, 9, 1}); err == nil {
+		t.Error("out-of-range gather accepted")
+	}
+}
+
+func TestSaxpyScalarVsVectorAgree(t *testing.T) {
+	n := 103
+	x := make([]float64, n)
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y1[i] = float64(2 * i)
+		y2[i] = float64(2 * i)
+	}
+	ms := mustMachine(t, 8)
+	mv := mustMachine(t, 8)
+	if err := SaxpyScalar(ms, 3, x, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaxpyVector(mv, 3, x, y2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("saxpy mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+	// Instruction count ratio approximates the lane width.
+	ratio := float64(ms.Stats().ScalarOps) / float64(mv.Stats().VectorOps)
+	if ratio < 7 || ratio > 8.01 {
+		t.Errorf("instruction ratio = %g, want ~8", ratio)
+	}
+}
+
+func TestDotAgreement(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 4, 3, 2, 1}
+	ms := mustMachine(t, 4)
+	mv := mustMachine(t, 4)
+	s, err := DotScalar(ms, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DotVector(mv, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 35 || math.Abs(s-v) > 1e-12 {
+		t.Errorf("dot scalar=%g vector=%g, want 35", s, v)
+	}
+}
+
+// Property: vector and scalar kernels agree on random inputs, any width.
+func TestKernelAgreementProperty(t *testing.T) {
+	f := func(raw []float64, wRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = float64(i)
+		}
+		ms, err1 := NewMachine(w)
+		mv, err2 := NewMachine(w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		s, err1 := DotScalar(ms, xs, ys)
+		v, err2 := DotVector(mv, xs, ys)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		scale := math.Abs(s)
+		if scale < 1 {
+			scale = 1
+		}
+		return math.Abs(s-v)/scale < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedupModel(t *testing.T) {
+	if got := SpeedupModel(1024, 8); got != 8 {
+		t.Errorf("SpeedupModel(1024,8) = %g, want 8", got)
+	}
+	if got := SpeedupModel(9, 8); got != 4.5 {
+		t.Errorf("SpeedupModel(9,8) = %g, want 4.5", got)
+	}
+	if SpeedupModel(0, 8) != 0 || SpeedupModel(8, 0) != 0 {
+		t.Error("degenerate model values should be 0")
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	m := mustMachine(t, 4)
+	_ = m.Add(make([]float64, 4), make([]float64, 4), make([]float64, 4))
+	m.ResetStats()
+	if m.Stats() != (OpStats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+	if (OpStats{}).VectorUtilization() != 0 {
+		t.Error("empty stats utilization should be 0")
+	}
+}
+
+func BenchmarkSaxpyScalar(b *testing.B) { benchSaxpy(b, false) }
+func BenchmarkSaxpyVector(b *testing.B) { benchSaxpy(b, true) }
+
+func benchSaxpy(b *testing.B, vec bool) {
+	m, err := NewMachine(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1 << 14
+	x := make([]float64, n)
+	y := make([]float64, n)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vec {
+			_ = SaxpyVector(m, 2, x, y)
+		} else {
+			_ = SaxpyScalar(m, 2, x, y)
+		}
+	}
+}

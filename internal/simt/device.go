@@ -1,0 +1,227 @@
+// Package simt simulates the single-instruction multiple-thread
+// execution model of manycore GPUs — the third part of the LAU dedicated
+// course (CUDA C / OpenACC): a device with streaming multiprocessors and
+// a fixed warp size, 1D kernel launches over grids of thread blocks,
+// per-block shared memory with bank-conflict accounting, global memory
+// with coalescing analysis, block barriers (__syncthreads), atomics,
+// branch-divergence accounting, and asynchronous streams with events.
+//
+// Threads execute as goroutines for real concurrency semantics; the
+// performance model is computed from per-warp traces: a warp's compute
+// cost is the maximum lane instruction count, global accesses are
+// grouped by occurrence index into 128-byte transactions, shared-memory
+// occurrences are serialized per bank, and a branch occurrence where
+// lanes disagree charges a divergence penalty. The model is first-order
+// but reproduces the cliffs the labs teach: divergence, uncoalesced
+// access, and bank conflicts.
+package simt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Device models a manycore accelerator.
+type Device struct {
+	// WarpSize is the number of lanes executing in lockstep (32 on
+	// every NVIDIA GPU the course uses).
+	WarpSize int
+	// SMs is the number of streaming multiprocessors; block execution
+	// cost is divided by this at the end (perfect SM-level overlap).
+	SMs int
+	// SegmentBytes is the global-memory transaction size (128 on
+	// current GPUs).
+	SegmentBytes int
+	// Banks is the number of shared-memory banks (32).
+	Banks int
+
+	mu      sync.Mutex
+	nextBuf uint64
+}
+
+// NewDevice returns a device with the classic GPU parameters
+// (warp 32, 16 SMs, 128-byte segments, 32 banks).
+func NewDevice() *Device {
+	return &Device{WarpSize: 32, SMs: 16, SegmentBytes: 128, Banks: 32}
+}
+
+// Validate checks device parameters.
+func (d *Device) Validate() error {
+	if d.WarpSize <= 0 || d.SMs <= 0 || d.SegmentBytes <= 0 || d.Banks <= 0 {
+		return fmt.Errorf("simt: invalid device parameters %+v", d)
+	}
+	return nil
+}
+
+// Buffer is a device-global array of float64 with a distinct address
+// range so the coalescing model can tell buffers apart.
+type Buffer struct {
+	base   uint64
+	atomMu sync.Mutex // serializes AtomicAdd across all blocks
+	Data   []float64
+}
+
+// NewBuffer allocates a global-memory buffer of n elements.
+func (d *Device) NewBuffer(n int) *Buffer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b := &Buffer{base: d.nextBuf, Data: make([]float64, n)}
+	// Space buffers far apart and keep every base segment-aligned (real
+	// device allocators align allocations) so coalescing analysis is not
+	// skewed by split segments.
+	const align = 1 << 20
+	d.nextBuf = (d.nextBuf + uint64(n*8) + 2*align) &^ (align - 1)
+	return b
+}
+
+// FromSlice allocates a buffer initialized with a copy of xs.
+func (d *Device) FromSlice(xs []float64) *Buffer {
+	b := d.NewBuffer(len(xs))
+	copy(b.Data, xs)
+	return b
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// LaunchConfig is a 1D kernel launch geometry.
+type LaunchConfig struct {
+	Grid  int // number of blocks
+	Block int // threads per block
+	// SharedMem is the per-block shared memory size in float64 elements.
+	SharedMem int
+}
+
+// Validate checks the launch geometry.
+func (c LaunchConfig) Validate() error {
+	if c.Grid <= 0 || c.Block <= 0 {
+		return fmt.Errorf("simt: launch config must have positive grid and block, got %+v", c)
+	}
+	if c.Block > 1024 {
+		return fmt.Errorf("simt: block size %d exceeds the 1024-thread limit", c.Block)
+	}
+	if c.SharedMem < 0 {
+		return fmt.Errorf("simt: negative shared memory size %d", c.SharedMem)
+	}
+	return nil
+}
+
+// Kernel is the per-thread function of a launch.
+type Kernel func(t *Thread)
+
+// KernelStats is the performance report of one launch.
+type KernelStats struct {
+	Blocks int
+	Warps  int
+	// Instructions is the total lane instructions executed.
+	Instructions int64
+	// WarpInstructionSlots is the sum over warps of the maximum lane
+	// instruction count: what the lockstep hardware actually issues.
+	WarpInstructionSlots int64
+	// SIMTEfficiency is Instructions / (WarpSize*WarpInstructionSlots).
+	SIMTEfficiency float64
+	// GlobalTransactions is the number of memory segments moved.
+	GlobalTransactions int64
+	// IdealTransactions is the minimum possible for the same access
+	// counts (perfectly coalesced).
+	IdealTransactions int64
+	// SharedPasses counts serialized shared-memory passes; equal to
+	// shared access occurrences when conflict-free.
+	SharedPasses int64
+	// SharedOccurrences is the number of warp-level shared accesses.
+	SharedOccurrences int64
+	// DivergentBranches counts branch occurrences where a warp's lanes
+	// disagreed.
+	DivergentBranches int64
+	// BranchOccurrences counts all warp-level branch decisions.
+	BranchOccurrences int64
+	// AtomicOps counts atomic read-modify-writes.
+	AtomicOps int64
+	// EstimatedCycles is the first-order cost:
+	// (slots + 4*transactions + sharedPasses + 8*divergent) / SMs.
+	EstimatedCycles int64
+}
+
+// CoalescingEfficiency is IdealTransactions / GlobalTransactions (1.0 is
+// perfectly coalesced).
+func (s KernelStats) CoalescingEfficiency() float64 {
+	if s.GlobalTransactions == 0 {
+		return 1
+	}
+	return float64(s.IdealTransactions) / float64(s.GlobalTransactions)
+}
+
+// BankConflictFactor is SharedPasses / SharedOccurrences (1.0 is
+// conflict-free).
+func (s KernelStats) BankConflictFactor() float64 {
+	if s.SharedOccurrences == 0 {
+		return 1
+	}
+	return float64(s.SharedPasses) / float64(s.SharedOccurrences)
+}
+
+// Launch runs the kernel synchronously over the grid and returns its
+// performance statistics.
+func (d *Device) Launch(cfg LaunchConfig, k Kernel) (KernelStats, error) {
+	if err := d.Validate(); err != nil {
+		return KernelStats{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return KernelStats{}, err
+	}
+	stats := KernelStats{Blocks: cfg.Grid}
+	var mu sync.Mutex
+
+	// Run blocks with one worker per SM (real concurrency, bounded).
+	sem := make(chan struct{}, d.SMs)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for b := 0; b < cfg.Grid; b++ {
+		b := b
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			bs, err := d.runBlock(cfg, k, b)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			mu.Lock()
+			stats.merge(bs)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return KernelStats{}, err
+	default:
+	}
+	if stats.WarpInstructionSlots > 0 {
+		stats.SIMTEfficiency = float64(stats.Instructions) /
+			(float64(d.WarpSize) * float64(stats.WarpInstructionSlots))
+	}
+	raw := stats.WarpInstructionSlots + 4*stats.GlobalTransactions +
+		stats.SharedPasses + 8*stats.DivergentBranches
+	stats.EstimatedCycles = (raw + int64(d.SMs) - 1) / int64(d.SMs)
+	return stats, nil
+}
+
+// merge folds a block's stats into the kernel totals.
+func (s *KernelStats) merge(b KernelStats) {
+	s.Warps += b.Warps
+	s.Instructions += b.Instructions
+	s.WarpInstructionSlots += b.WarpInstructionSlots
+	s.GlobalTransactions += b.GlobalTransactions
+	s.IdealTransactions += b.IdealTransactions
+	s.SharedPasses += b.SharedPasses
+	s.SharedOccurrences += b.SharedOccurrences
+	s.DivergentBranches += b.DivergentBranches
+	s.BranchOccurrences += b.BranchOccurrences
+	s.AtomicOps += b.AtomicOps
+}

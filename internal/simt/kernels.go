@@ -1,0 +1,254 @@
+package simt
+
+import "fmt"
+
+// VecAdd launches c = a + b with one thread per element.
+func VecAdd(d *Device, a, b, c *Buffer, blockSize int) (KernelStats, error) {
+	n := a.Len()
+	if b.Len() != n || c.Len() != n {
+		return KernelStats{}, fmt.Errorf("simt: vecadd length mismatch %d/%d/%d", a.Len(), b.Len(), c.Len())
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	return d.Launch(LaunchConfig{Grid: grid, Block: blockSize}, func(t *Thread) {
+		i := t.GlobalID()
+		if t.Branch(i < n) {
+			t.Store(c, i, t.Load(a, i)+t.Load(b, i))
+		}
+	})
+}
+
+// StridedCopy copies src[i*stride] to dst[i] — the canonical coalescing
+// experiment: stride 1 is perfectly coalesced, large strides are not.
+func StridedCopy(d *Device, src, dst *Buffer, n, stride, blockSize int) (KernelStats, error) {
+	if stride <= 0 {
+		return KernelStats{}, fmt.Errorf("simt: stride must be positive, got %d", stride)
+	}
+	if n*stride > src.Len() || n > dst.Len() {
+		return KernelStats{}, fmt.Errorf("simt: strided copy out of range")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	return d.Launch(LaunchConfig{Grid: grid, Block: blockSize}, func(t *Thread) {
+		i := t.GlobalID()
+		if t.Branch(i < n) {
+			t.Store(dst, i, t.Load(src, i*stride))
+		}
+	})
+}
+
+// MatMulNaive computes C = A×B for n×n row-major matrices with one
+// thread per output element, reading everything from global memory.
+func MatMulNaive(d *Device, a, b, c *Buffer, n, blockSize int) (KernelStats, error) {
+	if a.Len() < n*n || b.Len() < n*n || c.Len() < n*n {
+		return KernelStats{}, fmt.Errorf("simt: matmul buffers too small for n=%d", n)
+	}
+	if blockSize <= 0 {
+		blockSize = 128
+	}
+	total := n * n
+	grid := (total + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	return d.Launch(LaunchConfig{Grid: grid, Block: blockSize}, func(t *Thread) {
+		id := t.GlobalID()
+		if !t.Branch(id < total) {
+			return
+		}
+		row, col := id/n, id%n
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += t.Load(a, row*n+k) * t.Load(b, k*n+col)
+			t.Work(2)
+		}
+		t.Store(c, id, sum)
+	})
+}
+
+// MatMulTiled computes C = A×B with tile×tile shared-memory tiles per
+// block — the classic CUDA optimization. n must be a multiple of tile;
+// tile*tile threads per block.
+func MatMulTiled(d *Device, a, b, c *Buffer, n, tile int) (KernelStats, error) {
+	if tile <= 0 || n%tile != 0 {
+		return KernelStats{}, fmt.Errorf("simt: n=%d must be a multiple of tile=%d", n, tile)
+	}
+	if tile*tile > 1024 {
+		return KernelStats{}, fmt.Errorf("simt: tile %d gives more than 1024 threads per block", tile)
+	}
+	if a.Len() < n*n || b.Len() < n*n || c.Len() < n*n {
+		return KernelStats{}, fmt.Errorf("simt: matmul buffers too small for n=%d", n)
+	}
+	tilesPerDim := n / tile
+	grid := tilesPerDim * tilesPerDim
+	cfg := LaunchConfig{Grid: grid, Block: tile * tile, SharedMem: 2 * tile * tile}
+	return d.Launch(cfg, func(t *Thread) {
+		blockRow := t.BlockIdx / tilesPerDim
+		blockCol := t.BlockIdx % tilesPerDim
+		ty := t.ThreadIdx / tile
+		tx := t.ThreadIdx % tile
+		row := blockRow*tile + ty
+		col := blockCol*tile + tx
+		// Shared tiles: As at [0, tile*tile), Bs at [tile*tile, 2*tile*tile).
+		asBase, bsBase := 0, tile*tile
+		sum := 0.0
+		for m := 0; m < tilesPerDim; m++ {
+			t.SharedStore(asBase+ty*tile+tx, t.Load(a, row*n+m*tile+tx))
+			t.SharedStore(bsBase+ty*tile+tx, t.Load(b, (m*tile+ty)*n+col))
+			t.SyncThreads()
+			for k := 0; k < tile; k++ {
+				sum += t.SharedLoad(asBase+ty*tile+k) * t.SharedLoad(bsBase+k*tile+tx)
+				t.Work(2)
+			}
+			t.SyncThreads()
+		}
+		t.Store(c, row*n+col, sum)
+	})
+}
+
+// ReduceSum computes the sum of buf via per-block shared-memory tree
+// reduction followed by one atomic per block into out[0].
+func ReduceSum(d *Device, buf, out *Buffer, blockSize int) (KernelStats, error) {
+	if out.Len() < 1 {
+		return KernelStats{}, fmt.Errorf("simt: reduction output buffer is empty")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	if blockSize&(blockSize-1) != 0 {
+		return KernelStats{}, fmt.Errorf("simt: reduction block size %d must be a power of two", blockSize)
+	}
+	n := buf.Len()
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	out.Data[0] = 0
+	cfg := LaunchConfig{Grid: grid, Block: blockSize, SharedMem: blockSize}
+	return d.Launch(cfg, func(t *Thread) {
+		i := t.GlobalID()
+		v := 0.0
+		if t.Branch(i < n) {
+			v = t.Load(buf, i)
+		}
+		t.SharedStore(t.ThreadIdx, v)
+		t.SyncThreads()
+		for s := t.BlockDim / 2; s > 0; s /= 2 {
+			if t.Branch(t.ThreadIdx < s) {
+				t.SharedStore(t.ThreadIdx,
+					t.SharedLoad(t.ThreadIdx)+t.SharedLoad(t.ThreadIdx+s))
+			}
+			t.SyncThreads()
+		}
+		if t.Branch(t.ThreadIdx == 0) {
+			t.AtomicAdd(out, 0, t.SharedLoad(0))
+		}
+	})
+}
+
+// BlockScan computes an inclusive prefix sum within each block using the
+// Hillis-Steele algorithm over shared memory; out[i] is the scan of
+// in restricted to i's block (the building block of the full GPU scan).
+func BlockScan(d *Device, in, out *Buffer, blockSize int) (KernelStats, error) {
+	n := in.Len()
+	if out.Len() < n {
+		return KernelStats{}, fmt.Errorf("simt: scan output too small")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	cfg := LaunchConfig{Grid: grid, Block: blockSize, SharedMem: blockSize}
+	return d.Launch(cfg, func(t *Thread) {
+		i := t.GlobalID()
+		v := 0.0
+		if t.Branch(i < n) {
+			v = t.Load(in, i)
+		}
+		t.SharedStore(t.ThreadIdx, v)
+		t.SyncThreads()
+		for off := 1; off < t.BlockDim; off *= 2 {
+			var add float64
+			if t.Branch(t.ThreadIdx >= off) {
+				add = t.SharedLoad(t.ThreadIdx - off)
+			}
+			t.SyncThreads()
+			if t.ThreadIdx >= off {
+				t.SharedStore(t.ThreadIdx, t.SharedLoad(t.ThreadIdx)+add)
+			}
+			t.SyncThreads()
+		}
+		if t.Branch(i < n) {
+			t.Store(out, i, t.SharedLoad(t.ThreadIdx))
+		}
+	})
+}
+
+// HistogramAtomic bins value indices with global atomics: values are
+// pre-bucketed integers in [0, bins).
+func HistogramAtomic(d *Device, values *Buffer, hist *Buffer, bins, blockSize int) (KernelStats, error) {
+	if hist.Len() < bins {
+		return KernelStats{}, fmt.Errorf("simt: histogram buffer smaller than bins")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	n := values.Len()
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	return d.Launch(LaunchConfig{Grid: grid, Block: blockSize}, func(t *Thread) {
+		i := t.GlobalID()
+		if t.Branch(i < n) {
+			b := int(t.Load(values, i))
+			if b < 0 {
+				b = 0
+			}
+			if b >= bins {
+				b = bins - 1
+			}
+			t.AtomicAdd(hist, b, 1)
+		}
+	})
+}
+
+// DivergentKernel runs a deliberately warp-divergent workload: lanes
+// whose global ID satisfies id%divisor == 0 do `heavy` work units, the
+// rest do 1 — the divergence lab.
+func DivergentKernel(d *Device, n, divisor, heavy, blockSize int) (KernelStats, error) {
+	if divisor <= 0 {
+		return KernelStats{}, fmt.Errorf("simt: divisor must be positive")
+	}
+	if blockSize <= 0 {
+		blockSize = 256
+	}
+	grid := (n + blockSize - 1) / blockSize
+	if grid == 0 {
+		grid = 1
+	}
+	return d.Launch(LaunchConfig{Grid: grid, Block: blockSize}, func(t *Thread) {
+		i := t.GlobalID()
+		if !t.Branch(i < n) {
+			return
+		}
+		if t.Branch(i%divisor == 0) {
+			t.Work(heavy)
+		} else {
+			t.Work(1)
+		}
+	})
+}

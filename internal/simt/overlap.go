@@ -1,0 +1,42 @@
+package simt
+
+import "fmt"
+
+// OverlapEstimate models the copy/compute overlap lesson of the
+// "concurrent streams" unit: a workload split into `chunks` pieces, each
+// needing copyIn, kernel and copyOut cycles. With one stream everything
+// serializes; with pipelined streams the engines overlap and steady-state
+// throughput is limited by the slowest engine.
+type OverlapEstimate struct {
+	Serial    int64
+	Pipelined int64
+	Speedup   float64
+}
+
+// EstimateOverlap computes the two totals. Pipelined time is the classic
+// software-pipeline bound: fill (copyIn + kernel) + chunks×bottleneck +
+// drain (copyOut), with the bottleneck being the slowest of the three
+// engines.
+func EstimateOverlap(chunks int, copyIn, kernel, copyOut int64) (OverlapEstimate, error) {
+	if chunks <= 0 {
+		return OverlapEstimate{}, fmt.Errorf("simt: chunks must be positive, got %d", chunks)
+	}
+	if copyIn < 0 || kernel < 0 || copyOut < 0 {
+		return OverlapEstimate{}, fmt.Errorf("simt: stage costs must be non-negative")
+	}
+	per := copyIn + kernel + copyOut
+	serial := int64(chunks) * per
+	bottleneck := copyIn
+	if kernel > bottleneck {
+		bottleneck = kernel
+	}
+	if copyOut > bottleneck {
+		bottleneck = copyOut
+	}
+	pipelined := copyIn + kernel + copyOut + int64(chunks-1)*bottleneck
+	est := OverlapEstimate{Serial: serial, Pipelined: pipelined}
+	if pipelined > 0 {
+		est.Speedup = float64(serial) / float64(pipelined)
+	}
+	return est, nil
+}

@@ -1,0 +1,80 @@
+package simt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateOverlapBalanced(t *testing.T) {
+	// Equal stages: speedup approaches 3x with many chunks.
+	est, err := EstimateOverlap(100, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Serial != 3000 {
+		t.Errorf("serial = %d, want 3000", est.Serial)
+	}
+	if est.Pipelined != 30+99*10 {
+		t.Errorf("pipelined = %d, want 1020", est.Pipelined)
+	}
+	if est.Speedup < 2.9 {
+		t.Errorf("speedup = %g, want ~2.94", est.Speedup)
+	}
+}
+
+func TestEstimateOverlapKernelBound(t *testing.T) {
+	// Kernel dominates: overlap hides the copies almost entirely.
+	est, err := EstimateOverlap(50, 2, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPipe := int64(24 + 49*20)
+	if est.Pipelined != wantPipe {
+		t.Errorf("pipelined = %d, want %d", est.Pipelined, wantPipe)
+	}
+	if est.Speedup < 1.15 {
+		t.Errorf("speedup = %g, want > 1.15", est.Speedup)
+	}
+}
+
+func TestEstimateOverlapSingleChunk(t *testing.T) {
+	est, err := EstimateOverlap(1, 5, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Serial != est.Pipelined || est.Speedup != 1 {
+		t.Errorf("single chunk cannot overlap: %+v", est)
+	}
+}
+
+func TestEstimateOverlapValidation(t *testing.T) {
+	if _, err := EstimateOverlap(0, 1, 1, 1); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	if _, err := EstimateOverlap(2, -1, 1, 1); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+// Property: pipelining never loses and never beats the 3x engine bound.
+func TestOverlapBoundsProperty(t *testing.T) {
+	f := func(chunksRaw, aRaw, bRaw, cRaw uint8) bool {
+		chunks := int(chunksRaw%64) + 1
+		a, b, c := int64(aRaw), int64(bRaw), int64(cRaw)
+		est, err := EstimateOverlap(chunks, a, b, c)
+		if err != nil {
+			return false
+		}
+		if est.Pipelined > est.Serial {
+			return false
+		}
+		if est.Serial > 0 && est.Speedup > 3.0+1e-9 {
+			return false
+		}
+		return !math.IsNaN(est.Speedup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

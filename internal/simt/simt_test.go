@@ -1,0 +1,417 @@
+package simt
+
+import (
+	"math"
+	"testing"
+)
+
+func devSmall() *Device {
+	d := NewDevice()
+	d.SMs = 4
+	return d
+}
+
+func TestVecAddCorrectness(t *testing.T) {
+	d := devSmall()
+	n := 1000
+	a := d.NewBuffer(n)
+	b := d.NewBuffer(n)
+	c := d.NewBuffer(n)
+	for i := 0; i < n; i++ {
+		a.Data[i] = float64(i)
+		b.Data[i] = float64(2 * i)
+	}
+	st, err := VecAdd(d, a, b, c, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if c.Data[i] != float64(3*i) {
+			t.Fatalf("c[%d] = %g, want %g", i, c.Data[i], float64(3*i))
+		}
+	}
+	if st.Blocks != 4 || st.Warps != 4*8 {
+		t.Errorf("blocks=%d warps=%d, want 4/32", st.Blocks, st.Warps)
+	}
+	// Unit-stride loads/stores must be perfectly coalesced.
+	if eff := st.CoalescingEfficiency(); eff < 0.99 {
+		t.Errorf("vecadd coalescing efficiency = %g, want ~1", eff)
+	}
+}
+
+func TestVecAddValidation(t *testing.T) {
+	d := devSmall()
+	if _, err := VecAdd(d, d.NewBuffer(4), d.NewBuffer(5), d.NewBuffer(4), 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestStridedCopyCoalescing(t *testing.T) {
+	d := devSmall()
+	n := 1024
+	src := d.NewBuffer(n * 32)
+	dst := d.NewBuffer(n)
+	for i := range src.Data {
+		src.Data[i] = float64(i)
+	}
+	unit, err := StridedCopy(d, src, dst, n, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if dst.Data[i] != float64(i) {
+			t.Fatalf("unit copy dst[%d] = %g", i, dst.Data[i])
+		}
+	}
+	strided, err := StridedCopy(d, src, dst, n, 32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if dst.Data[i] != float64(i*32) {
+			t.Fatalf("strided copy dst[%d] = %g", i, dst.Data[i])
+		}
+	}
+	if strided.GlobalTransactions <= unit.GlobalTransactions {
+		t.Errorf("stride-32 transactions (%d) should exceed unit stride (%d)",
+			strided.GlobalTransactions, unit.GlobalTransactions)
+	}
+	if unit.CoalescingEfficiency() < 0.99 {
+		t.Errorf("unit-stride efficiency = %g, want ~1", unit.CoalescingEfficiency())
+	}
+	if strided.CoalescingEfficiency() > 0.2 {
+		t.Errorf("stride-32 efficiency = %g, want <= 0.2", strided.CoalescingEfficiency())
+	}
+	if _, err := StridedCopy(d, src, dst, n, 0, 256); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := StridedCopy(d, src, dst, n*40, 1, 256); err == nil {
+		t.Error("out-of-range copy accepted")
+	}
+}
+
+func TestMatMulNaiveAndTiledAgree(t *testing.T) {
+	d := devSmall()
+	n := 16
+	a := d.NewBuffer(n * n)
+	b := d.NewBuffer(n * n)
+	c1 := d.NewBuffer(n * n)
+	c2 := d.NewBuffer(n * n)
+	for i := 0; i < n*n; i++ {
+		a.Data[i] = float64(i % 7)
+		b.Data[i] = float64(i % 5)
+	}
+	if _, err := MatMulNaive(d, a, b, c1, n, 64); err != nil {
+		t.Fatal(err)
+	}
+	stTiled, err := MatMulTiled(d, a, b, c2, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference on the host.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += a.Data[i*n+k] * b.Data[k*n+j]
+			}
+			if math.Abs(c1.Data[i*n+j]-want) > 1e-9 {
+				t.Fatalf("naive C[%d,%d] = %g, want %g", i, j, c1.Data[i*n+j], want)
+			}
+			if math.Abs(c2.Data[i*n+j]-want) > 1e-9 {
+				t.Fatalf("tiled C[%d,%d] = %g, want %g", i, j, c2.Data[i*n+j], want)
+			}
+		}
+	}
+	if stTiled.SharedOccurrences == 0 {
+		t.Error("tiled matmul should use shared memory")
+	}
+}
+
+func TestMatMulTiledReducesGlobalTraffic(t *testing.T) {
+	d := devSmall()
+	n := 32
+	a := d.NewBuffer(n * n)
+	b := d.NewBuffer(n * n)
+	c := d.NewBuffer(n * n)
+	naive, err := MatMulNaive(d, a, b, c, n, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := MatMulTiled(d, a, b, c, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.GlobalTransactions >= naive.GlobalTransactions {
+		t.Errorf("tiled transactions (%d) should be below naive (%d)",
+			tiled.GlobalTransactions, naive.GlobalTransactions)
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	d := devSmall()
+	small := d.NewBuffer(4)
+	if _, err := MatMulNaive(d, small, small, small, 16, 64); err == nil {
+		t.Error("undersized buffers accepted")
+	}
+	if _, err := MatMulTiled(d, small, small, small, 10, 3); err == nil {
+		t.Error("non-divisible tile accepted")
+	}
+	if _, err := MatMulTiled(d, small, small, small, 64, 64); err == nil {
+		t.Error("oversized block accepted")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	d := devSmall()
+	n := 5000
+	buf := d.NewBuffer(n)
+	out := d.NewBuffer(1)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		buf.Data[i] = float64(i % 97)
+		want += buf.Data[i]
+	}
+	st, err := ReduceSum(d, buf, out, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Data[0]-want) > 1e-6 {
+		t.Errorf("ReduceSum = %g, want %g", out.Data[0], want)
+	}
+	if st.AtomicOps != int64(st.Blocks) {
+		t.Errorf("atomics = %d, want one per block (%d)", st.AtomicOps, st.Blocks)
+	}
+	if _, err := ReduceSum(d, buf, out, 100); err == nil {
+		t.Error("non-power-of-two block accepted")
+	}
+	if _, err := ReduceSum(d, buf, d.NewBuffer(0), 256); err == nil {
+		t.Error("empty output accepted")
+	}
+}
+
+func TestBlockScan(t *testing.T) {
+	d := devSmall()
+	n := 512
+	blockSize := 128
+	in := d.NewBuffer(n)
+	out := d.NewBuffer(n)
+	for i := 0; i < n; i++ {
+		in.Data[i] = 1
+	}
+	if _, err := BlockScan(d, in, out, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i%blockSize + 1) // per-block inclusive scan of ones
+		if out.Data[i] != want {
+			t.Fatalf("scan[%d] = %g, want %g", i, out.Data[i], want)
+		}
+	}
+	if _, err := BlockScan(d, in, d.NewBuffer(1), 128); err == nil {
+		t.Error("small output accepted")
+	}
+}
+
+func TestHistogramAtomic(t *testing.T) {
+	d := devSmall()
+	n, bins := 4096, 8
+	vals := d.NewBuffer(n)
+	hist := d.NewBuffer(bins)
+	for i := 0; i < n; i++ {
+		vals.Data[i] = float64(i % bins)
+	}
+	st, err := HistogramAtomic(d, vals, hist, bins, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < bins; b++ {
+		if hist.Data[b] != float64(n/bins) {
+			t.Errorf("hist[%d] = %g, want %d", b, hist.Data[b], n/bins)
+		}
+	}
+	if st.AtomicOps != int64(n) {
+		t.Errorf("atomics = %d, want %d", st.AtomicOps, n)
+	}
+	if _, err := HistogramAtomic(d, vals, d.NewBuffer(2), 8, 256); err == nil {
+		t.Error("small histogram accepted")
+	}
+}
+
+func TestDivergencePenalty(t *testing.T) {
+	d := devSmall()
+	const n = 1024
+	uniform, err := DivergentKernel(d, n, 1, 64, 256) // everyone heavy: no divergence
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergent, err := DivergentKernel(d, n, 32, 64, 256) // 1 lane per warp heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.DivergentBranches != 0 {
+		t.Errorf("uniform kernel reports %d divergent branches", uniform.DivergentBranches)
+	}
+	if divergent.DivergentBranches == 0 {
+		t.Error("divergent kernel reports no divergence")
+	}
+	if divergent.SIMTEfficiency >= uniform.SIMTEfficiency {
+		t.Errorf("divergent efficiency %g should be below uniform %g",
+			divergent.SIMTEfficiency, uniform.SIMTEfficiency)
+	}
+	if _, err := DivergentKernel(d, n, 0, 1, 0); err == nil {
+		t.Error("zero divisor accepted")
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	d := devSmall()
+	if _, err := d.Launch(LaunchConfig{Grid: 0, Block: 32}, func(*Thread) {}); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 2048}, func(*Thread) {}); err == nil {
+		t.Error("block > 1024 accepted")
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 32, SharedMem: -1}, func(*Thread) {}); err == nil {
+		t.Error("negative shared accepted")
+	}
+	bad := &Device{}
+	if _, err := bad.Launch(LaunchConfig{Grid: 1, Block: 1}, func(*Thread) {}); err == nil {
+		t.Error("invalid device accepted")
+	}
+}
+
+func TestKernelOutOfRangeAborts(t *testing.T) {
+	d := devSmall()
+	buf := d.NewBuffer(4)
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 32}, func(t *Thread) {
+		t.Load(buf, 100)
+	}); err == nil {
+		t.Error("out-of-range load should abort the launch")
+	}
+	if _, err := d.Launch(LaunchConfig{Grid: 1, Block: 2, SharedMem: 2}, func(t *Thread) {
+		t.SharedStore(5, 1)
+	}); err == nil {
+		t.Error("out-of-range shared store should abort the launch")
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	d := devSmall()
+	// 32 threads all hitting shared[lane*32 % 1024]: every lane maps to
+	// bank 0 with distinct addresses -> 32 serialized passes.
+	conflict, err := d.Launch(LaunchConfig{Grid: 1, Block: 32, SharedMem: 1024}, func(t *Thread) {
+		t.SharedStore((t.ThreadIdx*32)%1024, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict.BankConflictFactor() < 31 {
+		t.Errorf("bank conflict factor = %g, want 32", conflict.BankConflictFactor())
+	}
+	// Stride-1 access: conflict-free.
+	clean, err := d.Launch(LaunchConfig{Grid: 1, Block: 32, SharedMem: 1024}, func(t *Thread) {
+		t.SharedStore(t.ThreadIdx, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.BankConflictFactor() != 1 {
+		t.Errorf("stride-1 conflict factor = %g, want 1", clean.BankConflictFactor())
+	}
+	// Broadcast (all lanes read the same address) is also conflict-free.
+	broadcast, err := d.Launch(LaunchConfig{Grid: 1, Block: 32, SharedMem: 8}, func(t *Thread) {
+		_ = t.SharedLoad(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broadcast.BankConflictFactor() != 1 {
+		t.Errorf("broadcast conflict factor = %g, want 1", broadcast.BankConflictFactor())
+	}
+}
+
+func TestStreamsOrderAndConcurrency(t *testing.T) {
+	d := devSmall()
+	s1 := d.NewStream()
+	order := make(chan int, 3)
+	cfg := LaunchConfig{Grid: 1, Block: 32}
+	s1.LaunchAsync(cfg, func(t *Thread) { t.Work(10) }, func(KernelStats) { order <- 1 })
+	s1.LaunchAsync(cfg, func(t *Thread) { t.Work(1) }, func(KernelStats) { order <- 2 })
+	ev := s1.Record()
+	s1.LaunchAsync(cfg, func(t *Thread) {}, func(KernelStats) { order <- 3 })
+	if err := s1.Synchronize(); err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Occurred() {
+		t.Error("event should have occurred after Synchronize")
+	}
+	ev.Wait() // must not block
+	if a, b, c := <-order, <-order, <-order; a != 1 || b != 2 || c != 3 {
+		t.Errorf("stream completion order = %d,%d,%d; want 1,2,3", a, b, c)
+	}
+	if s1.String() == "" {
+		t.Error("Stream.String is empty")
+	}
+}
+
+func TestStreamErrorPropagates(t *testing.T) {
+	d := devSmall()
+	s := d.NewStream()
+	buf := d.NewBuffer(1)
+	s.LaunchAsync(LaunchConfig{Grid: 1, Block: 1}, func(t *Thread) {
+		t.Load(buf, 99)
+	}, nil)
+	if err := s.Synchronize(); err == nil {
+		t.Error("stream should surface kernel errors")
+	}
+}
+
+func TestSyncThreadsCoordination(t *testing.T) {
+	d := devSmall()
+	// Producer/consumer across the barrier: thread 0 writes, all read.
+	out := d.NewBuffer(64)
+	_, err := d.Launch(LaunchConfig{Grid: 1, Block: 64, SharedMem: 1}, func(t *Thread) {
+		if t.ThreadIdx == 0 {
+			t.SharedStore(0, 42)
+		}
+		t.SyncThreads()
+		t.Store(out, t.ThreadIdx, t.SharedLoad(0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v != 42 {
+			t.Fatalf("out[%d] = %g, want 42", i, v)
+		}
+	}
+}
+
+func BenchmarkVecAdd(b *testing.B) {
+	d := NewDevice()
+	n := 1 << 14
+	x := d.NewBuffer(n)
+	y := d.NewBuffer(n)
+	z := d.NewBuffer(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VecAdd(d, x, y, z, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMulTiled(b *testing.B) {
+	d := NewDevice()
+	n := 64
+	x := d.NewBuffer(n * n)
+	y := d.NewBuffer(n * n)
+	z := d.NewBuffer(n * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMulTiled(d, x, y, z, n, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package simt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stream is an in-order asynchronous launch queue, the CUDA streams
+// abstraction from the "advanced memory management ... concurrent
+// streams" part of the LAU course. Launches on one stream run in order;
+// different streams run concurrently.
+type Stream struct {
+	dev  *Device
+	mu   sync.Mutex
+	last chan struct{} // completion of the most recent enqueued op
+	errs []error
+}
+
+// NewStream creates an idle stream on the device.
+func (d *Device) NewStream() *Stream {
+	done := make(chan struct{})
+	close(done)
+	return &Stream{dev: d, last: done}
+}
+
+// LaunchAsync enqueues a kernel; it returns immediately. Completion
+// order within the stream follows enqueue order.
+func (s *Stream) LaunchAsync(cfg LaunchConfig, k Kernel, onDone func(KernelStats)) {
+	s.mu.Lock()
+	prev := s.last
+	done := make(chan struct{})
+	s.last = done
+	s.mu.Unlock()
+	go func() {
+		defer close(done)
+		<-prev
+		st, err := s.dev.Launch(cfg, k)
+		if err != nil {
+			s.mu.Lock()
+			s.errs = append(s.errs, err)
+			s.mu.Unlock()
+			return
+		}
+		if onDone != nil {
+			onDone(st)
+		}
+	}()
+}
+
+// Synchronize blocks until every enqueued launch has completed and
+// returns the first error, if any.
+func (s *Stream) Synchronize() error {
+	s.mu.Lock()
+	last := s.last
+	s.mu.Unlock()
+	<-last
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) > 0 {
+		return s.errs[0]
+	}
+	return nil
+}
+
+// Event marks a point in a stream that other code can wait on.
+type Event struct {
+	ch chan struct{}
+}
+
+// Record inserts an event into the stream at the current tail.
+func (s *Stream) Record() *Event {
+	ev := &Event{ch: make(chan struct{})}
+	s.mu.Lock()
+	prev := s.last
+	done := make(chan struct{})
+	s.last = done
+	s.mu.Unlock()
+	go func() {
+		<-prev
+		close(ev.ch)
+		close(done)
+	}()
+	return ev
+}
+
+// Wait blocks until the event has occurred.
+func (e *Event) Wait() { <-e.ch }
+
+// Occurred reports whether the event has fired without blocking.
+func (e *Event) Occurred() bool {
+	select {
+	case <-e.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// String describes the stream state for debugging.
+func (s *Stream) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("simt.Stream{pendingErr=%d}", len(s.errs))
+}

@@ -1,0 +1,322 @@
+package simt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// laneTrace records one lane's observable behaviour for the warp-level
+// performance model.
+type laneTrace struct {
+	instrs       int64
+	globalAddrs  []uint64 // by occurrence index
+	sharedIdxs   []int    // by occurrence index
+	branches     []bool   // by occurrence index
+	participated bool
+}
+
+// blockState is the shared state of one executing thread block.
+type blockState struct {
+	dev    *Device
+	cfg    LaunchConfig
+	shared []float64
+	shMu   sync.Mutex // guards shared for racy student kernels
+
+	barrier     *blockBarrier
+	traces      []laneTrace // indexed by thread index
+	atomicCount int64
+	err         error
+	errOnce     sync.Once
+}
+
+// blockBarrier is a reusable barrier for the block's goroutines.
+type blockBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+func newBlockBarrier(parties int) *blockBarrier {
+	b := &blockBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *blockBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Thread is the per-thread kernel context (CUDA's threadIdx/blockIdx
+// plus the instrumented memory and control APIs).
+type Thread struct {
+	BlockIdx  int
+	ThreadIdx int
+	BlockDim  int
+	GridDim   int
+
+	bs    *blockState
+	trace *laneTrace
+}
+
+// GlobalID returns blockIdx*blockDim + threadIdx.
+func (t *Thread) GlobalID() int { return t.BlockIdx*t.BlockDim + t.ThreadIdx }
+
+// fail aborts the launch with an error (out-of-range access etc.).
+func (t *Thread) fail(err error) {
+	t.bs.errOnce.Do(func() { t.bs.err = err })
+	panic(err)
+}
+
+// Load reads buf[i] from global memory.
+func (t *Thread) Load(buf *Buffer, i int) float64 {
+	if i < 0 || i >= len(buf.Data) {
+		t.fail(fmt.Errorf("simt: global load index %d out of range [0,%d)", i, len(buf.Data)))
+	}
+	t.trace.instrs++
+	t.trace.globalAddrs = append(t.trace.globalAddrs, buf.base+uint64(i)*8)
+	return buf.Data[i]
+}
+
+// Store writes buf[i] in global memory.
+func (t *Thread) Store(buf *Buffer, i int, v float64) {
+	if i < 0 || i >= len(buf.Data) {
+		t.fail(fmt.Errorf("simt: global store index %d out of range [0,%d)", i, len(buf.Data)))
+	}
+	t.trace.instrs++
+	t.trace.globalAddrs = append(t.trace.globalAddrs, buf.base+uint64(i)*8)
+	buf.Data[i] = v
+}
+
+// AtomicAdd atomically adds v to buf[i] and returns the old value.
+func (t *Thread) AtomicAdd(buf *Buffer, i int, v float64) float64 {
+	if i < 0 || i >= len(buf.Data) {
+		t.fail(fmt.Errorf("simt: atomic index %d out of range [0,%d)", i, len(buf.Data)))
+	}
+	t.trace.instrs++
+	t.trace.globalAddrs = append(t.trace.globalAddrs, buf.base+uint64(i)*8)
+	buf.atomMu.Lock()
+	old := buf.Data[i]
+	buf.Data[i] += v
+	buf.atomMu.Unlock()
+	t.bs.shMu.Lock()
+	t.bs.atomicCount++
+	t.bs.shMu.Unlock()
+	return old
+}
+
+// SharedLoad reads the block's shared memory at index i.
+func (t *Thread) SharedLoad(i int) float64 {
+	if i < 0 || i >= len(t.bs.shared) {
+		t.fail(fmt.Errorf("simt: shared load index %d out of range [0,%d)", i, len(t.bs.shared)))
+	}
+	t.trace.instrs++
+	t.trace.sharedIdxs = append(t.trace.sharedIdxs, i)
+	t.bs.shMu.Lock()
+	v := t.bs.shared[i]
+	t.bs.shMu.Unlock()
+	return v
+}
+
+// SharedStore writes the block's shared memory at index i.
+func (t *Thread) SharedStore(i int, v float64) {
+	if i < 0 || i >= len(t.bs.shared) {
+		t.fail(fmt.Errorf("simt: shared store index %d out of range [0,%d)", i, len(t.bs.shared)))
+	}
+	t.trace.instrs++
+	t.trace.sharedIdxs = append(t.trace.sharedIdxs, i)
+	t.bs.shMu.Lock()
+	t.bs.shared[i] = v
+	t.bs.shMu.Unlock()
+}
+
+// SyncThreads is the block barrier (__syncthreads). Every thread of the
+// block must reach it or the block deadlocks, exactly as on hardware.
+func (t *Thread) SyncThreads() {
+	t.trace.instrs++
+	t.bs.barrier.await()
+}
+
+// Branch records a branch decision for divergence accounting and
+// returns cond unchanged, so kernels write:
+//
+//	if t.Branch(t.GlobalID()%2 == 0) { ... }
+func (t *Thread) Branch(cond bool) bool {
+	t.trace.instrs++
+	t.trace.branches = append(t.trace.branches, cond)
+	return cond
+}
+
+// Work charges n arithmetic instructions to the lane.
+func (t *Thread) Work(n int) {
+	if n > 0 {
+		t.trace.instrs += int64(n)
+	}
+}
+
+// runBlock executes one block: a goroutine per thread with a block
+// barrier, then folds the lane traces into block-level statistics.
+func (d *Device) runBlock(cfg LaunchConfig, k Kernel, blockIdx int) (KernelStats, error) {
+	bs := &blockState{
+		dev:     d,
+		cfg:     cfg,
+		shared:  make([]float64, cfg.SharedMem),
+		barrier: newBlockBarrier(cfg.Block),
+		traces:  make([]laneTrace, cfg.Block),
+	}
+	var wg sync.WaitGroup
+	for ti := 0; ti < cfg.Block; ti++ {
+		ti := ti
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					bs.errOnce.Do(func() {
+						bs.err = fmt.Errorf("simt: kernel panic in block %d thread %d: %v", blockIdx, ti, r)
+					})
+					// Release any threads stuck at the barrier.
+					bs.barrier.mu.Lock()
+					bs.barrier.parties--
+					if bs.barrier.waiting >= bs.barrier.parties && bs.barrier.parties > 0 {
+						bs.barrier.waiting = 0
+						bs.barrier.gen++
+						bs.barrier.cond.Broadcast()
+					}
+					bs.barrier.mu.Unlock()
+				}
+			}()
+			th := &Thread{
+				BlockIdx: blockIdx, ThreadIdx: ti,
+				BlockDim: cfg.Block, GridDim: cfg.Grid,
+				bs: bs, trace: &bs.traces[ti],
+			}
+			th.trace.participated = true
+			k(th)
+		}()
+	}
+	wg.Wait()
+	if bs.err != nil {
+		return KernelStats{}, bs.err
+	}
+	return d.analyzeBlock(bs), nil
+}
+
+// analyzeBlock computes warp-level statistics from the lane traces.
+func (d *Device) analyzeBlock(bs *blockState) KernelStats {
+	var st KernelStats
+	st.AtomicOps = bs.atomicCount
+	for lo := 0; lo < len(bs.traces); lo += d.WarpSize {
+		hi := lo + d.WarpSize
+		if hi > len(bs.traces) {
+			hi = len(bs.traces)
+		}
+		lanes := bs.traces[lo:hi]
+		st.Warps++
+
+		// Compute slots: lockstep warp issues max-lane instructions.
+		var maxInstr, sumInstr int64
+		for i := range lanes {
+			sumInstr += lanes[i].instrs
+			if lanes[i].instrs > maxInstr {
+				maxInstr = lanes[i].instrs
+			}
+		}
+		st.Instructions += sumInstr
+		st.WarpInstructionSlots += maxInstr
+
+		// Global coalescing: group the k-th global access of each lane
+		// into one warp-level occurrence; count distinct segments.
+		maxG := 0
+		for i := range lanes {
+			if len(lanes[i].globalAddrs) > maxG {
+				maxG = len(lanes[i].globalAddrs)
+			}
+		}
+		seg := uint64(d.SegmentBytes)
+		for k := 0; k < maxG; k++ {
+			segs := map[uint64]bool{}
+			active := 0
+			for i := range lanes {
+				if k < len(lanes[i].globalAddrs) {
+					segs[lanes[i].globalAddrs[k]/seg] = true
+					active++
+				}
+			}
+			st.GlobalTransactions += int64(len(segs))
+			ideal := (int64(active)*8 + int64(seg) - 1) / int64(seg)
+			if ideal < 1 {
+				ideal = 1
+			}
+			st.IdealTransactions += ideal
+		}
+
+		// Shared-memory bank conflicts per occurrence.
+		maxS := 0
+		for i := range lanes {
+			if len(lanes[i].sharedIdxs) > maxS {
+				maxS = len(lanes[i].sharedIdxs)
+			}
+		}
+		for k := 0; k < maxS; k++ {
+			bankAddrs := map[int]map[int]bool{}
+			for i := range lanes {
+				if k < len(lanes[i].sharedIdxs) {
+					idx := lanes[i].sharedIdxs[k]
+					bank := idx % d.Banks
+					if bankAddrs[bank] == nil {
+						bankAddrs[bank] = map[int]bool{}
+					}
+					bankAddrs[bank][idx] = true
+				}
+			}
+			passes := 1
+			for _, addrs := range bankAddrs {
+				if len(addrs) > passes {
+					passes = len(addrs) // distinct addresses serialize
+				}
+			}
+			st.SharedPasses += int64(passes)
+			st.SharedOccurrences++
+		}
+
+		// Branch divergence per occurrence.
+		maxB := 0
+		for i := range lanes {
+			if len(lanes[i].branches) > maxB {
+				maxB = len(lanes[i].branches)
+			}
+		}
+		for k := 0; k < maxB; k++ {
+			hasTrue, hasFalse := false, false
+			for i := range lanes {
+				if k < len(lanes[i].branches) {
+					if lanes[i].branches[k] {
+						hasTrue = true
+					} else {
+						hasFalse = true
+					}
+				}
+			}
+			st.BranchOccurrences++
+			if hasTrue && hasFalse {
+				st.DivergentBranches++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,169 @@
+// Package taskgraph implements the work-span model of parallel
+// computation that CC2020 names via its "critical path" topic: task DAGs
+// with weighted nodes, computation of work (T1) and span (T∞), the
+// critical path itself, Brent's-theorem bounds, and greedy list
+// scheduling onto p processors for comparison against those bounds.
+package taskgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrCycle is returned when a graph operation requires acyclicity but the
+// graph has a cycle.
+var ErrCycle = errors.New("taskgraph: graph contains a cycle")
+
+// Task is a node in a task DAG.
+type Task struct {
+	ID   int
+	Name string
+	// Cost is the task's execution time in abstract units (must be > 0
+	// for scheduling results to be meaningful).
+	Cost float64
+	// deps are IDs of tasks that must complete before this one starts.
+	deps []int
+}
+
+// Graph is a directed acyclic graph of tasks. The zero value is empty
+// and ready to use via AddTask.
+type Graph struct {
+	tasks map[int]*Task
+	next  int
+}
+
+// NewGraph creates an empty task graph.
+func NewGraph() *Graph {
+	return &Graph{tasks: make(map[int]*Task)}
+}
+
+// AddTask inserts a task with the given name, cost and dependency IDs,
+// returning its assigned ID. It returns an error if a dependency does
+// not exist or the cost is negative.
+func (g *Graph) AddTask(name string, cost float64, deps ...int) (int, error) {
+	if cost < 0 {
+		return 0, fmt.Errorf("taskgraph: negative cost %g for task %q", cost, name)
+	}
+	for _, d := range deps {
+		if _, ok := g.tasks[d]; !ok {
+			return 0, fmt.Errorf("taskgraph: dependency %d of task %q does not exist", d, name)
+		}
+	}
+	id := g.next
+	g.next++
+	g.tasks[id] = &Task{ID: id, Name: name, Cost: cost, deps: append([]int(nil), deps...)}
+	return id, nil
+}
+
+// MustAddTask is AddTask that panics on error; convenient in examples.
+func (g *Graph) MustAddTask(name string, cost float64, deps ...int) int {
+	id, err := g.AddTask(name, cost, deps...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Len reports the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// Task returns the task with the given ID, or nil.
+func (g *Graph) Task(id int) *Task { return g.tasks[id] }
+
+// Deps returns a copy of the dependency IDs of the given task.
+func (g *Graph) Deps(id int) []int {
+	t := g.tasks[id]
+	if t == nil {
+		return nil
+	}
+	return append([]int(nil), t.deps...)
+}
+
+// TopoOrder returns the task IDs in a topological order, or ErrCycle.
+// Because AddTask only allows edges to pre-existing tasks, graphs built
+// through the public API are always acyclic; the check guards graphs
+// deserialized or mutated by other means.
+func (g *Graph) TopoOrder() ([]int, error) {
+	indeg := make(map[int]int, len(g.tasks))
+	succs := make(map[int][]int, len(g.tasks))
+	for id, t := range g.tasks {
+		if _, ok := indeg[id]; !ok {
+			indeg[id] = 0
+		}
+		for _, d := range t.deps {
+			indeg[id]++
+			succs[d] = append(succs[d], id)
+		}
+	}
+	// Deterministic order: start from smallest IDs.
+	var queue []int
+	for id := 0; id < g.next; id++ {
+		if t, ok := g.tasks[id]; ok && t != nil && indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		// Pop the smallest ready ID for determinism.
+		minIdx := 0
+		for i, id := range queue {
+			if id < queue[minIdx] {
+				minIdx = i
+			}
+		}
+		id := queue[minIdx]
+		queue = append(queue[:minIdx], queue[minIdx+1:]...)
+		order = append(order, id)
+		for _, s := range succs[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// RandomLayered generates a deterministic pseudo-random layered DAG with
+// the given number of layers, width per layer, and edge probability
+// between adjacent layers — the workload generator for the scheduling
+// benchmarks. Costs are drawn uniformly from [minCost, maxCost).
+func RandomLayered(layers, width int, edgeProb, minCost, maxCost float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	prev := make([]int, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]int, 0, width)
+		for w := 0; w < width; w++ {
+			var deps []int
+			for _, p := range prev {
+				if rng.Float64() < edgeProb {
+					deps = append(deps, p)
+				}
+			}
+			cost := minCost + rng.Float64()*(maxCost-minCost)
+			id := g.MustAddTask(fmt.Sprintf("L%dW%d", l, w), cost, deps...)
+			cur = append(cur, id)
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Fork generates a fork-join graph: a source task, n parallel children,
+// and a sink join task, with the given per-child cost — the shape of
+// every parallel-for.
+func Fork(n int, sourceCost, childCost, sinkCost float64) *Graph {
+	g := NewGraph()
+	src := g.MustAddTask("fork", sourceCost)
+	children := make([]int, n)
+	for i := 0; i < n; i++ {
+		children[i] = g.MustAddTask(fmt.Sprintf("child%d", i), childCost, src)
+	}
+	g.MustAddTask("join", sinkCost, children...)
+	return g
+}

@@ -1,0 +1,61 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot format, optionally annotating
+// the critical path (its nodes and edges drawn bold) — the visualization
+// instructors project when teaching work-span analysis.
+func (g *Graph) DOT(highlightCriticalPath bool) (string, error) {
+	var critical map[int]bool
+	var criticalEdge map[[2]int]bool
+	if highlightCriticalPath {
+		a, err := g.Analyze()
+		if err != nil {
+			return "", err
+		}
+		critical = map[int]bool{}
+		criticalEdge = map[[2]int]bool{}
+		for i, id := range a.CriticalPath {
+			critical[id] = true
+			if i > 0 {
+				criticalEdge[[2]int{a.CriticalPath[i-1], id}] = true
+			}
+		}
+	}
+	ids := make([]int, 0, len(g.tasks))
+	for id := range g.tasks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	b.WriteString("digraph tasks {\n  rankdir=TB;\n")
+	for _, id := range ids {
+		t := g.tasks[id]
+		style := ""
+		if critical[id] {
+			style = ", penwidth=2, color=red"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\ncost=%.3g\"%s];\n", id, escapeDot(t.Name), t.Cost, style)
+	}
+	for _, id := range ids {
+		for _, d := range g.tasks[id].deps {
+			style := ""
+			if criticalEdge[[2]int{d, id}] {
+				style = " [penwidth=2, color=red]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", d, id, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

@@ -1,0 +1,40 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddTask("load \"x\"", 1)
+	b := g.MustAddTask("compute", 3, a)
+	g.MustAddTask("store", 1, b)
+	out, err := g.DOT(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph tasks", "n0 -> n1", "n1 -> n2", "penwidth=2", `load \"x\"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Every node and edge of the chain is critical.
+	if strings.Count(out, "color=red") != 5 { // 3 nodes + 2 edges
+		t.Errorf("critical highlights = %d, want 5:\n%s", strings.Count(out, "color=red"), out)
+	}
+}
+
+func TestDOTWithoutHighlight(t *testing.T) {
+	g := Fork(3, 1, 2, 1)
+	out, err := g.DOT(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "color=red") {
+		t.Error("highlight leaked into plain render")
+	}
+	if strings.Count(out, "->") != 6 { // 3 fork edges + 3 join edges
+		t.Errorf("edges = %d, want 6", strings.Count(out, "->"))
+	}
+}

@@ -1,0 +1,240 @@
+package taskgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the classic diamond DAG:
+//
+//	    a(1)
+//	   /    \
+//	b(3)    c(2)
+//	   \    /
+//	    d(1)
+func diamond(t *testing.T) (*Graph, [4]int) {
+	t.Helper()
+	g := NewGraph()
+	a := g.MustAddTask("a", 1)
+	b := g.MustAddTask("b", 3, a)
+	c := g.MustAddTask("c", 2, a)
+	d := g.MustAddTask("d", 1, b, c)
+	return g, [4]int{a, b, c, d}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	g, ids := diamond(t)
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work != 7 {
+		t.Errorf("Work = %g, want 7", a.Work)
+	}
+	if a.Span != 5 { // a -> b -> d
+		t.Errorf("Span = %g, want 5", a.Span)
+	}
+	if math.Abs(a.Parallelism-7.0/5.0) > 1e-12 {
+		t.Errorf("Parallelism = %g, want 1.4", a.Parallelism)
+	}
+	want := []int{ids[0], ids[1], ids[3]}
+	if len(a.CriticalPath) != len(want) {
+		t.Fatalf("CriticalPath = %v, want %v", a.CriticalPath, want)
+	}
+	for i := range want {
+		if a.CriticalPath[i] != want[i] {
+			t.Errorf("CriticalPath[%d] = %d, want %d", i, a.CriticalPath[i], want[i])
+		}
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddTask("bad", -1); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if _, err := g.AddTask("orphan", 1, 99); err == nil {
+		t.Error("missing dependency should be rejected")
+	}
+	id, err := g.AddTask("ok", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(id) == nil || g.Task(id).Name != "ok" {
+		t.Error("Task lookup failed")
+	}
+	if g.Task(12345) != nil {
+		t.Error("lookup of unknown ID should be nil")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if deps := g.Deps(id); len(deps) != 0 {
+		t.Errorf("Deps = %v, want empty", deps)
+	}
+	if deps := g.Deps(999); deps != nil {
+		t.Errorf("Deps of unknown = %v, want nil", deps)
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	g := RandomLayered(5, 6, 0.5, 1, 10, 42)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range order {
+		for _, d := range g.Deps(id) {
+			if pos[d] >= pos[id] {
+				t.Fatalf("dependency %d not before task %d", d, id)
+			}
+		}
+	}
+}
+
+func TestForkGraph(t *testing.T) {
+	g := Fork(8, 1, 2, 1)
+	a, err := g.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Work != 1+8*2+1 {
+		t.Errorf("Work = %g, want 18", a.Work)
+	}
+	if a.Span != 4 { // 1 + 2 + 1
+		t.Errorf("Span = %g, want 4", a.Span)
+	}
+}
+
+func TestListScheduleSingleProcessorEqualsWork(t *testing.T) {
+	g := RandomLayered(4, 5, 0.4, 1, 5, 7)
+	a, _ := g.Analyze()
+	res, err := g.ListSchedule(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-a.Work) > 1e-9 {
+		t.Errorf("1-processor makespan = %g, want Work = %g", res.Makespan, a.Work)
+	}
+}
+
+func TestListScheduleRespectsDependencies(t *testing.T) {
+	g := RandomLayered(6, 4, 0.5, 1, 8, 11)
+	res, err := g.ListSchedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish := map[int]float64{}
+	for _, e := range res.Entries {
+		finish[e.TaskID] = e.Finish
+	}
+	procBusy := map[int][][2]float64{}
+	for _, e := range res.Entries {
+		for _, d := range g.Deps(e.TaskID) {
+			if finish[d] > e.Start+1e-9 {
+				t.Errorf("task %d starts at %g before dep %d finishes at %g",
+					e.TaskID, e.Start, d, finish[d])
+			}
+		}
+		procBusy[e.Processor] = append(procBusy[e.Processor], [2]float64{e.Start, e.Finish})
+	}
+	// No overlapping intervals on any processor.
+	for proc, ivs := range procBusy {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a[0] < b[1]-1e-9 && b[0] < a[1]-1e-9 {
+					t.Errorf("processor %d has overlapping tasks %v and %v", proc, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Property: greedy list scheduling satisfies Brent's bound and the
+// trivial lower bound on random DAGs and processor counts.
+func TestBrentBoundProperty(t *testing.T) {
+	f := func(seed int64, pRaw, layersRaw, widthRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		layers := int(layersRaw%5) + 1
+		width := int(widthRaw%5) + 1
+		g := RandomLayered(layers, width, 0.5, 1, 10, seed)
+		a, err := g.Analyze()
+		if err != nil {
+			return false
+		}
+		res, err := g.ListSchedule(p)
+		if err != nil {
+			return false
+		}
+		ub := BrentUpperBound(a, p)
+		lb := LowerBound(a, p)
+		return res.Makespan <= ub+1e-9 && res.Makespan >= lb-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	var a Analysis
+	if BrentUpperBound(a, 0) != 0 || LowerBound(a, 0) != 0 {
+		t.Error("bounds with p=0 should be 0")
+	}
+}
+
+func TestListScheduleEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	res, err := g.ListSchedule(4)
+	if err != nil || res.Makespan != 0 || len(res.Entries) != 0 {
+		t.Errorf("empty graph schedule = %+v, err=%v", res, err)
+	}
+}
+
+func TestListScheduleDefensiveP(t *testing.T) {
+	g, _ := diamond(t)
+	res, err := g.ListSchedule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processors != 1 {
+		t.Errorf("p=0 should clamp to 1, got %d", res.Processors)
+	}
+}
+
+func TestMoreProcessorsApproachSpan(t *testing.T) {
+	g := Fork(16, 1, 4, 1)
+	a, _ := g.Analyze()
+	res, err := g.ListSchedule(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-a.Span) > 1e-9 {
+		t.Errorf("16-processor fork-join makespan = %g, want span %g", res.Makespan, a.Span)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	g := RandomLayered(20, 50, 0.3, 1, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkListSchedule(b *testing.B) {
+	g := RandomLayered(20, 50, 0.3, 1, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ListSchedule(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

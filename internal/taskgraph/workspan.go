@@ -1,0 +1,234 @@
+package taskgraph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Analysis summarizes the work-span analysis of a task graph.
+type Analysis struct {
+	// Work is T1, the total cost of all tasks (time on one processor).
+	Work float64
+	// Span is T∞, the cost of the longest dependency chain (time with
+	// unlimited processors).
+	Span float64
+	// Parallelism is Work/Span, the maximum useful processor count.
+	Parallelism float64
+	// CriticalPath lists the task IDs along one longest chain, in
+	// execution order.
+	CriticalPath []int
+}
+
+// Analyze computes work, span and a critical path. It returns ErrCycle
+// for cyclic graphs.
+func (g *Graph) Analyze() (Analysis, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Analysis{}, err
+	}
+	var a Analysis
+	finish := make(map[int]float64, len(order)) // earliest finish time
+	pred := make(map[int]int, len(order))       // critical predecessor
+	for _, id := range order {
+		t := g.tasks[id]
+		a.Work += t.Cost
+		start := 0.0
+		pred[id] = -1
+		for _, d := range t.deps {
+			if finish[d] > start {
+				start = finish[d]
+				pred[id] = d
+			}
+		}
+		finish[id] = start + t.Cost
+		if finish[id] > a.Span {
+			a.Span = finish[id]
+		}
+	}
+	// Recover one critical path by walking predecessors from the task
+	// with the maximal finish time.
+	last := -1
+	for id, f := range finish {
+		if last == -1 || f > finish[last] || (f == finish[last] && id < last) {
+			last = id
+		}
+	}
+	for id := last; id != -1; id = pred[id] {
+		a.CriticalPath = append(a.CriticalPath, id)
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(a.CriticalPath)-1; i < j; i, j = i+1, j-1 {
+		a.CriticalPath[i], a.CriticalPath[j] = a.CriticalPath[j], a.CriticalPath[i]
+	}
+	if a.Span > 0 {
+		a.Parallelism = a.Work / a.Span
+	}
+	return a, nil
+}
+
+// BrentUpperBound returns the classical greedy-scheduler bound
+// T_p <= T1/p + T∞ for p processors.
+func BrentUpperBound(a Analysis, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return a.Work/float64(p) + a.Span
+}
+
+// LowerBound returns max(T1/p, T∞), the trivial lower bound on T_p.
+func LowerBound(a Analysis, p int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	lb := a.Work / float64(p)
+	if a.Span > lb {
+		lb = a.Span
+	}
+	return lb
+}
+
+// ScheduleEntry records one task's placement by the list scheduler.
+type ScheduleEntry struct {
+	TaskID    int
+	Processor int
+	Start     float64
+	Finish    float64
+}
+
+// ScheduleResult is the outcome of list-scheduling a graph on p processors.
+type ScheduleResult struct {
+	Processors int
+	Makespan   float64
+	Entries    []ScheduleEntry
+}
+
+// finishEvent is a running task completion in the event queue.
+type finishEvent struct {
+	time float64
+	proc int
+	task int
+}
+
+type finishHeap []finishEvent
+
+func (h finishHeap) Len() int { return len(h) }
+func (h finishHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].task < h[j].task
+}
+func (h finishHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *finishHeap) Push(x any)   { *h = append(*h, x.(finishEvent)) }
+func (h *finishHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ListSchedule runs a greedy (never idles a processor while a task is
+// ready) event-driven list scheduler on p identical processors,
+// dispatching ready tasks in bottom-level (HLFET) priority order. The
+// resulting makespan therefore satisfies Brent's bound
+// T_p <= T1/p + T∞, which the tests assert as a property.
+func (g *Graph) ListSchedule(p int) (ScheduleResult, error) {
+	if p <= 0 {
+		p = 1
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return ScheduleResult{}, err
+	}
+	res := ScheduleResult{Processors: p}
+	if len(order) == 0 {
+		return res, nil
+	}
+
+	succs := make(map[int][]int, len(order))
+	for _, id := range order {
+		for _, d := range g.tasks[id].deps {
+			succs[d] = append(succs[d], id)
+		}
+	}
+	// Bottom levels (longest outgoing path incl. self) in reverse topo order.
+	bottom := make(map[int]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		best := 0.0
+		for _, s := range succs[id] {
+			if bottom[s] > best {
+				best = bottom[s]
+			}
+		}
+		bottom[id] = best + g.tasks[id].Cost
+	}
+
+	remaining := make(map[int]int, len(order))
+	var ready []int // tasks whose deps have all finished by current time
+	for _, id := range order {
+		remaining[id] = len(g.tasks[id].deps)
+		if remaining[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	pickReady := func() int {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			bi, bb := bottom[ready[i]], bottom[ready[best]]
+			if bi > bb || (bi == bb && ready[i] < ready[best]) {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		return id
+	}
+
+	idle := make([]int, p) // idle processor IDs, smallest last for pop
+	for i := range idle {
+		idle[i] = p - 1 - i
+	}
+	var running finishHeap
+	heap.Init(&running)
+	t := 0.0
+	completed := 0
+
+	for completed < len(order) {
+		// Greedy dispatch: fill idle processors with ready tasks.
+		for len(idle) > 0 && len(ready) > 0 {
+			id := pickReady()
+			proc := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			fin := t + g.tasks[id].Cost
+			res.Entries = append(res.Entries, ScheduleEntry{
+				TaskID: id, Processor: proc, Start: t, Finish: fin,
+			})
+			heap.Push(&running, finishEvent{time: fin, proc: proc, task: id})
+		}
+		if running.Len() == 0 {
+			// Nothing running and nothing ready: graph is inconsistent.
+			return ScheduleResult{}, ErrCycle
+		}
+		// Advance to the next completion; release every task finishing
+		// at that instant so dispatch sees the full ready set.
+		t = running[0].time
+		for running.Len() > 0 && running[0].time == t {
+			ev := heap.Pop(&running).(finishEvent)
+			idle = append(idle, ev.proc)
+			completed++
+			if ev.time > res.Makespan {
+				res.Makespan = ev.time
+			}
+			for _, s := range succs[ev.task] {
+				remaining[s]--
+				if remaining[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(idle)))
+	}
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DB is a transactional key-value store protected by strict 2PL.
+type DB struct {
+	lm      *LockManager
+	mu      sync.Mutex
+	data    map[string]int64
+	nextTxn atomic.Int64
+	history *History
+	// Commits and Aborts count outcomes.
+	Commits atomic.Int64
+	Aborts  atomic.Int64
+}
+
+// NewDB creates an empty store under the given deadlock policy. The
+// history of every successful read/write is recorded for offline
+// serializability checking.
+func NewDB(s Strategy) *DB {
+	return &DB{lm: NewLockManager(s), data: map[string]int64{}, history: &History{}}
+}
+
+// Set initializes a key outside any transaction (test/bench setup).
+func (db *DB) Set(key string, v int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.data[key] = v
+}
+
+// ReadCommitted returns a key's committed value outside any transaction.
+func (db *DB) ReadCommitted(key string) int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.data[key]
+}
+
+// History returns the recorded operation history.
+func (db *DB) History() *History { return db.history }
+
+// Txn is an active transaction.
+type Txn struct {
+	db   *DB
+	id   int
+	undo []undoRec
+	done bool
+}
+
+type undoRec struct {
+	key  string
+	prev int64
+	had  bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	id := int(db.nextTxn.Add(1))
+	db.lm.Register(id)
+	return &Txn{db: db, id: id}
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() int { return t.id }
+
+// Get reads key under a shared lock.
+func (t *Txn) Get(key string) (int64, error) {
+	if t.done {
+		return 0, fmt.Errorf("txn: transaction %d already finished", t.id)
+	}
+	if err := t.db.lm.Acquire(t.id, key, S); err != nil {
+		t.rollback()
+		return 0, err
+	}
+	t.db.mu.Lock()
+	v := t.db.data[key]
+	t.db.mu.Unlock()
+	t.db.history.Record(t.id, OpRead, key)
+	return v, nil
+}
+
+// Put writes key under an exclusive lock, logging the before-image for
+// rollback.
+func (t *Txn) Put(key string, v int64) error {
+	if t.done {
+		return fmt.Errorf("txn: transaction %d already finished", t.id)
+	}
+	if err := t.db.lm.Acquire(t.id, key, X); err != nil {
+		t.rollback()
+		return err
+	}
+	t.db.mu.Lock()
+	prev, had := t.db.data[key]
+	t.undo = append(t.undo, undoRec{key: key, prev: prev, had: had})
+	t.db.data[key] = v
+	t.db.mu.Unlock()
+	t.db.history.Record(t.id, OpWrite, key)
+	return nil
+}
+
+// Commit finishes the transaction; if it was chosen as a deadlock victim
+// since its last operation, the writes are rolled back and ErrAborted
+// returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("txn: transaction %d already finished", t.id)
+	}
+	if t.db.lm.Aborted(t.id) {
+		t.rollback()
+		return ErrAborted
+	}
+	t.done = true
+	t.db.history.Record(t.id, OpCommit, "")
+	t.db.lm.ReleaseAll(t.id)
+	t.db.Commits.Add(1)
+	return nil
+}
+
+// Abort rolls the transaction back voluntarily.
+func (t *Txn) Abort() {
+	if !t.done {
+		t.rollback()
+	}
+}
+
+// rollback undoes writes in reverse order and releases locks.
+func (t *Txn) rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.mu.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		u := t.undo[i]
+		if u.had {
+			t.db.data[u.key] = u.prev
+		} else {
+			delete(t.db.data, u.key)
+		}
+	}
+	t.db.mu.Unlock()
+	t.db.history.Record(t.id, OpAbort, "")
+	t.db.lm.ReleaseAll(t.id)
+	t.db.Aborts.Add(1)
+}
+
+// Transfer is the canonical bank workload: move amount from one account
+// to another inside a transaction, retrying on deadlock aborts up to
+// maxRetries times.
+func Transfer(db *DB, from, to string, amount int64, maxRetries int) error {
+	for attempt := 0; ; attempt++ {
+		t := db.Begin()
+		err := func() error {
+			a, err := t.Get(from)
+			if err != nil {
+				return err
+			}
+			b, err := t.Get(to)
+			if err != nil {
+				return err
+			}
+			if err := t.Put(from, a-amount); err != nil {
+				return err
+			}
+			if err := t.Put(to, b+amount); err != nil {
+				return err
+			}
+			return t.Commit()
+		}()
+		if err == nil {
+			return nil
+		}
+		if err == ErrAborted && attempt < maxRetries {
+			continue
+		}
+		t.Abort()
+		return err
+	}
+}

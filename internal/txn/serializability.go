@@ -1,0 +1,174 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// OpType is an operation kind in a history.
+type OpType int
+
+const (
+	// OpRead is a transactional read.
+	OpRead OpType = iota
+	// OpWrite is a transactional write.
+	OpWrite
+	// OpCommit finishes a transaction successfully.
+	OpCommit
+	// OpAbort rolls a transaction back.
+	OpAbort
+)
+
+// String returns the op letter used in textbook histories.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "r"
+	case OpWrite:
+		return "w"
+	case OpCommit:
+		return "c"
+	case OpAbort:
+		return "a"
+	default:
+		return "?"
+	}
+}
+
+// HistOp is one history entry.
+type HistOp struct {
+	Txn int
+	Op  OpType
+	Key string
+}
+
+// String renders the op in textbook notation, e.g. "w1[x]".
+func (h HistOp) String() string {
+	if h.Op == OpCommit || h.Op == OpAbort {
+		return fmt.Sprintf("%s%d", h.Op, h.Txn)
+	}
+	return fmt.Sprintf("%s%d[%s]", h.Op, h.Txn, h.Key)
+}
+
+// History is a thread-safe recorded schedule.
+type History struct {
+	mu  sync.Mutex
+	ops []HistOp
+}
+
+// Record appends one operation.
+func (h *History) Record(txn int, op OpType, key string) {
+	h.mu.Lock()
+	h.ops = append(h.ops, HistOp{Txn: txn, Op: op, Key: key})
+	h.mu.Unlock()
+}
+
+// Ops returns a copy of the recorded operations.
+func (h *History) Ops() []HistOp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]HistOp(nil), h.ops...)
+}
+
+// Len reports the number of recorded operations.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.ops)
+}
+
+// CommittedProjection returns the history restricted to transactions
+// that committed.
+func CommittedProjection(ops []HistOp) []HistOp {
+	committed := map[int]bool{}
+	for _, op := range ops {
+		if op.Op == OpCommit {
+			committed[op.Txn] = true
+		}
+	}
+	var out []HistOp
+	for _, op := range ops {
+		if committed[op.Txn] {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// PrecedenceGraph returns adjacency sets for the conflict graph of the
+// history: an edge Ti -> Tj for each pair of conflicting operations
+// (same key, different transactions, at least one write) where Ti's
+// operation comes first.
+func PrecedenceGraph(ops []HistOp) map[int]map[int]bool {
+	g := map[int]map[int]bool{}
+	addNode := func(t int) {
+		if g[t] == nil {
+			g[t] = map[int]bool{}
+		}
+	}
+	for i, a := range ops {
+		if a.Op != OpRead && a.Op != OpWrite {
+			continue
+		}
+		addNode(a.Txn)
+		for _, b := range ops[i+1:] {
+			if b.Op != OpRead && b.Op != OpWrite {
+				continue
+			}
+			if b.Txn == a.Txn || b.Key != a.Key {
+				continue
+			}
+			if a.Op == OpWrite || b.Op == OpWrite {
+				addNode(b.Txn)
+				g[a.Txn][b.Txn] = true
+			}
+		}
+	}
+	return g
+}
+
+// IsConflictSerializable reports whether the committed projection of the
+// history is conflict-serializable (its precedence graph is acyclic) and
+// returns a witness serial order when it is.
+func IsConflictSerializable(ops []HistOp) (bool, []int) {
+	committed := CommittedProjection(ops)
+	g := PrecedenceGraph(committed)
+	// Kahn's algorithm.
+	indeg := map[int]int{}
+	for t := range g {
+		if _, ok := indeg[t]; !ok {
+			indeg[t] = 0
+		}
+		for u := range g[t] {
+			indeg[u]++
+		}
+	}
+	var queue, order []int
+	for t, d := range indeg {
+		if d == 0 {
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		// Deterministic: take the smallest.
+		minIdx := 0
+		for i := range queue {
+			if queue[i] < queue[minIdx] {
+				minIdx = i
+			}
+		}
+		t := queue[minIdx]
+		queue = append(queue[:minIdx], queue[minIdx+1:]...)
+		order = append(order, t)
+		for u := range g[t] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != len(indeg) {
+		return false, nil
+	}
+	return true, order
+}

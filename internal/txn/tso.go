@@ -1,0 +1,89 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTooLate is returned by timestamp-ordering operations that arrive
+// after a conflicting younger operation has been accepted.
+var ErrTooLate = errors.New("txn: operation too late under timestamp ordering")
+
+// TSO implements basic timestamp-ordering concurrency control: each
+// transaction carries its begin timestamp; a read is rejected when a
+// younger write was accepted, a write is rejected when a younger read or
+// write was accepted. With ThomasWrite enabled, obsolete writes are
+// skipped instead of rejected (the Thomas write rule).
+type TSO struct {
+	mu      sync.Mutex
+	nextTS  uint64
+	data    map[string]int64
+	readTS  map[string]uint64
+	writeTS map[string]uint64
+	// ThomasWrite enables the Thomas write rule.
+	ThomasWrite bool
+	// Rejections counts operations refused.
+	Rejections int64
+}
+
+// NewTSO creates an empty timestamp-ordered store.
+func NewTSO(thomasWrite bool) *TSO {
+	return &TSO{
+		data:        map[string]int64{},
+		readTS:      map[string]uint64{},
+		writeTS:     map[string]uint64{},
+		ThomasWrite: thomasWrite,
+	}
+}
+
+// Begin returns a fresh transaction timestamp.
+func (t *TSO) Begin() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTS++
+	return t.nextTS
+}
+
+// Read returns key's value for transaction ts, or ErrTooLate if a
+// younger transaction already wrote it.
+func (t *TSO) Read(ts uint64, key string) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts < t.writeTS[key] {
+		t.Rejections++
+		return 0, ErrTooLate
+	}
+	if ts > t.readTS[key] {
+		t.readTS[key] = ts
+	}
+	return t.data[key], nil
+}
+
+// Write stores key=v for transaction ts, or returns ErrTooLate when a
+// younger transaction already read or wrote it (unless the Thomas write
+// rule applies, in which case an obsolete write is silently skipped).
+func (t *TSO) Write(ts uint64, key string, v int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts < t.readTS[key] {
+		t.Rejections++
+		return ErrTooLate
+	}
+	if ts < t.writeTS[key] {
+		if t.ThomasWrite {
+			return nil // obsolete write: skip
+		}
+		t.Rejections++
+		return ErrTooLate
+	}
+	t.writeTS[key] = ts
+	t.data[key] = v
+	return nil
+}
+
+// Value returns the current committed value (test helper).
+func (t *TSO) Value(key string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.data[key]
+}

@@ -1,0 +1,350 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLockBasics(t *testing.T) {
+	lm := NewLockManager(Detect)
+	lm.Register(1)
+	lm.Register(2)
+	if err := lm.Acquire(1, "x", S); err != nil {
+		t.Fatal(err)
+	}
+	// Shared locks coexist.
+	if err := lm.Acquire(2, "x", S); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := lm.HoldsLock(1, "x"); !ok || m != S {
+		t.Errorf("T1 lock = %v,%v", m, ok)
+	}
+	lm.ReleaseAll(2)
+	// Upgrade S -> X once alone.
+	if err := lm.Acquire(1, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := lm.HoldsLock(1, "x"); m != X {
+		t.Errorf("upgrade failed, mode = %v", m)
+	}
+	lm.ReleaseAll(1)
+	if _, ok := lm.HoldsLock(1, "x"); ok {
+		t.Error("lock survived ReleaseAll")
+	}
+}
+
+func TestUnregisteredAcquireFails(t *testing.T) {
+	lm := NewLockManager(Detect)
+	if err := lm.Acquire(9, "x", S); err == nil {
+		t.Error("unregistered transaction acquired a lock")
+	}
+}
+
+func TestDeadlockDetectionResolves(t *testing.T) {
+	lm := NewLockManager(Detect)
+	lm.Register(1)
+	lm.Register(2)
+	if err := lm.Acquire(1, "a", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "b", X); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = lm.Acquire(1, "b", X) }()
+	go func() { defer wg.Done(); errs[1] = lm.Acquire(2, "a", X) }()
+	wg.Wait()
+	aborted := 0
+	for _, err := range errs {
+		if err == ErrAborted {
+			aborted++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if aborted != 1 {
+		t.Errorf("aborted = %d, want exactly 1 victim", aborted)
+	}
+	if lm.Deadlocks == 0 {
+		t.Error("deadlock counter not incremented")
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+}
+
+func TestStrategyAndModeStrings(t *testing.T) {
+	if Detect.String() != "detect" || WoundWait.String() != "wound-wait" ||
+		WaitDie.String() != "wait-die" || Strategy(9).String() != "unknown" {
+		t.Error("Strategy.String mismatch")
+	}
+	if S.String() != "S" || X.String() != "X" {
+		t.Error("Mode.String mismatch")
+	}
+	if OpRead.String() != "r" || OpWrite.String() != "w" ||
+		OpCommit.String() != "c" || OpAbort.String() != "a" || OpType(9).String() != "?" {
+		t.Error("OpType.String mismatch")
+	}
+	op := HistOp{Txn: 1, Op: OpWrite, Key: "x"}
+	if op.String() != "w1[x]" {
+		t.Errorf("HistOp.String = %q", op.String())
+	}
+	if (HistOp{Txn: 2, Op: OpCommit}).String() != "c2" {
+		t.Error("commit op format wrong")
+	}
+}
+
+func TestWaitDieYoungerDies(t *testing.T) {
+	lm := NewLockManager(WaitDie)
+	lm.Register(1) // older
+	lm.Register(2) // younger
+	if err := lm.Acquire(1, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(2, "x", X); err != ErrAborted {
+		t.Errorf("younger requester should die, got %v", err)
+	}
+	if lm.Deaths != 1 {
+		t.Errorf("Deaths = %d, want 1", lm.Deaths)
+	}
+}
+
+func TestWoundWaitOlderWounds(t *testing.T) {
+	lm := NewLockManager(WoundWait)
+	lm.Register(1) // older
+	lm.Register(2) // younger
+	if err := lm.Acquire(2, "x", X); err != nil {
+		t.Fatal(err)
+	}
+	// Older transaction wounds the younger holder and proceeds.
+	if err := lm.Acquire(1, "x", X); err != nil {
+		t.Fatalf("older requester should win: %v", err)
+	}
+	if !lm.Aborted(2) {
+		t.Error("younger holder not wounded")
+	}
+	if lm.Wounds != 1 {
+		t.Errorf("Wounds = %d, want 1", lm.Wounds)
+	}
+}
+
+func TestConcurrentTransfersPreserveBalance(t *testing.T) {
+	for _, strategy := range []Strategy{Detect, WoundWait, WaitDie} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			db := NewDB(strategy)
+			const accounts = 6
+			const initial = 1000
+			for i := 0; i < accounts; i++ {
+				db.Set(fmt.Sprintf("acct%d", i), initial)
+			}
+			const workers, transfers = 8, 30
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < transfers; i++ {
+						from := fmt.Sprintf("acct%d", (w+i)%accounts)
+						to := fmt.Sprintf("acct%d", (w+i+1+i%3)%accounts)
+						if from == to {
+							continue
+						}
+						// Retry aggressively: aborts are expected.
+						_ = Transfer(db, from, to, 5, 50)
+					}
+				}()
+			}
+			wg.Wait()
+			total := int64(0)
+			for i := 0; i < accounts; i++ {
+				total += db.ReadCommitted(fmt.Sprintf("acct%d", i))
+			}
+			if total != accounts*initial {
+				t.Errorf("total = %d, want %d (money invented or destroyed)", total, accounts*initial)
+			}
+			// The recorded committed history must be conflict-serializable.
+			ok, _ := IsConflictSerializable(db.History().Ops())
+			if !ok {
+				t.Error("2PL produced a non-serializable committed history")
+			}
+		})
+	}
+}
+
+func TestTxnLifecycleErrors(t *testing.T) {
+	db := NewDB(Detect)
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+	if _, err := tx.Get("x"); err == nil {
+		t.Error("operation on finished txn accepted")
+	}
+	if err := tx.Put("x", 1); err == nil {
+		t.Error("write on finished txn accepted")
+	}
+	tx.Abort() // no-op on finished txn
+}
+
+func TestRollbackRestoresValues(t *testing.T) {
+	db := NewDB(Detect)
+	db.Set("k", 5)
+	tx := db.Begin()
+	if err := tx.Put("k", 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("new", 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if got := db.ReadCommitted("k"); got != 5 {
+		t.Errorf("k = %d after rollback, want 5", got)
+	}
+	if got := db.ReadCommitted("new"); got != 0 {
+		t.Errorf("new = %d after rollback, want absent/0", got)
+	}
+	if db.Aborts.Load() != 1 {
+		t.Errorf("Aborts = %d, want 1", db.Aborts.Load())
+	}
+}
+
+func TestSerializabilityChecker(t *testing.T) {
+	// Classic non-serializable schedule: r1[x] w2[x] w1[x] (both commit).
+	bad := []HistOp{
+		{1, OpRead, "x"},
+		{2, OpWrite, "x"},
+		{1, OpWrite, "x"},
+		{1, OpCommit, ""},
+		{2, OpCommit, ""},
+	}
+	if ok, _ := IsConflictSerializable(bad); ok {
+		t.Error("lost-update schedule reported serializable")
+	}
+	// Serial schedule is fine.
+	good := []HistOp{
+		{1, OpRead, "x"}, {1, OpWrite, "x"}, {1, OpCommit, ""},
+		{2, OpRead, "x"}, {2, OpWrite, "x"}, {2, OpCommit, ""},
+	}
+	ok, order := IsConflictSerializable(good)
+	if !ok {
+		t.Error("serial schedule reported non-serializable")
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("witness order = %v, want [1 2]", order)
+	}
+	// Aborted transactions are excluded.
+	withAbort := []HistOp{
+		{1, OpRead, "x"},
+		{2, OpWrite, "x"},
+		{1, OpWrite, "x"},
+		{1, OpCommit, ""},
+		{2, OpAbort, ""},
+	}
+	if ok, _ := IsConflictSerializable(withAbort); !ok {
+		t.Error("schedule serializable after excluding aborted txn")
+	}
+}
+
+// Property: any single-threaded sequential execution is serializable.
+func TestSequentialHistoriesSerializableProperty(t *testing.T) {
+	f := func(opsRaw []uint8) bool {
+		var ops []HistOp
+		txn := 1
+		for _, b := range opsRaw {
+			switch b % 4 {
+			case 0:
+				ops = append(ops, HistOp{txn, OpRead, fmt.Sprintf("k%d", b%5)})
+			case 1:
+				ops = append(ops, HistOp{txn, OpWrite, fmt.Sprintf("k%d", b%5)})
+			default:
+				ops = append(ops, HistOp{txn, OpCommit, ""})
+				txn++
+			}
+		}
+		ops = append(ops, HistOp{txn, OpCommit, ""})
+		ok, _ := IsConflictSerializable(ops)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTSOBasics(t *testing.T) {
+	s := NewTSO(false)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	if err := s.Write(t2, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Older read after younger write: too late.
+	if _, err := s.Read(t1, "x"); err != ErrTooLate {
+		t.Errorf("old read err = %v, want ErrTooLate", err)
+	}
+	// Older write after younger write: rejected without Thomas rule.
+	if err := s.Write(t1, "x", 1); err != ErrTooLate {
+		t.Errorf("old write err = %v, want ErrTooLate", err)
+	}
+	if s.Rejections != 2 {
+		t.Errorf("Rejections = %d, want 2", s.Rejections)
+	}
+	if s.Value("x") != 2 {
+		t.Errorf("value = %d, want 2", s.Value("x"))
+	}
+}
+
+func TestTSOThomasWriteRule(t *testing.T) {
+	s := NewTSO(true)
+	t1 := s.Begin()
+	t2 := s.Begin()
+	if err := s.Write(t2, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Obsolete write skipped silently.
+	if err := s.Write(t1, "x", 1); err != nil {
+		t.Errorf("Thomas rule should skip, got %v", err)
+	}
+	if s.Value("x") != 2 {
+		t.Errorf("value = %d, want 2 (obsolete write must not land)", s.Value("x"))
+	}
+	// Write after a younger READ is still rejected.
+	t3 := s.Begin()
+	t4 := s.Begin()
+	if _, err := s.Read(t4, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(t3, "y", 9); err != ErrTooLate {
+		t.Errorf("write after younger read = %v, want ErrTooLate", err)
+	}
+}
+
+func BenchmarkTransfersDetect(b *testing.B)    { benchTransfers(b, Detect) }
+func BenchmarkTransfersWoundWait(b *testing.B) { benchTransfers(b, WoundWait) }
+func BenchmarkTransfersWaitDie(b *testing.B)   { benchTransfers(b, WaitDie) }
+
+func benchTransfers(b *testing.B, s Strategy) {
+	db := NewDB(s)
+	const accounts = 8
+	for i := 0; i < accounts; i++ {
+		db.Set(fmt.Sprintf("acct%d", i), 1_000_000)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			from := fmt.Sprintf("acct%d", i%accounts)
+			to := fmt.Sprintf("acct%d", (i+3)%accounts)
+			if from != to {
+				_ = Transfer(db, from, to, 1, 100)
+			}
+			i++
+		}
+	})
+}

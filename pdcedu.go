@@ -1,0 +1,94 @@
+// Package pdcedu reproduces "ABET Accreditation: A Way Forward for PDC
+// Education" (Aly, Harmanani, Raj, Sharafeddine; EduPar/IPDPS-W 2021,
+// arXiv:2105.01707) as an executable system: the paper's curriculum
+// analysis (ABET CAC criteria checking, the 20-program survey behind
+// Fig. 2 and Fig. 3, and Tables I-III) plus the full set of PDC teaching
+// substrates its case-study courses rely on, implemented in the internal
+// packages (conc, par, taskgraph, race, sched, arch, simd, simt, mpi,
+// csnet, dist, txn, perf).
+//
+// This package is the stable facade over the curriculum core. The
+// substrates are exercised through the example programs under examples/
+// and the command-line tools under cmd/.
+package pdcedu
+
+import (
+	"io"
+
+	"pdcedu/internal/curriculum"
+)
+
+// Re-exported core types.
+type (
+	// Program is a degree program under audit.
+	Program = curriculum.Program
+	// Course is one course of a program.
+	Course = curriculum.Course
+	// Topic is a PDC knowledge component (a Table I row).
+	Topic = curriculum.Topic
+	// Area is a course subject area.
+	Area = curriculum.Area
+	// Report is an ABET audit outcome.
+	Report = curriculum.Report
+	// Finding is one line of an audit report.
+	Finding = curriculum.Finding
+	// Survey is a set of programs under analysis.
+	Survey = curriculum.Survey
+	// TopicWeight is one bar of the Fig. 2 analysis.
+	TopicWeight = curriculum.TopicWeight
+	// AreaShare is one slice of the Fig. 3 analysis.
+	AreaShare = curriculum.AreaShare
+	// KnowledgeArea is a row of Table II or III.
+	KnowledgeArea = curriculum.KnowledgeArea
+)
+
+// CheckProgram audits a program against the ABET CAC CS Program Criteria
+// curriculum requirements (2018 revision), including the PDC exposure
+// requirement.
+func CheckProgram(p Program) (Report, error) { return curriculum.CheckProgram(p) }
+
+// BuildSurvey returns the 20-program corpus whose aggregates reproduce
+// the paper's survey (Section III).
+func BuildSurvey() Survey { return curriculum.BuildSurvey() }
+
+// CanonicalMapping returns Table I: PDC concepts to typical courses.
+func CanonicalMapping() map[Topic][]Area { return curriculum.CanonicalMapping() }
+
+// RenderTableI formats Table I.
+func RenderTableI() string { return curriculum.RenderTableI() }
+
+// RenderFig2 formats the Fig. 2 topic-frequency analysis of a survey.
+func RenderFig2(s Survey) string { return curriculum.RenderFig2(s) }
+
+// RenderFig3 formats the Fig. 3 course-share analysis of a survey.
+func RenderFig3(s Survey) string { return curriculum.RenderFig3(s) }
+
+// RenderTableII formats Table II (CE2016 knowledge areas).
+func RenderTableII() string { return curriculum.RenderTableII() }
+
+// RenderTableIII formats Table III (SE2014 knowledge areas).
+func RenderTableIII() string { return curriculum.RenderTableIII() }
+
+// RenderReport formats an audit report.
+func RenderReport(r Report) string { return curriculum.RenderReport(r) }
+
+// LoadProgramFile reads a program definition from JSON.
+func LoadProgramFile(path string) (Program, error) { return curriculum.LoadProgramFile(path) }
+
+// SaveProgramFile writes a program definition to JSON.
+func SaveProgramFile(path string, p Program) error { return curriculum.SaveProgramFile(path, p) }
+
+// EncodeProgram writes a program definition as JSON.
+func EncodeProgram(w io.Writer, p Program) error { return curriculum.EncodeProgram(w, p) }
+
+// CE2016 returns Table II's knowledge-area data.
+func CE2016() []KnowledgeArea { return curriculum.CE2016() }
+
+// SE2014 returns Table III's knowledge-area data.
+func SE2014() []KnowledgeArea { return curriculum.SE2014() }
+
+// CS2013PDC returns the CS2013 three-part PDC definition.
+func CS2013PDC() []string { return curriculum.CS2013PDC() }
+
+// CC2020Topics returns the CC2020 recommended PDC topics.
+func CC2020Topics() []string { return curriculum.CC2020Topics() }

@@ -1,0 +1,58 @@
+package pdcedu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeSurveyAndFigures(t *testing.T) {
+	sv := BuildSurvey()
+	if len(sv.Programs) != 20 {
+		t.Fatalf("programs = %d, want 20", len(sv.Programs))
+	}
+	if sv.DedicatedCount() != 1 {
+		t.Errorf("dedicated = %d, want 1", sv.DedicatedCount())
+	}
+	if !strings.Contains(RenderFig3(sv), "25.0%") {
+		t.Error("Fig. 3 lost the paper's OS share")
+	}
+	if !strings.Contains(RenderFig2(sv), "Parallelism and concurrency") {
+		t.Error("Fig. 2 missing dominant topic")
+	}
+	if !strings.Contains(RenderTableI(), "SIMD") {
+		t.Error("Table I missing SIMD row")
+	}
+	if len(CanonicalMapping()) != 14 {
+		t.Error("Table I rows != 14")
+	}
+	if len(CE2016()) != 4 || len(SE2014()) != 1 {
+		t.Error("Tables II/III shape wrong")
+	}
+	if len(CS2013PDC()) != 3 || len(CC2020Topics()) != 6 {
+		t.Error("guideline lists wrong")
+	}
+}
+
+func TestFacadeCheckAndJSON(t *testing.T) {
+	p := BuildSurvey().Programs[0]
+	r, err := CheckProgram(p)
+	if err != nil || !r.Pass {
+		t.Fatalf("survey program fails: %v %v", r.Pass, err)
+	}
+	if !strings.Contains(RenderReport(r), "MEETS") {
+		t.Error("report verdict missing")
+	}
+	var buf bytes.Buffer
+	if err := EncodeProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/p.json"
+	if err := SaveProgramFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProgramFile(path)
+	if err != nil || got.Name != p.Name {
+		t.Fatalf("load = %v, %v", got.Name, err)
+	}
+}
