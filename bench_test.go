@@ -7,8 +7,13 @@
 package pdcedu
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
+
+	"pdcedu/internal/csnet"
+	"pdcedu/internal/dist"
 )
 
 // BenchmarkTableI regenerates Table I (E1).
@@ -75,6 +80,65 @@ func BenchmarkSurveyAudit(b *testing.B) {
 			if err != nil || !r.Pass {
 				b.Fatalf("audit failed: %v %v", r.Pass, err)
 			}
+		}
+	}
+}
+
+// BenchmarkConsistentHashPick measures the cluster router's hot path:
+// one ring lookup per request (E17).
+func BenchmarkConsistentHashPick(b *testing.B) {
+	ring := dist.NewConsistentHash(8, 128)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user:%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := ring.Pick(keys[i&1023]); s < 0 || s >= 8 {
+			b.Fatal("Pick out of range")
+		}
+	}
+}
+
+// BenchmarkClusterSetGet measures a replicated Set plus a Get through
+// the sharded cluster over real loopback TCP (E18).
+func BenchmarkClusterSetGet(b *testing.B) {
+	const backends = 3
+	addrs := make([]string, backends)
+	for i := range addrs {
+		srv := csnet.NewServer(csnet.NewKVHandler(), 64)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Shutdown()
+		addrs[i] = addr
+	}
+	c, err := dist.NewCluster(dist.ClusterConfig{Addrs: addrs, Replication: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	val := []byte("benchmark-value")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("bench-%d", i&4095)
+		if err := c.Set(key, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := c.Get(key); err != nil || !ok {
+			b.Fatalf("get %s: %v %v", key, ok, err)
+		}
+	}
+}
+
+// BenchmarkSimulateLoad measures the 10k-request load-balancing
+// simulation used by the distkv lab's strategy comparison (E19).
+func BenchmarkSimulateLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := dist.SimulateLoad(dist.NewPowerOfTwo(8, 42), 8, 10000, 64, 7)
+		if rep.Max+rep.Min == 0 {
+			b.Fatal("simulation assigned no requests")
 		}
 	}
 }

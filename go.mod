@@ -1,0 +1,3 @@
+module pdcedu
+
+go 1.24

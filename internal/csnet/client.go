@@ -28,22 +28,32 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{addr: addr, timeout: timeout, conn: conn}, nil
 }
 
+// RoundTrip sends one raw frame and returns the raw response frame,
+// serializing with any other in-flight call on this client. Custom
+// frame protocols (e.g. the dist RPC middleware) build on it.
+func (c *Client) RoundTrip(body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := WriteFrame(c.conn, body); err != nil {
+		return nil, err
+	}
+	respBody, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("csnet: read response: %w", err)
+	}
+	return respBody, nil
+}
+
 // Do sends a request and waits for its response.
 func (c *Client) Do(req Request) (Response, error) {
 	body, err := EncodeRequest(req)
 	if err != nil {
 		return Response{}, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	deadline := time.Now().Add(c.timeout)
-	_ = c.conn.SetDeadline(deadline)
-	if err := WriteFrame(c.conn, body); err != nil {
-		return Response{}, err
-	}
-	respBody, err := ReadFrame(c.conn)
+	respBody, err := c.RoundTrip(body)
 	if err != nil {
-		return Response{}, fmt.Errorf("csnet: read response: %w", err)
+		return Response{}, err
 	}
 	return DecodeResponse(respBody)
 }
@@ -74,6 +84,23 @@ func (c *Client) Set(key string, value []byte) error {
 		return fmt.Errorf("csnet: set %q: %s", key, resp.Value)
 	}
 	return nil
+}
+
+// SetNX stores a key only if it is absent; stored is false when an
+// existing value was left unchanged.
+func (c *Client) SetNX(key string, value []byte) (stored bool, err error) {
+	resp, err := c.Do(Request{Op: OpSetNX, Key: key, Value: value})
+	if err != nil {
+		return false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return true, nil
+	case StatusExists:
+		return false, nil
+	default:
+		return false, fmt.Errorf("csnet: setnx %q: %s", key, resp.Value)
+	}
 }
 
 // Del removes a key; ok is false if it did not exist.

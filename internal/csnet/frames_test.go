@@ -1,0 +1,66 @@
+package csnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestClientSetNX(t *testing.T) {
+	srv := NewServer(NewKVHandler(), 0)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	stored, err := cl.SetNX("k", []byte("v1"))
+	if err != nil || !stored {
+		t.Fatalf("SetNX on absent key = %v %v, want stored", stored, err)
+	}
+	stored, err = cl.SetNX("k", []byte("v2"))
+	if err != nil || stored {
+		t.Fatalf("SetNX on existing key = %v %v, want unchanged", stored, err)
+	}
+	v, ok, err := cl.Get("k")
+	if err != nil || !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get after losing SetNX = %q %v %v, want original v1", v, ok, err)
+	}
+}
+
+// TestFrameServerCustomProtocol exercises the frame layer directly: a
+// non-KV protocol served by NewFrameServer and driven with RoundTrip.
+func TestFrameServerCustomProtocol(t *testing.T) {
+	srv := NewFrameServer(frameFunc(func(body []byte) []byte {
+		return bytes.ToUpper(body)
+	}), 0)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, in := range []string{"hello", "", "MiXeD"} {
+		got, err := cl.RoundTrip([]byte(in))
+		if err != nil {
+			t.Fatalf("RoundTrip(%q): %v", in, err)
+		}
+		if want := bytes.ToUpper([]byte(in)); !bytes.Equal(got, want) {
+			t.Errorf("RoundTrip(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// frameFunc adapts a function to FrameHandler for tests.
+type frameFunc func([]byte) []byte
+
+func (f frameFunc) ServeFrame(body []byte) []byte { return f(body) }

@@ -19,6 +19,10 @@ const (
 	OpDel
 	// OpEcho returns the value unchanged.
 	OpEcho
+	// OpSetNX writes a key only if it is absent (set-if-not-exists);
+	// read-repair uses it so a backfill can never overwrite a newer
+	// write that landed in the meantime.
+	OpSetNX
 )
 
 // String returns the op mnemonic.
@@ -34,6 +38,8 @@ func (o Op) String() string {
 		return "DEL"
 	case OpEcho:
 		return "ECHO"
+	case OpSetNX:
+		return "SETNX"
 	default:
 		return "UNKNOWN"
 	}
@@ -49,6 +55,8 @@ const (
 	StatusNotFound
 	// StatusError carries an error message in Value.
 	StatusError
+	// StatusExists reports that OpSetNX left an existing key unchanged.
+	StatusExists
 )
 
 // String returns the status name.
@@ -60,6 +68,8 @@ func (s Status) String() string {
 		return "NOT_FOUND"
 	case StatusError:
 		return "ERROR"
+	case StatusExists:
+		return "EXISTS"
 	default:
 		return "UNKNOWN"
 	}

@@ -19,9 +19,35 @@ type HandlerFunc func(Request) Response
 // Serve implements Handler.
 func (f HandlerFunc) Serve(r Request) Response { return f(r) }
 
+// FrameHandler processes one raw request frame and returns the raw
+// response frame. It is the layer below Handler: protocols that are not
+// the binary key-value protocol (e.g. the dist RPC middleware) plug in
+// here and reuse the server's connection machinery unchanged.
+// Implementations must be safe for concurrent use.
+type FrameHandler interface {
+	ServeFrame(body []byte) []byte
+}
+
+// protocolFrames adapts a key-value Handler to the frame layer.
+type protocolFrames struct {
+	h Handler
+}
+
+// ServeFrame implements FrameHandler.
+func (p protocolFrames) ServeFrame(body []byte) []byte {
+	req, err := DecodeRequest(body)
+	var resp Response
+	if err != nil {
+		resp = Response{Status: StatusError, Value: []byte(err.Error())}
+	} else {
+		resp = p.h.Serve(req)
+	}
+	return EncodeResponse(resp)
+}
+
 // Server is a concurrent framed-protocol TCP server.
 type Server struct {
-	handler  Handler
+	frames   FrameHandler
 	maxConns int
 
 	mu       sync.Mutex
@@ -34,13 +60,19 @@ type Server struct {
 	active sync.WaitGroup
 }
 
-// NewServer creates a server with the given handler; maxConns bounds
-// concurrent connections (0 means 128).
+// NewServer creates a key-value protocol server with the given handler;
+// maxConns bounds concurrent connections (0 means 128).
 func NewServer(h Handler, maxConns int) *Server {
+	return NewFrameServer(protocolFrames{h: h}, maxConns)
+}
+
+// NewFrameServer creates a server speaking a custom frame protocol;
+// maxConns bounds concurrent connections (0 means 128).
+func NewFrameServer(fh FrameHandler, maxConns int) *Server {
 	if maxConns <= 0 {
 		maxConns = 128
 	}
-	return &Server{handler: h, maxConns: maxConns, conns: map[net.Conn]struct{}{}}
+	return &Server{frames: fh, maxConns: maxConns, conns: map[net.Conn]struct{}{}}
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and begins
@@ -101,14 +133,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		req, err := DecodeRequest(body)
-		var resp Response
-		if err != nil {
-			resp = Response{Status: StatusError, Value: []byte(err.Error())}
-		} else {
-			resp = s.handler.Serve(req)
-		}
-		if err := WriteFrame(conn, EncodeResponse(resp)); err != nil {
+		if err := WriteFrame(conn, s.frames.ServeFrame(body)); err != nil {
 			return
 		}
 	}
@@ -161,6 +186,18 @@ func (kv *KVHandler) Serve(req Request) Response {
 		kv.mu.Lock()
 		kv.data[req.Key] = val
 		kv.mu.Unlock()
+		return Response{Status: StatusOK}
+	case OpSetNX:
+		val := append([]byte(nil), req.Value...)
+		kv.mu.Lock()
+		_, exists := kv.data[req.Key]
+		if !exists {
+			kv.data[req.Key] = val
+		}
+		kv.mu.Unlock()
+		if exists {
+			return Response{Status: StatusExists}
+		}
 		return Response{Status: StatusOK}
 	case OpDel:
 		kv.mu.Lock()

@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdcedu/internal/csnet"
+)
+
+// ClusterConfig configures a Cluster.
+type ClusterConfig struct {
+	// Addrs are the backend csnet.Server addresses (at least one).
+	Addrs []string
+	// Replication is the number of backends each key is written to
+	// (default 1, capped at len(Addrs)).
+	Replication int
+	// Balancer spreads reads across a key's replica set; a key's read
+	// slot is Pick(key) mod Replication. Nil defaults to primary-first
+	// reads via the placement ring. Placement itself is always ring
+	// based so Set and Get agree on where a key lives regardless of the
+	// strategy plugged in here.
+	Balancer Balancer
+	// Vnodes is the virtual-node count of the placement ring (default 64).
+	Vnodes int
+	// Timeout bounds each backend round-trip (default 5s).
+	Timeout time.Duration
+	// PoolSize is the number of pooled connections per backend
+	// (default 4); concurrent callers beyond it dial extra connections
+	// that are closed instead of pooled when returned.
+	PoolSize int
+}
+
+// Cluster shards one key space across several csnet backend servers: a
+// consistent-hash ring places each key on Replication consecutive
+// backends, writes go synchronously to every replica, and reads are
+// spread over the replica set by the configured Balancer with
+// read-repair backfilling replicas that missed a write.
+type Cluster struct {
+	ring     *ConsistentHash
+	balancer Balancer
+	rf       int
+	pools    []*clientPool
+}
+
+// NewCluster connects a cluster router to the configured backends.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	n := len(cfg.Addrs)
+	if n == 0 {
+		return nil, errors.New("dist: cluster needs at least one backend address")
+	}
+	rf := cfg.Replication
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > n {
+		rf = n
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	poolSize := cfg.PoolSize
+	if poolSize < 1 {
+		poolSize = 4
+	}
+	c := &Cluster{
+		ring:     NewConsistentHash(n, cfg.Vnodes),
+		balancer: cfg.Balancer,
+		rf:       rf,
+		pools:    make([]*clientPool, n),
+	}
+	for i, addr := range cfg.Addrs {
+		c.pools[i] = &clientPool{addr: addr, timeout: timeout, ch: make(chan *csnet.Client, poolSize)}
+	}
+	return c, nil
+}
+
+// Backends reports the number of backend servers.
+func (c *Cluster) Backends() int { return len(c.pools) }
+
+// Replication reports the effective replication factor.
+func (c *Cluster) Replication() int { return c.rf }
+
+// replicaSet returns the backends holding key: the ring primary and the
+// next rf-1 backends clockwise by index.
+func (c *Cluster) replicaSet(key string) []int {
+	primary := c.ring.Pick(key)
+	set := make([]int, c.rf)
+	for i := range set {
+		set[i] = (primary + i) % len(c.pools)
+	}
+	return set
+}
+
+// Set writes key to every replica synchronously (write-all), fanning
+// the replica writes out in parallel so latency stays near one
+// round-trip regardless of the replication factor. It fails if any
+// replica write fails, so a nil return means the value is durable on
+// the full replica set. Concurrent Sets of the same key race without
+// versioning: callers that update one key from several writers should
+// serialize those writers (the backends apply whichever write arrives
+// last, independently per replica).
+func (c *Cluster) Set(key string, value []byte) error {
+	set := c.replicaSet(key)
+	if len(set) == 1 {
+		b := set[0]
+		if err := c.pools[b].withClient(func(cl *csnet.Client) error {
+			return cl.Set(key, value)
+		}); err != nil {
+			return fmt.Errorf("dist: cluster set %q on backend %d: %w", key, b, err)
+		}
+		return nil
+	}
+	errs := make([]error, len(set))
+	var wg sync.WaitGroup
+	for i, b := range set {
+		i, b := i, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = c.pools[b].withClient(func(cl *csnet.Client) error {
+				return cl.Set(key, value)
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dist: cluster set %q on backend %d: %w", key, set[i], err)
+		}
+	}
+	return nil
+}
+
+// Get reads key from its replica set. The Balancer picks the replica to
+// try first; on a miss the remaining replicas are consulted, and when a
+// later replica has the value, read-repair writes it back to every
+// replica that missed. A (nil, false, nil) return means no replica has
+// the key.
+func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
+	set := c.replicaSet(key)
+	first := 0
+	if c.balancer != nil {
+		pick := c.balancer.Pick(key)
+		defer c.balancer.Done(pick)
+		first = ((pick % c.rf) + c.rf) % c.rf
+	}
+	var missed []int
+	var lastErr error
+	for i := 0; i < len(set); i++ {
+		b := set[(first+i)%len(set)]
+		var v []byte
+		var found bool
+		err := c.pools[b].withClient(func(cl *csnet.Client) error {
+			var err error
+			v, found, err = cl.Get(key)
+			return err
+		})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if found {
+			c.readRepair(key, v, missed)
+			return v, true, nil
+		}
+		missed = append(missed, b)
+	}
+	if lastErr != nil {
+		return nil, false, fmt.Errorf("dist: cluster get %q: %w", key, lastErr)
+	}
+	return nil, false, nil
+}
+
+// readRepair backfills value onto replicas that returned a miss. The
+// backfill is set-if-absent so a repair can only fill a hole, never
+// overwrite a newer write that landed between the miss and the repair;
+// failures are ignored (the next read retries the repair).
+func (c *Cluster) readRepair(key string, value []byte, missed []int) {
+	for _, b := range missed {
+		_ = c.pools[b].withClient(func(cl *csnet.Client) error {
+			_, err := cl.SetNX(key, value)
+			return err
+		})
+	}
+}
+
+// Del removes key from every replica; ok reports whether any replica
+// had it.
+func (c *Cluster) Del(key string) (ok bool, err error) {
+	for _, b := range c.replicaSet(key) {
+		var existed bool
+		e := c.pools[b].withClient(func(cl *csnet.Client) error {
+			var err error
+			existed, err = cl.Del(key)
+			return err
+		})
+		if e != nil {
+			return ok, fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, e)
+		}
+		ok = ok || existed
+	}
+	return ok, nil
+}
+
+// Close releases every pooled connection.
+func (c *Cluster) Close() error {
+	var first error
+	for _, p := range c.pools {
+		if err := p.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// clientPool is a lazily-filled pool of csnet clients for one backend.
+type clientPool struct {
+	addr    string
+	timeout time.Duration
+	ch      chan *csnet.Client
+}
+
+// withClient runs fn with a pooled (or freshly dialed) client. The
+// client returns to the pool on success and is discarded on error, so a
+// broken connection is never reused.
+func (p *clientPool) withClient(fn func(*csnet.Client) error) error {
+	var cl *csnet.Client
+	select {
+	case cl = <-p.ch:
+	default:
+		var err error
+		cl, err = csnet.Dial(p.addr, p.timeout)
+		if err != nil {
+			return err
+		}
+	}
+	if err := fn(cl); err != nil {
+		cl.Close()
+		return err
+	}
+	select {
+	case p.ch <- cl:
+	default:
+		cl.Close() // pool full
+	}
+	return nil
+}
+
+// close drains and closes all pooled connections.
+func (p *clientPool) close() error {
+	var first error
+	for {
+		select {
+		case cl := <-p.ch:
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		default:
+			return first
+		}
+	}
+}

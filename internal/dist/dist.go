@@ -1,0 +1,15 @@
+// Package dist implements the distributed-computing content of the RIT
+// case-study course ("distributed system structures, distributed
+// objects, load balancing, replication and consistency"): a consistent
+// hash ring with virtual nodes, a family of load-balancing strategies
+// with a deterministic simulation harness, a replicated key-value store
+// contrasting sequential and eventual consistency, an RPC middleware
+// layer over real TCP, and a sharded Cluster that serves one key space
+// across several csnet backend servers with configurable replication
+// and read-repair.
+//
+// The package reuses the length-prefixed framing and the binary
+// key-value protocol from internal/csnet; everything network-facing
+// runs over real loopback TCP so the labs observe genuine socket
+// behaviour (partial reads, connection limits, shutdown races).
+package dist

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestConsistentHashPickStable(t *testing.T) {
+	ring := NewConsistentHash(5, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := ring.Pick(key)
+		if first < 0 || first >= 5 {
+			t.Fatalf("Pick(%q) = %d, out of range", key, first)
+		}
+		for j := 0; j < 3; j++ {
+			if got := ring.Pick(key); got != first {
+				t.Fatalf("Pick(%q) unstable: %d then %d", key, first, got)
+			}
+		}
+	}
+}
+
+func TestConsistentHashDistribution(t *testing.T) {
+	const n, keys = 8, 40000
+	ring := NewConsistentHash(n, 128)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[ring.Pick(fmt.Sprintf("user:%d:%d", i%7, i))]++
+	}
+	ideal := keys / n
+	for node, c := range counts {
+		if c < ideal/2 || c > 2*ideal {
+			t.Errorf("node %d owns %d keys, want within [%d,%d] of ideal %d",
+				node, c, ideal/2, 2*ideal, ideal)
+		}
+	}
+}
+
+// TestConsistentHashRebalanceBound checks the defining property: adding
+// one node to an n-node ring moves at most ~K/n of K keys (expected
+// K/(n+1)), and every moved key lands on the new node.
+func TestConsistentHashRebalanceBound(t *testing.T) {
+	const n, keys = 4, 10000
+	ring := NewConsistentHash(n, 128)
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = ring.Pick(fmt.Sprintf("key-%d", i))
+	}
+	added := ring.AddNode()
+	if added != n {
+		t.Fatalf("AddNode returned %d, want %d", added, n)
+	}
+	if ring.Nodes() != n+1 {
+		t.Fatalf("Nodes() = %d, want %d", ring.Nodes(), n+1)
+	}
+	moved := 0
+	for i := range before {
+		after := ring.Pick(fmt.Sprintf("key-%d", i))
+		if after != before[i] {
+			moved++
+			if after != added {
+				t.Fatalf("key-%d moved from node %d to old node %d, not the new node", i, before[i], after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+	if bound := keys / n; moved > bound {
+		t.Errorf("%d of %d keys moved, want <= K/n = %d", moved, keys, bound)
+	}
+}
+
+func TestConsistentHashConcurrentPick(t *testing.T) {
+	ring := NewConsistentHash(4, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if s := ring.Pick(fmt.Sprintf("g%d-k%d", g, i)); s < 0 || s >= 4 {
+					t.Errorf("Pick out of range: %d", s)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConsistentHashDefaults(t *testing.T) {
+	ring := NewConsistentHash(0, 0)
+	if ring.Nodes() != 1 {
+		t.Errorf("Nodes() = %d, want clamp to 1", ring.Nodes())
+	}
+	if got := ring.Pick("anything"); got != 0 {
+		t.Errorf("single-node ring Pick = %d, want 0", got)
+	}
+	if ring.Name() != "consistent-hash" {
+		t.Errorf("Name() = %q", ring.Name())
+	}
+}

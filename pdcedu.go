@@ -10,6 +10,13 @@
 // This package is the stable facade over the curriculum core. The
 // substrates are exercised through the example programs under examples/
 // and the command-line tools under cmd/.
+//
+// The dist substrate is the service-shaped layer: consistent hashing
+// with virtual nodes, pluggable load-balancing strategies with a
+// deterministic simulator, sequential- and eventual-consistency
+// replication, an RPC middleware over TCP, and a dist.Cluster that
+// shards one key space across several csnet backend servers with
+// synchronous replication and read-repair (see examples/distkv).
 package pdcedu
 
 import (
