@@ -9,6 +9,7 @@ package pdcedu
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 
 // BenchmarkTableI regenerates Table I (E1).
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out := RenderTableI()
 		if !strings.Contains(out, "Flynn") {
@@ -29,6 +31,7 @@ func BenchmarkTableI(b *testing.B) {
 // BenchmarkFig2 regenerates the Fig. 2 weighted topic sums (E2).
 func BenchmarkFig2(b *testing.B) {
 	sv := BuildSurvey()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := RenderFig2(sv)
@@ -41,6 +44,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkFig3 regenerates the Fig. 3 course shares (E3).
 func BenchmarkFig3(b *testing.B) {
 	sv := BuildSurvey()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := RenderFig3(sv)
@@ -52,6 +56,7 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkTableII regenerates Table II (E4).
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out := RenderTableII()
 		if !strings.Contains(out, "Multi/Many-core") {
@@ -62,6 +67,7 @@ func BenchmarkTableII(b *testing.B) {
 
 // BenchmarkTableIII regenerates Table III (E5).
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		out := RenderTableIII()
 		if !strings.Contains(out, "Concurrency primitives") {
@@ -73,6 +79,7 @@ func BenchmarkTableIII(b *testing.B) {
 // BenchmarkSurveyAudit runs the full 20-program accreditation audit (E6).
 func BenchmarkSurveyAudit(b *testing.B) {
 	sv := BuildSurvey()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, p := range sv.Programs {
@@ -92,6 +99,7 @@ func BenchmarkConsistentHashPick(b *testing.B) {
 	for i := range keys {
 		keys[i] = fmt.Sprintf("user:%d", i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := ring.Pick(keys[i&1023]); s < 0 || s >= 8 {
@@ -100,9 +108,10 @@ func BenchmarkConsistentHashPick(b *testing.B) {
 	}
 }
 
-// BenchmarkClusterSetGet measures a replicated Set plus a Get through
-// the sharded cluster over real loopback TCP (E18).
-func BenchmarkClusterSetGet(b *testing.B) {
+// benchCluster starts loopback KV backends and a replicated cluster
+// for the transport benchmarks (E18, E20-E22).
+func benchCluster(b *testing.B) *dist.Cluster {
+	b.Helper()
 	const backends = 3
 	addrs := make([]string, backends)
 	for i := range addrs {
@@ -111,15 +120,25 @@ func BenchmarkClusterSetGet(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer srv.Shutdown()
+		b.Cleanup(srv.Shutdown)
 		addrs[i] = addr
 	}
 	c, err := dist.NewCluster(dist.ClusterConfig{Addrs: addrs, Replication: 2, Timeout: 5 * time.Second})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer c.Close()
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// BenchmarkClusterSetGet measures a replicated Set plus a Get through
+// the sharded cluster over real loopback TCP, one request at a time
+// from one goroutine — the serialized baseline the pipelined transport
+// is measured against (E18).
+func BenchmarkClusterSetGet(b *testing.B) {
+	c := benchCluster(b)
 	val := []byte("benchmark-value")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := fmt.Sprintf("bench-%d", i&4095)
@@ -132,9 +151,112 @@ func BenchmarkClusterSetGet(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterPipelined measures the same Set+Get pair issued by
+// many concurrent goroutines sharing one multiplexed connection per
+// backend (E20): throughput comes from N requests in flight, not N
+// connections in lock-step.
+func BenchmarkClusterPipelined(b *testing.B) {
+	c := benchCluster(b)
+	val := []byte("benchmark-value")
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			key := fmt.Sprintf("bench-%d", ctr.Add(1)&4095)
+			if err := c.Set(key, val); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok, err := c.Get(key); err != nil || !ok {
+				b.Fatalf("get %s: %v %v", key, ok, err)
+			}
+		}
+	})
+}
+
+// benchBatchKeys builds the 100-key working set for E21/E22.
+func benchBatchKeys() (keys []string, values [][]byte) {
+	for i := 0; i < 100; i++ {
+		keys = append(keys, fmt.Sprintf("batch-%d", i))
+		values = append(values, []byte("benchmark-value"))
+	}
+	return keys, values
+}
+
+// BenchmarkClusterMSet100 writes 100 replicated keys as one batched
+// MSet — a single pipelined burst per backend (E21).
+func BenchmarkClusterMSet100(b *testing.B) {
+	c := benchCluster(b)
+	keys, values := benchBatchKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MSet(keys, values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSetLoop100 writes the same 100 keys as a loop of
+// single Sets — the serialized baseline for E21.
+func BenchmarkClusterSetLoop100(b *testing.B) {
+	c := benchCluster(b)
+	keys, values := benchBatchKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, key := range keys {
+			if err := c.Set(key, values[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterMGet100 reads 100 keys as one batched MGet (E22).
+func BenchmarkClusterMGet100(b *testing.B) {
+	c := benchCluster(b)
+	keys, values := benchBatchKeys()
+	if err := c.MSet(keys, values); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := c.MGet(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(keys) {
+			b.Fatalf("MGet found %d keys, want %d", len(got), len(keys))
+		}
+	}
+}
+
+// BenchmarkClusterGetLoop100 reads the same 100 keys as a loop of
+// single Gets — the serialized baseline for E22.
+func BenchmarkClusterGetLoop100(b *testing.B) {
+	c := benchCluster(b)
+	keys, values := benchBatchKeys()
+	if err := c.MSet(keys, values); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, key := range keys {
+			if _, ok, err := c.Get(key); err != nil || !ok {
+				b.Fatalf("get %s: %v %v", key, ok, err)
+			}
+		}
+	}
+}
+
 // BenchmarkSimulateLoad measures the 10k-request load-balancing
 // simulation used by the distkv lab's strategy comparison (E19).
 func BenchmarkSimulateLoad(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := dist.SimulateLoad(dist.NewPowerOfTwo(8, 42), 8, 10000, 64, 7)
 		if rep.Max+rep.Min == 0 {

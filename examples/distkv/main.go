@@ -19,6 +19,7 @@ func main() {
 	loadBalancing()
 	replication()
 	rpcMiddleware()
+	pipelinedBatch()
 }
 
 // clientServer starts three KV servers and drives concurrent clients
@@ -158,5 +159,77 @@ func rpcMiddleware() {
 	if err := cl.Call("stats.mean", []float64{80, 90, 100}, &mean); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stats.mean([80 90 100]) = %g over real TCP\n", mean)
+	fmt.Printf("stats.mean([80 90 100]) = %g over real TCP\n\n", mean)
+}
+
+// pipelinedBatch contrasts lock-step round trips with the pipelined
+// multiplexed transport: the same replicated workload as a loop of
+// single ops versus one batched MSet/MGet per call.
+func pipelinedBatch() {
+	fmt.Println("== Pipelined transport: batch vs lock-step ==")
+	const nServers, nKeys = 3, 500
+	addrs := make([]string, nServers)
+	for i := range addrs {
+		srv := csnet.NewServer(csnet.NewKVHandler(), 64)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Shutdown()
+		addrs[i] = addr
+	}
+	c, err := dist.NewCluster(dist.ClusterConfig{Addrs: addrs, Replication: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := make([]string, nKeys)
+	values := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("order:%d", i)
+		values[i] = []byte(fmt.Sprintf("payload-%d", i))
+	}
+
+	start := time.Now()
+	for i, key := range keys {
+		if err := c.Set(key, values[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	loopSet := time.Since(start)
+
+	start = time.Now()
+	if err := c.MSet(keys, values); err != nil {
+		log.Fatal(err)
+	}
+	batchSet := time.Since(start)
+
+	start = time.Now()
+	for _, key := range keys {
+		if _, ok, err := c.Get(key); err != nil || !ok {
+			log.Fatalf("get %s: %v %v", key, ok, err)
+		}
+	}
+	loopGet := time.Since(start)
+
+	start = time.Now()
+	got, err := c.MGet(keys)
+	if err != nil || len(got) != nKeys {
+		log.Fatalf("MGet found %d keys: %v", len(got), err)
+	}
+	batchGet := time.Since(start)
+
+	t := perf.NewTable(fmt.Sprintf("%d replicated keys over %d backends", nKeys, nServers),
+		"operation", "lock-step loop", "pipelined batch", "speedup")
+	t.AddRow("write", loopSet.Round(time.Microsecond), batchSet.Round(time.Microsecond),
+		fmt.Sprintf("%.1fx", float64(loopSet)/float64(batchSet)))
+	t.AddRow("read", loopGet.Round(time.Microsecond), batchGet.Round(time.Microsecond),
+		fmt.Sprintf("%.1fx", float64(loopGet)/float64(batchGet)))
+	fmt.Println(t.String())
+
+	if n, err := c.MDel(keys); err != nil || n != nKeys {
+		log.Fatalf("MDel removed %d keys: %v", n, err)
+	}
+	fmt.Printf("MDel removed all %d keys from every replica in one batch\n", nKeys)
 }

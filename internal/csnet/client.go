@@ -3,20 +3,20 @@ package csnet
 import (
 	"fmt"
 	"net"
-	"sync"
 	"time"
 )
 
-// Client is a framed-protocol TCP client with a persistent connection.
-// It is safe for concurrent use; requests on one client serialize.
+// Client is a framed-protocol TCP client over a single pipelined,
+// multiplexed connection. It is safe for concurrent use: N callers
+// share the connection with N requests in flight, instead of
+// serializing lock-step round trips.
 type Client struct {
-	addr    string
-	timeout time.Duration
-	mu      sync.Mutex
-	conn    net.Conn
+	addr string
+	m    *muxConn
 }
 
-// Dial connects to a Server at addr.
+// Dial connects to a Server at addr. timeout bounds the dial and each
+// subsequent request (default 5s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -25,37 +25,69 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csnet: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, timeout: timeout, conn: conn}, nil
-}
-
-// RoundTrip sends one raw frame and returns the raw response frame,
-// serializing with any other in-flight call on this client. Custom
-// frame protocols (e.g. the dist RPC middleware) build on it.
-func (c *Client) RoundTrip(body []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_ = c.conn.SetDeadline(time.Now().Add(c.timeout))
-	if err := WriteFrame(c.conn, body); err != nil {
+	m, err := newMuxConn(conn, timeout)
+	if err != nil {
 		return nil, err
 	}
-	respBody, err := ReadFrame(c.conn)
+	return &Client{addr: addr, m: m}, nil
+}
+
+// SendFrame enqueues one raw frame without waiting for its response;
+// the returned Pending resolves when the matching response frame
+// arrives. This is the pipelining primitive: fire many, then wait.
+func (c *Client) SendFrame(body []byte) *Pending {
+	return c.m.enqueue(body)
+}
+
+// RoundTrip sends one raw frame and waits for the matching response
+// frame. Concurrent RoundTrips share the connection; none blocks
+// another. Custom frame protocols (e.g. the dist RPC middleware) build
+// on it.
+func (c *Client) RoundTrip(body []byte) ([]byte, error) {
+	resp, err := c.SendFrame(body).Wait()
 	if err != nil {
-		return nil, fmt.Errorf("csnet: read response: %w", err)
+		return nil, fmt.Errorf("csnet: roundtrip %s: %w", c.addr, err)
 	}
-	return respBody, nil
+	return resp, nil
+}
+
+// Broken reports whether the underlying connection has been poisoned
+// by a transport failure; a broken client fails every call fast and
+// should be replaced via Dial.
+func (c *Client) Broken() bool { return c.m.broken() }
+
+// Call is an in-flight key-value protocol request issued by Send.
+type Call struct {
+	p   *Pending
+	err error
+}
+
+// Response waits for and decodes the response to this call.
+func (call *Call) Response() (Response, error) {
+	if call.err != nil {
+		return Response{}, call.err
+	}
+	body, err := call.p.Wait()
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body)
+}
+
+// Send enqueues a key-value protocol request without waiting: the
+// pipelined counterpart of Do. Encoding failures surface from the
+// returned call's Response.
+func (c *Client) Send(req Request) *Call {
+	body, err := EncodeRequest(req)
+	if err != nil {
+		return &Call{err: err}
+	}
+	return &Call{p: c.SendFrame(body)}
 }
 
 // Do sends a request and waits for its response.
 func (c *Client) Do(req Request) (Response, error) {
-	body, err := EncodeRequest(req)
-	if err != nil {
-		return Response{}, err
-	}
-	respBody, err := c.RoundTrip(body)
-	if err != nil {
-		return Response{}, err
-	}
-	return DecodeResponse(respBody)
+	return c.Send(req).Response()
 }
 
 // Get fetches a key; ok is false for StatusNotFound.
@@ -124,9 +156,7 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Close releases the connection.
+// Close releases the connection, failing any in-flight requests.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	return c.m.close()
 }

@@ -2,8 +2,20 @@
 // case-study course ("socket and datagram programming, application
 // protocol design"): length-prefixed message framing over TCP, a small
 // binary request/response key-value protocol, a concurrent TCP server
-// with a connection limit and graceful shutdown, a pooled client, and a
-// UDP datagram echo service.
+// with a connection limit and graceful shutdown, a pipelined
+// multiplexed client, and a UDP datagram echo service.
+//
+// Two wire formats share every listener:
+//
+//	legacy:  length(4) body            — one request, one response, FIFO
+//	muxed:   length(4) seq(8) body     — many requests in flight, the
+//	                                     response echoes the request seq
+//
+// A multiplexing client announces itself by sending the 4-byte magic
+// "CSM1" immediately after connecting. Interpreted as a legacy length
+// prefix the magic would claim a ~1.1 GB frame — far beyond
+// MaxFrameSize — so the server can tell the two formats apart from the
+// first four bytes alone and legacy peers keep working unchanged.
 package csnet
 
 import (
@@ -20,26 +32,44 @@ const MaxFrameSize = 16 << 20
 // ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 var ErrFrameTooLarge = errors.New("csnet: frame exceeds maximum size")
 
+// muxMagic is the preamble a multiplexing client sends right after
+// connecting. As a big-endian integer it is 0x43534D31, larger than any
+// legal legacy length prefix.
+var muxMagic = [4]byte{'C', 'S', 'M', '1'}
+
+// frameHeaderSize is the legacy header (length only); muxHeaderSize
+// adds the 8-byte sequence number.
+const (
+	frameHeaderSize = 4
+	muxHeaderSize   = 12
+)
+
+// appendFrame appends a length-prefixed legacy frame to dst, so callers
+// holding a reusable buffer emit header and body as one write (one
+// syscall and one TCP segment instead of two).
+func appendFrame(dst, body []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
 // WriteFrame writes a length-prefixed frame (4-byte big-endian length +
-// body).
+// body) as a single coalesced write.
 func WriteFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("csnet: write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("csnet: write frame body: %w", err)
+	frame := appendFrame(make([]byte, 0, frameHeaderSize+len(body)), body)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("csnet: write frame: %w", err)
 	}
 	return nil
 }
 
 // ReadFrame reads one length-prefixed frame.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF is meaningful to callers: pass through
 	}
@@ -52,4 +82,16 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("csnet: read frame body: %w", err)
 	}
 	return body, nil
+}
+
+// putMuxHeader fills hdr with the muxed frame header for a body of n
+// bytes tagged with seq. hdr must be muxHeaderSize long.
+func putMuxHeader(hdr []byte, seq uint64, n int) {
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(n))
+	binary.BigEndian.PutUint64(hdr[4:12], seq)
+}
+
+// parseMuxHeader is the inverse of putMuxHeader.
+func parseMuxHeader(hdr []byte) (seq uint64, n uint32) {
+	return binary.BigEndian.Uint64(hdr[4:12]), binary.BigEndian.Uint32(hdr[0:4])
 }

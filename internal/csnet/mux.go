@@ -1,0 +1,366 @@
+package csnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed is delivered to every in-flight request when the
+// client (or its connection) is torn down.
+var ErrClientClosed = errors.New("csnet: client closed")
+
+// muxBufSize sizes the per-connection read and write buffers: large
+// enough that a burst of pipelined frames coalesces into one syscall.
+const muxBufSize = 64 << 10
+
+// muxSendQueue bounds how many requests may wait for the writer
+// goroutine; enqueueing past it applies backpressure to callers.
+const muxSendQueue = 256
+
+// muxIdleWindow is how long the reader blocks between wake-ups when no
+// request is in flight (an idle pooled connection has no deadline to
+// enforce, it just re-arms). Kept short: it also bounds how long a
+// request that raced the reader's deadline re-arm can go unnoticed.
+const muxIdleWindow = time.Second
+
+// muxResult is what the reader delivers to a waiting caller.
+type muxResult struct {
+	body []byte
+	err  error
+}
+
+// Pending is an in-flight pipelined request on a multiplexed
+// connection. Wait blocks until the matching response frame arrives or
+// the connection fails.
+type Pending struct {
+	ch chan muxResult
+}
+
+// Wait returns the raw response frame for this request.
+func (p *Pending) Wait() ([]byte, error) {
+	r := <-p.ch
+	return r.body, r.err
+}
+
+// failedPending builds a Pending that is already resolved with err, so
+// enqueue never returns nil.
+func failedPending(err error) *Pending {
+	p := &Pending{ch: make(chan muxResult, 1)}
+	p.ch <- muxResult{err: err}
+	return p
+}
+
+// muxEntry tracks one registered request until its response arrives.
+type muxEntry struct {
+	p        *Pending
+	deadline time.Time
+}
+
+// muxFrame is one sequence-tagged frame queued for a connection's
+// writer goroutine (client requests and server responses alike).
+type muxFrame struct {
+	seq  uint64
+	body []byte
+}
+
+// muxConn is a pipelined, multiplexed framed connection: N concurrent
+// callers share one TCP connection with N requests in flight. One
+// writer goroutine drains the send queue, coalescing header+body and
+// batching queued frames into a single buffered write; one reader
+// goroutine dispatches responses to per-request completion channels by
+// sequence number. Any transport failure poisons the connection and
+// fails every pending and future request.
+type muxConn struct {
+	conn    net.Conn
+	timeout time.Duration
+	sendq   chan muxFrame
+	dead    chan struct{} // closed by fail(); unblocks writer and enqueuers
+
+	mu      sync.Mutex
+	pending map[uint64]muxEntry
+	nextSeq uint64
+	err     error // first transport error; non-nil means poisoned
+}
+
+// newMuxConn performs the magic handshake on conn and starts the
+// writer and reader goroutines.
+func newMuxConn(conn net.Conn, timeout time.Duration) (*muxConn, error) {
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(muxMagic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("csnet: mux handshake: %w", err)
+	}
+	m := &muxConn{
+		conn:    conn,
+		timeout: timeout,
+		sendq:   make(chan muxFrame, muxSendQueue),
+		dead:    make(chan struct{}),
+		pending: map[uint64]muxEntry{},
+	}
+	go m.writeLoop()
+	go m.readLoop()
+	return m, nil
+}
+
+// enqueue registers a request and hands the frame to the writer. The
+// returned Pending always resolves: with the response, or with the
+// error that poisoned the connection.
+func (m *muxConn) enqueue(body []byte) *Pending {
+	if len(body) > MaxFrameSize {
+		return failedPending(ErrFrameTooLarge)
+	}
+	p := &Pending{ch: make(chan muxResult, 1)}
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		p.ch <- muxResult{err: err}
+		return p
+	}
+	seq := m.nextSeq
+	m.nextSeq++
+	wasIdle := len(m.pending) == 0
+	m.pending[seq] = muxEntry{p: p, deadline: time.Now().Add(m.timeout)}
+	m.mu.Unlock()
+	if wasIdle {
+		// The reader may be blocked in its long idle window; re-arming
+		// the read deadline interrupts that read so this request's
+		// timeout is actually enforced.
+		_ = m.conn.SetReadDeadline(time.Now().Add(m.timeout))
+	}
+	select {
+	case m.sendq <- muxFrame{seq: seq, body: body}:
+	case <-m.dead:
+		// fail() already resolved p through the pending map.
+	}
+	return p
+}
+
+// pendingCount reports how many requests await responses.
+func (m *muxConn) pendingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// expired reports whether any in-flight request has outlived its
+// deadline — the distinction between a stale read-deadline wake-up and
+// a genuinely stuck request.
+func (m *muxConn) expired() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	for _, e := range m.pending {
+		if !now.Before(e.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestDeadline returns the earliest in-flight request deadline; ok
+// is false when nothing is pending.
+func (m *muxConn) nearestDeadline() (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var min time.Time
+	for _, e := range m.pending {
+		if min.IsZero() || e.deadline.Before(min) {
+			min = e.deadline
+		}
+	}
+	return min, !min.IsZero()
+}
+
+// fail poisons the connection: the first error wins, every pending
+// request is resolved with it, and future enqueues fail fast.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.dead)
+		for seq, e := range m.pending {
+			delete(m.pending, seq)
+			e.p.ch <- muxResult{err: err}
+		}
+	}
+	m.mu.Unlock()
+	m.conn.Close()
+}
+
+// broken reports whether the connection has been poisoned.
+func (m *muxConn) broken() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err != nil
+}
+
+// close tears the connection down, failing all in-flight requests.
+func (m *muxConn) close() error {
+	m.fail(ErrClientClosed)
+	return nil
+}
+
+// runFrameWriter is the coalescing writer shared by the client mux and
+// the server's muxed connections: it blocks for one frame from q, then
+// greedily drains everything already queued into the buffered writer,
+// yields once so concurrent producers can enqueue (a channel send parks
+// the sender and often schedules this writer immediately, so without
+// the yield a burst degrades to one flush syscall per frame), drains
+// again, and flushes — a burst of N frames costs one syscall, not N.
+//
+// It exits when q closes (flushing what was written), when stop closes,
+// or on the first write error, which is reported through fail; after a
+// failure remaining frames are discarded until q closes or stop fires,
+// so producers never block on a dead writer. A nil stop channel blocks
+// forever (server connections terminate by closing q instead). timeout,
+// when positive, arms a write deadline per batch.
+func runFrameWriter(conn net.Conn, q <-chan muxFrame, stop <-chan struct{}, timeout time.Duration, fail func(error)) {
+	bw := bufio.NewWriterSize(conn, muxBufSize)
+	hdr := make([]byte, muxHeaderSize)
+	writeOne := func(f muxFrame) error {
+		if len(f.body) > MaxFrameSize {
+			return ErrFrameTooLarge
+		}
+		putMuxHeader(hdr, f.seq, len(f.body))
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+		_, err := bw.Write(f.body)
+		return err
+	}
+	drain := func() (err error, open bool) {
+		for {
+			select {
+			case f, ok := <-q:
+				if !ok {
+					return nil, false
+				}
+				if err := writeOne(f); err != nil {
+					return err, true
+				}
+			default:
+				return nil, true
+			}
+		}
+	}
+	for {
+		var f muxFrame
+		var open bool
+		select {
+		case f, open = <-q:
+			if !open {
+				_ = bw.Flush()
+				return
+			}
+		case <-stop:
+			return
+		}
+		if timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		err := writeOne(f)
+		if err == nil {
+			err, open = drain()
+		}
+		if err == nil && open {
+			runtime.Gosched() // batching yield; see doc comment
+			err, open = drain()
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			fail(fmt.Errorf("csnet: mux write: %w", err))
+			for { // discard the backlog so producers never block
+				select {
+				case _, ok := <-q:
+					if !ok {
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// writeLoop feeds the shared coalescing writer from the send queue.
+func (m *muxConn) writeLoop() {
+	runFrameWriter(m.conn, m.sendq, m.dead, m.timeout, m.fail)
+}
+
+// readRetry fills buf from br, tolerating read-deadline expiries as
+// long as no in-flight request has actually exceeded its deadline (the
+// deadline doubles as a periodic liveness check on idle connections).
+// Before each read that will hit the wire, the deadline is armed to the
+// earliest pending request's own deadline — absolute, not
+// block-time-relative — so a single stuck request times out even while
+// other responses keep the connection busy, and timeouts never
+// overshoot by a full window.
+func (m *muxConn) readRetry(br *bufio.Reader, buf []byte) error {
+	n := 0
+	for n < len(buf) {
+		if br.Buffered() == 0 {
+			// About to hit the wire: arm the deadline (cheap relative
+			// to the blocking read that follows).
+			if dl, ok := m.nearestDeadline(); ok {
+				_ = m.conn.SetReadDeadline(dl)
+			} else {
+				_ = m.conn.SetReadDeadline(time.Now().Add(muxIdleWindow))
+			}
+		}
+		k, err := br.Read(buf[n:])
+		n += k
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !m.expired() {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// readLoop dispatches response frames to their waiting callers.
+func (m *muxConn) readLoop() {
+	br := bufio.NewReaderSize(m.conn, muxBufSize)
+	hdr := make([]byte, muxHeaderSize)
+	for {
+		if err := m.readRetry(br, hdr); err != nil {
+			m.fail(fmt.Errorf("csnet: mux read: %w", err))
+			return
+		}
+		seq, n := parseMuxHeader(hdr)
+		if n > MaxFrameSize {
+			m.fail(ErrFrameTooLarge)
+			return
+		}
+		body := make([]byte, n)
+		if err := m.readRetry(br, body); err != nil {
+			m.fail(fmt.Errorf("csnet: mux read body: %w", err))
+			return
+		}
+		m.mu.Lock()
+		e, ok := m.pending[seq]
+		delete(m.pending, seq)
+		m.mu.Unlock()
+		if !ok {
+			// A response nobody asked for means the stream is corrupt;
+			// never risk delivering one caller's bytes to another.
+			m.fail(fmt.Errorf("csnet: mux response for unknown seq %d", seq))
+			return
+		}
+		e.p.ch <- muxResult{body: body}
+	}
+}

@@ -1,8 +1,11 @@
 package csnet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
@@ -23,7 +26,10 @@ func (f HandlerFunc) Serve(r Request) Response { return f(r) }
 // response frame. It is the layer below Handler: protocols that are not
 // the binary key-value protocol (e.g. the dist RPC middleware) plug in
 // here and reuse the server's connection machinery unchanged.
-// Implementations must be safe for concurrent use.
+// Implementations must be safe for concurrent use and must not retain
+// body after returning: on legacy connections the server reuses the
+// read buffer for the next frame. The returned frame may alias body
+// contents (it is written out before the buffer is reused).
 type FrameHandler interface {
 	ServeFrame(body []byte) []byte
 }
@@ -126,17 +132,109 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// serveConn processes requests until the peer closes or errors.
+// serveConn sniffs the first four bytes to pick the wire format: the
+// "CSM1" magic selects the multiplexed mode; anything else is a legacy
+// length prefix (the magic decodes to a length far beyond MaxFrameSize,
+// so the two can never collide).
 func (s *Server) serveConn(conn net.Conn) {
-	for {
-		body, err := ReadFrame(conn)
-		if err != nil {
-			return
-		}
-		if err := WriteFrame(conn, s.frames.ServeFrame(body)); err != nil {
-			return
-		}
+	var pre [4]byte
+	if _, err := io.ReadFull(conn, pre[:]); err != nil {
+		return
 	}
+	if pre == muxMagic {
+		s.serveMux(conn)
+		return
+	}
+	s.serveLegacy(conn, binary.BigEndian.Uint32(pre[:]))
+}
+
+// serveLegacy processes one-request-one-response FIFO frames. Handling
+// is synchronous, so the request body scratch and the response frame
+// buffer are reused across iterations: a steady-state request costs
+// zero buffer allocations and one write syscall here.
+func (s *Server) serveLegacy(conn net.Conn, firstLen uint32) {
+	var body []byte  // request scratch, grown on demand
+	var frame []byte // response header+body, coalesced into one write
+	n := firstLen
+	for {
+		if n > MaxFrameSize {
+			return
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		resp := s.frames.ServeFrame(body)
+		if len(resp) > MaxFrameSize {
+			return
+		}
+		frame = appendFrame(frame[:0], resp)
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n = binary.BigEndian.Uint32(hdr[:])
+	}
+}
+
+// muxConnHandlers bounds concurrently executing handlers per muxed
+// connection.
+const muxConnHandlers = 32
+
+// serveMux processes sequence-numbered frames with out-of-order
+// completion: the read loop feeds a small pool of persistent worker
+// goroutines (no per-request spawn) and the shared coalescing frame
+// writer (runFrameWriter) batches finished responses into single
+// buffered writes. On a write failure the writer closes the connection,
+// which unblocks the read loop and tears the whole pipeline down.
+// Request bodies are allocated per frame here — handlers run
+// concurrently, so the legacy path's scratch reuse would be a data
+// race.
+func (s *Server) serveMux(conn net.Conn) {
+	in := make(chan muxFrame, muxConnHandlers)
+	out := make(chan muxFrame, 2*muxConnHandlers)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		runFrameWriter(conn, out, nil, 0, func(error) { conn.Close() })
+	}()
+	var workerWG sync.WaitGroup
+	for i := 0; i < muxConnHandlers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for f := range in {
+				out <- muxFrame{seq: f.seq, body: s.frames.ServeFrame(f.body)}
+			}
+		}()
+	}
+	br := bufio.NewReaderSize(conn, muxBufSize)
+	hdr := make([]byte, muxHeaderSize)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			break
+		}
+		seq, n := parseMuxHeader(hdr)
+		if n > MaxFrameSize {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			break
+		}
+		in <- muxFrame{seq: seq, body: body}
+	}
+	close(in)
+	workerWG.Wait()
+	close(out)
+	writerWG.Wait()
 }
 
 // Shutdown stops accepting, closes every connection and waits for the

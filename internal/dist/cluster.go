@@ -26,10 +26,6 @@ type ClusterConfig struct {
 	Vnodes int
 	// Timeout bounds each backend round-trip (default 5s).
 	Timeout time.Duration
-	// PoolSize is the number of pooled connections per backend
-	// (default 4); concurrent callers beyond it dial extra connections
-	// that are closed instead of pooled when returned.
-	PoolSize int
 }
 
 // Cluster shards one key space across several csnet backend servers: a
@@ -37,6 +33,13 @@ type ClusterConfig struct {
 // backends, writes go synchronously to every replica, and reads are
 // spread over the replica set by the configured Balancer with
 // read-repair backfilling replicas that missed a write.
+//
+// Transport: one pipelined, multiplexed connection per backend, shared
+// by all concurrent callers. Replica fan-out and the batch APIs
+// (MSet/MGet/MDel) issue asynchronous sends and then collect, so a
+// replicated write costs one round-trip of latency and a 100-key batch
+// costs one pipelined burst per backend instead of 100 lock-step round
+// trips.
 type Cluster struct {
 	ring     *ConsistentHash
 	balancer Balancer
@@ -61,10 +64,6 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	poolSize := cfg.PoolSize
-	if poolSize < 1 {
-		poolSize = 4
-	}
 	c := &Cluster{
 		ring:     NewConsistentHash(n, cfg.Vnodes),
 		balancer: cfg.Balancer,
@@ -72,7 +71,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		pools:    make([]*clientPool, n),
 	}
 	for i, addr := range cfg.Addrs {
-		c.pools[i] = &clientPool{addr: addr, timeout: timeout, ch: make(chan *csnet.Client, poolSize)}
+		c.pools[i] = &clientPool{addr: addr, timeout: timeout}
 	}
 	return c, nil
 }
@@ -94,9 +93,23 @@ func (c *Cluster) replicaSet(key string) []int {
 	return set
 }
 
-// Set writes key to every replica synchronously (write-all), fanning
-// the replica writes out in parallel so latency stays near one
-// round-trip regardless of the replication factor. It fails if any
+// waitStatus collects an async call, folding unexpected statuses into
+// errors; want2 may be 0 when only one status is acceptable.
+func waitStatus(call *csnet.Call, want, want2 csnet.Status) (csnet.Status, error) {
+	resp, err := call.Response()
+	if err != nil {
+		return 0, err
+	}
+	if resp.Status != want && resp.Status != want2 {
+		return resp.Status, fmt.Errorf("status %s: %s", resp.Status, resp.Value)
+	}
+	return resp.Status, nil
+}
+
+// Set writes key to every replica synchronously (write-all): the sends
+// are pipelined onto each replica's multiplexed connection and then
+// collected, so latency stays near one round-trip regardless of the
+// replication factor — no per-call goroutine fan-out. It fails if any
 // replica write fails, so a nil return means the value is durable on
 // the full replica set. Concurrent Sets of the same key race without
 // versioning: callers that update one key from several writers should
@@ -104,34 +117,40 @@ func (c *Cluster) replicaSet(key string) []int {
 // last, independently per replica).
 func (c *Cluster) Set(key string, value []byte) error {
 	set := c.replicaSet(key)
-	if len(set) == 1 {
-		b := set[0]
-		if err := c.pools[b].withClient(func(cl *csnet.Client) error {
-			return cl.Set(key, value)
-		}); err != nil {
-			return fmt.Errorf("dist: cluster set %q on backend %d: %w", key, b, err)
-		}
-		return nil
-	}
-	errs := make([]error, len(set))
-	var wg sync.WaitGroup
+	calls := make([]*csnet.Call, len(set))
+	var firstErr error
 	for i, b := range set {
-		i, b := i, b
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			errs[i] = c.pools[b].withClient(func(cl *csnet.Client) error {
-				return cl.Set(key, value)
-			})
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
+		cl, err := c.pools[b].get()
 		if err != nil {
-			return fmt.Errorf("dist: cluster set %q on backend %d: %w", key, set[i], err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster set %q on backend %d: %w", key, b, err)
+			}
+			continue
+		}
+		calls[i] = cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: value})
+	}
+	for i, call := range calls {
+		if call == nil {
+			continue
+		}
+		if _, err := waitStatus(call, csnet.StatusOK, 0); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dist: cluster set %q on backend %d: %w", key, set[i], err)
 		}
 	}
-	return nil
+	return firstErr
+}
+
+// readPick returns the index into a key's replica set to try first,
+// consulting the Balancer when one is configured. The returned release
+// must be called when the read completes, so load-aware strategies
+// (least-loaded, power-of-two) see genuinely in-flight requests rather
+// than counters that zero out immediately.
+func (c *Cluster) readPick(key string) (first int, release func()) {
+	if c.balancer == nil {
+		return 0, func() {}
+	}
+	pick := c.balancer.Pick(key)
+	return ((pick % c.rf) + c.rf) % c.rf, func() { c.balancer.Done(pick) }
 }
 
 // Get reads key from its replica set. The Balancer picks the replica to
@@ -141,23 +160,18 @@ func (c *Cluster) Set(key string, value []byte) error {
 // the key.
 func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	set := c.replicaSet(key)
-	first := 0
-	if c.balancer != nil {
-		pick := c.balancer.Pick(key)
-		defer c.balancer.Done(pick)
-		first = ((pick % c.rf) + c.rf) % c.rf
-	}
+	first, release := c.readPick(key)
+	defer release()
 	var missed []int
 	var lastErr error
 	for i := 0; i < len(set); i++ {
 		b := set[(first+i)%len(set)]
-		var v []byte
-		var found bool
-		err := c.pools[b].withClient(func(cl *csnet.Client) error {
-			var err error
-			v, found, err = cl.Get(key)
-			return err
-		})
+		cl, err := c.pools[b].get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		v, found, err := cl.Get(key)
 		if err != nil {
 			lastErr = err
 			continue
@@ -174,38 +188,241 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	return nil, false, nil
 }
 
-// readRepair backfills value onto replicas that returned a miss. The
-// backfill is set-if-absent so a repair can only fill a hole, never
-// overwrite a newer write that landed between the miss and the repair;
-// failures are ignored (the next read retries the repair).
+// readRepair backfills value onto replicas that returned a miss, as one
+// pipelined burst. The backfill is set-if-absent so a repair can only
+// fill a hole, never overwrite a newer write that landed between the
+// miss and the repair; failures are ignored (the next read retries the
+// repair).
 func (c *Cluster) readRepair(key string, value []byte, missed []int) {
+	calls := make([]*csnet.Call, 0, len(missed))
 	for _, b := range missed {
-		_ = c.pools[b].withClient(func(cl *csnet.Client) error {
-			_, err := cl.SetNX(key, value)
-			return err
-		})
-	}
-}
-
-// Del removes key from every replica; ok reports whether any replica
-// had it.
-func (c *Cluster) Del(key string) (ok bool, err error) {
-	for _, b := range c.replicaSet(key) {
-		var existed bool
-		e := c.pools[b].withClient(func(cl *csnet.Client) error {
-			var err error
-			existed, err = cl.Del(key)
-			return err
-		})
-		if e != nil {
-			return ok, fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, e)
+		cl, err := c.pools[b].get()
+		if err != nil {
+			continue
 		}
-		ok = ok || existed
+		calls = append(calls, cl.Send(csnet.Request{Op: csnet.OpSetNX, Key: key, Value: value}))
 	}
-	return ok, nil
+	for _, call := range calls {
+		_, _ = call.Response()
+	}
 }
 
-// Close releases every pooled connection.
+// Del removes key from every replica, fanning the deletes out as
+// pipelined async sends collected together (parallel across replicas,
+// like Set); ok reports whether any replica had it.
+func (c *Cluster) Del(key string) (ok bool, err error) {
+	set := c.replicaSet(key)
+	calls := make([]*csnet.Call, len(set))
+	var firstErr error
+	for i, b := range set {
+		cl, cerr := c.pools[b].get()
+		if cerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, cerr)
+			}
+			continue
+		}
+		calls[i] = cl.Send(csnet.Request{Op: csnet.OpDel, Key: key})
+	}
+	for i, call := range calls {
+		if call == nil {
+			continue
+		}
+		st, cerr := waitStatus(call, csnet.StatusOK, csnet.StatusNotFound)
+		if cerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, set[i], cerr)
+			}
+			continue
+		}
+		ok = ok || st == csnet.StatusOK
+	}
+	return ok, firstErr
+}
+
+// batchClients lazily resolves one pooled client per backend for a
+// batch operation, caching dial failures so a dead backend is reported
+// once instead of re-dialed per key.
+type batchClients struct {
+	c      *Cluster
+	cls    []*csnet.Client
+	errs   []error
+	dialed []bool
+}
+
+func (c *Cluster) newBatchClients() *batchClients {
+	n := len(c.pools)
+	return &batchClients{c: c, cls: make([]*csnet.Client, n), errs: make([]error, n), dialed: make([]bool, n)}
+}
+
+func (bc *batchClients) get(b int) (*csnet.Client, error) {
+	if !bc.dialed[b] {
+		bc.dialed[b] = true
+		bc.cls[b], bc.errs[b] = bc.c.pools[b].get()
+	}
+	return bc.cls[b], bc.errs[b]
+}
+
+// MSet writes many key/value pairs with write-all replication: keys are
+// grouped by replica set and each backend receives its whole share as
+// one pipelined batch, so the wall-clock cost is one burst per backend
+// rather than one round-trip per key per replica. Like Set, it fails if
+// any replica write fails (the remaining writes still complete, so a
+// failed MSet leaves the successfully-written keys durable).
+func (c *Cluster) MSet(keys []string, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("dist: cluster mset: %d keys but %d values", len(keys), len(values))
+	}
+	bc := c.newBatchClients()
+	type sent struct {
+		call    *csnet.Call
+		key     int
+		backend int
+	}
+	calls := make([]sent, 0, len(keys)*c.rf)
+	var firstErr error
+	for i, key := range keys {
+		for _, b := range c.replicaSet(key) {
+			cl, err := bc.get(b)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: cluster mset %q on backend %d: %w", key, b, err)
+				}
+				continue
+			}
+			calls = append(calls, sent{
+				call:    cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: values[i]}),
+				key:     i,
+				backend: b,
+			})
+		}
+	}
+	for _, s := range calls {
+		if _, err := waitStatus(s.call, csnet.StatusOK, 0); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dist: cluster mset %q on backend %d: %w", keys[s.key], s.backend, err)
+		}
+	}
+	return firstErr
+}
+
+// MGet reads many keys as one pipelined batch per backend: each key is
+// asked of its balancer-chosen first replica; keys that miss or error
+// there fall back to the ordinary Get path (remaining replicas plus
+// read-repair). The result maps each found key to its value; absent
+// keys are simply not in the map. A non-nil error reports the first
+// key whose full replica set failed, after the rest of the batch has
+// completed.
+func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
+	bc := c.newBatchClients()
+	found := make(map[string][]byte, len(keys))
+	type sent struct {
+		call *csnet.Call
+		key  int
+	}
+	calls := make([]sent, 0, len(keys))
+	releases := make([]func(), 0, len(keys))
+	defer func() { // the whole batch is in flight until collected
+		for _, release := range releases {
+			release()
+		}
+	}()
+	var retry []int
+	for i, key := range keys {
+		set := c.replicaSet(key)
+		first, release := c.readPick(key)
+		releases = append(releases, release)
+		cl, err := bc.get(set[first])
+		if err != nil {
+			retry = append(retry, i)
+			continue
+		}
+		calls = append(calls, sent{call: cl.Send(csnet.Request{Op: csnet.OpGet, Key: key}), key: i})
+	}
+	var firstErr error
+	for _, s := range calls {
+		resp, err := s.call.Response()
+		switch {
+		case err != nil:
+			retry = append(retry, s.key)
+		case resp.Status == csnet.StatusOK:
+			found[keys[s.key]] = resp.Value
+		case resp.Status == csnet.StatusNotFound && c.rf > 1:
+			// Another replica may still hold it (and want repair).
+			retry = append(retry, s.key)
+		case resp.Status == csnet.StatusNotFound:
+			// rf == 1: a miss on the only replica is a definitive miss.
+		default:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster mget %q: status %s: %s", keys[s.key], resp.Status, resp.Value)
+			}
+		}
+	}
+	for _, i := range retry {
+		v, ok, err := c.Get(keys[i])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ok {
+			found[keys[i]] = v
+		}
+	}
+	return found, firstErr
+}
+
+// MDel removes many keys from their full replica sets, one pipelined
+// batch per backend. It returns how many keys existed on at least one
+// replica.
+func (c *Cluster) MDel(keys []string) (int, error) {
+	bc := c.newBatchClients()
+	type sent struct {
+		call    *csnet.Call
+		key     int
+		backend int
+	}
+	calls := make([]sent, 0, len(keys)*c.rf)
+	var firstErr error
+	for i, key := range keys {
+		for _, b := range c.replicaSet(key) {
+			cl, err := bc.get(b)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", key, b, err)
+				}
+				continue
+			}
+			calls = append(calls, sent{
+				call:    cl.Send(csnet.Request{Op: csnet.OpDel, Key: key}),
+				key:     i,
+				backend: b,
+			})
+		}
+	}
+	existed := make([]bool, len(keys))
+	for _, s := range calls {
+		st, err := waitStatus(s.call, csnet.StatusOK, csnet.StatusNotFound)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, err)
+			}
+			continue
+		}
+		if st == csnet.StatusOK {
+			existed[s.key] = true
+		}
+	}
+	n := 0
+	for _, e := range existed {
+		if e {
+			n++
+		}
+	}
+	return n, firstErr
+}
+
+// Close releases every backend connection.
 func (c *Cluster) Close() error {
 	var first error
 	for _, p := range c.pools {
@@ -216,50 +433,61 @@ func (c *Cluster) Close() error {
 	return first
 }
 
-// clientPool is a lazily-filled pool of csnet clients for one backend.
+// clientPool holds the single multiplexed connection to one backend.
+// The old many-connections pool is gone: pipelining made it redundant,
+// since one muxed connection carries any number of concurrent requests.
+// A transport failure poisons the connection (every caller on it fails
+// fast) and the next get transparently redials.
 type clientPool struct {
 	addr    string
 	timeout time.Duration
-	ch      chan *csnet.Client
+
+	mu sync.Mutex
+	cl *csnet.Client
 }
 
-// withClient runs fn with a pooled (or freshly dialed) client. The
-// client returns to the pool on success and is discarded on error, so a
-// broken connection is never reused.
-func (p *clientPool) withClient(fn func(*csnet.Client) error) error {
-	var cl *csnet.Client
-	select {
-	case cl = <-p.ch:
-	default:
-		var err error
-		cl, err = csnet.Dial(p.addr, p.timeout)
-		if err != nil {
-			return err
-		}
+// get returns the backend's shared client, dialing on first use or
+// after the previous connection broke. A poisoned client is never
+// handed out.
+func (p *clientPool) get() (*csnet.Client, error) {
+	p.mu.Lock()
+	if p.cl != nil && !p.cl.Broken() {
+		cl := p.cl
+		p.mu.Unlock()
+		return cl, nil
 	}
-	if err := fn(cl); err != nil {
+	stale := p.cl
+	p.cl = nil
+	p.mu.Unlock()
+	if stale != nil {
+		stale.Close()
+	}
+	cl, err := csnet.Dial(p.addr, p.timeout) // dial outside the lock
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.cl != nil && !p.cl.Broken() {
+		// Lost a concurrent redial race: the pool keeps exactly one
+		// connection per backend, extras are closed.
+		winner := p.cl
+		p.mu.Unlock()
 		cl.Close()
-		return err
+		return winner, nil
 	}
-	select {
-	case p.ch <- cl:
-	default:
-		cl.Close() // pool full
+	p.cl = cl
+	p.mu.Unlock()
+	return cl, nil
+}
+
+// close tears down the backend connection.
+func (p *clientPool) close() error {
+	p.mu.Lock()
+	cl := p.cl
+	p.cl = nil
+	p.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
 	}
 	return nil
-}
-
-// close drains and closes all pooled connections.
-func (p *clientPool) close() error {
-	var first error
-	for {
-		select {
-		case cl := <-p.ch:
-			if err := cl.Close(); err != nil && first == nil {
-				first = err
-			}
-		default:
-			return first
-		}
-	}
 }

@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pdcedu/internal/csnet"
+)
+
+// batchKeys builds n distinct key/value pairs with a prefix.
+func batchKeys(prefix string, n int) (keys []string, values [][]byte) {
+	for i := 0; i < n; i++ {
+		keys = append(keys, fmt.Sprintf("%s-%d", prefix, i))
+		values = append(values, []byte(fmt.Sprintf("val-%s-%d", prefix, i)))
+	}
+	return keys, values
+}
+
+// TestClusterBatchOps drives MSet/MGet/MDel end to end with
+// replication: every batched write must be readable singly and in
+// batch, and MDel must count and remove every key from all replicas.
+func TestClusterBatchOps(t *testing.T) {
+	handlers, addrs := startBackends(t, 3)
+	c, err := NewCluster(ClusterConfig{Addrs: addrs, Replication: 2, Balancer: NewRoundRobin(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 100
+	keys, values := batchKeys("batch", n)
+	if err := c.MSet(keys, values); err != nil {
+		t.Fatal(err)
+	}
+	// Replication 2: each key stored twice across the backends.
+	total := 0
+	for _, h := range handlers {
+		total += h.Len()
+	}
+	if total != 2*n {
+		t.Errorf("backends hold %d replica copies, want %d", total, 2*n)
+	}
+	// Single-key reads see batched writes.
+	for i, key := range keys {
+		v, ok, err := c.Get(key)
+		if err != nil || !ok || !bytes.Equal(v, values[i]) {
+			t.Fatalf("Get(%s) after MSet = %q %v %v", key, v, ok, err)
+		}
+	}
+	// Batched reads, including keys that do not exist.
+	askKeys := append(append([]string{}, keys...), "never-set-1", "never-set-2")
+	got, err := c.MGet(askKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("MGet found %d keys, want %d", len(got), n)
+	}
+	for i, key := range keys {
+		if !bytes.Equal(got[key], values[i]) {
+			t.Fatalf("MGet[%s] = %q, want %q", key, got[key], values[i])
+		}
+	}
+	// Batched delete reports how many keys existed and clears all
+	// replicas.
+	deleted, err := c.MDel(askKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != n {
+		t.Errorf("MDel deleted %d keys, want %d", deleted, n)
+	}
+	for _, h := range handlers {
+		if h.Len() != 0 {
+			t.Errorf("backend still holds %d keys after MDel", h.Len())
+		}
+	}
+	// Deleting again finds nothing.
+	if deleted, err := c.MDel(keys); err != nil || deleted != 0 {
+		t.Errorf("second MDel = %d %v, want 0 nil", deleted, err)
+	}
+}
+
+// TestClusterMSetValidation rejects mismatched key/value lengths.
+func TestClusterMSetValidation(t *testing.T) {
+	_, addrs := startBackends(t, 1)
+	c, err := NewCluster(ClusterConfig{Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.MSet([]string{"a", "b"}, [][]byte{[]byte("x")}); err == nil {
+		t.Error("MSet with mismatched lengths accepted")
+	}
+}
+
+// TestClusterMGetFallbackRepair damages a key's first-choice replica
+// behind the cluster's back: MGet must still find the value on another
+// replica and backfill the hole, like single-key Get.
+func TestClusterMGetFallbackRepair(t *testing.T) {
+	handlers, addrs := startBackends(t, 3)
+	c, err := NewCluster(ClusterConfig{Addrs: addrs, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("grade", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	primary := NewConsistentHash(3, 0).Pick("grade") // balancer-less first choice
+	handlers[primary].Serve(csnet.Request{Op: csnet.OpDel, Key: "grade"})
+	got, err := c.MGet([]string{"grade", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["grade"]) != "A" {
+		t.Fatalf("MGet after damage = %q, want A", got["grade"])
+	}
+	if _, ok := got["missing"]; ok {
+		t.Error("MGet invented a value for an absent key")
+	}
+	if handlers[primary].Len() != 1 {
+		t.Error("MGet fallback did not read-repair the damaged replica")
+	}
+}
+
+// TestPoolNeverReturnsPoisoned kills a backend under a pooled
+// connection, then restarts it on the same port: the pool must notice
+// the poisoned client and redial instead of handing the broken
+// connection back out.
+func TestPoolNeverReturnsPoisoned(t *testing.T) {
+	srv := csnet.NewServer(csnet.NewKVHandler(), 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &clientPool{addr: addr, timeout: 500 * time.Millisecond}
+	defer p.close()
+
+	cl1, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown()
+	if err := cl1.Ping(); err == nil {
+		t.Fatal("ping succeeded against a shut-down backend")
+	}
+	if !cl1.Broken() {
+		t.Fatal("client not poisoned by transport failure")
+	}
+	// While the backend is down, get must fail (redial refused), never
+	// return the poisoned client.
+	if cl, err := p.get(); err == nil && cl == cl1 {
+		t.Fatal("pool handed back the poisoned client")
+	}
+	// Restart on the same port; the pool must transparently redial.
+	srv2 := csnet.NewServer(csnet.NewKVHandler(), 16)
+	if _, err := srv2.Start(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Shutdown()
+	cl2, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2 == cl1 {
+		t.Fatal("pool reused the poisoned client after restart")
+	}
+	if err := cl2.Ping(); err != nil {
+		t.Fatalf("redialed client unusable: %v", err)
+	}
+}
+
+// TestPoolRedialRaceKeepsOneConn hammers a cold pool from many
+// goroutines: every caller must end up with a working client, and the
+// pool must converge on a single shared connection (racing extra dials
+// are closed, not leaked into the pool).
+func TestPoolRedialRaceKeepsOneConn(t *testing.T) {
+	srv := csnet.NewServer(csnet.NewKVHandler(), 64)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	p := &clientPool{addr: addr, timeout: 2 * time.Second}
+	defer p.close()
+
+	const goroutines = 16
+	clients := make([]*csnet.Client, goroutines)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := p.get()
+			if err != nil {
+				errs <- err
+				return
+			}
+			clients[g] = cl
+			if err := cl.Ping(); err != nil {
+				errs <- fmt.Errorf("goroutine %d got unusable client: %w", g, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The pool converges on exactly one connection.
+	final, err := p.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, cl := range clients {
+		if cl != final {
+			// A loser of the install race was closed; its caller must
+			// have received the winner, never a dead extra.
+			t.Fatalf("goroutine %d holds a client that is not the pooled one", g)
+		}
+	}
+	if err := final.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterConcurrentBatchesNoCrossTalk runs concurrent MSet/MGet
+// batches over shared multiplexed connections; every goroutine must
+// read back exactly its own values. Run with -race.
+func TestClusterConcurrentBatchesNoCrossTalk(t *testing.T) {
+	_, addrs := startBackends(t, 3)
+	c, err := NewCluster(ClusterConfig{Addrs: addrs, Replication: 2, Balancer: NewLeastLoaded(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines, perBatch = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			keys, values := batchKeys(fmt.Sprintf("g%d", g), perBatch)
+			if err := c.MSet(keys, values); err != nil {
+				errs <- err
+				return
+			}
+			got, err := c.MGet(keys)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i, key := range keys {
+				if !bytes.Equal(got[key], values[i]) {
+					errs <- fmt.Errorf("cross-talk: goroutine %d key %s = %q, want %q", g, key, got[key], values[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

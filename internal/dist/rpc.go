@@ -122,7 +122,8 @@ func (s *RPCServer) ServeFrame(body []byte) []byte {
 func (s *RPCServer) Shutdown() { s.srv.Shutdown() }
 
 // RPCClient is a connection to an RPCServer. It is safe for concurrent
-// use; calls on one client serialize over the single connection.
+// use: calls share one pipelined, multiplexed connection, so N callers
+// have N requests in flight instead of serializing round trips.
 type RPCClient struct {
 	c *csnet.Client
 }
@@ -136,33 +137,57 @@ func DialRPC(addr string, timeout time.Duration) (*RPCClient, error) {
 	return &RPCClient{c: cl}, nil
 }
 
-// Call invokes method with args and, when reply is non-nil, decodes the
-// result into it. Handler and dispatch failures come back as
-// *RemoteError; transport failures as ordinary errors.
-func (c *RPCClient) Call(method string, args, reply interface{}) error {
+// RPCCall is an in-flight asynchronous call issued by Go.
+type RPCCall struct {
+	method string
+	p      *csnet.Pending
+	err    error
+}
+
+// Go invokes method with args without waiting for the reply: the
+// pipelined counterpart of Call. Fire several, then collect each with
+// Done.
+func (c *RPCClient) Go(method string, args interface{}) *RPCCall {
 	argBytes, err := Marshal(args)
 	if err != nil {
-		return err
+		return &RPCCall{method: method, err: err}
 	}
 	body, err := json.Marshal(rpcRequest{Method: method, Args: argBytes})
 	if err != nil {
-		return fmt.Errorf("dist: rpc encode request: %w", err)
+		return &RPCCall{method: method, err: fmt.Errorf("dist: rpc encode request: %w", err)}
 	}
-	respBody, err := c.c.RoundTrip(body)
+	return &RPCCall{method: method, p: c.c.SendFrame(body)}
+}
+
+// Done waits for the reply and, when reply is non-nil, decodes the
+// result into it. Handler and dispatch failures come back as
+// *RemoteError; transport failures as ordinary errors.
+func (rc *RPCCall) Done(reply interface{}) error {
+	if rc.err != nil {
+		return rc.err
+	}
+	respBody, err := rc.p.Wait()
 	if err != nil {
-		return fmt.Errorf("dist: rpc %s: %w", method, err)
+		return fmt.Errorf("dist: rpc %s: %w", rc.method, err)
 	}
 	var resp rpcResponse
 	if err := json.Unmarshal(respBody, &resp); err != nil {
 		return fmt.Errorf("dist: rpc decode response: %w", err)
 	}
 	if resp.Err != "" {
-		return &RemoteError{Method: method, Msg: resp.Err}
+		return &RemoteError{Method: rc.method, Msg: resp.Err}
 	}
 	if reply != nil {
 		return Unmarshal(resp.Result, reply)
 	}
 	return nil
+}
+
+// Call invokes method with args and, when reply is non-nil, decodes the
+// result into it. Handler and dispatch failures come back as
+// *RemoteError; transport failures as ordinary errors.
+func (c *RPCClient) Call(method string, args, reply interface{}) error {
+	return c.Go(method, args).Done(reply)
 }
 
 // Close releases the connection.

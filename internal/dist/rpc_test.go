@@ -164,3 +164,43 @@ func TestRPCStartAfterShutdown(t *testing.T) {
 		t.Error("Start after Shutdown should fail")
 	}
 }
+
+// TestRPCGoPipelined fires a burst of async calls before collecting
+// any reply: each must decode to its own result, and concurrent
+// callers must not see each other's replies (the calls share one
+// multiplexed connection).
+func TestRPCGoPipelined(t *testing.T) {
+	_, addr := startMeanServer(t)
+	cl, err := DialRPC(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const depth = 32
+	calls := make([]*RPCCall, depth)
+	for i := range calls {
+		calls[i] = cl.Go("stats.mean", []float64{float64(i), float64(i + 2)})
+	}
+	for i, call := range calls {
+		var mean float64
+		if err := call.Done(&mean); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if want := float64(i + 1); mean != want {
+			t.Fatalf("call %d mean = %g, want %g (cross-talk?)", i, mean, want)
+		}
+	}
+
+	// A remote failure in the batch surfaces on its own call only.
+	good := cl.Go("stats.mean", []float64{4, 6})
+	bad := cl.Go("fail", nil)
+	var mean float64
+	if err := good.Done(&mean); err != nil || mean != 5 {
+		t.Fatalf("good call after bad = %g %v", mean, err)
+	}
+	var remote *RemoteError
+	if err := bad.Done(nil); !errors.As(err, &remote) {
+		t.Fatalf("bad call error = %v, want RemoteError", err)
+	}
+}

@@ -16,7 +16,10 @@
 // deterministic simulator, sequential- and eventual-consistency
 // replication, an RPC middleware over TCP, and a dist.Cluster that
 // shards one key space across several csnet backend servers with
-// synchronous replication and read-repair (see examples/distkv).
+// synchronous replication, read-repair, and batched MSet/MGet/MDel —
+// all carried by csnet's pipelined multiplexed transport, which keeps
+// N requests in flight per connection (see examples/distkv and the
+// README "Performance" section).
 package pdcedu
 
 import (

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Runs the root benchmark suite (E1-E6 paper artifacts, E17-E22 cluster
+# transport) and records the numbers as BENCH_<n>.json, starting the
+# perf trajectory the README "Performance" section tracks.
+#
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 2)
+#        BENCHTIME=3s scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench . -benchmem -benchtime "${BENCHTIME:-1s}" .)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)         # strip the GOMAXPROCS suffix
+	if (!first) printf ",\n"
+	first = 0
+	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
+}
+END { print "\n}" }
+' >"BENCH_${1:-2}.json"
+
+echo "wrote BENCH_${1:-2}.json"
