@@ -175,6 +175,49 @@ func BenchmarkClusterPipelined(b *testing.B) {
 	})
 }
 
+// BenchmarkClusterSetOneNodeDown measures the degraded write path
+// (E24): the same concurrent Set+Get load as E20, but with one of the
+// three backends dead and evicted from the ring. Writes land on the
+// surviving live replica sets, so latency must stay within ~2x the
+// healthy pipelined path rather than stalling on the dead node.
+func BenchmarkClusterSetOneNodeDown(b *testing.B) {
+	const backends = 3
+	srvs := make([]*csnet.Server, backends)
+	addrs := make([]string, backends)
+	for i := range addrs {
+		srvs[i] = csnet.NewServer(csnet.NewKVHandler(), 64)
+		addr, err := srvs[i].Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srvs[i].Shutdown)
+		addrs[i] = addr
+	}
+	c, err := dist.NewCluster(dist.ClusterConfig{Addrs: addrs, Replication: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	srvs[2].Shutdown() // crash one backend...
+	c.MarkDown(2)      // ...and let the detector's verdict evict it
+	val := []byte("benchmark-value")
+	var ctr atomic.Uint64
+	b.ReportAllocs()
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			key := fmt.Sprintf("bench-%d", ctr.Add(1)&4095)
+			if err := c.Set(key, val); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok, err := c.Get(key); err != nil || !ok {
+				b.Fatalf("get %s: %v %v", key, ok, err)
+			}
+		}
+	})
+}
+
 // benchBatchKeys builds the 100-key working set for E21/E22.
 func benchBatchKeys() (keys []string, values [][]byte) {
 	for i := 0; i < 100; i++ {

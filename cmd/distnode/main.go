@@ -1,0 +1,95 @@
+// distnode runs one self-healing distributed KV node: a csnet server
+// carrying the key-value data plane and the SWIM gossip control plane
+// (internal/member) on a single port. Start several, point them at a
+// seed, and the membership converges by gossip; kill one and the rest
+// declare it dead within the suspicion timeout; restart it and it
+// refutes the death and rejoins.
+//
+//	distnode -addr 127.0.0.1:7001
+//	distnode -addr 127.0.0.1:7002 -join 127.0.0.1:7001
+//	distnode -addr 127.0.0.1:7003 -join 127.0.0.1:7001
+//
+// The -addr value is both the listen address and the node's member
+// identity, so it must be a concrete host:port that peers can dial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pdcedu/internal/csnet"
+	"pdcedu/internal/member"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address and member identity (host:port)")
+	join := flag.String("join", "", "comma-separated seed addresses to join")
+	probe := flag.Duration("probe", 500*time.Millisecond, "failure-detector probe interval")
+	suspicion := flag.Duration("suspicion", 0, "suspicion timeout before a suspect is declared dead (default 5x probe)")
+	quiet := flag.Bool("quiet", false, "log only membership transitions, not the periodic summary")
+	flag.Parse()
+
+	kv := csnet.NewKVHandler()
+	ml, err := member.New(member.Config{
+		ID:               *addr,
+		ProbeInterval:    *probe,
+		SuspicionTimeout: *suspicion,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := csnet.NewServer(ml.Handler(kv), 256)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("distnode %s: serving KV + gossip", bound)
+
+	var seeds []string
+	for _, s := range strings.Split(*join, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) > 0 {
+		if err := ml.Join(seeds...); err != nil {
+			// A dead seed is not fatal: keep probing, the cluster may
+			// find us through another member's gossip.
+			log.Printf("distnode %s: join: %v", bound, err)
+		}
+	}
+	ml.Start()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(5 * *probe)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Printf("distnode %s: shutting down", bound)
+			if err := ml.Stop(); err != nil {
+				log.Printf("distnode %s: stop membership: %v", bound, err)
+			}
+			srv.Shutdown()
+			return
+		case <-tick.C:
+			if *quiet {
+				continue
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "members (%d alive):", ml.NumAlive())
+			for _, m := range ml.Members() {
+				fmt.Fprintf(&b, " %s=%s@%d", m.ID, m.State, m.Incarnation)
+			}
+			log.Print(b.String())
+		}
+	}
+}

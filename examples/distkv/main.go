@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/dist"
+	"pdcedu/internal/member"
 	"pdcedu/internal/perf"
 )
 
@@ -20,6 +22,7 @@ func main() {
 	replication()
 	rpcMiddleware()
 	pipelinedBatch()
+	selfHealing()
 }
 
 // clientServer starts three KV servers and drives concurrent clients
@@ -232,4 +235,157 @@ func pipelinedBatch() {
 		log.Fatalf("MDel removed %d keys: %v", n, err)
 	}
 	fmt.Printf("MDel removed all %d keys from every replica in one batch\n", nKeys)
+}
+
+// healNode is one node of the self-healing demo: KV data plane plus
+// SWIM gossip on a single port.
+type healNode struct {
+	addr string
+	srv  *csnet.Server
+	kv   *csnet.KVHandler
+	ml   *member.Memberlist
+}
+
+// startHealNode boots a node; the gossip handler lands behind an atomic
+// pointer because the memberlist's identity is the bound address, known
+// only after the listener starts.
+func startHealNode(addr string, seeds ...string) *healNode {
+	n := &healNode{kv: csnet.NewKVHandler()}
+	var gossip atomic.Pointer[csnet.Handler]
+	h := csnet.HandlerFunc(func(req csnet.Request) csnet.Response {
+		if hp := gossip.Load(); hp != nil {
+			return (*hp).Serve(req)
+		}
+		return n.kv.Serve(req)
+	})
+	n.srv = csnet.NewServer(h, 64)
+	bound, err := n.srv.Start(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n.addr = bound
+	n.ml, err = member.New(member.Config{
+		ID:               bound,
+		ProbeInterval:    30 * time.Millisecond,
+		SuspicionTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrapped := n.ml.Handler(n.kv)
+	gossip.Store(&wrapped)
+	if err := n.ml.Join(seeds...); err != nil {
+		log.Fatal(err)
+	}
+	n.ml.Start()
+	return n
+}
+
+func (n *healNode) kill() {
+	n.ml.Stop()
+	n.srv.Shutdown()
+}
+
+// replicaCoverage counts how many of the nKeys keys are present on
+// every member of their current replica set.
+func replicaCoverage(ring *dist.ConsistentHash, nodes []*healNode, nKeys, rf int) int {
+	full := 0
+	for i := 0; i < nKeys; i++ {
+		key := fmt.Sprintf("enrollment:%d", i)
+		whole := true
+		for _, b := range ring.PickN(key, rf) {
+			if nodes[b].kv.Serve(csnet.Request{Op: csnet.OpGet, Key: key}).Status != csnet.StatusOK {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			full++
+		}
+	}
+	return full
+}
+
+// selfHealing is the kill-a-node live demo: five gossiping nodes, one
+// killed under load. The failure detector declares it dead, the cluster
+// evicts it from the ring and keeps serving reads and quorum writes
+// (queuing hints for the dead node); after a restart with an empty
+// store, hint replay plus the rebalancer restore full replication.
+func selfHealing() {
+	fmt.Println("== Self-healing membership: kill a node under load ==")
+	const nNodes, nKeys, rf, victim = 5, 400, 3, 2
+	nodes := make([]*healNode, nNodes)
+	addrs := make([]string, nNodes)
+	nodes[0] = startHealNode("127.0.0.1:0")
+	addrs[0] = nodes[0].addr
+	for i := 1; i < nNodes; i++ {
+		nodes[i] = startHealNode("127.0.0.1:0", addrs[0])
+		addrs[i] = nodes[i].addr
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	}()
+	waitFor := func(what string, cond func() bool) {
+		for start := time.Now(); !cond(); time.Sleep(5 * time.Millisecond) {
+			if time.Since(start) > 10*time.Second {
+				log.Fatalf("timed out waiting for %s", what)
+			}
+		}
+	}
+	waitFor("membership convergence", func() bool {
+		for _, n := range nodes {
+			if n.ml.NumAlive() != nNodes {
+				return false
+			}
+		}
+		return true
+	})
+	fmt.Printf("%d nodes gossiped to a full mesh\n", nNodes)
+
+	c, err := dist.NewCluster(dist.ClusterConfig{Addrs: addrs, Replication: rf, Timeout: time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	stopWatch := c.Watch(nodes[0].ml)
+	defer stopWatch()
+
+	for i := 0; i < nKeys/2; i++ {
+		if err := c.Set(fmt.Sprintf("enrollment:%d", i), []byte(fmt.Sprintf("student-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("killing node %d (%s) mid-load...\n", victim, addrs[victim])
+	killedAt := time.Now()
+	nodes[victim].kill()
+	for i := nKeys / 2; i < nKeys; i++ {
+		if err := c.Set(fmt.Sprintf("enrollment:%d", i), []byte(fmt.Sprintf("student-%d", i))); err != nil {
+			log.Fatal(err) // rf=3 quorum=2: one dead replica never fails a write
+		}
+	}
+	waitFor("eviction", func() bool { return c.IsDown(victim) })
+	fmt.Printf("dead in %v: suspected, timed out, evicted from the ring (%d/%d backends live)\n",
+		time.Since(killedAt).Round(time.Millisecond), c.Live(), nNodes)
+	fmt.Printf("%d writes hinted for the dead node during the detection window\n", c.Hints(victim))
+
+	readable := 0
+	for i := 0; i < nKeys; i++ {
+		if _, ok, err := c.Get(fmt.Sprintf("enrollment:%d", i)); err == nil && ok {
+			readable++
+		}
+	}
+	fmt.Printf("degraded reads: %d/%d keys still readable\n", readable, nKeys)
+
+	fmt.Println("restarting the node with an empty store...")
+	nodes[victim] = startHealNode(addrs[victim], addrs[0])
+	waitFor("readmission", func() bool { return !c.IsDown(victim) })
+	if _, err := c.Rebalance(); err != nil {
+		log.Fatal(err)
+	}
+	ring := dist.NewConsistentHash(nNodes, 64)
+	fmt.Printf("after hint replay + rebalance: %d/%d keys on their full %d-replica set\n\n",
+		replicaCoverage(ring, nodes, nKeys, rf), nKeys, rf)
 }

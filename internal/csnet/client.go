@@ -74,6 +74,19 @@ func (call *Call) Response() (Response, error) {
 	return DecodeResponse(body)
 }
 
+// ResponseTimeout is Response with a per-call deadline (see
+// Pending.WaitTimeout).
+func (call *Call) ResponseTimeout(d time.Duration) (Response, error) {
+	if call.err != nil {
+		return Response{}, call.err
+	}
+	body, err := call.p.WaitTimeout(d)
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(body)
+}
+
 // Send enqueues a key-value protocol request without waiting: the
 // pipelined counterpart of Do. Encoding failures surface from the
 // returned call's Response.
@@ -142,6 +155,18 @@ func (c *Client) Del(key string) (bool, error) {
 		return false, err
 	}
 	return resp.Status == StatusOK, nil
+}
+
+// Keys lists every key the server holds.
+func (c *Client) Keys() ([]string, error) {
+	resp, err := c.Do(Request{Op: OpKeys})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("csnet: keys: %s", resp.Value)
+	}
+	return DecodeKeys(resp.Value)
 }
 
 // Ping checks server liveness.

@@ -64,3 +64,20 @@ func TestFrameServerCustomProtocol(t *testing.T) {
 type frameFunc func([]byte) []byte
 
 func (f frameFunc) ServeFrame(body []byte) []byte { return f(body) }
+
+// TestDecodeKeysMalformedCount rejects a key-list whose count field
+// promises more entries than the body could hold, instead of
+// attempting a giant allocation.
+func TestDecodeKeysMalformedCount(t *testing.T) {
+	if _, err := DecodeKeys([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("DecodeKeys accepted a 4-billion-entry count in an empty body")
+	}
+	body, err := EncodeKeys([]string{"a", "bc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := DecodeKeys(body)
+	if err != nil || len(keys) != 2 || keys[0] != "a" || keys[1] != "bc" {
+		t.Fatalf("round trip = %v, %v", keys, err)
+	}
+}

@@ -47,6 +47,27 @@ func (p *Pending) Wait() ([]byte, error) {
 	return r.body, r.err
 }
 
+// ErrWaitTimeout reports that a per-call WaitTimeout elapsed before the
+// response arrived; the connection itself stays usable (its own timeout
+// still governs the abandoned request).
+var ErrWaitTimeout = errors.New("csnet: wait timeout")
+
+// WaitTimeout is Wait with a per-call deadline shorter than the
+// connection timeout: probe traffic (internal/member) gives up on a
+// slow peer after its probe window without poisoning the shared
+// connection. An abandoned request is still resolved by the reader
+// eventually; its buffered channel keeps that send from blocking.
+func (p *Pending) WaitTimeout(d time.Duration) ([]byte, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case r := <-p.ch:
+		return r.body, r.err
+	case <-t.C:
+		return nil, ErrWaitTimeout
+	}
+}
+
 // failedPending builds a Pending that is already resolved with err, so
 // enqueue never returns nil.
 func failedPending(err error) *Pending {

@@ -23,6 +23,14 @@ const (
 	// read-repair uses it so a backfill can never overwrite a newer
 	// write that landed in the meantime.
 	OpSetNX
+	// OpGossip carries one opaque cluster-membership message in Value
+	// (the SWIM probe/ack traffic of internal/member); the response
+	// Value is the encoded reply. Key is unused.
+	OpGossip
+	// OpKeys lists every key the server holds, encoded in the response
+	// Value by EncodeKeys; the dist rebalancer uses it to discover which
+	// keys must stream to new owners after a ring change.
+	OpKeys
 )
 
 // String returns the op mnemonic.
@@ -40,6 +48,10 @@ func (o Op) String() string {
 		return "ECHO"
 	case OpSetNX:
 		return "SETNX"
+	case OpGossip:
+		return "GOSSIP"
+	case OpKeys:
+		return "KEYS"
 	default:
 		return "UNKNOWN"
 	}
@@ -136,6 +148,58 @@ func EncodeResponse(r Response) []byte {
 	buf = append(buf, v[:]...)
 	buf = append(buf, r.Value...)
 	return buf
+}
+
+// EncodeKeys serializes a key list for an OpKeys response:
+// count(4) then count * (keyLen(2) key).
+func EncodeKeys(keys []string) ([]byte, error) {
+	size := 4
+	for _, k := range keys {
+		if len(k) > 0xFFFF {
+			return nil, fmt.Errorf("csnet: key length %d exceeds 65535", len(k))
+		}
+		size += 2 + len(k)
+	}
+	buf := make([]byte, 4, size)
+	binary.BigEndian.PutUint32(buf, uint32(len(keys)))
+	var l [2]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint16(l[:], uint16(len(k)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, k...)
+	}
+	return buf, nil
+}
+
+// DecodeKeys parses an OpKeys response body.
+func DecodeKeys(b []byte) ([]string, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("csnet: key list too short (%d bytes)", len(b))
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Each entry costs at least its 2-byte length prefix, so a count
+	// beyond len(b)/2 is corrupt; checking before the allocation keeps a
+	// malformed frame from demanding gigabytes.
+	if n > len(b)/2 {
+		return nil, fmt.Errorf("csnet: key count %d exceeds body size %d", n, len(b))
+	}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("csnet: truncated key list at entry %d", i)
+		}
+		kl := int(binary.BigEndian.Uint16(b))
+		if len(b) < 2+kl {
+			return nil, fmt.Errorf("csnet: truncated key at entry %d", i)
+		}
+		keys = append(keys, string(b[2:2+kl]))
+		b = b[2+kl:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("csnet: %d trailing bytes after key list", len(b))
+	}
+	return keys, nil
 }
 
 // DecodeResponse parses a serialized response.

@@ -306,6 +306,18 @@ func (kv *KVHandler) Serve(req Request) Response {
 			return Response{Status: StatusNotFound}
 		}
 		return Response{Status: StatusOK}
+	case OpKeys:
+		kv.mu.RLock()
+		keys := make([]string, 0, len(kv.data))
+		for k := range kv.data {
+			keys = append(keys, k)
+		}
+		kv.mu.RUnlock()
+		body, err := EncodeKeys(keys)
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
+		}
+		return Response{Status: StatusOK, Value: body}
 	default:
 		return Response{Status: StatusError, Value: []byte(fmt.Sprintf("unknown op %d", req.Op))}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdcedu/internal/csnet"
@@ -26,13 +27,18 @@ type ClusterConfig struct {
 	Vnodes int
 	// Timeout bounds each backend round-trip (default 5s).
 	Timeout time.Duration
+	// WriteQuorum is how many replica acks a Set/MSet needs to succeed
+	// (default a majority of Replication, clamped to [1, Replication]).
+	// Set it to Replication to restore strict write-all semantics.
+	WriteQuorum int
 }
 
 // Cluster shards one key space across several csnet backend servers: a
-// consistent-hash ring places each key on Replication consecutive
-// backends, writes go synchronously to every replica, and reads are
-// spread over the replica set by the configured Balancer with
-// read-repair backfilling replicas that missed a write.
+// consistent-hash ring places each key on its Replication first
+// distinct ring successors, writes go synchronously to the live members
+// of that set (succeeding on a quorum of acks), and reads are spread
+// over the replica set by the configured Balancer with read-repair
+// backfilling replicas that missed a write.
 //
 // Transport: one pipelined, multiplexed connection per backend, shared
 // by all concurrent callers. Replica fan-out and the batch APIs
@@ -40,11 +46,34 @@ type ClusterConfig struct {
 // replicated write costs one round-trip of latency and a 100-key batch
 // costs one pipelined burst per backend instead of 100 lock-step round
 // trips.
+//
+// Fault tolerance: Watch subscribes the cluster to a member.Memberlist
+// so dead backends are evicted from the ring (their keys reroute to the
+// next live nodes) and recovered ones are readmitted. Writes that fail
+// on an unreachable replica are queued as hints and replayed when the
+// replica rejoins; a background rebalancer streams keys to their
+// current owners after every ring change. See MarkDown, MarkUp,
+// Rebalance, and PartialWriteError.
 type Cluster struct {
-	ring     *ConsistentHash
+	ring     *ConsistentHash // live placement: down backends removed
+	full     *ConsistentHash // full geometry: hint placement for down backends
 	balancer Balancer
 	rf       int
+	quorum   int
 	pools    []*clientPool
+	addrIdx  map[string]int
+
+	mu        sync.Mutex
+	down      []bool
+	downCount atomic.Int32           // fast-path gate for hint placement
+	hints     []map[string]hintEntry // per-backend pending hinted operations
+	hintDrops uint64
+
+	rebalanceMu   sync.Mutex // serializes Rebalance passes
+	rebalance     chan struct{}
+	stop          chan struct{}
+	rebalanceDone chan struct{}
+	closeOnce     sync.Once
 }
 
 // NewCluster connects a cluster router to the configured backends.
@@ -64,15 +93,32 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
+	quorum := cfg.WriteQuorum
+	if quorum <= 0 {
+		quorum = rf/2 + 1
+	}
+	if quorum > rf {
+		quorum = rf
+	}
 	c := &Cluster{
-		ring:     NewConsistentHash(n, cfg.Vnodes),
-		balancer: cfg.Balancer,
-		rf:       rf,
-		pools:    make([]*clientPool, n),
+		ring:          NewConsistentHash(n, cfg.Vnodes),
+		full:          NewConsistentHash(n, cfg.Vnodes),
+		balancer:      cfg.Balancer,
+		rf:            rf,
+		quorum:        quorum,
+		pools:         make([]*clientPool, n),
+		addrIdx:       make(map[string]int, n),
+		down:          make([]bool, n),
+		hints:         make([]map[string]hintEntry, n),
+		rebalance:     make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+		rebalanceDone: make(chan struct{}),
 	}
 	for i, addr := range cfg.Addrs {
 		c.pools[i] = &clientPool{addr: addr, timeout: timeout}
+		c.addrIdx[addr] = i
 	}
+	go c.rebalanceLoop()
 	return c, nil
 }
 
@@ -82,75 +128,108 @@ func (c *Cluster) Backends() int { return len(c.pools) }
 // Replication reports the effective replication factor.
 func (c *Cluster) Replication() int { return c.rf }
 
-// replicaSet returns the backends holding key: the ring primary and the
-// next rf-1 backends clockwise by index.
+// replicaSet returns the live backends holding key: the first rf
+// distinct nodes clockwise from the key's ring position. Backends
+// marked down are out of the ring, so the set shrinks below rf only
+// when fewer than rf backends are live.
 func (c *Cluster) replicaSet(key string) []int {
-	primary := c.ring.Pick(key)
-	set := make([]int, c.rf)
-	for i := range set {
-		set[i] = (primary + i) % len(c.pools)
-	}
-	return set
+	return c.ring.PickN(key, c.rf)
 }
 
-// waitStatus collects an async call, folding unexpected statuses into
-// errors; want2 may be 0 when only one status is acceptable.
-func waitStatus(call *csnet.Call, want, want2 csnet.Status) (csnet.Status, error) {
-	resp, err := call.Response()
-	if err != nil {
-		return 0, err
+// quorumFor is the ack count a write to a set of n live replicas needs:
+// the configured quorum, degraded to n when fewer than quorum replicas
+// are live (so a minority partition keeps accepting writes rather than
+// rejecting everything; the rebalancer restores full replication when
+// nodes return).
+func (c *Cluster) quorumFor(n int) int {
+	q := c.quorum
+	if q > n {
+		q = n
 	}
-	if resp.Status != want && resp.Status != want2 {
-		return resp.Status, fmt.Errorf("status %s: %s", resp.Status, resp.Value)
+	if q < 1 {
+		q = 1
 	}
-	return resp.Status, nil
+	return q
 }
 
-// Set writes key to every replica synchronously (write-all): the sends
-// are pipelined onto each replica's multiplexed connection and then
+// Set writes key to every live replica synchronously: the sends are
+// pipelined onto each replica's multiplexed connection and then
 // collected, so latency stays near one round-trip regardless of the
-// replication factor — no per-call goroutine fan-out. It fails if any
-// replica write fails, so a nil return means the value is durable on
-// the full replica set. Concurrent Sets of the same key race without
-// versioning: callers that update one key from several writers should
-// serialize those writers (the backends apply whichever write arrives
-// last, independently per replica).
+// replication factor — no per-call goroutine fan-out. It succeeds once
+// a quorum of the live replica set acknowledges; replicas that were
+// unreachable get the write queued as a hint, replayed when they
+// rejoin. Below quorum it returns a *PartialWriteError naming the
+// replicas that did acknowledge. Concurrent Sets of the same key race
+// without versioning: callers that update one key from several writers
+// should serialize those writers (the backends apply whichever write
+// arrives last, independently per replica).
 func (c *Cluster) Set(key string, value []byte) error {
 	set := c.replicaSet(key)
-	calls := make([]*csnet.Call, len(set))
-	var firstErr error
-	for i, b := range set {
+	if len(set) == 0 {
+		return fmt.Errorf("dist: cluster set %q: no live backends", key)
+	}
+	type sent struct {
+		call    *csnet.Call
+		backend int
+	}
+	calls := make([]sent, 0, len(set))
+	acked := make([]int, 0, len(set))
+	var hinted []int
+	var causes map[int]error
+	fail := func(b int, err error, hint bool) {
+		if causes == nil {
+			causes = map[int]error{}
+		}
+		causes[b] = err
+		if hint {
+			c.hint(b, key, hintEntry{val: value})
+			hinted = append(hinted, b)
+		}
+	}
+	c.hintDownMembers(key, value, false)
+	for _, b := range set {
 		cl, err := c.pools[b].get()
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: cluster set %q on backend %d: %w", key, b, err)
-			}
+			fail(b, err, true)
 			continue
 		}
-		calls[i] = cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: value})
+		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: value}), b})
 	}
-	for i, call := range calls {
-		if call == nil {
-			continue
-		}
-		if _, err := waitStatus(call, csnet.StatusOK, 0); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("dist: cluster set %q on backend %d: %w", key, set[i], err)
+	for _, s := range calls {
+		resp, err := s.call.Response()
+		switch {
+		case err != nil:
+			// Transport failure: the backend is unreachable or dying, so
+			// the write is worth replaying when it returns.
+			fail(s.backend, err, true)
+		case resp.Status != csnet.StatusOK:
+			// The backend is alive and rejected the write; a replay
+			// would be rejected again, so no hint.
+			fail(s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+		default:
+			acked = append(acked, s.backend)
 		}
 	}
-	return firstErr
+	if q := c.quorumFor(len(set)); len(acked) < q {
+		return &PartialWriteError{
+			Op: "set", Key: key, Replicas: set,
+			Acked: acked, Hinted: hinted, Quorum: q, MissedKeys: 1, Causes: causes,
+		}
+	}
+	return nil
 }
 
-// readPick returns the index into a key's replica set to try first,
-// consulting the Balancer when one is configured. The returned release
-// must be called when the read completes, so load-aware strategies
-// (least-loaded, power-of-two) see genuinely in-flight requests rather
-// than counters that zero out immediately.
-func (c *Cluster) readPick(key string) (first int, release func()) {
-	if c.balancer == nil {
+// readPick returns the index into a key's n-element live replica set to
+// try first, consulting the Balancer when one is configured. The
+// returned release must be called when the read completes, so
+// load-aware strategies (least-loaded, power-of-two) see genuinely
+// in-flight requests rather than counters that zero out immediately.
+func (c *Cluster) readPick(key string, n int) (first int, release func()) {
+	if c.balancer == nil || n < 1 {
 		return 0, func() {}
 	}
 	pick := c.balancer.Pick(key)
-	return ((pick % c.rf) + c.rf) % c.rf, func() { c.balancer.Done(pick) }
+	return ((pick % n) + n) % n, func() { c.balancer.Done(pick) }
 }
 
 // Get reads key from its replica set. The Balancer picks the replica to
@@ -160,7 +239,10 @@ func (c *Cluster) readPick(key string) (first int, release func()) {
 // the key.
 func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	set := c.replicaSet(key)
-	first, release := c.readPick(key)
+	if len(set) == 0 {
+		return nil, false, fmt.Errorf("dist: cluster get %q: no live backends", key)
+	}
+	first, release := c.readPick(key, len(set))
 	defer release()
 	var missed []int
 	var lastErr error
@@ -207,16 +289,23 @@ func (c *Cluster) readRepair(key string, value []byte, missed []int) {
 	}
 }
 
-// Del removes key from every replica, fanning the deletes out as
+// Del removes key from every live replica, fanning the deletes out as
 // pipelined async sends collected together (parallel across replicas,
-// like Set); ok reports whether any replica had it.
+// like Set); ok reports whether any replica had it. Down members of the
+// key's full replica set get a delete hint, so the deletion reaches
+// them at rejoin instead of their stale copy resurrecting the key.
 func (c *Cluster) Del(key string) (ok bool, err error) {
 	set := c.replicaSet(key)
+	if len(set) == 0 {
+		return false, fmt.Errorf("dist: cluster del %q: no live backends", key)
+	}
+	c.hintDownMembers(key, nil, true)
 	calls := make([]*csnet.Call, len(set))
 	var firstErr error
 	for i, b := range set {
 		cl, cerr := c.pools[b].get()
 		if cerr != nil {
+			c.hint(b, key, hintEntry{del: true})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, cerr)
 			}
@@ -228,14 +317,23 @@ func (c *Cluster) Del(key string) (ok bool, err error) {
 		if call == nil {
 			continue
 		}
-		st, cerr := waitStatus(call, csnet.StatusOK, csnet.StatusNotFound)
+		resp, cerr := call.Response()
 		if cerr != nil {
+			// Transport failure: the replica may still hold the key, so
+			// the deletion must replay when it returns.
+			c.hint(set[i], key, hintEntry{del: true})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, set[i], cerr)
 			}
 			continue
 		}
-		ok = ok || st == csnet.StatusOK
+		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: status %s: %s", key, set[i], resp.Status, resp.Value)
+			}
+			continue
+		}
+		ok = ok || resp.Status == csnet.StatusOK
 	}
 	return ok, firstErr
 }
@@ -263,12 +361,15 @@ func (bc *batchClients) get(b int) (*csnet.Client, error) {
 	return bc.cls[b], bc.errs[b]
 }
 
-// MSet writes many key/value pairs with write-all replication: keys are
-// grouped by replica set and each backend receives its whole share as
-// one pipelined batch, so the wall-clock cost is one burst per backend
-// rather than one round-trip per key per replica. Like Set, it fails if
-// any replica write fails (the remaining writes still complete, so a
-// failed MSet leaves the successfully-written keys durable).
+// MSet writes many key/value pairs with replicated quorum writes: keys
+// are grouped by replica set and each backend receives its whole share
+// as one pipelined batch, so the wall-clock cost is one burst per
+// backend rather than one round-trip per key per replica. Per key the
+// semantics match Set — a quorum of the live replica set must
+// acknowledge, unreachable replicas get hints — and when any key misses
+// quorum the whole batch returns one *PartialWriteError carrying the
+// first such key's detail plus the total count of under-quorum keys
+// (every other key's writes still complete and remain durable).
 func (c *Cluster) MSet(keys []string, values [][]byte) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("dist: cluster mset: %d keys but %d values", len(keys), len(values))
@@ -279,15 +380,28 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 		key     int
 		backend int
 	}
+	sets := make([][]int, len(keys))
+	acked := make([][]int, len(keys))
+	hinted := make([][]int, len(keys))
+	causes := make([]map[int]error, len(keys))
+	fail := func(i, b int, err error, hint bool) {
+		if causes[i] == nil {
+			causes[i] = map[int]error{}
+		}
+		causes[i][b] = err
+		if hint {
+			c.hint(b, keys[i], hintEntry{val: values[i]})
+			hinted[i] = append(hinted[i], b)
+		}
+	}
 	calls := make([]sent, 0, len(keys)*c.rf)
-	var firstErr error
 	for i, key := range keys {
-		for _, b := range c.replicaSet(key) {
+		sets[i] = c.replicaSet(key)
+		c.hintDownMembers(key, values[i], false)
+		for _, b := range sets[i] {
 			cl, err := bc.get(b)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("dist: cluster mset %q on backend %d: %w", key, b, err)
-				}
+				fail(i, b, err, true)
 				continue
 			}
 			calls = append(calls, sent{
@@ -298,11 +412,33 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 		}
 	}
 	for _, s := range calls {
-		if _, err := waitStatus(s.call, csnet.StatusOK, 0); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("dist: cluster mset %q on backend %d: %w", keys[s.key], s.backend, err)
+		resp, err := s.call.Response()
+		switch {
+		case err != nil:
+			fail(s.key, s.backend, err, true)
+		case resp.Status != csnet.StatusOK:
+			fail(s.key, s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+		default:
+			acked[s.key] = append(acked[s.key], s.backend)
 		}
 	}
-	return firstErr
+	var pe *PartialWriteError
+	for i := range keys {
+		q := c.quorumFor(len(sets[i]))
+		if len(sets[i]) == 0 || len(acked[i]) < q {
+			if pe == nil {
+				pe = &PartialWriteError{
+					Op: "mset", Key: keys[i], Replicas: sets[i],
+					Acked: acked[i], Hinted: hinted[i], Quorum: q, Causes: causes[i],
+				}
+			}
+			pe.MissedKeys++
+		}
+	}
+	if pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // MGet reads many keys as one pipelined batch per backend: each key is
@@ -329,7 +465,11 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 	var retry []int
 	for i, key := range keys {
 		set := c.replicaSet(key)
-		first, release := c.readPick(key)
+		if len(set) == 0 {
+			retry = append(retry, i) // Get reports the no-backends error
+			continue
+		}
+		first, release := c.readPick(key, len(set))
 		releases = append(releases, release)
 		cl, err := bc.get(set[first])
 		if err != nil {
@@ -372,9 +512,10 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 	return found, firstErr
 }
 
-// MDel removes many keys from their full replica sets, one pipelined
-// batch per backend. It returns how many keys existed on at least one
-// replica.
+// MDel removes many keys from their live replica sets, one pipelined
+// batch per backend, queuing delete hints for down members of each
+// key's full replica set (see Del). It returns how many keys existed on
+// at least one replica.
 func (c *Cluster) MDel(keys []string) (int, error) {
 	bc := c.newBatchClients()
 	type sent struct {
@@ -385,9 +526,11 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	calls := make([]sent, 0, len(keys)*c.rf)
 	var firstErr error
 	for i, key := range keys {
+		c.hintDownMembers(key, nil, true)
 		for _, b := range c.replicaSet(key) {
 			cl, err := bc.get(b)
 			if err != nil {
+				c.hint(b, key, hintEntry{del: true})
 				if firstErr == nil {
 					firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", key, b, err)
 				}
@@ -402,14 +545,21 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	}
 	existed := make([]bool, len(keys))
 	for _, s := range calls {
-		st, err := waitStatus(s.call, csnet.StatusOK, csnet.StatusNotFound)
+		resp, err := s.call.Response()
 		if err != nil {
+			c.hint(s.backend, keys[s.key], hintEntry{del: true})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, err)
 			}
 			continue
 		}
-		if st == csnet.StatusOK {
+		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: status %s: %s", keys[s.key], s.backend, resp.Status, resp.Value)
+			}
+			continue
+		}
+		if resp.Status == csnet.StatusOK {
 			existed[s.key] = true
 		}
 	}
@@ -422,8 +572,13 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	return n, firstErr
 }
 
-// Close releases every backend connection.
+// Close stops the background rebalancer and releases every backend
+// connection. Safe to call more than once.
 func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+	})
+	<-c.rebalanceDone // a rebalance pass in flight finishes first
 	var first error
 	for _, p := range c.pools {
 		if err := p.close(); err != nil && first == nil {

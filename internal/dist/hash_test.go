@@ -73,6 +73,116 @@ func TestConsistentHashRebalanceBound(t *testing.T) {
 	}
 }
 
+// TestConsistentHashRemoveNodeBound checks the eviction property:
+// removing one node from an n-node ring moves at most ~K/n of K keys
+// (expected K/n, bounded loosely at 2K/n to absorb vnode variance), and
+// the only keys that move are the ones the removed node owned.
+func TestConsistentHashRemoveNodeBound(t *testing.T) {
+	const n, keys = 5, 10000
+	ring := NewConsistentHash(n, 128)
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = ring.Pick(fmt.Sprintf("key-%d", i))
+	}
+	const victim = 2
+	if !ring.RemoveNode(victim) {
+		t.Fatal("RemoveNode(2) reported absent")
+	}
+	if ring.RemoveNode(victim) {
+		t.Fatal("double RemoveNode reported present")
+	}
+	if ring.Nodes() != n-1 {
+		t.Fatalf("Nodes() = %d after removal, want %d", ring.Nodes(), n-1)
+	}
+	moved := 0
+	for i := range before {
+		after := ring.Pick(fmt.Sprintf("key-%d", i))
+		if after == victim {
+			t.Fatalf("key-%d still maps to the removed node", i)
+		}
+		if after != before[i] {
+			moved++
+			if before[i] != victim {
+				t.Fatalf("key-%d moved from surviving node %d to %d", i, before[i], after)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved off the removed node")
+	}
+	if bound := 2 * keys / n; moved > bound {
+		t.Errorf("%d of %d keys moved, want <= 2K/n = %d", moved, keys, bound)
+	}
+}
+
+// TestConsistentHashRestoreNode checks that readmitting an evicted node
+// reproduces exactly the pre-removal placement.
+func TestConsistentHashRestoreNode(t *testing.T) {
+	const n, keys = 4, 5000
+	ring := NewConsistentHash(n, 64)
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = ring.Pick(fmt.Sprintf("key-%d", i))
+	}
+	if ring.RestoreNode(1) {
+		t.Fatal("RestoreNode of a live node reported restored")
+	}
+	ring.RemoveNode(1)
+	if !ring.RestoreNode(1) {
+		t.Fatal("RestoreNode of an evicted node reported absent")
+	}
+	if ring.Nodes() != n {
+		t.Fatalf("Nodes() = %d after restore, want %d", ring.Nodes(), n)
+	}
+	for i := range before {
+		if after := ring.Pick(fmt.Sprintf("key-%d", i)); after != before[i] {
+			t.Fatalf("key-%d on node %d after restore, was on %d", i, after, before[i])
+		}
+	}
+}
+
+// TestConsistentHashPickN checks the replica-set walk: distinct nodes,
+// primary first, survivors stable under removal of another member.
+func TestConsistentHashPickN(t *testing.T) {
+	const n = 5
+	ring := NewConsistentHash(n, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		set := ring.PickN(key, 3)
+		if len(set) != 3 {
+			t.Fatalf("PickN(%q, 3) = %v, want 3 nodes", key, set)
+		}
+		if set[0] != ring.Pick(key) {
+			t.Fatalf("PickN(%q)[0] = %d, want primary %d", key, set[0], ring.Pick(key))
+		}
+		seen := map[int]bool{}
+		for _, s := range set {
+			if s < 0 || s >= n || seen[s] {
+				t.Fatalf("PickN(%q, 3) = %v: out of range or duplicate", key, set)
+			}
+			seen[s] = true
+		}
+	}
+	// Ask for more replicas than nodes: every node once.
+	if got := len(ring.PickN("k", 99)); got != n {
+		t.Errorf("PickN(k, 99) returned %d nodes, want %d", got, n)
+	}
+	// Removing one member of a set keeps the survivors, in order.
+	key := "stability-key"
+	before := ring.PickN(key, 3)
+	ring.RemoveNode(before[1])
+	after := ring.PickN(key, 3)
+	if len(after) != 3 || after[0] != before[0] || after[1] != before[2] {
+		t.Errorf("PickN after removing %d: %v -> %v, want survivors %d,%d first",
+			before[1], before, after, before[0], before[2])
+	}
+	for _, s := range after {
+		if s == before[1] {
+			t.Errorf("removed node %d still in replica set %v", before[1], after)
+		}
+	}
+}
+
 func TestConsistentHashConcurrentPick(t *testing.T) {
 	ring := NewConsistentHash(4, 32)
 	var wg sync.WaitGroup

@@ -1,0 +1,421 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pdcedu/internal/csnet"
+	"pdcedu/internal/member"
+)
+
+// PartialWriteError reports a replicated write that reached fewer live
+// replicas than the write quorum. It lists exactly which backends
+// acknowledged, which had hints queued for later replay, and why the
+// others failed, so a caller can distinguish "durable on a minority,
+// retry later" from "rejected outright".
+type PartialWriteError struct {
+	// Op is the cluster operation ("set" or "mset").
+	Op string
+	// Key is the key that missed quorum (for MSet, the first such key).
+	Key string
+	// Replicas is the key's live replica set at write time.
+	Replicas []int
+	// Acked lists the backends that acknowledged the write.
+	Acked []int
+	// Hinted lists the backends that were unreachable and had the write
+	// queued as a hint for replay when they rejoin.
+	Hinted []int
+	// Quorum is the number of acks the write needed.
+	Quorum int
+	// MissedKeys is how many keys of an MSet missed quorum (1 for Set).
+	MissedKeys int
+	// Causes maps each failed backend to its error.
+	Causes map[int]error
+}
+
+// Error implements error.
+func (e *PartialWriteError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dist: cluster %s %q: %d/%d acks (quorum %d)",
+		e.Op, e.Key, len(e.Acked), len(e.Replicas), e.Quorum)
+	if e.MissedKeys > 1 {
+		fmt.Fprintf(&b, "; %d keys under quorum", e.MissedKeys)
+	}
+	if len(e.Hinted) > 0 {
+		fmt.Fprintf(&b, "; hinted %v", e.Hinted)
+	}
+	if len(e.Causes) > 0 {
+		backends := make([]int, 0, len(e.Causes))
+		for n := range e.Causes {
+			backends = append(backends, n)
+		}
+		sort.Ints(backends)
+		for _, n := range backends {
+			fmt.Fprintf(&b, "; backend %d: %v", n, e.Causes[n])
+		}
+	}
+	return b.String()
+}
+
+// maxHintsPerNode caps each down backend's hint queue: past it, new
+// hints for keys not already queued are dropped (counted by HintDrops)
+// and the rebalancer is left to converge the backend when it returns.
+const maxHintsPerNode = 8192
+
+// hintEntry is one queued write awaiting replay: the latest value the
+// absent backend missed, or (del) the fact that the key was deleted —
+// without delete hints a recovering backend's stale copy would
+// resurrect a deleted key through the rebalancer.
+type hintEntry struct {
+	val []byte
+	del bool
+}
+
+// hintLocked queues e for backend b under key, superseding any queued
+// hint for the same key — only the latest operation is worth replaying.
+// Caller holds c.mu.
+func (c *Cluster) hintLocked(b int, key string, e hintEntry) {
+	if c.hints[b] == nil {
+		c.hints[b] = map[string]hintEntry{}
+	}
+	if _, queued := c.hints[b][key]; !queued && len(c.hints[b]) >= maxHintsPerNode {
+		c.hintDrops++
+		return
+	}
+	c.hints[b][key] = e
+}
+
+// hint queues key's latest operation for backend b.
+func (c *Cluster) hint(b int, key string, e hintEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hintLocked(b, key, e)
+}
+
+// hintIfAbsent requeues a hint that failed to replay, unless a newer
+// hint for the key was queued in the meantime.
+func (c *Cluster) hintIfAbsent(b int, key string, e hintEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, queued := c.hints[b][key]; queued {
+		return
+	}
+	c.hintLocked(b, key, e)
+}
+
+// hintDownMembers queues key's operation for the down members of its
+// full-geometry replica set — the backends that would hold it if every
+// node were live. This is what keeps hints current for the *whole*
+// outage, not just the pre-eviction window: once a node is evicted it
+// leaves the live ring and stops appearing in write fan-outs, so
+// without this the value a pre-eviction hint captured could be replayed
+// over newer writes at rejoin. The down check and the queue insert
+// share one critical section so a hint can never be queued after
+// MarkUp's final drain observed the backend as up.
+func (c *Cluster) hintDownMembers(key string, value []byte, del bool) {
+	if c.downCount.Load() == 0 {
+		return // healthy cluster: keep the write hot path lock-free here
+	}
+	fullSet := c.full.PickN(key, c.rf)
+	c.mu.Lock()
+	for _, b := range fullSet {
+		if c.down[b] {
+			c.hintLocked(b, key, hintEntry{val: value, del: del})
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Hints reports how many hinted writes are queued for backend b.
+func (c *Cluster) Hints(b int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hints[b])
+}
+
+// HintDrops reports how many hints were discarded on full queues.
+func (c *Cluster) HintDrops() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hintDrops
+}
+
+// replayHints delivers backend b's queued hints as one pipelined burst
+// — plain Sets for writes, Dels for deletions (a Del of a key the
+// backend never had answers NotFound, which is success) — and returns
+// how many landed. Hints that fail to deliver are requeued (unless a
+// newer hint for the key arrived meanwhile). The bulk replay happens
+// while b is still out of the placement ring, so no concurrent write
+// races the replayed values.
+func (c *Cluster) replayHints(b int) int {
+	c.mu.Lock()
+	pending := c.hints[b]
+	c.hints[b] = nil
+	c.mu.Unlock()
+	if len(pending) == 0 {
+		return 0
+	}
+	cl, err := c.pools[b].get()
+	if err != nil {
+		for k, e := range pending {
+			c.hintIfAbsent(b, k, e)
+		}
+		return 0
+	}
+	calls := make(map[string]*csnet.Call, len(pending))
+	for k, e := range pending {
+		if e.del {
+			calls[k] = cl.Send(csnet.Request{Op: csnet.OpDel, Key: k})
+		} else {
+			calls[k] = cl.Send(csnet.Request{Op: csnet.OpSet, Key: k, Value: e.val})
+		}
+	}
+	delivered := 0
+	for k, call := range calls {
+		resp, err := call.Response()
+		ok := err == nil && (resp.Status == csnet.StatusOK ||
+			(pending[k].del && resp.Status == csnet.StatusNotFound))
+		if !ok {
+			c.hintIfAbsent(b, k, pending[k])
+			continue
+		}
+		delivered++
+	}
+	return delivered
+}
+
+// MarkDown evicts backend b from the placement ring: subsequent reads
+// and writes route around it (each of its keys to the next live node
+// clockwise), and a rebalance is scheduled so the shrunken replica sets
+// regain full replication. It reports whether the backend transitioned
+// (false when already down or out of range). Watch calls this on dead
+// events; tests and operators may call it directly.
+func (c *Cluster) MarkDown(b int) bool {
+	if b < 0 || b >= len(c.pools) {
+		return false
+	}
+	c.mu.Lock()
+	if c.down[b] {
+		c.mu.Unlock()
+		return false
+	}
+	c.down[b] = true
+	c.downCount.Add(1)
+	c.mu.Unlock()
+	c.ring.RemoveNode(b)
+	c.kickRebalance()
+	return true
+}
+
+// MarkUp readmits backend b after it recovers. Queued hints are
+// replayed first, while b is still outside the ring and therefore
+// receives no new writes that the replay could overwrite; then the ring
+// restores b's virtual nodes to exactly their old positions, hint
+// queueing for b stops, and one final drain delivers hints that raced
+// the transition. A rebalance is scheduled to stream keys only the
+// stand-in replicas hold back to b. It reports whether the backend
+// transitioned.
+func (c *Cluster) MarkUp(b int) bool {
+	if b < 0 || b >= len(c.pools) {
+		return false
+	}
+	c.mu.Lock()
+	if !c.down[b] {
+		c.mu.Unlock()
+		return false
+	}
+	c.mu.Unlock()
+	c.replayHints(b)
+	c.ring.RestoreNode(b)
+	c.mu.Lock()
+	c.down[b] = false
+	c.downCount.Add(-1)
+	c.mu.Unlock()
+	c.replayHints(b)
+	c.kickRebalance()
+	return true
+}
+
+// IsDown reports whether backend b is currently marked down.
+func (c *Cluster) IsDown(b int) bool {
+	if b < 0 || b >= len(c.pools) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[b]
+}
+
+// Live reports how many backends are currently in the placement ring.
+func (c *Cluster) Live() int { return c.ring.Nodes() }
+
+// Watch subscribes the cluster to a Memberlist whose member IDs are
+// this cluster's backend addresses: dead members are evicted from the
+// placement ring, members that come back alive are readmitted (hints
+// replayed, rebalance scheduled). Suspect is deliberately ignored — a
+// suspect node keeps serving until the suspicion timeout expires, so a
+// transient hiccup never reshuffles the ring. The Memberlist should be
+// one that participates in the cluster (e.g. a co-located node's list);
+// events about unknown IDs are ignored. The returned stop function ends
+// the watch.
+func (c *Cluster) Watch(ml *member.Memberlist) (stop func()) {
+	events := ml.Subscribe()
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case ev := <-events:
+				b, known := c.addrIdx[ev.ID]
+				if !known {
+					continue
+				}
+				switch ev.State {
+				case member.StateDead:
+					c.MarkDown(b)
+				case member.StateAlive:
+					c.MarkUp(b)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// kickRebalance schedules a background rebalance; coalesces with one
+// already pending.
+func (c *Cluster) kickRebalance() {
+	select {
+	case c.rebalance <- struct{}{}:
+	default:
+	}
+}
+
+// rebalanceLoop runs scheduled rebalances until Close.
+func (c *Cluster) rebalanceLoop() {
+	defer close(c.rebalanceDone)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.rebalance:
+			_, _ = c.Rebalance()
+		}
+	}
+}
+
+// Rebalance converges replication after ring changes by hole
+// detection: every live backend lists its key names (one OpKeys round
+// each), the listings join into a holder map, and only the (key, owner)
+// pairs where a current owner lacks the key get the value streamed —
+// one pipelined OpGet burst per source backend, set-if-absent copies to
+// the holes (a copy can fill a gap but never overwrite a newer value).
+// A steady-state pass therefore costs key listings, not the keyspace.
+// It returns how many replica holes were filled. Runs automatically
+// after MarkDown/MarkUp; callable directly for a deterministic converge
+// in tests and demos.
+//
+// Two documented simplifications: keys a backend no longer owns are not
+// deleted locally (harmless extras; a compaction pass may reap them),
+// and a key the cluster deleted during a node's outage relies on the
+// delete hint replayed at MarkUp — if that hint was dropped on a full
+// queue, the recovering node's stale copy can re-seed the key here.
+func (c *Cluster) Rebalance() (copied int, err error) {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	n := len(c.pools)
+	var firstErr error
+	noteErr := func(b int, err error) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("dist: rebalance backend %d: %w", b, err)
+		}
+	}
+	// Gather who holds what; words-wide bitmasks keep the holder map one
+	// small allocation per key however many backends there are.
+	words := (n + 63) / 64
+	holders := make(map[string][]uint64)
+	clients := make([]*csnet.Client, n)
+	for b := 0; b < n; b++ {
+		if c.IsDown(b) {
+			continue
+		}
+		cl, cerr := c.pools[b].get()
+		if cerr != nil {
+			noteErr(b, cerr)
+			continue
+		}
+		keys, kerr := cl.Keys()
+		if kerr != nil {
+			noteErr(b, kerr)
+			continue
+		}
+		clients[b] = cl
+		for _, k := range keys {
+			hs := holders[k]
+			if hs == nil {
+				hs = make([]uint64, words)
+				holders[k] = hs
+			}
+			hs[b/64] |= 1 << (b % 64)
+		}
+	}
+	// Plan: each under-replicated key is read once, from its first
+	// reachable holder, and copied to exactly the owners lacking it.
+	type job struct {
+		key     string
+		missing []int
+	}
+	jobs := make(map[int][]job)
+	for k, hs := range holders {
+		has := func(i int) bool { return hs[i/64]&(1<<(i%64)) != 0 }
+		var missing []int
+		for _, t := range c.ring.PickN(k, c.rf) {
+			if !has(t) && clients[t] != nil {
+				missing = append(missing, t)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		src := -1
+		for b := 0; b < n; b++ {
+			if has(b) && clients[b] != nil {
+				src = b
+				break
+			}
+		}
+		if src >= 0 {
+			jobs[src] = append(jobs[src], job{key: k, missing: missing})
+		}
+	}
+	for src, list := range jobs {
+		reads := make([]*csnet.Call, len(list))
+		for i, j := range list {
+			reads[i] = clients[src].Send(csnet.Request{Op: csnet.OpGet, Key: j.key})
+		}
+		var copies []*csnet.Call
+		for i, j := range list {
+			resp, rerr := reads[i].Response()
+			if rerr != nil {
+				noteErr(src, rerr) // conn poisoned; the next kick retries
+				break
+			}
+			if resp.Status != csnet.StatusOK {
+				continue // deleted since the listing
+			}
+			for _, t := range j.missing {
+				copies = append(copies, clients[t].Send(csnet.Request{Op: csnet.OpSetNX, Key: j.key, Value: resp.Value}))
+			}
+		}
+		for _, call := range copies {
+			if resp, rerr := call.Response(); rerr == nil && resp.Status == csnet.StatusOK {
+				copied++
+			}
+		}
+	}
+	return copied, firstErr
+}

@@ -1,0 +1,78 @@
+package member
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// broadcast is one queued membership update awaiting dissemination.
+type broadcast struct {
+	u         Update
+	transmits int
+}
+
+// broadcasts is the piggyback queue: membership deltas ride on probe
+// traffic (pings, acks, syncs) instead of dedicated messages, each
+// retransmitted O(log n) times so an update reaches the whole cluster
+// with high probability and then stops consuming bandwidth.
+type broadcasts struct {
+	items []*broadcast
+}
+
+// queue adds an update, superseding any queued update about the same
+// member: only the newest claim about a node is worth spreading, and a
+// fresh claim restarts the retransmit budget.
+func (b *broadcasts) queue(u Update) {
+	for i, it := range b.items {
+		if it.u.ID == u.ID {
+			b.items[i] = &broadcast{u: u}
+			return
+		}
+	}
+	b.items = append(b.items, &broadcast{u: u})
+}
+
+// retransmitLimit is how many times one update is piggybacked before it
+// is dropped: mult * ceil(log2(n+1)), the SWIM dissemination bound.
+func retransmitLimit(mult, n int) int {
+	if mult < 1 {
+		mult = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return mult * bits.Len(uint(n))
+}
+
+// take returns up to max updates to piggyback on one outgoing message,
+// preferring the least-transmitted (freshest information spreads
+// first), and retires updates that have exhausted their budget of
+// limit transmissions.
+func (b *broadcasts) take(max, limit int) []Update {
+	if len(b.items) == 0 || max < 1 {
+		return nil
+	}
+	sort.SliceStable(b.items, func(i, j int) bool {
+		return b.items[i].transmits < b.items[j].transmits
+	})
+	out := make([]Update, 0, max)
+	kept := b.items[:0]
+	for _, it := range b.items {
+		if len(out) < max {
+			out = append(out, it.u)
+			it.transmits++
+		}
+		if it.transmits < limit {
+			kept = append(kept, it)
+		}
+	}
+	// Zero the dropped tail so retired broadcasts can be collected.
+	for i := len(kept); i < len(b.items); i++ {
+		b.items[i] = nil
+	}
+	b.items = kept
+	return out
+}
+
+// pending reports how many updates await dissemination.
+func (b *broadcasts) pending() int { return len(b.items) }

@@ -1,0 +1,81 @@
+package member
+
+import (
+	"testing"
+)
+
+// TestMemberBroadcastSupersede checks that queueing a newer claim about
+// a member replaces the older one and restarts its retransmit budget.
+func TestMemberBroadcastSupersede(t *testing.T) {
+	var bq broadcasts
+	bq.queue(Update{ID: "a", State: StateAlive, Incarnation: 1})
+	bq.queue(Update{ID: "b", State: StateAlive, Incarnation: 1})
+	// Spend one transmission of each.
+	if got := bq.take(2, 10); len(got) != 2 {
+		t.Fatalf("take(2) = %v", got)
+	}
+	// Supersede a; its transmit count must reset to zero, so the next
+	// take prefers it over b (freshest-first ordering).
+	bq.queue(Update{ID: "a", State: StateSuspect, Incarnation: 1})
+	got := bq.take(1, 10)
+	if len(got) != 1 || got[0].ID != "a" || got[0].State != StateSuspect {
+		t.Fatalf("take after supersede = %+v, want fresh suspect(a)", got)
+	}
+	if bq.pending() != 2 {
+		t.Fatalf("pending = %d, want 2", bq.pending())
+	}
+}
+
+// TestMemberBroadcastRetirement checks that an update stops being
+// piggybacked once it has been transmitted limit times.
+func TestMemberBroadcastRetirement(t *testing.T) {
+	var bq broadcasts
+	bq.queue(Update{ID: "a", State: StateDead, Incarnation: 2})
+	const limit = 3
+	for i := 0; i < limit; i++ {
+		if got := bq.take(4, limit); len(got) != 1 || got[0].ID != "a" {
+			t.Fatalf("take %d = %+v, want [a]", i, got)
+		}
+	}
+	if got := bq.take(4, limit); len(got) != 0 {
+		t.Fatalf("take after retirement = %+v, want empty", got)
+	}
+	if bq.pending() != 0 {
+		t.Fatalf("pending = %d after retirement, want 0", bq.pending())
+	}
+}
+
+// TestMemberBroadcastTakeCap checks the per-message piggyback cap and
+// that capped-out updates survive for the next message.
+func TestMemberBroadcastTakeCap(t *testing.T) {
+	var bq broadcasts
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		bq.queue(Update{ID: id, State: StateAlive, Incarnation: 1})
+	}
+	if got := bq.take(2, 5); len(got) != 2 {
+		t.Fatalf("take(2) = %v", got)
+	}
+	if bq.pending() != 5 {
+		t.Fatalf("pending = %d, want 5 (cap must not retire)", bq.pending())
+	}
+	if got := bq.take(0, 5); got != nil {
+		t.Fatalf("take(0) = %v, want nil", got)
+	}
+}
+
+// TestMemberRetransmitLimit pins the O(log n) dissemination budget.
+func TestMemberRetransmitLimit(t *testing.T) {
+	cases := []struct{ mult, n, want int }{
+		{3, 1, 3},  // log2(1)+1 = 1 bit
+		{3, 2, 6},  // 2 bits
+		{3, 8, 12}, // 4 bits
+		{3, 100, 21},
+		{0, 8, 4}, // mult clamps to 1
+		{2, 0, 2}, // n clamps to 1
+	}
+	for _, c := range cases {
+		if got := retransmitLimit(c.mult, c.n); got != c.want {
+			t.Errorf("retransmitLimit(%d, %d) = %d, want %d", c.mult, c.n, got, c.want)
+		}
+	}
+}

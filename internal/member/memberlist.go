@@ -1,0 +1,494 @@
+// Package member implements SWIM-style cluster membership over the
+// csnet transport: periodic direct probes with indirect ping-req
+// fallback, alive -> suspect -> dead transitions guarded by incarnation
+// numbers (so a live node can refute a false suspicion), and gossip
+// dissemination piggybacked on the probe traffic itself. A periodic
+// full-state sync (push-pull anti-entropy) bounds convergence time and
+// lets nodes on both sides of a healed partition rediscover each other
+// even after they have declared each other dead.
+package member
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config configures a Memberlist. Zero values take the documented
+// defaults, chosen for LAN-scale clusters; tests shrink the intervals
+// to milliseconds.
+type Config struct {
+	// ID is this node's member identity. It doubles as the address
+	// peers dial to reach it, so it must be the node's host:port.
+	ID string
+	// ProbeInterval is the failure-detector period: one probe (or
+	// sync) round per tick (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds a direct ping round-trip (default
+	// ProbeInterval/2). Indirect probes get twice this budget.
+	ProbeTimeout time.Duration
+	// SuspicionTimeout is how long a suspect member has to refute
+	// before it is declared dead (default 5*ProbeInterval).
+	SuspicionTimeout time.Duration
+	// IndirectFanout is how many peers relay an indirect probe after a
+	// failed direct ping (default 3).
+	IndirectFanout int
+	// SyncEvery makes every Nth round a full-state push-pull sync
+	// instead of a ping (default 4). Sync targets rotate over every
+	// known member including dead ones — that reach-back is what heals
+	// a fully partitioned cluster.
+	SyncEvery int
+	// Piggyback is the maximum membership updates carried per message
+	// (default 8).
+	Piggyback int
+	// RetransmitMult scales the per-update retransmit budget
+	// mult*ceil(log2(n+1)) (default 3).
+	RetransmitMult int
+	// ConnTimeout bounds transport dials and connection-level request
+	// deadlines (default 2s).
+	ConnTimeout time.Duration
+	// Transport overrides the default csnet transport; tests plug in
+	// an in-memory network to simulate partitions.
+	Transport Transport
+	// Logf, when non-nil, receives one line per membership transition.
+	Logf func(format string, args ...any)
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.ID == "" {
+		return cfg, errors.New("member: config needs an ID")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval / 2
+	}
+	if cfg.SuspicionTimeout <= 0 {
+		cfg.SuspicionTimeout = 5 * cfg.ProbeInterval
+	}
+	if cfg.IndirectFanout <= 0 {
+		cfg.IndirectFanout = 3
+	}
+	if cfg.SyncEvery <= 0 {
+		cfg.SyncEvery = 4
+	}
+	if cfg.Piggyback <= 0 {
+		cfg.Piggyback = 8
+	}
+	if cfg.RetransmitMult <= 0 {
+		cfg.RetransmitMult = 3
+	}
+	if cfg.ConnTimeout <= 0 {
+		cfg.ConnTimeout = 2 * time.Second
+	}
+	return cfg, nil
+}
+
+// eventBuffer is the per-subscriber channel capacity. Transitions are
+// rare (state changes only, not probe traffic), so a subscriber that
+// drains at all keeps up; if one stalls completely, events are dropped
+// rather than wedging the failure detector.
+const eventBuffer = 256
+
+// Memberlist is one node's view of the cluster: the SWIM failure
+// detector, the gossip dissemination queue, and the membership table.
+// All methods are safe for concurrent use.
+type Memberlist struct {
+	cfg       Config
+	transport Transport
+
+	mu      sync.Mutex
+	tbl     *table
+	bq      broadcasts
+	subs    []chan Event
+	dropped uint64
+	probeQ  []string // current probe rotation, consumed front to back
+	syncQ   []string // current sync rotation (includes dead members)
+	started bool
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Memberlist; call Start to begin probing. The node serves
+// gossip as soon as its HandleMessage is reachable (see Handler), so a
+// list that is registered with a csnet server answers probes even
+// before Start.
+func New(cfg Config) (*Memberlist, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Memberlist{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	m.transport = cfg.Transport
+	if m.transport == nil {
+		m.transport = newCsnetTransport(cfg.ConnTimeout)
+	}
+	m.tbl = newTable(cfg.ID, m.onChange)
+	return m, nil
+}
+
+// onChange receives every accepted membership transition with m.mu
+// held: it queues the update for gossip and fans the event out to
+// subscribers (non-blocking; a full subscriber drops).
+func (m *Memberlist) onChange(u Update, local bool) {
+	m.bq.queue(u)
+	if m.cfg.Logf != nil {
+		origin := "gossip"
+		if local {
+			origin = "local"
+		}
+		m.cfg.Logf("member %s: %s -> %s (incarnation %d, %s)", m.cfg.ID, u.ID, u.State, u.Incarnation, origin)
+	}
+	ev := Event{ID: u.ID, State: u.State, Incarnation: u.Incarnation}
+	for _, ch := range m.subs {
+		select {
+		case ch <- ev:
+		default:
+			m.dropped++
+		}
+	}
+}
+
+// ID returns this node's member identity.
+func (m *Memberlist) ID() string { return m.cfg.ID }
+
+// Members returns a snapshot of the membership table (self included),
+// sorted by ID.
+func (m *Memberlist) Members() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tbl.snapshot()
+}
+
+// NumAlive reports how many members (self included) are not dead.
+func (m *Memberlist) NumAlive() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tbl.aliveCount()
+}
+
+// Subscribe returns a channel of membership transitions. Events are
+// delivered best-effort: a subscriber that stops draining loses events
+// rather than blocking the detector (see Dropped).
+func (m *Memberlist) Subscribe() <-chan Event {
+	ch := make(chan Event, eventBuffer)
+	m.mu.Lock()
+	m.subs = append(m.subs, ch)
+	m.mu.Unlock()
+	return ch
+}
+
+// Dropped reports how many events were discarded on full subscriber
+// channels.
+func (m *Memberlist) Dropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
+}
+
+// Start launches the probe loop. It is a no-op after the first call.
+func (m *Memberlist) Start() {
+	m.mu.Lock()
+	if m.started || m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go m.run()
+}
+
+// Stop halts the probe loop and closes the transport. Safe to call
+// more than once.
+func (m *Memberlist) Stop() error {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return nil
+	}
+	m.stopped = true
+	started := m.started
+	m.mu.Unlock()
+	close(m.stop)
+	if started {
+		<-m.done
+	}
+	return m.transport.Close()
+}
+
+// Join introduces this node to the cluster by full-syncing with each
+// seed peer. It succeeds if at least one peer answered; gossip spreads
+// the new member from there. Joining an empty peer list is a no-op (a
+// bootstrap node).
+func (m *Memberlist) Join(peers ...string) error {
+	var firstErr error
+	joined := 0
+	for _, peer := range peers {
+		if peer == m.cfg.ID {
+			continue
+		}
+		if err := m.syncWith(peer); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("member: join %s: %w", peer, err)
+			}
+			continue
+		}
+		joined++
+	}
+	if joined == 0 && firstErr != nil {
+		return firstErr
+	}
+	return nil
+}
+
+// run is the SWIM protocol period: each tick probes the next member in
+// the rotation (or full-syncs, every SyncEvery-th round), then expires
+// overdue suspicions.
+func (m *Memberlist) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.ProbeInterval)
+	defer ticker.Stop()
+	round := 0
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		round++
+		if round%m.cfg.SyncEvery == 0 {
+			if peer, ok := m.nextSyncTarget(); ok {
+				_ = m.syncWith(peer)
+			}
+		} else if target, ok := m.nextProbeTarget(); ok {
+			m.probe(target)
+		}
+		m.mu.Lock()
+		m.tbl.sweep(time.Now(), m.cfg.SuspicionTimeout)
+		m.mu.Unlock()
+	}
+}
+
+// nextProbeTarget pops the next non-dead member from the probe
+// rotation, refilling the rotation when it empties. The rotation is the
+// sorted member list, so every member is probed once per cycle — the
+// SWIM round-robin that bounds first-detection time.
+func (m *Memberlist) nextProbeTarget() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if len(m.probeQ) == 0 {
+			m.probeQ = m.tbl.probeTargets()
+			if len(m.probeQ) == 0 {
+				return "", false
+			}
+		}
+		for len(m.probeQ) > 0 {
+			id := m.probeQ[0]
+			m.probeQ = m.probeQ[1:]
+			if st, ok := m.tbl.state(id); ok && st != StateDead {
+				return id, true
+			}
+		}
+		// Every queued member died since the refill; refill once more
+		// (probeTargets may now be empty, ending the loop above).
+		if len(m.tbl.probeTargets()) == 0 {
+			return "", false
+		}
+	}
+}
+
+// nextSyncTarget pops the next member from the sync rotation, which
+// deliberately includes dead members: syncing with a node we believe
+// dead (and that may believe us dead) is the reconciliation path after
+// a healed partition.
+func (m *Memberlist) nextSyncTarget() (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.syncQ) == 0 {
+		m.syncQ = m.tbl.knownIDs()
+	}
+	if len(m.syncQ) == 0 {
+		return "", false
+	}
+	id := m.syncQ[0]
+	m.syncQ = m.syncQ[1:]
+	return id, true
+}
+
+// encodeOutbound builds one outgoing message of the given kind with
+// piggybacked gossip attached.
+func (m *Memberlist) encodeOutbound(kind msgKind, target string) []byte {
+	m.mu.Lock()
+	limit := retransmitLimit(m.cfg.RetransmitMult, m.tbl.aliveCount())
+	updates := m.bq.take(m.cfg.Piggyback, limit)
+	m.mu.Unlock()
+	b, err := encodeMessage(message{Kind: kind, From: m.cfg.ID, Target: target, Updates: updates})
+	if err != nil {
+		// Only oversized IDs can fail encoding; they are rejected at
+		// config time, so this is unreachable — but never probe with a
+		// nil message.
+		return []byte{byte(kind)}
+	}
+	return b
+}
+
+// encodeSync builds a full-state message: every table row (self
+// included) as updates. Sync bypasses the piggyback budget — it is the
+// anti-entropy path and must carry everything.
+func (m *Memberlist) encodeSync(kind msgKind) []byte {
+	m.mu.Lock()
+	rows := m.tbl.snapshot()
+	m.mu.Unlock()
+	updates := make([]Update, len(rows))
+	for i, r := range rows {
+		updates[i] = Update{ID: r.ID, State: r.State, Incarnation: r.Incarnation}
+	}
+	b, err := encodeMessage(message{Kind: kind, From: m.cfg.ID, Updates: updates})
+	if err != nil {
+		return []byte{byte(kind)}
+	}
+	return b
+}
+
+// ingest decodes a peer reply and merges its piggybacked updates,
+// returning the message for kind checks.
+func (m *Memberlist) ingest(b []byte) (message, error) {
+	msg, err := decodeMessage(b)
+	if err != nil {
+		return msg, err
+	}
+	m.applyUpdates(msg.From, msg.Updates)
+	return msg, nil
+}
+
+// applyUpdates merges gossiped updates into the table. Hearing any
+// message from a peer also (re)introduces the sender: an unknown sender
+// is recorded alive at incarnation 0, which real gossip about it then
+// overrides.
+func (m *Memberlist) applyUpdates(from string, updates []Update) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" && from != m.cfg.ID {
+		if _, known := m.tbl.state(from); !known {
+			m.tbl.apply(Update{ID: from, State: StateAlive, Incarnation: 0}, now)
+		}
+	}
+	for _, u := range updates {
+		m.tbl.apply(u, now)
+	}
+}
+
+// probe runs one SWIM failure-detection round against target: direct
+// ping, then IndirectFanout relayed ping-reqs, then suspicion.
+func (m *Memberlist) probe(target string) {
+	reply, err := m.transport.Exchange(target, m.encodeOutbound(msgPing, ""), m.cfg.ProbeTimeout)
+	if err == nil {
+		if msg, derr := m.ingest(reply); derr == nil && msg.Kind == msgAck {
+			return
+		}
+	}
+	if m.indirectProbe(target) {
+		return
+	}
+	m.mu.Lock()
+	m.tbl.suspect(target, time.Now())
+	m.mu.Unlock()
+}
+
+// indirectProbe asks up to IndirectFanout alive peers to ping target on
+// our behalf, in parallel; one relayed ack clears the target. This is
+// SWIM's defense against false positives from a lossy or congested
+// direct path: the target is only suspected when several vantage points
+// agree it is unreachable.
+func (m *Memberlist) indirectProbe(target string) bool {
+	m.mu.Lock()
+	var helpers []string
+	for _, id := range m.tbl.probeTargets() {
+		if id != target {
+			helpers = append(helpers, id)
+		}
+	}
+	fanout := m.cfg.IndirectFanout
+	m.mu.Unlock()
+	if len(helpers) > fanout {
+		helpers = helpers[:fanout]
+	}
+	if len(helpers) == 0 {
+		return false
+	}
+	acks := make(chan bool, len(helpers))
+	for _, h := range helpers {
+		h := h
+		go func() {
+			reply, err := m.transport.Exchange(h, m.encodeOutbound(msgPingReq, target), 2*m.cfg.ProbeTimeout)
+			if err != nil {
+				acks <- false
+				return
+			}
+			msg, derr := m.ingest(reply)
+			acks <- derr == nil && msg.Kind == msgAck
+		}()
+	}
+	ok := false
+	for range helpers {
+		ok = <-acks || ok
+	}
+	return ok
+}
+
+// syncWith performs one push-pull anti-entropy exchange with peer.
+func (m *Memberlist) syncWith(peer string) error {
+	reply, err := m.transport.Exchange(peer, m.encodeSync(msgSync), 2*m.cfg.ProbeTimeout)
+	if err != nil {
+		return err
+	}
+	msg, err := m.ingest(reply)
+	if err != nil {
+		return err
+	}
+	if msg.Kind != msgSyncAck {
+		return fmt.Errorf("member: sync with %s answered %d, want syncAck", peer, msg.Kind)
+	}
+	return nil
+}
+
+// HandleMessage serves one incoming SWIM message (the server side of
+// Exchange) and returns the encoded reply. Wire it to a csnet server
+// via Handler, or call it directly from a test transport.
+func (m *Memberlist) HandleMessage(b []byte) ([]byte, error) {
+	msg, err := decodeMessage(b)
+	if err != nil {
+		return nil, err
+	}
+	m.applyUpdates(msg.From, msg.Updates)
+	switch msg.Kind {
+	case msgPing:
+		return m.encodeOutbound(msgAck, ""), nil
+	case msgSync:
+		return m.encodeSync(msgSyncAck), nil
+	case msgPingReq:
+		if msg.Target == m.cfg.ID {
+			// Asked to probe ourselves: trivially alive.
+			return m.encodeOutbound(msgAck, ""), nil
+		}
+		reply, rerr := m.transport.Exchange(msg.Target, m.encodeOutbound(msgPing, ""), m.cfg.ProbeTimeout)
+		if rerr == nil {
+			if rmsg, derr := m.ingest(reply); derr == nil && rmsg.Kind == msgAck {
+				return m.encodeOutbound(msgAck, ""), nil
+			}
+		}
+		return m.encodeOutbound(msgNack, ""), nil
+	default:
+		return nil, fmt.Errorf("member: unexpected request kind %d", msg.Kind)
+	}
+}

@@ -1,0 +1,215 @@
+package member
+
+import (
+	"sort"
+	"time"
+)
+
+// State is a member's health as seen by the local failure detector.
+type State uint8
+
+const (
+	// StateAlive means the member is (believed) healthy.
+	StateAlive State = iota + 1
+	// StateSuspect means a probe round failed; the member has until the
+	// suspicion timeout to refute with a higher incarnation.
+	StateSuspect
+	// StateDead means the suspicion timeout expired (or a peer's did).
+	StateDead
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Update is one membership claim disseminated by gossip: "node ID is in
+// State at Incarnation". Incarnation numbers are owned by the node they
+// describe — only the node itself increments its incarnation, which is
+// what lets it refute a false suspicion authoritatively.
+type Update struct {
+	ID          string
+	State       State
+	Incarnation uint64
+}
+
+// Event is a local membership-table transition delivered to
+// subscribers. It carries the update that caused the transition.
+type Event struct {
+	ID          string
+	State       State
+	Incarnation uint64
+}
+
+// Member is a snapshot row of the membership table.
+type Member struct {
+	ID          string
+	State       State
+	Incarnation uint64
+}
+
+// entry is one tracked peer.
+type entry struct {
+	state State
+	inc   uint64
+	since time.Time // when state last changed; suspicion clock
+}
+
+// table is the SWIM membership state machine: it applies gossiped
+// updates under the protocol's precedence rules, times suspicions out
+// into deaths, and refutes claims about the local node. It is pure
+// bookkeeping — no I/O, no locks — so Memberlist serializes access and
+// the tests can drive it deterministically.
+//
+// Precedence (per member, comparing an incoming update u to the current
+// entry cur): higher incarnation always wins; at equal incarnation
+// dead > suspect > alive. Alive therefore only overrides suspicion or
+// death when the member has re-incarnated, which is exactly the
+// refutation path.
+type table struct {
+	self    string
+	selfInc uint64
+	members map[string]*entry
+
+	// onChange receives every accepted transition plus locally
+	// originated claims (refutations, suspicion expiries) for gossip
+	// re-broadcast and event delivery.
+	onChange func(u Update, local bool)
+}
+
+func newTable(self string, onChange func(Update, bool)) *table {
+	return &table{
+		self:     self,
+		selfInc:  1,
+		members:  map[string]*entry{},
+		onChange: onChange,
+	}
+}
+
+// apply merges one gossiped update into the table. Updates about the
+// local node are never stored: a claim that we are suspect or dead at
+// our current (or later) incarnation is refuted by bumping our
+// incarnation and re-broadcasting alive.
+func (t *table) apply(u Update, now time.Time) {
+	if u.ID == t.self {
+		if u.State != StateAlive && u.Incarnation >= t.selfInc {
+			t.selfInc = u.Incarnation + 1
+			t.onChange(Update{ID: t.self, State: StateAlive, Incarnation: t.selfInc}, true)
+		}
+		return
+	}
+	cur, known := t.members[u.ID]
+	if !known {
+		t.members[u.ID] = &entry{state: u.State, inc: u.Incarnation, since: now}
+		t.onChange(u, false)
+		return
+	}
+	accept := false
+	switch {
+	case u.Incarnation > cur.inc:
+		accept = true
+	case u.Incarnation == cur.inc:
+		accept = u.State > cur.state
+	}
+	if !accept {
+		return
+	}
+	cur.state = u.State
+	cur.inc = u.Incarnation
+	cur.since = now
+	t.onChange(u, false)
+}
+
+// suspect marks a member suspect at its current incarnation — the local
+// probe verdict, as opposed to a gossiped claim.
+func (t *table) suspect(id string, now time.Time) {
+	cur, ok := t.members[id]
+	if !ok || cur.state != StateAlive {
+		return
+	}
+	cur.state = StateSuspect
+	cur.since = now
+	t.onChange(Update{ID: id, State: StateSuspect, Incarnation: cur.inc}, true)
+}
+
+// sweep expires suspicions older than timeout into deaths and returns
+// how many members it declared dead.
+func (t *table) sweep(now time.Time, timeout time.Duration) int {
+	dead := 0
+	for id, e := range t.members {
+		if e.state == StateSuspect && now.Sub(e.since) >= timeout {
+			e.state = StateDead
+			e.since = now
+			dead++
+			t.onChange(Update{ID: id, State: StateDead, Incarnation: e.inc}, true)
+		}
+	}
+	return dead
+}
+
+// snapshot returns every known member plus the local node, sorted by ID.
+func (t *table) snapshot() []Member {
+	out := make([]Member, 0, len(t.members)+1)
+	out = append(out, Member{ID: t.self, State: StateAlive, Incarnation: t.selfInc})
+	for id, e := range t.members {
+		out = append(out, Member{ID: id, State: e.state, Incarnation: e.inc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// probeTargets returns the non-dead peers, sorted by ID for a stable
+// probe rotation.
+func (t *table) probeTargets() []string {
+	out := make([]string, 0, len(t.members))
+	for id, e := range t.members {
+		if e.state != StateDead {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// state reports a member's current state; ok is false for unknown IDs
+// and for the local node (the table never stores self).
+func (t *table) state(id string) (State, bool) {
+	e, ok := t.members[id]
+	if !ok {
+		return 0, false
+	}
+	return e.state, true
+}
+
+// knownIDs returns every tracked member including dead ones, sorted by
+// ID — the anti-entropy sync rotation, which must reach dead-marked
+// nodes so a healed partition reconciles.
+func (t *table) knownIDs() []string {
+	out := make([]string, 0, len(t.members))
+	for id := range t.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// aliveCount reports how many members (including self) are not dead;
+// the gossip retransmit limit scales with it.
+func (t *table) aliveCount() int {
+	n := 1
+	for _, e := range t.members {
+		if e.state != StateDead {
+			n++
+		}
+	}
+	return n
+}

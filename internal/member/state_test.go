@@ -1,0 +1,199 @@
+package member
+
+import (
+	"testing"
+	"time"
+)
+
+// recorder captures onChange callbacks for table-level tests.
+type recorder struct {
+	updates []Update
+	local   []bool
+}
+
+func (r *recorder) record(u Update, local bool) {
+	r.updates = append(r.updates, u)
+	r.local = append(r.local, local)
+}
+
+func (r *recorder) last() (Update, bool) {
+	if len(r.updates) == 0 {
+		return Update{}, false
+	}
+	return r.updates[len(r.updates)-1], true
+}
+
+// TestMemberTablePrecedence exercises the SWIM merge rules: higher
+// incarnation always wins; at equal incarnation dead > suspect > alive;
+// everything else is rejected.
+func TestMemberTablePrecedence(t *testing.T) {
+	var rec recorder
+	tbl := newTable("self", rec.record)
+	now := time.Now()
+
+	tbl.apply(Update{ID: "a", State: StateAlive, Incarnation: 1}, now)
+	if st, ok := tbl.state("a"); !ok || st != StateAlive {
+		t.Fatalf("state(a) = %v,%v after alive@1", st, ok)
+	}
+
+	// Same incarnation: suspect overrides alive, alive does not override
+	// suspect, dead overrides suspect.
+	tbl.apply(Update{ID: "a", State: StateSuspect, Incarnation: 1}, now)
+	if st, _ := tbl.state("a"); st != StateSuspect {
+		t.Fatalf("suspect@1 did not override alive@1: %v", st)
+	}
+	tbl.apply(Update{ID: "a", State: StateAlive, Incarnation: 1}, now)
+	if st, _ := tbl.state("a"); st != StateSuspect {
+		t.Fatalf("alive@1 overrode suspect@1: %v", st)
+	}
+	tbl.apply(Update{ID: "a", State: StateDead, Incarnation: 1}, now)
+	if st, _ := tbl.state("a"); st != StateDead {
+		t.Fatalf("dead@1 did not override suspect@1: %v", st)
+	}
+
+	// Higher incarnation: alive@2 resurrects dead@1 (the refutation).
+	tbl.apply(Update{ID: "a", State: StateAlive, Incarnation: 2}, now)
+	if st, _ := tbl.state("a"); st != StateAlive {
+		t.Fatalf("alive@2 did not override dead@1: %v", st)
+	}
+
+	// Stale incarnation is ignored outright.
+	tbl.apply(Update{ID: "a", State: StateDead, Incarnation: 1}, now)
+	if st, _ := tbl.state("a"); st != StateAlive {
+		t.Fatalf("stale dead@1 overrode alive@2: %v", st)
+	}
+
+	if _, ok := tbl.state("ghost"); ok {
+		t.Fatal("unknown member reported a state")
+	}
+}
+
+// TestMemberTableSuspectTimeout drives the suspect -> dead transition
+// through sweep: no death before the timeout, death after, exactly one
+// locally originated dead claim.
+func TestMemberTableSuspectTimeout(t *testing.T) {
+	var rec recorder
+	tbl := newTable("self", rec.record)
+	t0 := time.Now()
+	tbl.apply(Update{ID: "a", State: StateAlive, Incarnation: 3}, t0)
+	tbl.suspect("a", t0)
+	if st, _ := tbl.state("a"); st != StateSuspect {
+		t.Fatalf("suspect() left state %v", st)
+	}
+	if u, _ := rec.last(); u.State != StateSuspect || u.Incarnation != 3 {
+		t.Fatalf("suspect claim = %+v, want suspect@3", u)
+	}
+
+	if n := tbl.sweep(t0.Add(50*time.Millisecond), 100*time.Millisecond); n != 0 {
+		t.Fatalf("sweep before timeout declared %d dead", n)
+	}
+	if n := tbl.sweep(t0.Add(150*time.Millisecond), 100*time.Millisecond); n != 1 {
+		t.Fatalf("sweep after timeout declared %d dead, want 1", n)
+	}
+	if st, _ := tbl.state("a"); st != StateDead {
+		t.Fatalf("state after sweep = %v, want dead", st)
+	}
+	u, _ := rec.last()
+	if u.State != StateDead || u.Incarnation != 3 || !rec.local[len(rec.local)-1] {
+		t.Fatalf("dead claim = %+v (local=%v), want local dead@3", u, rec.local[len(rec.local)-1])
+	}
+	// A dead member sweeps no further.
+	if n := tbl.sweep(t0.Add(time.Hour), 100*time.Millisecond); n != 0 {
+		t.Fatalf("second sweep declared %d dead", n)
+	}
+}
+
+// TestMemberTableSuspectOnlyAlive checks that suspect() touches only
+// alive members: suspecting a suspect resets nothing (the original
+// suspicion clock keeps running), and dead members stay dead.
+func TestMemberTableSuspectOnlyAlive(t *testing.T) {
+	var rec recorder
+	tbl := newTable("self", rec.record)
+	t0 := time.Now()
+	tbl.apply(Update{ID: "a", State: StateAlive, Incarnation: 1}, t0)
+	tbl.suspect("a", t0)
+	n := len(rec.updates)
+	tbl.suspect("a", t0.Add(time.Second))
+	if len(rec.updates) != n {
+		t.Fatal("re-suspecting a suspect emitted a claim")
+	}
+	// The clock was not reset: timeout measured from the first suspicion.
+	if got := tbl.sweep(t0.Add(110*time.Millisecond), 100*time.Millisecond); got != 1 {
+		t.Fatalf("sweep declared %d dead, want 1 (suspicion clock reset?)", got)
+	}
+	tbl.suspect("a", t0.Add(2*time.Second))
+	if st, _ := tbl.state("a"); st != StateDead {
+		t.Fatalf("suspect() moved a dead member to %v", st)
+	}
+	tbl.suspect("ghost", t0)
+	if _, ok := tbl.state("ghost"); ok {
+		t.Fatal("suspect() invented a member")
+	}
+}
+
+// TestMemberTableRefutesSelf checks the refutation path: a claim that
+// the local node is suspect or dead at the current incarnation bumps
+// the incarnation and re-broadcasts alive; stale claims are ignored.
+func TestMemberTableRefutesSelf(t *testing.T) {
+	var rec recorder
+	tbl := newTable("self", rec.record)
+	now := time.Now()
+
+	tbl.apply(Update{ID: "self", State: StateSuspect, Incarnation: 1}, now)
+	u, ok := rec.last()
+	if !ok || u.ID != "self" || u.State != StateAlive || u.Incarnation != 2 {
+		t.Fatalf("refutation = %+v, want alive@2", u)
+	}
+	if !rec.local[len(rec.local)-1] {
+		t.Fatal("refutation not marked locally originated")
+	}
+
+	// A dead claim at a later incarnation refutes to one past it.
+	tbl.apply(Update{ID: "self", State: StateDead, Incarnation: 7}, now)
+	if u, _ := rec.last(); u.State != StateAlive || u.Incarnation != 8 {
+		t.Fatalf("refutation of dead@7 = %+v, want alive@8", u)
+	}
+
+	// Stale claims (below current incarnation) change nothing.
+	n := len(rec.updates)
+	tbl.apply(Update{ID: "self", State: StateSuspect, Incarnation: 3}, now)
+	tbl.apply(Update{ID: "self", State: StateAlive, Incarnation: 99}, now)
+	if len(rec.updates) != n {
+		t.Fatalf("stale/alive self claims emitted %d extra updates", len(rec.updates)-n)
+	}
+	// Self never appears in the members map.
+	if _, ok := tbl.state("self"); ok {
+		t.Fatal("table stored the local node")
+	}
+}
+
+// TestMemberTableSnapshots covers the read-side accessors used by the
+// probe loop and subscribers.
+func TestMemberTableSnapshots(t *testing.T) {
+	var rec recorder
+	tbl := newTable("self", rec.record)
+	now := time.Now()
+	tbl.apply(Update{ID: "b", State: StateAlive, Incarnation: 1}, now)
+	tbl.apply(Update{ID: "a", State: StateSuspect, Incarnation: 2}, now)
+	tbl.apply(Update{ID: "c", State: StateDead, Incarnation: 1}, now)
+
+	snap := tbl.snapshot()
+	if len(snap) != 4 || snap[0].ID != "a" || snap[3].ID != "self" {
+		t.Fatalf("snapshot = %+v, want a,b,c,self sorted", snap)
+	}
+	if snap[3].State != StateAlive {
+		t.Fatalf("self snapshot state = %v", snap[3].State)
+	}
+
+	targets := tbl.probeTargets()
+	if len(targets) != 2 || targets[0] != "a" || targets[1] != "b" {
+		t.Fatalf("probeTargets = %v, want [a b] (dead excluded)", targets)
+	}
+	known := tbl.knownIDs()
+	if len(known) != 3 || known[2] != "c" {
+		t.Fatalf("knownIDs = %v, want [a b c] (dead included)", known)
+	}
+	if n := tbl.aliveCount(); n != 3 {
+		t.Fatalf("aliveCount = %d, want 3 (self, a, b)", n)
+	}
+}

@@ -1,0 +1,76 @@
+package member
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMemberWireRoundTrip encodes and decodes every message shape the
+// protocol produces.
+func TestMemberWireRoundTrip(t *testing.T) {
+	cases := []message{
+		{Kind: msgPing, From: "127.0.0.1:9001"},
+		{Kind: msgAck, From: "n2", Updates: []Update{
+			{ID: "n1", State: StateAlive, Incarnation: 1},
+			{ID: "n3", State: StateSuspect, Incarnation: 42},
+			{ID: "n4", State: StateDead, Incarnation: 1<<63 + 5},
+		}},
+		{Kind: msgPingReq, From: "n1", Target: "n3"},
+		{Kind: msgNack, From: "n3"},
+		{Kind: msgSync, From: "n5", Updates: []Update{{ID: "n5", State: StateAlive, Incarnation: 1}}},
+		{Kind: msgSyncAck, From: ""},
+	}
+	for _, want := range cases {
+		b, err := encodeMessage(want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := decodeMessage(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestMemberWireErrors feeds the decoder malformed inputs; every one
+// must fail loudly rather than mis-parse.
+func TestMemberWireErrors(t *testing.T) {
+	good, err := encodeMessage(message{Kind: msgAck, From: "n1", Updates: []Update{
+		{ID: "n2", State: StateAlive, Incarnation: 9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"unknown kind zero": {0},
+		"unknown kind high": {99},
+		"truncated from":    {byte(msgPing), 0},
+		"truncated body":    good[:len(good)-3],
+		"trailing bytes":    append(append([]byte{}, good...), 0xAB),
+	}
+	// A corrupt state byte inside an update.
+	bad := append([]byte{}, good...)
+	bad[len(bad)-13] = 77 // state byte of the single update
+	cases["bad state"] = bad
+
+	for name, b := range cases {
+		if _, err := decodeMessage(b); err == nil {
+			t.Errorf("%s: decode accepted %x", name, b)
+		}
+	}
+
+	// Oversized fields are rejected at encode time.
+	if _, err := encodeMessage(message{Kind: msgPing, From: strings.Repeat("x", 1<<16)}); err == nil {
+		t.Error("encode accepted a 64KiB From")
+	}
+	if _, err := encodeMessage(message{Kind: msgPing, Updates: []Update{
+		{ID: strings.Repeat("k", 1<<16), State: StateAlive},
+	}}); err == nil {
+		t.Error("encode accepted a 64KiB update ID")
+	}
+}

@@ -5,7 +5,7 @@
 // Fig. 2 and Fig. 3, and Tables I-III) plus the full set of PDC teaching
 // substrates its case-study courses rely on, implemented in the internal
 // packages (conc, par, taskgraph, race, sched, arch, simd, simt, mpi,
-// csnet, dist, txn, perf).
+// csnet, dist, member, txn, perf).
 //
 // This package is the stable facade over the curriculum core. The
 // substrates are exercised through the example programs under examples/
@@ -19,7 +19,12 @@
 // synchronous replication, read-repair, and batched MSet/MGet/MDel —
 // all carried by csnet's pipelined multiplexed transport, which keeps
 // N requests in flight per connection (see examples/distkv and the
-// README "Performance" section).
+// README "Performance" section). The member substrate makes that
+// cluster self-healing: SWIM-style gossip membership with indirect
+// probing and incarnation-guarded suspicion drives the ring — dead
+// backends are evicted (writes degrade to a quorum of live replicas
+// with hinted handoff), recovered ones are readmitted and rebalanced
+// (see cmd/distnode and the README "Fault tolerance" section).
 package pdcedu
 
 import (

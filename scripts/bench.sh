@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
-# Runs the root benchmark suite (E1-E6 paper artifacts, E17-E22 cluster
-# transport) and records the numbers as BENCH_<n>.json, starting the
-# perf trajectory the README "Performance" section tracks.
+# Runs the root benchmark suite (E1-E6 paper artifacts, E17-E24 cluster
+# transport and fault tolerance) and records the numbers as
+# BENCH_<n>.json, continuing the perf trajectory the README tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 2)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 3)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,6 +21,6 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-2}.json"
+' >"BENCH_${1:-3}.json"
 
-echo "wrote BENCH_${1:-2}.json"
+echo "wrote BENCH_${1:-3}.json"
