@@ -25,6 +25,7 @@ import (
 
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/member"
+	"pdcedu/internal/store"
 )
 
 func main() {
@@ -33,9 +34,15 @@ func main() {
 	probe := flag.Duration("probe", 500*time.Millisecond, "failure-detector probe interval")
 	suspicion := flag.Duration("suspicion", 0, "suspicion timeout before a suspect is declared dead (default 5x probe)")
 	quiet := flag.Bool("quiet", false, "log only membership transitions, not the periodic summary")
+	shards := flag.Int("shards", store.DefaultShards, "storage-engine shard count (rounded up to a power of two)")
+	tombGC := flag.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete tombstones are retained before garbage collection")
+	sweep := flag.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
 	flag.Parse()
 
-	kv := csnet.NewKVHandler()
+	eng := store.NewSharded(store.Options{Shards: *shards, TombstoneGC: *tombGC})
+	sweeper := store.StartSweeper(eng, *sweep, 4096)
+	defer sweeper.Stop()
+	kv := csnet.NewKVHandlerOn(eng)
 	ml, err := member.New(member.Config{
 		ID:               *addr,
 		ProbeInterval:    *probe,
@@ -85,7 +92,9 @@ func main() {
 				continue
 			}
 			var b strings.Builder
-			fmt.Fprintf(&b, "members (%d alive):", ml.NumAlive())
+			expired, purged := sweeper.Totals()
+			fmt.Fprintf(&b, "store: %d keys (swept %d expired, %d tombstones); members (%d alive):",
+				kv.Len(), expired, purged, ml.NumAlive())
 			for _, m := range ml.Members() {
 				fmt.Fprintf(&b, " %s=%s@%d", m.ID, m.State, m.Incarnation)
 			}

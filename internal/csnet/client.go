@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"pdcedu/internal/store"
 )
 
 // Client is a framed-protocol TCP client over a single pipelined,
@@ -87,6 +89,19 @@ func (call *Call) ResponseTimeout(d time.Duration) (Response, error) {
 	return DecodeResponse(body)
 }
 
+// ResponseV waits for and decodes the versioned response to this call;
+// use it exactly for calls whose request op is Versioned.
+func (call *Call) ResponseV() (Response, error) {
+	if call.err != nil {
+		return Response{}, call.err
+	}
+	body, err := call.p.Wait()
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponseV(body)
+}
+
 // Send enqueues a key-value protocol request without waiting: the
 // pipelined counterpart of Do. Encoding failures surface from the
 // returned call's Response.
@@ -155,6 +170,98 @@ func (c *Client) Del(key string) (bool, error) {
 		return false, err
 	}
 	return resp.Status == StatusOK, nil
+}
+
+// GetV fetches a key with its version. On ok the entry is live; on
+// !ok with a nil error the entry may still carry the version (and
+// Tombstone flag) of a resident tombstone or expired copy, so callers
+// can order the miss against other replicas.
+func (c *Client) GetV(key string) (e store.Entry, ok bool, err error) {
+	resp, err := c.Send(Request{Op: OpGetV, Key: key}).ResponseV()
+	if err != nil {
+		return store.Entry{}, false, err
+	}
+	e = store.Entry{Value: resp.Value, Version: resp.Version, Tombstone: resp.Flags&FlagTombstone != 0, ExpireAt: resp.ExpireAt}
+	switch resp.Status {
+	case StatusOK:
+		return e, true, nil
+	case StatusNotFound:
+		return e, false, nil
+	default:
+		return store.Entry{}, false, fmt.Errorf("csnet: getv %q: %s", key, resp.Value)
+	}
+}
+
+// SetV stores a key at the given version via last-writer-wins merge
+// (version 0 lets the server stamp one). applied reports whether this
+// write won; either way winner is the version now resident.
+func (c *Client) SetV(key string, value []byte, version uint64) (winner uint64, applied bool, err error) {
+	resp, err := c.Send(Request{Op: OpSetV, Key: key, Value: value, Version: version}).ResponseV()
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Version, true, nil
+	case StatusExists:
+		return resp.Version, false, nil
+	default:
+		return 0, false, fmt.Errorf("csnet: setv %q: %s", key, resp.Value)
+	}
+}
+
+// DelV tombstones a key at the given version via last-writer-wins
+// merge (version 0 lets the server stamp one). applied reports whether
+// the tombstone won (for version 0: whether a live value existed).
+func (c *Client) DelV(key string, version uint64) (winner uint64, applied bool, err error) {
+	resp, err := c.Send(Request{Op: OpDelV, Key: key, Version: version}).ResponseV()
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Version, true, nil
+	case StatusExists, StatusNotFound:
+		return resp.Version, false, nil
+	default:
+		return 0, false, fmt.Errorf("csnet: delv %q: %s", key, resp.Value)
+	}
+}
+
+// Merge applies a full replicated entry (value or tombstone) iff it is
+// newer than the server's resident one.
+func (c *Client) Merge(key string, e store.Entry) (winner uint64, applied bool, err error) {
+	req := Request{Op: OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+	if e.Tombstone {
+		req.Flags |= FlagTombstone
+		req.Value = nil
+		req.ExpireAt = 0
+	}
+	resp, err := c.Send(req).ResponseV()
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Version, true, nil
+	case StatusExists:
+		return resp.Version, false, nil
+	default:
+		return 0, false, fmt.Errorf("csnet: merge %q: %s", key, resp.Value)
+	}
+}
+
+// KeysV lists every entry the server holds — tombstones included —
+// with versions.
+func (c *Client) KeysV() ([]KeyVersion, error) {
+	resp, err := c.Send(Request{Op: OpKeysV}).ResponseV()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("csnet: keysv: %s", resp.Value)
+	}
+	return DecodeKeysV(resp.Value)
 }
 
 // Keys lists every key the server holds.

@@ -27,10 +27,62 @@ const (
 	// (the SWIM probe/ack traffic of internal/member); the response
 	// Value is the encoded reply. Key is unused.
 	OpGossip
-	// OpKeys lists every key the server holds, encoded in the response
-	// Value by EncodeKeys; the dist rebalancer uses it to discover which
-	// keys must stream to new owners after a ring change.
+	// OpKeys lists every live key the server holds, encoded in the
+	// response Value by EncodeKeys; served from the storage engine's
+	// lock-bounded per-shard snapshot, so a big listing cannot stall
+	// writers.
 	OpKeys
+	// OpSetV is the versioned write: the frame carries an 8-byte
+	// version stamped by the coordinator's hybrid logical clock, and
+	// the server applies it with last-writer-wins merge (StatusOK) or
+	// keeps its newer resident entry (StatusExists) — either way the
+	// response carries the winning version. Version 0 asks the server
+	// to stamp a fresh version itself.
+	OpSetV
+	// OpGetV is the versioned read: an OK response carries the value
+	// and its version; a NotFound response still carries the version
+	// (and FlagTombstone) of a resident tombstone, so a reader can tell
+	// "deleted at version v" apart from "never existed" and propagate
+	// the delete.
+	OpGetV
+	// OpDelV is the versioned delete: a tombstone at the given version
+	// (0 = server-stamped), merged last-writer-wins like OpSetV.
+	OpDelV
+	// OpMerge applies a full replicated entry — value or tombstone per
+	// FlagTombstone — iff it is newer than the resident one. It is the
+	// op read-repair, hinted handoff, and the rebalancer use: a stale
+	// replay answers StatusExists and changes nothing, so replay order
+	// can never resurrect old state (the job OpSetNX's set-if-absent
+	// used to approximate).
+	OpMerge
+	// OpKeysV lists every entry the server holds — tombstones included
+	// — as (key, version, flags) triples encoded by EncodeKeysV; the
+	// rebalancer uses it to find not just missing copies but stale
+	// ones.
+	OpKeysV
+)
+
+// Versioned reports whether op's request and response frames carry the
+// 8-byte version + 1-byte flags trailer.
+func Versioned(op Op) bool {
+	switch op {
+	case OpSetV, OpGetV, OpDelV, OpMerge, OpKeysV:
+		return true
+	}
+	return false
+}
+
+// Flag bits carried by versioned frames.
+const (
+	// FlagTombstone marks a deleted entry.
+	FlagTombstone byte = 1 << 0
+	// FlagHasExpiry marks a versioned frame whose trailer carries an
+	// 8-byte ExpireAt (Unix nanoseconds) after the flags byte. The
+	// codec sets and consumes it from the ExpireAt field; carrying the
+	// expiry on the wire is what keeps a TTL'd entry mortal on every
+	// replica it merges to (and keeps an expired copy from being
+	// resurrected as immortal by read-repair or the rebalancer).
+	FlagHasExpiry byte = 1 << 1
 )
 
 // String returns the op mnemonic.
@@ -52,6 +104,16 @@ func (o Op) String() string {
 		return "GOSSIP"
 	case OpKeys:
 		return "KEYS"
+	case OpSetV:
+		return "SETV"
+	case OpGetV:
+		return "GETV"
+	case OpDelV:
+		return "DELV"
+	case OpMerge:
+		return "MERGE"
+	case OpKeysV:
+		return "KEYSV"
 	default:
 		return "UNKNOWN"
 	}
@@ -87,26 +149,84 @@ func (s Status) String() string {
 	}
 }
 
-// Request is a protocol request.
+// Request is a protocol request. Version, Flags, and ExpireAt ride the
+// wire only for versioned ops (see Versioned; ExpireAt only when
+// nonzero, gated by FlagHasExpiry).
 type Request struct {
-	Op    Op
-	Key   string
-	Value []byte
+	Op       Op
+	Key      string
+	Value    []byte
+	Version  uint64
+	Flags    byte
+	ExpireAt int64
 }
 
-// Response is a protocol response.
+// Response is a protocol response. Version, Flags, and ExpireAt ride
+// the wire only in replies to versioned ops.
 type Response struct {
-	Status Status
-	Value  []byte
+	Status   Status
+	Value    []byte
+	Version  uint64
+	Flags    byte
+	ExpireAt int64
+}
+
+// versionTrailerSize is the fixed part of a versioned frame's trailer:
+// version(8) flags(1). FlagHasExpiry appends expireAt(8).
+const versionTrailerSize = 8 + 1
+
+// appendTrailer writes the versioned trailer: version, flags (with
+// FlagHasExpiry derived from expireAt), then the optional expiry.
+func appendTrailer(buf []byte, version uint64, flags byte, expireAt int64) []byte {
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], version)
+	buf = append(buf, scratch[:]...)
+	if expireAt != 0 {
+		flags |= FlagHasExpiry
+	} else {
+		flags &^= FlagHasExpiry
+	}
+	buf = append(buf, flags)
+	if expireAt != 0 {
+		binary.BigEndian.PutUint64(scratch[:], uint64(expireAt))
+		buf = append(buf, scratch[:]...)
+	}
+	return buf
+}
+
+// parseTrailer reads a versioned trailer, returning the decoded fields
+// (flags with FlagHasExpiry cleared — ExpireAt carries the meaning).
+func parseTrailer(b []byte) (version uint64, flags byte, expireAt int64, err error) {
+	if len(b) < versionTrailerSize {
+		return 0, 0, 0, fmt.Errorf("csnet: truncated version trailer (%d bytes)", len(b))
+	}
+	version = binary.BigEndian.Uint64(b[:8])
+	flags = b[8]
+	rest := b[versionTrailerSize:]
+	if flags&FlagHasExpiry != 0 {
+		if len(rest) != 8 {
+			return 0, 0, 0, fmt.Errorf("csnet: truncated expiry in version trailer")
+		}
+		expireAt = int64(binary.BigEndian.Uint64(rest))
+		flags &^= FlagHasExpiry
+	} else if len(rest) != 0 {
+		return 0, 0, 0, fmt.Errorf("csnet: %d trailing bytes after version trailer", len(rest))
+	}
+	return version, flags, expireAt, nil
 }
 
 // EncodeRequest serializes a request:
-// op(1) keyLen(2) key valLen(4) val.
+// op(1) keyLen(2) key valLen(4) val [version(8) flags(1) [expireAt(8)]],
+// the trailer present exactly for versioned ops.
 func EncodeRequest(r Request) ([]byte, error) {
 	if len(r.Key) > 0xFFFF {
 		return nil, fmt.Errorf("csnet: key length %d exceeds 65535", len(r.Key))
 	}
-	buf := make([]byte, 0, 1+2+len(r.Key)+4+len(r.Value))
+	size := 1 + 2 + len(r.Key) + 4 + len(r.Value)
+	if Versioned(r.Op) {
+		size += versionTrailerSize + 8
+	}
+	buf := make([]byte, 0, size)
 	buf = append(buf, byte(r.Op))
 	var k [2]byte
 	binary.BigEndian.PutUint16(k[:], uint16(len(r.Key)))
@@ -116,6 +236,9 @@ func EncodeRequest(r Request) ([]byte, error) {
 	binary.BigEndian.PutUint32(v[:], uint32(len(r.Value)))
 	buf = append(buf, v[:]...)
 	buf = append(buf, r.Value...)
+	if Versioned(r.Op) {
+		buf = appendTrailer(buf, r.Version, r.Flags, r.ExpireAt)
+	}
 	return buf, nil
 }
 
@@ -132,14 +255,24 @@ func DecodeRequest(b []byte) (Request, error) {
 	}
 	r.Key = string(b[3 : 3+kl])
 	vl := int(binary.BigEndian.Uint32(b[3+kl : 3+kl+4]))
-	if len(b) != 3+kl+4+vl {
+	rest := b[3+kl+4:]
+	if Versioned(r.Op) {
+		if len(rest) < vl {
+			return r, fmt.Errorf("csnet: truncated versioned request value")
+		}
+		r.Value = rest[:vl]
+		var err error
+		r.Version, r.Flags, r.ExpireAt, err = parseTrailer(rest[vl:])
+		return r, err
+	}
+	if len(rest) != vl {
 		return r, fmt.Errorf("csnet: request length mismatch: have %d want %d", len(b), 3+kl+4+vl)
 	}
-	r.Value = b[3+kl+4:]
+	r.Value = rest
 	return r, nil
 }
 
-// EncodeResponse serializes a response: status(1) valLen(4) val.
+// EncodeResponse serializes a legacy response: status(1) valLen(4) val.
 func EncodeResponse(r Response) []byte {
 	buf := make([]byte, 0, 1+4+len(r.Value))
 	buf = append(buf, byte(r.Status))
@@ -148,6 +281,36 @@ func EncodeResponse(r Response) []byte {
 	buf = append(buf, v[:]...)
 	buf = append(buf, r.Value...)
 	return buf
+}
+
+// EncodeResponseV serializes a versioned response:
+// status(1) valLen(4) val version(8) flags(1) [expireAt(8)].
+func EncodeResponseV(r Response) []byte {
+	buf := make([]byte, 0, 1+4+len(r.Value)+versionTrailerSize+8)
+	buf = append(buf, byte(r.Status))
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], uint32(len(r.Value)))
+	buf = append(buf, v[:]...)
+	buf = append(buf, r.Value...)
+	return appendTrailer(buf, r.Version, r.Flags, r.ExpireAt)
+}
+
+// DecodeResponseV parses a versioned response.
+func DecodeResponseV(b []byte) (Response, error) {
+	var r Response
+	if len(b) < 5+versionTrailerSize {
+		return r, fmt.Errorf("csnet: versioned response too short (%d bytes)", len(b))
+	}
+	r.Status = Status(b[0])
+	vl := int(binary.BigEndian.Uint32(b[1:5]))
+	if len(b) < 5+vl+versionTrailerSize {
+		return r, fmt.Errorf("csnet: versioned response length mismatch: have %d want at least %d",
+			len(b), 5+vl+versionTrailerSize)
+	}
+	r.Value = b[5 : 5+vl]
+	var err error
+	r.Version, r.Flags, r.ExpireAt, err = parseTrailer(b[5+vl:])
+	return r, err
 }
 
 // EncodeKeys serializes a key list for an OpKeys response:
@@ -200,6 +363,80 @@ func DecodeKeys(b []byte) ([]string, error) {
 		return nil, fmt.Errorf("csnet: %d trailing bytes after key list", len(b))
 	}
 	return keys, nil
+}
+
+// KeyVersion is one entry of an OpKeysV listing: a key, the version of
+// its resident entry, and whether that entry is a tombstone.
+type KeyVersion struct {
+	Key       string
+	Version   uint64
+	Tombstone bool
+}
+
+// keysVEntryMin is the smallest wire size of one KeysV entry:
+// keyLen(2) version(8) flags(1) plus an empty key.
+const keysVEntryMin = 2 + 8 + 1
+
+// EncodeKeysV serializes a versioned key listing for an OpKeysV
+// response: count(4) then count * (keyLen(2) key version(8) flags(1)).
+func EncodeKeysV(entries []KeyVersion) ([]byte, error) {
+	size := 4
+	for _, e := range entries {
+		if len(e.Key) > 0xFFFF {
+			return nil, fmt.Errorf("csnet: key length %d exceeds 65535", len(e.Key))
+		}
+		size += keysVEntryMin + len(e.Key)
+	}
+	buf := make([]byte, 4, size)
+	binary.BigEndian.PutUint32(buf, uint32(len(entries)))
+	var l [2]byte
+	var v [8]byte
+	for _, e := range entries {
+		binary.BigEndian.PutUint16(l[:], uint16(len(e.Key)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, e.Key...)
+		binary.BigEndian.PutUint64(v[:], e.Version)
+		buf = append(buf, v[:]...)
+		var flags byte
+		if e.Tombstone {
+			flags |= FlagTombstone
+		}
+		buf = append(buf, flags)
+	}
+	return buf, nil
+}
+
+// DecodeKeysV parses an OpKeysV response body.
+func DecodeKeysV(b []byte) ([]KeyVersion, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("csnet: versioned key list too short (%d bytes)", len(b))
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	// Reject counts the body cannot possibly hold before allocating.
+	if n > len(b)/keysVEntryMin {
+		return nil, fmt.Errorf("csnet: versioned key count %d exceeds body size %d", n, len(b))
+	}
+	entries := make([]KeyVersion, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("csnet: truncated versioned key list at entry %d", i)
+		}
+		kl := int(binary.BigEndian.Uint16(b))
+		if len(b) < 2+kl+8+1 {
+			return nil, fmt.Errorf("csnet: truncated versioned key at entry %d", i)
+		}
+		entries = append(entries, KeyVersion{
+			Key:       string(b[2 : 2+kl]),
+			Version:   binary.BigEndian.Uint64(b[2+kl : 2+kl+8]),
+			Tombstone: b[2+kl+8]&FlagTombstone != 0,
+		})
+		b = b[2+kl+8+1:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("csnet: %d trailing bytes after versioned key list", len(b))
+	}
+	return entries, nil
 }
 
 // DecodeResponse parses a serialized response.

@@ -8,6 +8,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"pdcedu/internal/store"
 )
 
 // Handler processes one request; implementations must be safe for
@@ -39,14 +42,24 @@ type protocolFrames struct {
 	h Handler
 }
 
-// ServeFrame implements FrameHandler.
+// ServeFrame implements FrameHandler. Versioned ops get the versioned
+// response encoding (their callers expect the trailer); legacy ops get
+// the legacy one, so old clients interoperate on the same port.
 func (p protocolFrames) ServeFrame(body []byte) []byte {
 	req, err := DecodeRequest(body)
 	var resp Response
 	if err != nil {
 		resp = Response{Status: StatusError, Value: []byte(err.Error())}
-	} else {
-		resp = p.h.Serve(req)
+		// The decode failed, so trust only the op byte for the framing
+		// choice.
+		if len(body) > 0 && Versioned(Op(body[0])) {
+			return EncodeResponseV(resp)
+		}
+		return EncodeResponse(resp)
+	}
+	resp = p.h.Serve(req)
+	if Versioned(req.Op) {
+		return EncodeResponseV(resp)
 	}
 	return EncodeResponse(resp)
 }
@@ -252,17 +265,31 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
-// KVHandler is a thread-safe in-memory key-value store handler — the
-// classic first server assignment.
+// KVHandler serves the key-value protocol as a thin adapter over a
+// store.Engine. The old single-RWMutex map is gone: the default engine
+// is the sharded, versioned store, so parallel mixed workloads scale
+// past the global-lock ceiling and a KEYS listing locks one shard at a
+// time instead of stalling every write. Legacy ops (GET/SET/SETNX/DEL/
+// KEYS) are served unchanged alongside the versioned ops
+// (SETV/GETV/DELV/MERGE/KEYSV) on the same handler.
 type KVHandler struct {
-	mu   sync.RWMutex
-	data map[string][]byte
+	eng store.Engine
 }
 
-// NewKVHandler creates an empty store.
+// NewKVHandler creates a handler over a fresh sharded engine.
 func NewKVHandler() *KVHandler {
-	return &KVHandler{data: map[string][]byte{}}
+	return NewKVHandlerOn(store.NewSharded(store.Options{}))
 }
+
+// NewKVHandlerOn creates a handler over the given engine — the
+// pluggable seam: a node can share one engine between the handler, a
+// TTL sweeper, and a transactional layer.
+func NewKVHandlerOn(eng store.Engine) *KVHandler {
+	return &KVHandler{eng: eng}
+}
+
+// Engine returns the underlying storage engine.
+func (kv *KVHandler) Engine() store.Engine { return kv.eng }
 
 // Serve implements Handler.
 func (kv *KVHandler) Serve(req Request) Response {
@@ -272,48 +299,106 @@ func (kv *KVHandler) Serve(req Request) Response {
 	case OpEcho:
 		return Response{Status: StatusOK, Value: req.Value}
 	case OpGet:
-		kv.mu.RLock()
-		v, ok := kv.data[req.Key]
-		kv.mu.RUnlock()
+		e, ok := kv.eng.Get(req.Key)
 		if !ok {
 			return Response{Status: StatusNotFound}
 		}
-		return Response{Status: StatusOK, Value: v}
+		return Response{Status: StatusOK, Value: e.Value}
 	case OpSet:
-		val := append([]byte(nil), req.Value...)
-		kv.mu.Lock()
-		kv.data[req.Key] = val
-		kv.mu.Unlock()
+		kv.eng.Set(req.Key, req.Value, 0)
 		return Response{Status: StatusOK}
 	case OpSetNX:
-		val := append([]byte(nil), req.Value...)
-		kv.mu.Lock()
-		_, exists := kv.data[req.Key]
-		if !exists {
-			kv.data[req.Key] = val
-		}
-		kv.mu.Unlock()
-		if exists {
+		if _, stored := kv.eng.SetIfAbsent(req.Key, req.Value); !stored {
 			return Response{Status: StatusExists}
 		}
 		return Response{Status: StatusOK}
 	case OpDel:
-		kv.mu.Lock()
-		_, ok := kv.data[req.Key]
-		delete(kv.data, req.Key)
-		kv.mu.Unlock()
-		if !ok {
+		if _, existed := kv.eng.Delete(req.Key); !existed {
 			return Response{Status: StatusNotFound}
 		}
 		return Response{Status: StatusOK}
 	case OpKeys:
-		kv.mu.RLock()
-		keys := make([]string, 0, len(kv.data))
-		for k := range kv.data {
-			keys = append(keys, k)
+		body, err := EncodeKeys(kv.eng.Keys())
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
 		}
-		kv.mu.RUnlock()
-		body, err := EncodeKeys(keys)
+		return Response{Status: StatusOK, Value: body}
+	case OpGetV:
+		// Get first: the dominant live-hit case costs one engine
+		// lookup, and liveness stays the engine's call (it owns the
+		// time source). A miss falls back to Load so a resident
+		// tombstone's version still reaches the reader, who needs it to
+		// order the delete against other replicas' copies; an expired
+		// entry was just lazily dropped by the Get, so it reports as
+		// plain-absent — consistent with it no longer being able to
+		// win a merge either.
+		if e, live := kv.eng.Get(req.Key); live {
+			return Response{Status: StatusOK, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+		}
+		resp := Response{Status: StatusNotFound}
+		if raw, ok := kv.eng.Load(req.Key); ok {
+			resp.Version = raw.Version
+			if raw.Tombstone {
+				resp.Flags |= FlagTombstone
+			}
+		}
+		return resp
+	case OpSetV:
+		if req.Version == 0 {
+			if req.ExpireAt == 0 {
+				return Response{Status: StatusOK, Version: kv.eng.Set(req.Key, req.Value, 0)}
+			}
+			// Server-stamped write with an expiry: stamp a fresh version
+			// and merge, so the request's absolute ExpireAt is honored
+			// exactly (Set only takes a relative TTL).
+			return kv.merge(store.Entry{Value: req.Value, Version: kv.eng.Clock().Next(), ExpireAt: req.ExpireAt}, req.Key)
+		}
+		if resp, ok := checkVersion(req.Version); !ok {
+			return resp
+		}
+		return kv.merge(store.Entry{Value: req.Value, Version: req.Version, ExpireAt: req.ExpireAt}, req.Key)
+	case OpDelV:
+		if req.Version == 0 {
+			ver, existed := kv.eng.Delete(req.Key)
+			resp := Response{Status: StatusOK, Version: ver, Flags: FlagTombstone}
+			if !existed {
+				resp.Status = StatusNotFound
+			}
+			return resp
+		}
+		if resp, ok := checkVersion(req.Version); !ok {
+			return resp
+		}
+		_, hadLive := kv.eng.Get(req.Key) // engine-judged liveness, engine's clock
+		resp := kv.merge(store.Entry{Version: req.Version, Tombstone: true}, req.Key)
+		if resp.Status == StatusOK && !hadLive {
+			// The tombstone landed but displaced nothing readable:
+			// report NotFound so a deleter can tell the two apart.
+			resp.Status = StatusNotFound
+		}
+		return resp
+	case OpMerge:
+		if req.Version == 0 {
+			return Response{Status: StatusError, Value: []byte("merge requires a version")}
+		}
+		if resp, ok := checkVersion(req.Version); !ok {
+			return resp
+		}
+		e := store.Entry{Version: req.Version}
+		if req.Flags&FlagTombstone != 0 {
+			e.Tombstone = true
+		} else {
+			e.Value = req.Value
+			e.ExpireAt = req.ExpireAt
+		}
+		return kv.merge(e, req.Key)
+	case OpKeysV:
+		var entries []KeyVersion
+		kv.eng.Range(func(k string, e store.Entry) bool {
+			entries = append(entries, KeyVersion{Key: k, Version: e.Version, Tombstone: e.Tombstone})
+			return true
+		})
+		body, err := EncodeKeysV(entries)
 		if err != nil {
 			return Response{Status: StatusError, Value: []byte(err.Error())}
 		}
@@ -323,9 +408,33 @@ func (kv *KVHandler) Serve(req Request) Response {
 	}
 }
 
-// Len reports the number of stored keys.
-func (kv *KVHandler) Len() int {
-	kv.mu.RLock()
-	defer kv.mu.RUnlock()
-	return len(kv.data)
+// checkVersion is the wire trust boundary for client-supplied
+// versions: anything claiming to be stamped more than
+// store.MaxVersionAhead in the future is rejected before it can
+// poison the engine's clock (Observe would push Next toward overflow)
+// or plant a tombstone no GC horizon ever reaps.
+func checkVersion(v uint64) (Response, bool) {
+	if v > store.VersionCeiling(time.Now()) {
+		return Response{Status: StatusError, Value: []byte("version too far in the future")}, false
+	}
+	return Response{}, true
 }
+
+// merge applies a replicated entry last-writer-wins: StatusOK when it
+// won, StatusExists when the resident entry was newer and kept — both
+// are success for a replicator, and both responses carry the winning
+// version.
+func (kv *KVHandler) merge(e store.Entry, key string) Response {
+	winner, applied := kv.eng.Merge(key, e)
+	resp := Response{Status: StatusOK, Version: winner}
+	if !applied {
+		resp.Status = StatusExists
+	}
+	if e.Tombstone {
+		resp.Flags |= FlagTombstone
+	}
+	return resp
+}
+
+// Len reports the number of live stored keys.
+func (kv *KVHandler) Len() int { return kv.eng.Len() }

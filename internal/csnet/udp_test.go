@@ -1,0 +1,117 @@
+package csnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUDPEchoRoundTrip(t *testing.T) {
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := []byte("datagram")
+	got, err := UDPEcho(addr, payload, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo = %q, want %q", got, payload)
+	}
+	// Zero timeout takes the default path.
+	if got, err := UDPEcho(addr, []byte("again"), 0); err != nil || string(got) != "again" {
+		t.Fatalf("default-timeout echo = %q %v", got, err)
+	}
+}
+
+func TestUDPEchoLargePayload(t *testing.T) {
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Well under the 64 KiB buffer but far past one MTU: loopback
+	// delivers it as a single datagram, and the echo must preserve
+	// every byte.
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	got, err := UDPEcho(addr, payload, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large payload corrupted in echo")
+	}
+}
+
+func TestUDPEchoConcurrentClients(t *testing.T) {
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("client-%d", i))
+			got, err := UDPEcho(addr, payload, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- fmt.Errorf("client %d got %q", i, got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestUDPEchoDeadServer(t *testing.T) {
+	// Bind a port and close it immediately: nothing is listening, so
+	// the round trip must fail (ICMP refusal or timeout — datagrams
+	// are best-effort, and the error is how the lab demonstrates loss).
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := UDPEcho(addr, []byte("anyone home?"), 200*time.Millisecond); err == nil {
+		t.Fatal("echo against a closed server succeeded")
+	}
+}
+
+func TestUDPEchoServerBadAddr(t *testing.T) {
+	if _, _, err := UDPEchoServer("not-an-address:xyz"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestUDPEchoServerCloseStops(t *testing.T) {
+	conn, addr, err := UDPEchoServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UDPEcho(addr, []byte("up"), time.Second); err != nil {
+		t.Fatalf("echo before close: %v", err)
+	}
+	conn.Close()
+	if _, err := UDPEcho(addr, []byte("down"), 200*time.Millisecond); err == nil {
+		t.Fatal("server still echoing after Close")
+	}
+}

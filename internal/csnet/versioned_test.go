@@ -1,0 +1,291 @@
+package csnet
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"pdcedu/internal/store"
+)
+
+func TestVersionedRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpSetV, Key: "k", Value: []byte("v"), Version: 42},
+		{Op: OpGetV, Key: "k"},
+		{Op: OpDelV, Key: "k", Version: 7},
+		{Op: OpMerge, Key: "k", Version: 9, Flags: FlagTombstone},
+		{Op: OpMerge, Key: "k", Value: []byte("payload"), Version: 1<<63 + 5},
+		{Op: OpMerge, Key: "k", Value: []byte("ttl"), Version: 11, ExpireAt: 1_700_000_000_000_000_000},
+		{Op: OpKeysV},
+	}
+	for _, want := range reqs {
+		b, err := EncodeRequest(want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || string(got.Value) != string(want.Value) ||
+			got.Version != want.Version || got.Flags != want.Flags || got.ExpireAt != want.ExpireAt {
+			t.Fatalf("roundtrip = %+v, want %+v", got, want)
+		}
+	}
+	// Legacy ops must decode to a zero trailer and reject stray bytes.
+	if b, _ := EncodeRequest(Request{Op: OpSet, Key: "k", Value: []byte("v"), Version: 99}); true {
+		got, err := DecodeRequest(b)
+		if err != nil || got.Version != 0 {
+			t.Fatalf("legacy op carried a version: %+v %v", got, err)
+		}
+	}
+	// A versioned frame with a truncated trailer is an error, not a
+	// silent zero version.
+	b, _ := EncodeRequest(Request{Op: OpSetV, Key: "k", Value: []byte("v"), Version: 42})
+	if _, err := DecodeRequest(b[:len(b)-3]); err == nil {
+		t.Fatal("truncated versioned request accepted")
+	}
+}
+
+func TestVersionedResponseRoundTrip(t *testing.T) {
+	for _, want := range []Response{
+		{Status: StatusOK, Value: []byte("v"), Version: 1234, Flags: FlagTombstone},
+		{Status: StatusOK, Value: []byte("v"), Version: 9, ExpireAt: 1_700_000_000_000_000_000},
+	} {
+		got, err := DecodeResponseV(EncodeResponseV(want))
+		if err != nil || got.Status != want.Status || string(got.Value) != "v" ||
+			got.Version != want.Version || got.Flags != want.Flags || got.ExpireAt != want.ExpireAt {
+			t.Fatalf("roundtrip = %+v %v, want %+v", got, err, want)
+		}
+	}
+	if _, err := DecodeResponseV(EncodeResponse(Response{Status: StatusOK, Value: []byte("v")})); err == nil {
+		t.Fatal("legacy response decoded as versioned")
+	}
+	if _, err := DecodeResponseV([]byte{1, 0}); err == nil {
+		t.Fatal("short versioned response accepted")
+	}
+}
+
+func TestKeysVRoundTrip(t *testing.T) {
+	want := []KeyVersion{
+		{Key: "a", Version: 1},
+		{Key: "deleted", Version: 99, Tombstone: true},
+		{Key: "", Version: 3},
+	}
+	b, err := EncodeKeysV(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeKeysV(b)
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("decode = %v %v", got, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// A hostile count must be rejected before allocation.
+	bad := append([]byte(nil), b...)
+	bad[0], bad[1], bad[2], bad[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeKeysV(bad); err == nil {
+		t.Fatal("hostile KeysV count accepted")
+	}
+}
+
+// TestVersionedOpsEndToEnd drives the versioned protocol over a real
+// server: versioned merge semantics, tombstone-aware GetV, and the
+// KeysV listing.
+func TestVersionedOpsEndToEnd(t *testing.T) {
+	kv := NewKVHandler()
+	srv := NewServer(kv, 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// SetV with an explicit version, then a stale one: must be kept out.
+	if winner, applied, err := cl.SetV("k", []byte("v2"), 200); err != nil || !applied || winner != 200 {
+		t.Fatalf("SetV(200) = %d %v %v", winner, applied, err)
+	}
+	if winner, applied, err := cl.SetV("k", []byte("v1"), 100); err != nil || applied || winner != 200 {
+		t.Fatalf("stale SetV(100) = %d %v %v, want kept 200", winner, applied, err)
+	}
+	e, ok, err := cl.GetV("k")
+	if err != nil || !ok || string(e.Value) != "v2" || e.Version != 200 {
+		t.Fatalf("GetV = %+v %v %v", e, ok, err)
+	}
+	// SetV with version 0: the server stamps one past what it has seen.
+	winner, applied, err := cl.SetV("k", []byte("v3"), 0)
+	if err != nil || !applied || winner <= 200 {
+		t.Fatalf("server-stamped SetV = %d %v %v, want version past 200", winner, applied, err)
+	}
+	// A stale tombstone loses; a newer one deletes — and GetV reports
+	// the tombstone's version on the miss.
+	if _, applied, err := cl.Merge("k", store.Entry{Version: 150, Tombstone: true}); err != nil || applied {
+		t.Fatalf("stale tombstone merge applied: %v %v", applied, err)
+	}
+	delVer := winner + 100
+	if _, applied, err := cl.DelV("k", delVer); err != nil || !applied {
+		t.Fatalf("DelV = %v %v", applied, err)
+	}
+	e, ok, err = cl.GetV("k")
+	if err != nil || ok || !e.Tombstone || e.Version != delVer {
+		t.Fatalf("GetV after DelV = %+v %v %v, want tombstone@%d", e, ok, err, delVer)
+	}
+	// Merge resurrects with a newer value.
+	if _, applied, err := cl.Merge("k", store.Entry{Value: []byte("back"), Version: delVer + 1}); err != nil || !applied {
+		t.Fatalf("resurrecting merge = %v %v", applied, err)
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "back" {
+		t.Fatalf("legacy Get after merge = %q %v %v", v, ok, err)
+	}
+	// KeysV sees tombstones; Keys does not.
+	cl.SetV("dead", []byte("x"), 10)
+	cl.DelV("dead", 20)
+	listing, err := cl.KeysV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]KeyVersion{}
+	for _, kvn := range listing {
+		byKey[kvn.Key] = kvn
+	}
+	if !byKey["dead"].Tombstone || byKey["dead"].Version != 20 {
+		t.Fatalf("KeysV lost the tombstone: %+v", byKey["dead"])
+	}
+	keys, err := cl.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if len(keys) != 1 || keys[0] != "k" {
+		t.Fatalf("Keys = %v, want [k]", keys)
+	}
+	// Merge without a version is a protocol error.
+	if _, _, err := cl.Merge("k", store.Entry{Value: []byte("x")}); err == nil {
+		t.Fatal("version-0 merge accepted")
+	}
+	// A version claiming to be from the far future is rejected at the
+	// trust boundary before it can poison the server's clock or plant
+	// an unGCable tombstone — for every versioned write op.
+	for _, hostile := range []uint64{^uint64(0), store.VersionCeiling(time.Now().Add(time.Hour))} {
+		if _, _, err := cl.Merge("k", store.Entry{Value: []byte("x"), Version: hostile}); err == nil {
+			t.Fatalf("far-future merge version %d accepted", hostile)
+		}
+		if _, _, err := cl.SetV("k", []byte("x"), hostile); err == nil {
+			t.Fatalf("far-future setv version %d accepted", hostile)
+		}
+		if _, _, err := cl.DelV("k", hostile); err == nil {
+			t.Fatalf("far-future delv version %d accepted", hostile)
+		}
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "back" {
+		t.Fatalf("value damaged by rejected hostile versions: %q %v %v", v, ok, err)
+	}
+}
+
+// TestVersionedTTLReplication pins the expiry wire carriage: a TTL'd
+// entry read via GetV and merged onto another server stays mortal —
+// same ExpireAt, not an immortal copy.
+func TestVersionedTTLReplication(t *testing.T) {
+	var kvs [2]*KVHandler
+	var cls [2]*Client
+	for i := range kvs {
+		kvs[i] = NewKVHandler()
+		srv := NewServer(kvs[i], 16)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown()
+		cls[i], err = Dial(addr, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cls[i].Close()
+	}
+	// A server-stamped versioned write (Version 0) honors the
+	// request's absolute expiry too.
+	resp, err := cls[0].Send(Request{
+		Op: OpSetV, Key: "session", Value: []byte("token"),
+		ExpireAt: time.Now().Add(time.Hour).UnixNano(),
+	}).ResponseV()
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("server-stamped SetV with expiry = %+v %v", resp, err)
+	}
+	if got, ok := kvs[0].Engine().Load("session"); !ok || got.ExpireAt == 0 {
+		t.Fatalf("server-stamped SetV dropped the expiry: %+v %v", got, ok)
+	}
+	e, ok, err := cls[0].GetV("session")
+	if err != nil || !ok || e.ExpireAt == 0 {
+		t.Fatalf("GetV of TTL'd entry = %+v %v %v, want expiry on the wire", e, ok, err)
+	}
+	if _, applied, err := cls[1].Merge("session", e); err != nil || !applied {
+		t.Fatalf("merge to second server = %v %v", applied, err)
+	}
+	got, ok := kvs[1].Engine().Load("session")
+	if !ok || got.ExpireAt != e.ExpireAt || got.Version != e.Version {
+		t.Fatalf("replicated entry = %+v %v, want same expiry %d and version %d", got, ok, e.ExpireAt, e.Version)
+	}
+}
+
+// TestVersionedLegacyInterop pins the same-port guarantee: one
+// connection freely mixes legacy and versioned ops against one store —
+// a legacy SET is visible to GETV with a real version, a SETV is
+// visible to legacy GET, and a legacy client (Set/Get/SetNX/Del/Keys)
+// never sees a trailer it cannot parse.
+func TestVersionedLegacyInterop(t *testing.T) {
+	srv := NewServer(NewKVHandler(), 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Set("legacy", []byte("old-school")); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := cl.GetV("legacy")
+	if err != nil || !ok || string(e.Value) != "old-school" || e.Version == 0 {
+		t.Fatalf("GetV of legacy write = %+v %v %v, want value with a stamped version", e, ok, err)
+	}
+	if _, _, err := cl.SetV("versioned", []byte("new-school"), e.Version+1); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get("versioned"); err != nil || !ok || string(v) != "new-school" {
+		t.Fatalf("legacy Get of versioned write = %q %v %v", v, ok, err)
+	}
+	// Legacy delete tombstones under the hood but keeps its contract.
+	if ok, err := cl.Del("legacy"); err != nil || !ok {
+		t.Fatalf("legacy Del = %v %v", ok, err)
+	}
+	if ok, err := cl.Del("legacy"); err != nil || ok {
+		t.Fatalf("second legacy Del = %v %v, want false", ok, err)
+	}
+	if stored, err := cl.SetNX("versioned", []byte("nope")); err != nil || stored {
+		t.Fatalf("SetNX over live key = %v %v", stored, err)
+	}
+	if stored, err := cl.SetNX("legacy", []byte("revived")); err != nil || !stored {
+		t.Fatalf("SetNX over tombstone = %v %v, want stored", stored, err)
+	}
+	keys, err := cl.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if len(keys) != 2 || keys[0] != "legacy" || keys[1] != "versioned" {
+		t.Fatalf("Keys = %v, want [legacy versioned]", keys)
+	}
+}

@@ -4,10 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pdcedu/internal/csnet"
+	"pdcedu/internal/store"
 )
 
 // ClusterConfig configures a Cluster.
@@ -47,16 +47,26 @@ type ClusterConfig struct {
 // costs one pipelined burst per backend instead of 100 lock-step round
 // trips.
 //
+// Versioning: every write is stamped by the cluster's hybrid logical
+// clock and applied on each replica with last-writer-wins merge
+// (csnet.OpSetV/OpDelV/OpMerge over a versioned store.Engine), so no
+// replay path — read-repair, hinted handoff, the rebalancer — can ever
+// overwrite a newer value with an older one, regardless of delivery
+// order. Deletes are tombstones and propagate through the same merge,
+// which is what lets the rebalancer converge a rejoined replica
+// correctly even when its hints were dropped.
+//
 // Fault tolerance: Watch subscribes the cluster to a member.Memberlist
 // so dead backends are evicted from the ring (their keys reroute to the
 // next live nodes) and recovered ones are readmitted. Writes that fail
-// on an unreachable replica are queued as hints and replayed when the
-// replica rejoins; a background rebalancer streams keys to their
+// on an unreachable replica are queued as hints (latest version per
+// key) and replayed when the replica rejoins; a background rebalancer
+// streams entries — missing or stale, values or tombstones — to their
 // current owners after every ring change. See MarkDown, MarkUp,
 // Rebalance, and PartialWriteError.
 type Cluster struct {
 	ring     *ConsistentHash // live placement: down backends removed
-	full     *ConsistentHash // full geometry: hint placement for down backends
+	clock    *store.Clock    // stamps write versions, observes read versions
 	balancer Balancer
 	rf       int
 	quorum   int
@@ -65,7 +75,6 @@ type Cluster struct {
 
 	mu        sync.Mutex
 	down      []bool
-	downCount atomic.Int32           // fast-path gate for hint placement
 	hints     []map[string]hintEntry // per-backend pending hinted operations
 	hintDrops uint64
 
@@ -102,7 +111,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{
 		ring:          NewConsistentHash(n, cfg.Vnodes),
-		full:          NewConsistentHash(n, cfg.Vnodes),
+		clock:         store.NewClock(),
 		balancer:      cfg.Balancer,
 		rf:            rf,
 		quorum:        quorum,
@@ -152,22 +161,27 @@ func (c *Cluster) quorumFor(n int) int {
 	return q
 }
 
-// Set writes key to every live replica synchronously: the sends are
-// pipelined onto each replica's multiplexed connection and then
-// collected, so latency stays near one round-trip regardless of the
-// replication factor — no per-call goroutine fan-out. It succeeds once
-// a quorum of the live replica set acknowledges; replicas that were
-// unreachable get the write queued as a hint, replayed when they
+// Set writes key to every live replica synchronously: the coordinator
+// stamps one clock version, the sends are pipelined onto each
+// replica's multiplexed connection as versioned merges (OpSetV) and
+// then collected, so latency stays near one round-trip regardless of
+// the replication factor — no per-call goroutine fan-out. Every
+// replica converges on the same (value, version); concurrent Sets of
+// the same key from any number of coordinators resolve last-writer-
+// wins by version on every replica identically, so replicas can no
+// longer end up disagreeing about a race. It succeeds once a quorum of
+// the live replica set acknowledges (a replica reporting it already
+// holds something newer counts — the state there is newer than this
+// write, which is durable enough); replicas that were unreachable get
+// the write queued as a version-stamped hint, replayed when they
 // rejoin. Below quorum it returns a *PartialWriteError naming the
-// replicas that did acknowledge. Concurrent Sets of the same key race
-// without versioning: callers that update one key from several writers
-// should serialize those writers (the backends apply whichever write
-// arrives last, independently per replica).
+// replicas that did acknowledge.
 func (c *Cluster) Set(key string, value []byte) error {
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return fmt.Errorf("dist: cluster set %q: no live backends", key)
 	}
+	ver := c.clock.Next()
 	type sent struct {
 		call    *csnet.Call
 		backend int
@@ -182,31 +196,34 @@ func (c *Cluster) Set(key string, value []byte) error {
 		}
 		causes[b] = err
 		if hint {
-			c.hint(b, key, hintEntry{val: value})
+			c.hint(b, key, hintEntry{val: value, ver: ver})
 			hinted = append(hinted, b)
 		}
 	}
-	c.hintDownMembers(key, value, false)
 	for _, b := range set {
 		cl, err := c.pools[b].get()
 		if err != nil {
 			fail(b, err, true)
 			continue
 		}
-		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: value}), b})
+		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver}), b})
 	}
 	for _, s := range calls {
-		resp, err := s.call.Response()
+		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			// Transport failure: the backend is unreachable or dying, so
 			// the write is worth replaying when it returns.
 			fail(s.backend, err, true)
-		case resp.Status != csnet.StatusOK:
+		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
 			// The backend is alive and rejected the write; a replay
 			// would be rejected again, so no hint.
 			fail(s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
 		default:
+			// Observe the winner: a StatusExists reply carries the newer
+			// resident version, and a coordinator whose wall clock lags
+			// must advance past it or its next write loses too.
+			c.clock.Observe(resp.Version)
 			acked = append(acked, s.backend)
 		}
 	}
@@ -232,11 +249,15 @@ func (c *Cluster) readPick(key string, n int) (first int, release func()) {
 	return ((pick % n) + n) % n, func() { c.balancer.Done(pick) }
 }
 
-// Get reads key from its replica set. The Balancer picks the replica to
-// try first; on a miss the remaining replicas are consulted, and when a
-// later replica has the value, read-repair writes it back to every
-// replica that missed. A (nil, false, nil) return means no replica has
-// the key.
+// Get reads key from its replica set with versioned reads (OpGetV).
+// The Balancer picks the replica to try first; on a miss the remaining
+// replicas are consulted, and when a later replica has the value,
+// read-repair merges it back to every replica that missed. A replica
+// that misses because it holds a tombstone reports the tombstone's
+// version: if that tombstone is newer than the value another replica
+// returns, the key is deleted — Get reports a miss and propagates the
+// tombstone to the stale holder instead of resurrecting the value. A
+// (nil, false, nil) return means no replica has a live copy.
 func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	set := c.replicaSet(key)
 	if len(set) == 0 {
@@ -245,6 +266,7 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	first, release := c.readPick(key, len(set))
 	defer release()
 	var missed []int
+	var tombVer uint64 // newest tombstone seen across misses
 	var lastErr error
 	for i := 0; i < len(set); i++ {
 		b := set[(first+i)%len(set)]
@@ -253,16 +275,35 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 			lastErr = err
 			continue
 		}
-		v, found, err := cl.Get(key)
+		e, found, err := cl.GetV(key)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		if found {
-			c.readRepair(key, v, missed)
-			return v, true, nil
+		// Observe every version seen — misses included: a tombstone (or
+		// expired copy) this coordinator has read must order below its
+		// next write, or a Set issued after reading the delete could
+		// stamp under the tombstone and lose everywhere while
+		// reporting success.
+		c.clock.Observe(e.Version)
+		if !found {
+			if e.Tombstone && e.Version > tombVer {
+				tombVer = e.Version
+			}
+			missed = append(missed, b)
+			continue
 		}
-		missed = append(missed, b)
+		// A tie goes to the tombstone, matching Entry.Wins: replicas
+		// converge to deleted on equal versions, so the read must too.
+		if tombVer >= e.Version {
+			// A replica consulted earlier holds a newer delete: the
+			// value is stale, not the miss. Push the tombstone at the
+			// stale holder and report the key gone.
+			c.readRepair(key, store.Entry{Version: tombVer, Tombstone: true}, []int{b})
+			return nil, false, nil
+		}
+		c.readRepair(key, e, missed)
+		return e.Value, true, nil
 	}
 	if lastErr != nil {
 		return nil, false, fmt.Errorf("dist: cluster get %q: %w", key, lastErr)
@@ -270,69 +311,79 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	return nil, false, nil
 }
 
-// readRepair backfills value onto replicas that returned a miss, as one
-// pipelined burst. The backfill is set-if-absent so a repair can only
-// fill a hole, never overwrite a newer write that landed between the
-// miss and the repair; failures are ignored (the next read retries the
-// repair).
-func (c *Cluster) readRepair(key string, value []byte, missed []int) {
+// readRepair merges an entry onto replicas that returned a miss (or a
+// stale copy), as one pipelined burst. The merge is version-aware: it
+// fills holes and fixes stale copies but can never overwrite a newer
+// write that landed between the miss and the repair — the engine keeps
+// the newer version and answers StatusExists. Failures are ignored
+// (the next read retries the repair).
+func (c *Cluster) readRepair(key string, e store.Entry, missed []int) {
 	calls := make([]*csnet.Call, 0, len(missed))
 	for _, b := range missed {
 		cl, err := c.pools[b].get()
 		if err != nil {
 			continue
 		}
-		calls = append(calls, cl.Send(csnet.Request{Op: csnet.OpSetNX, Key: key, Value: value}))
+		req := csnet.Request{Op: csnet.OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+		if e.Tombstone {
+			req.Flags |= csnet.FlagTombstone
+			req.Value = nil
+			req.ExpireAt = 0
+		}
+		calls = append(calls, cl.Send(req))
 	}
 	for _, call := range calls {
-		_, _ = call.Response()
+		_, _ = call.ResponseV()
 	}
 }
 
-// Del removes key from every live replica, fanning the deletes out as
-// pipelined async sends collected together (parallel across replicas,
-// like Set); ok reports whether any replica had it. Down members of the
-// key's full replica set get a delete hint, so the deletion reaches
-// them at rejoin instead of their stale copy resurrecting the key.
+// Del removes key from every live replica by writing a version-stamped
+// tombstone (OpDelV), fanning the deletes out as pipelined async sends
+// collected together (parallel across replicas, like Set); ok reports
+// whether any replica had a live copy. The tombstone is what makes the
+// delete durable against recovery: a replica that missed it converges
+// through hint replay or the rebalancer's tombstone streaming, and a
+// stale copy can never win the merge against it.
 func (c *Cluster) Del(key string) (ok bool, err error) {
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return false, fmt.Errorf("dist: cluster del %q: no live backends", key)
 	}
-	c.hintDownMembers(key, nil, true)
+	ver := c.clock.Next()
 	calls := make([]*csnet.Call, len(set))
 	var firstErr error
 	for i, b := range set {
 		cl, cerr := c.pools[b].get()
 		if cerr != nil {
-			c.hint(b, key, hintEntry{del: true})
+			c.hint(b, key, hintEntry{del: true, ver: ver})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, cerr)
 			}
 			continue
 		}
-		calls[i] = cl.Send(csnet.Request{Op: csnet.OpDel, Key: key})
+		calls[i] = cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: ver})
 	}
 	for i, call := range calls {
 		if call == nil {
 			continue
 		}
-		resp, cerr := call.Response()
+		resp, cerr := call.ResponseV()
 		if cerr != nil {
 			// Transport failure: the replica may still hold the key, so
 			// the deletion must replay when it returns.
-			c.hint(set[i], key, hintEntry{del: true})
+			c.hint(set[i], key, hintEntry{del: true, ver: ver})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, set[i], cerr)
 			}
 			continue
 		}
-		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound {
+		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: status %s: %s", key, set[i], resp.Status, resp.Value)
 			}
 			continue
 		}
+		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 		ok = ok || resp.Status == csnet.StatusOK
 	}
 	return ok, firstErr
@@ -384,20 +435,21 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 	acked := make([][]int, len(keys))
 	hinted := make([][]int, len(keys))
 	causes := make([]map[int]error, len(keys))
+	vers := make([]uint64, len(keys))
 	fail := func(i, b int, err error, hint bool) {
 		if causes[i] == nil {
 			causes[i] = map[int]error{}
 		}
 		causes[i][b] = err
 		if hint {
-			c.hint(b, keys[i], hintEntry{val: values[i]})
+			c.hint(b, keys[i], hintEntry{val: values[i], ver: vers[i]})
 			hinted[i] = append(hinted[i], b)
 		}
 	}
 	calls := make([]sent, 0, len(keys)*c.rf)
 	for i, key := range keys {
 		sets[i] = c.replicaSet(key)
-		c.hintDownMembers(key, values[i], false)
+		vers[i] = c.clock.Next()
 		for _, b := range sets[i] {
 			cl, err := bc.get(b)
 			if err != nil {
@@ -405,20 +457,21 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 				continue
 			}
 			calls = append(calls, sent{
-				call:    cl.Send(csnet.Request{Op: csnet.OpSet, Key: key, Value: values[i]}),
+				call:    cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: values[i], Version: vers[i]}),
 				key:     i,
 				backend: b,
 			})
 		}
 	}
 	for _, s := range calls {
-		resp, err := s.call.Response()
+		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			fail(s.key, s.backend, err, true)
-		case resp.Status != csnet.StatusOK:
+		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
 			fail(s.key, s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
 		default:
+			c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 			acked[s.key] = append(acked[s.key], s.backend)
 		}
 	}
@@ -476,21 +529,26 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 			retry = append(retry, i)
 			continue
 		}
-		calls = append(calls, sent{call: cl.Send(csnet.Request{Op: csnet.OpGet, Key: key}), key: i})
+		calls = append(calls, sent{call: cl.Send(csnet.Request{Op: csnet.OpGetV, Key: key}), key: i})
 	}
 	var firstErr error
 	for _, s := range calls {
-		resp, err := s.call.Response()
+		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			retry = append(retry, s.key)
 		case resp.Status == csnet.StatusOK:
+			c.clock.Observe(resp.Version)
 			found[keys[s.key]] = resp.Value
 		case resp.Status == csnet.StatusNotFound && c.rf > 1:
-			// Another replica may still hold it (and want repair).
+			// Another replica may still hold it (and want repair) — or
+			// hold a copy staler than a tombstone seen here; the Get
+			// fallback resolves both by version.
+			c.clock.Observe(resp.Version) // a tombstone's version still orders our next write
 			retry = append(retry, s.key)
 		case resp.Status == csnet.StatusNotFound:
 			// rf == 1: a miss on the only replica is a definitive miss.
+			c.clock.Observe(resp.Version)
 		default:
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mget %q: status %s: %s", keys[s.key], resp.Status, resp.Value)
@@ -512,10 +570,10 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 	return found, firstErr
 }
 
-// MDel removes many keys from their live replica sets, one pipelined
-// batch per backend, queuing delete hints for down members of each
-// key's full replica set (see Del). It returns how many keys existed on
-// at least one replica.
+// MDel removes many keys from their live replica sets with version-
+// stamped tombstones, one pipelined batch per backend, queuing delete
+// hints for replicas that were unreachable (see Del). It returns how
+// many keys existed on at least one replica.
 func (c *Cluster) MDel(keys []string) (int, error) {
 	bc := c.newBatchClients()
 	type sent struct {
@@ -524,20 +582,21 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 		backend int
 	}
 	calls := make([]sent, 0, len(keys)*c.rf)
+	vers := make([]uint64, len(keys))
 	var firstErr error
 	for i, key := range keys {
-		c.hintDownMembers(key, nil, true)
+		vers[i] = c.clock.Next()
 		for _, b := range c.replicaSet(key) {
 			cl, err := bc.get(b)
 			if err != nil {
-				c.hint(b, key, hintEntry{del: true})
+				c.hint(b, key, hintEntry{del: true, ver: vers[i]})
 				if firstErr == nil {
 					firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", key, b, err)
 				}
 				continue
 			}
 			calls = append(calls, sent{
-				call:    cl.Send(csnet.Request{Op: csnet.OpDel, Key: key}),
+				call:    cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: vers[i]}),
 				key:     i,
 				backend: b,
 			})
@@ -545,20 +604,21 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	}
 	existed := make([]bool, len(keys))
 	for _, s := range calls {
-		resp, err := s.call.Response()
+		resp, err := s.call.ResponseV()
 		if err != nil {
-			c.hint(s.backend, keys[s.key], hintEntry{del: true})
+			c.hint(s.backend, keys[s.key], hintEntry{del: true, ver: vers[s.key]})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, err)
 			}
 			continue
 		}
-		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound {
+		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: status %s: %s", keys[s.key], s.backend, resp.Status, resp.Value)
 			}
 			continue
 		}
+		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 		if resp.Status == csnet.StatusOK {
 			existed[s.key] = true
 		}

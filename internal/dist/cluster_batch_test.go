@@ -111,7 +111,7 @@ func TestClusterMGetFallbackRepair(t *testing.T) {
 		t.Fatal(err)
 	}
 	primary := NewConsistentHash(3, 0).Pick("grade") // balancer-less first choice
-	handlers[primary].Serve(csnet.Request{Op: csnet.OpDel, Key: "grade"})
+	handlers[primary].Engine().Purge("grade")        // simulated data loss, not a delete
 	got, err := c.MGet([]string{"grade", "missing"})
 	if err != nil {
 		t.Fatal(err)

@@ -144,10 +144,12 @@ func TestClusterReadRepair(t *testing.T) {
 		}
 	}
 	// Damage the ring primary — the replica a balancer-less Get tries
-	// first — directly on its backend, so the Get below must miss there,
-	// fall through to the next replica, and repair the hole.
+	// first — by purging the entry outright (simulated data loss; a
+	// protocol Del would be a legitimate newer delete and tombstone the
+	// key cluster-wide), so the Get below must miss there, fall through
+	// to the next replica, and repair the hole.
 	primary := NewConsistentHash(3, 0).Pick("grade") // same ring as the cluster default
-	handlers[primary].Serve(csnet.Request{Op: csnet.OpDel, Key: "grade"})
+	handlers[primary].Engine().Purge("grade")
 	if handlers[primary].Len() != 0 {
 		t.Fatal("failed to damage primary")
 	}

@@ -186,7 +186,8 @@ func TestMemberChurnEndToEnd(t *testing.T) {
 	}
 
 	// Converge deterministically (the background rebalance also runs;
-	// Rebalance passes are serialized and SetNX is idempotent), then
+	// Rebalance passes are serialized and version-aware merge is
+	// idempotent), then
 	// check full replication: every key present on every member of its
 	// replica set, computed on a shadow ring with identical geometry.
 	if _, err := c.Rebalance(); err != nil {
@@ -415,11 +416,15 @@ func TestMemberRebalance(t *testing.T) {
 	}
 }
 
-// TestMemberHintCurrentAcrossOutage pins the stale-replay fix: a hint
-// captured before eviction must be superseded by writes issued while
-// the backend is evicted (out of the live ring), so rejoin replays the
-// cluster-latest value, never an older one.
-func TestMemberHintCurrentAcrossOutage(t *testing.T) {
+// TestMemberStaleHintAcrossOutage pins the versioned replacement for
+// the old "second ring" machinery: a hint captured before eviction is
+// stale by the time the node rejoins (a newer write landed while it
+// was out of the live ring and therefore queued no hint), and the node
+// must still converge to the newest value — the stale hint merges and
+// is then overwritten by the version-aware rebalancer, or loses the
+// merge outright if the rebalancer got there first. Either order
+// works, which is the whole point.
+func TestMemberStaleHintAcrossOutage(t *testing.T) {
 	kvs := [2]*csnet.KVHandler{csnet.NewKVHandler(), csnet.NewKVHandler()}
 	srvs := [2]*csnet.Server{}
 	addrs := make([]string, 2)
@@ -445,16 +450,19 @@ func TestMemberHintCurrentAcrossOutage(t *testing.T) {
 	if err := c.Set("k", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
+	if got := c.Hints(1); got != 1 {
+		t.Fatalf("Hints(1) = %d, want 1", got)
+	}
 	// ...the node is evicted, and a newer write arrives while it is out
-	// of the live ring entirely.
+	// of the live ring entirely — no hint for it anymore; the
+	// rebalancer owns that convergence now.
 	c.MarkDown(1)
 	if err := c.Set("k", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Hints(1); got != 1 {
-		t.Fatalf("Hints(1) = %d, want 1 (v2 must supersede v1)", got)
-	}
 
+	// The node restarts empty; rejoin replays the stale v1 hint, then
+	// the rebalance pass streams v2 over it by version.
 	kvs[1] = csnet.NewKVHandler()
 	srvs[1] = csnet.NewServer(kvs[1], 16)
 	if _, err := srvs[1].Start(addrs[1]); err != nil {
@@ -462,17 +470,22 @@ func TestMemberHintCurrentAcrossOutage(t *testing.T) {
 	}
 	defer srvs[1].Shutdown()
 	c.MarkUp(1)
+	if _, err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
 	resp := kvs[1].Serve(csnet.Request{Op: csnet.OpGet, Key: "k"})
 	if resp.Status != csnet.StatusOK || string(resp.Value) != "v2" {
-		t.Fatalf("replayed value = %s %q, want OK \"v2\" (not the stale v1)", resp.Status, resp.Value)
+		t.Fatalf("converged value = %s %q, want OK \"v2\" (not the stale v1)", resp.Status, resp.Value)
 	}
 }
 
-// TestMemberDeleteHints pins the resurrection fix: deleting a key while
-// a replica is down queues a delete hint, so at rejoin the replica's
-// stale copy is removed instead of the rebalancer re-seeding the
-// cluster from it.
-func TestMemberDeleteHints(t *testing.T) {
+// TestMemberDeleteTombstonePropagation pins the resurrection fix in
+// its versioned form: a key deleted while a replica is out of the ring
+// leaves a tombstone on the live replicas, and the rebalancer streams
+// that tombstone to the rejoined replica's stale copy — no delete hint
+// required (the evicted node gets none anymore) and no window where a
+// dropped hint lets the stale copy re-seed the cluster.
+func TestMemberDeleteTombstonePropagation(t *testing.T) {
 	kvs := [2]*csnet.KVHandler{csnet.NewKVHandler(), csnet.NewKVHandler()}
 	srvs := [2]*csnet.Server{}
 	addrs := make([]string, 2)
@@ -502,23 +515,23 @@ func TestMemberDeleteHints(t *testing.T) {
 	if ok, err := c.Del("gone"); err != nil || !ok {
 		t.Fatalf("Del = %v %v, want true nil", ok, err)
 	}
-	if got := c.Hints(1); got != 1 {
-		t.Fatalf("Hints(1) = %d after Del, want 1 delete hint", got)
-	}
 
 	c.MarkUp(1)
+	if _, err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
 	if resp := kvs[1].Serve(csnet.Request{Op: csnet.OpGet, Key: "gone"}); resp.Status != csnet.StatusNotFound {
 		t.Fatalf("stale copy survived rejoin: %s %q", resp.Status, resp.Value)
 	}
-	// The rebalancer finds nothing to resurrect.
+	if _, ok, err := c.Get("gone"); err != nil || ok {
+		t.Fatalf("deleted key resurrected: ok=%v err=%v", ok, err)
+	}
+	// A second pass finds everything converged: nothing to stream.
 	copied, err := c.Rebalance()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if copied != 0 {
-		t.Errorf("rebalance copied %d values after a clean delete, want 0", copied)
-	}
-	if _, ok, err := c.Get("gone"); err != nil || ok {
-		t.Fatalf("deleted key resurrected: ok=%v err=%v", ok, err)
+		t.Errorf("steady-state rebalance streamed %d entries, want 0", copied)
 	}
 }

@@ -62,26 +62,39 @@ func (e *PartialWriteError) Error() string {
 // maxHintsPerNode caps each down backend's hint queue: past it, new
 // hints for keys not already queued are dropped (counted by HintDrops)
 // and the rebalancer is left to converge the backend when it returns.
+// With version-aware merge a dropped hint costs only convergence
+// latency, never correctness: the rebalancer streams the newer entry
+// (or tombstone) to the rejoined backend, and a stale copy cannot win.
 const maxHintsPerNode = 8192
 
-// hintEntry is one queued write awaiting replay: the latest value the
-// absent backend missed, or (del) the fact that the key was deleted —
-// without delete hints a recovering backend's stale copy would
-// resurrect a deleted key through the rebalancer.
+// hintEntry is one queued write awaiting replay: the newest value (or
+// tombstone) the unreachable backend missed, carrying the version the
+// coordinator stamped so the replay merges exactly as the original
+// write would have. The full-geometry "second ring" that used to keep
+// hints current across a whole outage is gone — a stale hint now loses
+// its merge by version instead of needing to be prevented, and the
+// version-aware rebalancer converges whatever the hints missed.
 type hintEntry struct {
 	val []byte
+	ver uint64
 	del bool
 }
 
-// hintLocked queues e for backend b under key, superseding any queued
-// hint for the same key — only the latest operation is worth replaying.
-// Caller holds c.mu.
+// hintLocked queues e for backend b under key, superseding a queued
+// hint for the same key only when e is at least as new — the queue
+// holds the newest missed operation per key and can never be
+// downgraded by an older write's failure arriving late. Caller holds
+// c.mu.
 func (c *Cluster) hintLocked(b int, key string, e hintEntry) {
 	if c.hints[b] == nil {
 		c.hints[b] = map[string]hintEntry{}
 	}
-	if _, queued := c.hints[b][key]; !queued && len(c.hints[b]) >= maxHintsPerNode {
+	cur, queued := c.hints[b][key]
+	if !queued && len(c.hints[b]) >= maxHintsPerNode {
 		c.hintDrops++
+		return
+	}
+	if queued && cur.ver > e.ver {
 		return
 	}
 	c.hints[b][key] = e
@@ -95,7 +108,8 @@ func (c *Cluster) hint(b int, key string, e hintEntry) {
 }
 
 // hintIfAbsent requeues a hint that failed to replay, unless a newer
-// hint for the key was queued in the meantime.
+// hint for the key was queued in the meantime (hintLocked's version
+// guard makes requeueing an older one a no-op anyway).
 func (c *Cluster) hintIfAbsent(b int, key string, e hintEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -103,29 +117,6 @@ func (c *Cluster) hintIfAbsent(b int, key string, e hintEntry) {
 		return
 	}
 	c.hintLocked(b, key, e)
-}
-
-// hintDownMembers queues key's operation for the down members of its
-// full-geometry replica set — the backends that would hold it if every
-// node were live. This is what keeps hints current for the *whole*
-// outage, not just the pre-eviction window: once a node is evicted it
-// leaves the live ring and stops appearing in write fan-outs, so
-// without this the value a pre-eviction hint captured could be replayed
-// over newer writes at rejoin. The down check and the queue insert
-// share one critical section so a hint can never be queued after
-// MarkUp's final drain observed the backend as up.
-func (c *Cluster) hintDownMembers(key string, value []byte, del bool) {
-	if c.downCount.Load() == 0 {
-		return // healthy cluster: keep the write hot path lock-free here
-	}
-	fullSet := c.full.PickN(key, c.rf)
-	c.mu.Lock()
-	for _, b := range fullSet {
-		if c.down[b] {
-			c.hintLocked(b, key, hintEntry{val: value, del: del})
-		}
-	}
-	c.mu.Unlock()
 }
 
 // Hints reports how many hinted writes are queued for backend b.
@@ -143,12 +134,12 @@ func (c *Cluster) HintDrops() uint64 {
 }
 
 // replayHints delivers backend b's queued hints as one pipelined burst
-// — plain Sets for writes, Dels for deletions (a Del of a key the
-// backend never had answers NotFound, which is success) — and returns
-// how many landed. Hints that fail to deliver are requeued (unless a
-// newer hint for the key arrived meanwhile). The bulk replay happens
-// while b is still out of the placement ring, so no concurrent write
-// races the replayed values.
+// of version-aware merges (values and tombstones alike) and returns
+// how many landed. A replay that finds the backend already newer
+// (StatusExists) is success — the hint is obsolete, exactly the stale
+// replay that used to need careful ordering and now simply loses.
+// Hints that fail on transport are requeued (unless a newer hint for
+// the key arrived meanwhile).
 func (c *Cluster) replayHints(b int) int {
 	c.mu.Lock()
 	pending := c.hints[b]
@@ -166,21 +157,22 @@ func (c *Cluster) replayHints(b int) int {
 	}
 	calls := make(map[string]*csnet.Call, len(pending))
 	for k, e := range pending {
+		req := csnet.Request{Op: csnet.OpMerge, Key: k, Value: e.val, Version: e.ver}
 		if e.del {
-			calls[k] = cl.Send(csnet.Request{Op: csnet.OpDel, Key: k})
-		} else {
-			calls[k] = cl.Send(csnet.Request{Op: csnet.OpSet, Key: k, Value: e.val})
+			req.Flags |= csnet.FlagTombstone
+			req.Value = nil
 		}
+		calls[k] = cl.Send(req)
 	}
 	delivered := 0
 	for k, call := range calls {
-		resp, err := call.Response()
-		ok := err == nil && (resp.Status == csnet.StatusOK ||
-			(pending[k].del && resp.Status == csnet.StatusNotFound))
+		resp, err := call.ResponseV()
+		ok := err == nil && (resp.Status == csnet.StatusOK || resp.Status == csnet.StatusExists)
 		if !ok {
 			c.hintIfAbsent(b, k, pending[k])
 			continue
 		}
+		c.clock.Observe(resp.Version) // an Exists reply carries the newer resident version
 		delivered++
 	}
 	return delivered
@@ -202,21 +194,33 @@ func (c *Cluster) MarkDown(b int) bool {
 		return false
 	}
 	c.down[b] = true
-	c.downCount.Add(1)
 	c.mu.Unlock()
 	c.ring.RemoveNode(b)
 	c.kickRebalance()
 	return true
 }
 
-// MarkUp readmits backend b after it recovers. Queued hints are
-// replayed first, while b is still outside the ring and therefore
-// receives no new writes that the replay could overwrite; then the ring
-// restores b's virtual nodes to exactly their old positions, hint
-// queueing for b stops, and one final drain delivers hints that raced
-// the transition. A rebalance is scheduled to stream keys only the
-// stand-in replicas hold back to b. It reports whether the backend
-// transitioned.
+// MarkUp readmits backend b after it recovers: queued hints are
+// replayed (bulk first, then a final drain for hints that raced the
+// flag flip), the ring restores b's virtual nodes to exactly their old
+// positions, and a background rebalance is scheduled to stream
+// everything the hints missed — values written and keys deleted during
+// the outage — over b's stale copies. None of the replay ordering is
+// correctness-critical anymore: every path is a version-aware merge,
+// so a stale hint racing a rebalanced copy just loses by version; the
+// bulk-replay-before-restore order survives only because it gets data
+// onto b before reads route to it.
+//
+// Known window: between RestoreNode and the rebalance pass finishing,
+// a read served by b can still see a pre-outage copy (a value since
+// overwritten, or a key since deleted). The converge is deliberately
+// asynchronous — a Memberlist Watch delivers events on one goroutine,
+// and stalling it on a full rebalance would delay or drop later
+// Dead/Alive transitions, which is worse than a brief stale window.
+// Callers that need a converged cluster at a known point (tests,
+// operators) call Rebalance directly; closing the window for ordinary
+// reads is the ROADMAP "quorum reads" item. It reports whether the
+// backend transitioned.
 func (c *Cluster) MarkUp(b int) bool {
 	if b < 0 || b >= len(c.pools) {
 		return false
@@ -231,7 +235,6 @@ func (c *Cluster) MarkUp(b int) bool {
 	c.ring.RestoreNode(b)
 	c.mu.Lock()
 	c.down[b] = false
-	c.downCount.Add(-1)
 	c.mu.Unlock()
 	c.replayHints(b)
 	c.kickRebalance()
@@ -308,22 +311,26 @@ func (c *Cluster) rebalanceLoop() {
 	}
 }
 
-// Rebalance converges replication after ring changes by hole
-// detection: every live backend lists its key names (one OpKeys round
-// each), the listings join into a holder map, and only the (key, owner)
-// pairs where a current owner lacks the key get the value streamed —
-// one pipelined OpGet burst per source backend, set-if-absent copies to
-// the holes (a copy can fill a gap but never overwrite a newer value).
-// A steady-state pass therefore costs key listings, not the keyspace.
-// It returns how many replica holes were filled. Runs automatically
-// after MarkDown/MarkUp; callable directly for a deterministic converge
-// in tests and demos.
+// Rebalance converges replication after ring changes by version-aware
+// staleness detection: every live backend lists its entries with
+// versions, tombstones included (one OpKeysV round each), the listings
+// join into a per-key version map, and every (key, owner) pair where a
+// current owner is missing the entry *or holds an older version* gets
+// the newest entry streamed — tombstones straight from the listing,
+// values as one pipelined OpGetV burst per source backend — applied
+// with OpMerge, which fills holes and overwrites stale copies but can
+// never clobber a write that landed after the listing. A steady-state
+// pass therefore costs entry listings, not the keyspace. It returns
+// how many entries were streamed and applied. Runs automatically after
+// MarkDown/MarkUp; callable directly for a deterministic converge in
+// tests and demos.
 //
-// Two documented simplifications: keys a backend no longer owns are not
-// deleted locally (harmless extras; a compaction pass may reap them),
-// and a key the cluster deleted during a node's outage relies on the
-// delete hint replayed at MarkUp — if that hint was dropped on a full
-// queue, the recovering node's stale copy can re-seed the key here.
+// This subsumes two jobs the set-if-absent rebalancer could not do:
+// a rejoined backend's stale value is repaired even though the slot is
+// occupied, and a delete that happened during its outage reaches it as
+// a streamed tombstone even when the delete hint was dropped. Keys a
+// backend no longer owns are still not deleted locally (harmless
+// extras; a compaction pass may reap them).
 func (c *Cluster) Rebalance() (copied int, err error) {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
@@ -334,10 +341,23 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 			firstErr = fmt.Errorf("dist: rebalance backend %d: %w", b, err)
 		}
 	}
-	// Gather who holds what; words-wide bitmasks keep the holder map one
-	// small allocation per key however many backends there are.
-	words := (n + 63) / 64
-	holders := make(map[string][]uint64)
+	// Gather who holds what at which version. Each key's state is a
+	// compact (backend, version) list — typically rf entries — rather
+	// than an n-wide version array, so the pass costs memory
+	// proportional to actual replication, not cluster width (the same
+	// instinct as the bitmask holder map this replaces).
+	type holderVer struct {
+		backend int
+		ver     uint64
+		tomb    bool
+	}
+	type keyState struct {
+		holders []holderVer
+		top     uint64 // newest version seen anywhere
+		holder  int    // backend holding top
+		topTomb bool   // the newest entry is a tombstone
+	}
+	holders := make(map[string]*keyState)
 	clients := make([]*csnet.Client, n)
 	for b := 0; b < n; b++ {
 		if c.IsDown(b) {
@@ -348,73 +368,120 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 			noteErr(b, cerr)
 			continue
 		}
-		keys, kerr := cl.Keys()
+		listing, kerr := cl.KeysV()
 		if kerr != nil {
 			noteErr(b, kerr)
 			continue
 		}
 		clients[b] = cl
-		for _, k := range keys {
-			hs := holders[k]
-			if hs == nil {
-				hs = make([]uint64, words)
-				holders[k] = hs
+		for _, e := range listing {
+			// Observe every imported version (the same invariant as the
+			// read/write paths): a coordinator whose wall clock lags
+			// must advance past listed state or its next Set could
+			// stamp under it and silently lose everywhere.
+			c.clock.Observe(e.Version)
+			ks := holders[e.Key]
+			if ks == nil {
+				ks = &keyState{}
+				holders[e.Key] = ks
 			}
-			hs[b/64] |= 1 << (b % 64)
+			ks.holders = append(ks.holders, holderVer{backend: b, ver: e.Version, tomb: e.Tombstone})
+			// Strictly newer wins; on a version tie a tombstone beats a
+			// value, mirroring Entry.Wins, so two coordinators stamping
+			// the same millisecond still converge to deleted.
+			if e.Version > ks.top || (e.Version == ks.top && e.Tombstone && !ks.topTomb) {
+				ks.top, ks.holder, ks.topTomb = e.Version, b, e.Tombstone
+			}
 		}
 	}
-	// Plan: each under-replicated key is read once, from its first
-	// reachable holder, and copied to exactly the owners lacking it.
+	// Plan: for each key, every reachable current owner that is missing
+	// the newest entry or holds an older one is a target. Tombstones
+	// need no read — the listing already carries everything to merge;
+	// values are read once from the newest holder.
 	type job struct {
 		key     string
-		missing []int
+		top     uint64
+		targets []int
 	}
-	jobs := make(map[int][]job)
-	for k, hs := range holders {
-		has := func(i int) bool { return hs[i/64]&(1<<(i%64)) != 0 }
-		var missing []int
+	var tombs []job             // streamed straight from the listing
+	jobs := make(map[int][]job) // value reads grouped by source backend
+	for k, ks := range holders {
+		holderOf := func(b int) holderVer {
+			for _, h := range ks.holders {
+				if h.backend == b {
+					return h
+				}
+			}
+			return holderVer{backend: b} // no entry; engine versions are never 0
+		}
+		// An owner needs the stream when it is strictly behind, or tied
+		// with the top version but holding a value where the top is a
+		// tombstone (the Entry.Wins tie-break the engines apply). An
+		// equal-version value-vs-value tie is invisible here — listings
+		// carry no value digest, and read-repair cannot see it either
+		// (it only targets replicas that missed), so two same-version
+		// different-value copies stay divergent until one is
+		// overwritten; digest-bearing listings (the ROADMAP Merkle
+		// anti-entropy item) are the real fix.
+		var targets []int
 		for _, t := range c.ring.PickN(k, c.rf) {
-			if !has(t) && clients[t] != nil {
-				missing = append(missing, t)
+			if clients[t] == nil {
+				continue
+			}
+			h := holderOf(t)
+			if h.ver < ks.top || (h.ver == ks.top && ks.topTomb && !h.tomb) {
+				targets = append(targets, t)
 			}
 		}
-		if len(missing) == 0 {
+		if len(targets) == 0 {
 			continue
 		}
-		src := -1
-		for b := 0; b < n; b++ {
-			if has(b) && clients[b] != nil {
-				src = b
-				break
-			}
+		j := job{key: k, top: ks.top, targets: targets}
+		if ks.topTomb {
+			// A tombstone needs no source read: the listing already
+			// carries everything the merge will send.
+			tombs = append(tombs, j)
+		} else {
+			// ks.holder listed the key, so its client is live by
+			// construction; the value is read from it below.
+			jobs[ks.holder] = append(jobs[ks.holder], j)
 		}
-		if src >= 0 {
-			jobs[src] = append(jobs[src], job{key: k, missing: missing})
+	}
+	var copies []*csnet.Call
+	for _, j := range tombs {
+		for _, t := range j.targets {
+			copies = append(copies, clients[t].Send(csnet.Request{
+				Op: csnet.OpMerge, Key: j.key, Version: j.top, Flags: csnet.FlagTombstone,
+			}))
 		}
 	}
 	for src, list := range jobs {
 		reads := make([]*csnet.Call, len(list))
 		for i, j := range list {
-			reads[i] = clients[src].Send(csnet.Request{Op: csnet.OpGet, Key: j.key})
+			reads[i] = clients[src].Send(csnet.Request{Op: csnet.OpGetV, Key: j.key})
 		}
-		var copies []*csnet.Call
 		for i, j := range list {
-			resp, rerr := reads[i].Response()
+			resp, rerr := reads[i].ResponseV()
 			if rerr != nil {
 				noteErr(src, rerr) // conn poisoned; the next kick retries
 				break
 			}
 			if resp.Status != csnet.StatusOK {
-				continue // deleted since the listing
+				continue // deleted or expired since the listing
 			}
-			for _, t := range j.missing {
-				copies = append(copies, clients[t].Send(csnet.Request{Op: csnet.OpSetNX, Key: j.key, Value: resp.Value}))
+			// Stream at the version (and expiry) actually read — it may
+			// be newer than the listing's; merge keeps every target at
+			// least that new, and carrying ExpireAt keeps a TTL'd entry
+			// mortal on the targets too.
+			req := csnet.Request{Op: csnet.OpMerge, Key: j.key, Value: resp.Value, Version: resp.Version, ExpireAt: resp.ExpireAt}
+			for _, t := range j.targets {
+				copies = append(copies, clients[t].Send(req))
 			}
 		}
-		for _, call := range copies {
-			if resp, rerr := call.Response(); rerr == nil && resp.Status == csnet.StatusOK {
-				copied++
-			}
+	}
+	for _, call := range copies {
+		if resp, rerr := call.ResponseV(); rerr == nil && resp.Status == csnet.StatusOK {
+			copied++
 		}
 	}
 	return copied, firstErr

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// logicalBits is the width of the logical counter packed into the low
+// bits of a version: the high 44 bits carry Unix milliseconds (enough
+// until the 26th century), the low 20 bits disambiguate up to ~1M
+// events within one millisecond.
+const logicalBits = 20
+
+// Clock issues hybrid-logical-clock versions: each Next is strictly
+// greater than every version this clock has issued or observed, and
+// tracks wall time whenever wall time is ahead. Versions from
+// different nodes therefore order roughly by real time, exactly by
+// (ms, counter) within a node, and a node that merges a remote entry
+// observes its version so local writes always stamp ahead of state
+// they have seen. All methods are lock-free and safe for concurrent
+// use.
+type Clock struct {
+	wall func() int64 // Unix milliseconds
+	last atomic.Uint64
+}
+
+// NewClock creates a clock driven by the system wall time.
+func NewClock() *Clock {
+	return NewClockAt(func() int64 { return time.Now().UnixMilli() })
+}
+
+// NewClockAt creates a clock with an injected wall-time source (Unix
+// milliseconds); tests use it to make versions deterministic.
+func NewClockAt(wall func() int64) *Clock {
+	return &Clock{wall: wall}
+}
+
+// Next returns a fresh version strictly greater than any issued or
+// observed before.
+func (c *Clock) Next() uint64 {
+	phys := uint64(c.wall()) << logicalBits
+	for {
+		last := c.last.Load()
+		v := phys
+		if v <= last {
+			v = last + 1
+		}
+		if c.last.CompareAndSwap(last, v) {
+			return v
+		}
+	}
+}
+
+// Observe advances the clock past v, so subsequent Next calls stamp
+// ahead of a version merged in from elsewhere.
+func (c *Clock) Observe(v uint64) {
+	for {
+		last := c.last.Load()
+		if v <= last {
+			return
+		}
+		if c.last.CompareAndSwap(last, v) {
+			return
+		}
+	}
+}
+
+// Last returns the newest version issued or observed (zero if none).
+func (c *Clock) Last() uint64 { return c.last.Load() }
+
+// WallMillis extracts the wall-clock component of a version as Unix
+// milliseconds — how tombstone GC ages a delete without storing a
+// separate timestamp.
+func WallMillis(v uint64) int64 { return int64(v >> logicalBits) }
+
+// MaxVersionAhead bounds how far into the future a remote version may
+// claim to be before a server refuses it. Without the bound, one
+// hostile or corrupt version near MaxUint64 would poison every clock
+// that observes it (Next would overflow to 0) and stamp tombstones
+// that no GC horizon ever passes.
+const MaxVersionAhead = time.Hour
+
+// VersionCeiling returns the largest version a well-behaved node could
+// have stamped by now + MaxVersionAhead; trust boundaries (the wire
+// protocol) reject anything above it.
+func VersionCeiling(now time.Time) uint64 {
+	return uint64(now.Add(MaxVersionAhead).UnixMilli())<<logicalBits | (1<<logicalBits - 1)
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockMonotonicAndWallTracking(t *testing.T) {
+	ms := int64(1_000)
+	c := NewClockAt(func() int64 { return ms })
+	v1 := c.Next()
+	if WallMillis(v1) != 1_000 {
+		t.Fatalf("WallMillis = %d, want 1000", WallMillis(v1))
+	}
+	// Frozen wall time: the logical counter keeps versions strict.
+	v2 := c.Next()
+	if v2 <= v1 {
+		t.Fatalf("versions not strictly increasing: %d then %d", v1, v2)
+	}
+	if WallMillis(v2) != 1_000 {
+		t.Fatalf("logical tick changed wall component: %d", WallMillis(v2))
+	}
+	// Wall time advancing dominates the counter.
+	ms = 2_000
+	v3 := c.Next()
+	if WallMillis(v3) != 2_000 || v3 <= v2 {
+		t.Fatalf("wall advance not tracked: %d (wall %d)", v3, WallMillis(v3))
+	}
+	// Wall time moving backwards never regresses versions.
+	ms = 500
+	v4 := c.Next()
+	if v4 <= v3 {
+		t.Fatalf("version regressed on wall clock rollback: %d after %d", v4, v3)
+	}
+}
+
+func TestClockObserve(t *testing.T) {
+	c := NewClockAt(func() int64 { return 1 })
+	remote := uint64(999) << logicalBits
+	c.Observe(remote)
+	if v := c.Next(); v <= remote {
+		t.Fatalf("Next = %d, want past observed %d", v, remote)
+	}
+	// Observing something old is a no-op.
+	last := c.Last()
+	c.Observe(1)
+	if c.Last() != last {
+		t.Fatal("Observe of stale version moved the clock")
+	}
+}
+
+func TestClockConcurrentUnique(t *testing.T) {
+	c := NewClock()
+	const goroutines, per = 8, 2_000
+	out := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		out[g] = make([]uint64, 0, per)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out[g] = append(out[g], c.Next())
+			}
+		}()
+	}
+	wg.Wait()
+	seen := make(map[uint64]struct{}, goroutines*per)
+	for g := range out {
+		prev := uint64(0)
+		for _, v := range out[g] {
+			if v <= prev {
+				t.Fatalf("goroutine-local versions not increasing: %d after %d", v, prev)
+			}
+			prev = v
+			if _, dup := seen[v]; dup {
+				t.Fatalf("duplicate version %d", v)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Flat is the single-lock engine: one table behind one mutex. It is
+// the baseline Sharded is benchmarked against, the reference
+// implementation the randomized property test cross-checks, and a
+// perfectly good engine for small single-writer stores where shard
+// bookkeeping buys nothing.
+type Flat struct {
+	clock *Clock
+	now   func() time.Time
+	gcAge time.Duration
+
+	mu sync.Mutex
+	t  table
+}
+
+// NewFlat creates a flat engine (Options.Shards is ignored).
+func NewFlat(o Options) *Flat {
+	o = o.withDefaults()
+	return &Flat{clock: o.Clock, now: o.Now, gcAge: o.TombstoneGC, t: newTable(o.Now)}
+}
+
+// Get implements Engine.
+func (f *Flat) Get(key string) (Entry, bool) {
+	f.mu.Lock()
+	e, ok := f.t.get(key)
+	f.mu.Unlock()
+	return e, ok
+}
+
+// Load implements Engine.
+func (f *Flat) Load(key string) (Entry, bool) {
+	f.mu.Lock()
+	e, ok := f.t.load(key)
+	f.mu.Unlock()
+	return e, ok
+}
+
+// Set implements Engine.
+func (f *Flat) Set(key string, value []byte, ttl time.Duration) uint64 {
+	var expireAt int64
+	if ttl > 0 {
+		expireAt = f.now().Add(ttl).UnixNano()
+	}
+	f.mu.Lock()
+	ver := f.clock.Next()
+	f.t.set(key, value, ver, expireAt)
+	f.mu.Unlock()
+	return ver
+}
+
+// SetIfAbsent implements Engine.
+func (f *Flat) SetIfAbsent(key string, value []byte) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cur, ok := f.t.load(key); ok && f.t.liveNow(cur) {
+		return cur.Version, false
+	}
+	ver := f.clock.Next()
+	f.t.set(key, value, ver, 0)
+	return ver, true
+}
+
+// Delete implements Engine.
+func (f *Flat) Delete(key string) (uint64, bool) {
+	f.mu.Lock()
+	ver := f.clock.Next()
+	existed := f.t.del(key, ver)
+	f.mu.Unlock()
+	return ver, existed
+}
+
+// Merge implements Engine.
+func (f *Flat) Merge(key string, e Entry) (uint64, bool) {
+	f.clock.Observe(e.Version)
+	f.mu.Lock()
+	winner, applied := f.t.merge(key, e)
+	f.mu.Unlock()
+	return winner, applied
+}
+
+// Purge implements Engine.
+func (f *Flat) Purge(key string) bool {
+	f.mu.Lock()
+	ok := f.t.purge(key)
+	f.mu.Unlock()
+	return ok
+}
+
+// Keys implements Engine. Unlike Sharded there is only one lock to
+// hold, so a large listing does stall writers — which is exactly the
+// ceiling the benchmarks measure.
+func (f *Flat) Keys() []string {
+	now := f.now().UnixNano()
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.t.data))
+	for k, e := range f.t.data {
+		if e.Live(now) {
+			keys = append(keys, k)
+		}
+	}
+	f.mu.Unlock()
+	return keys
+}
+
+// Range implements Engine: the table is snapshotted under the lock,
+// then fn runs against the copy with no lock held.
+func (f *Flat) Range(fn func(key string, e Entry) bool) {
+	type pair struct {
+		k string
+		e Entry
+	}
+	f.mu.Lock()
+	buf := make([]pair, 0, len(f.t.data))
+	for k, e := range f.t.data {
+		buf = append(buf, pair{k, e})
+	}
+	f.mu.Unlock()
+	for _, p := range buf {
+		if !fn(p.k, p.e) {
+			return
+		}
+	}
+}
+
+// Len implements Engine.
+func (f *Flat) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t.live
+}
+
+// Sweep implements Engine; the limit is ignored beyond "at least one
+// pass" since there is only one table to scan.
+func (f *Flat) Sweep(int) (expired, purged int) {
+	now := f.now()
+	gcBefore := now.Add(-f.gcAge).UnixMilli()
+	f.mu.Lock()
+	expired, purged = f.t.sweep(now.UnixNano(), gcBefore)
+	f.mu.Unlock()
+	return expired, purged
+}
+
+// Clock implements Engine.
+func (f *Flat) Clock() *Clock { return f.clock }

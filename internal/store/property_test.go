@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// model is the flat reference a real engine is cross-checked against:
+// one map, straight-line transition rules, no sharding, no locking, no
+// bookkeeping — if an engine and the model ever disagree, the engine's
+// machinery (shard routing, live counters, lazy expiry, sweep
+// rotation) has a bug.
+type model struct {
+	data map[string]Entry
+	now  func() time.Time
+}
+
+func (m *model) get(k string) (Entry, bool) {
+	e, ok := m.data[k]
+	if !ok || e.Tombstone {
+		return Entry{}, false
+	}
+	if e.ExpireAt != 0 && m.now().UnixNano() >= e.ExpireAt {
+		delete(m.data, k) // mirror the engine's lazy expiry on read
+		return Entry{}, false
+	}
+	return e, true
+}
+
+func (m *model) set(k string, v []byte, ver uint64, ttl time.Duration) {
+	var exp int64
+	if ttl > 0 {
+		exp = m.now().Add(ttl).UnixNano()
+	}
+	m.data[k] = Entry{Value: append([]byte(nil), v...), Version: ver, ExpireAt: exp}
+}
+
+func (m *model) del(k string, ver uint64) {
+	m.data[k] = Entry{Version: ver, Tombstone: true}
+}
+
+func (m *model) merge(k string, e Entry) bool {
+	if cur, ok := m.data[k]; ok && !e.Wins(cur) {
+		return false
+	}
+	e.Value = append([]byte(nil), e.Value...)
+	if e.Tombstone {
+		e.Value = nil
+	}
+	m.data[k] = e
+	return true
+}
+
+func (m *model) sweep(gcAge time.Duration) {
+	now := m.now().UnixNano()
+	gcBefore := m.now().Add(-gcAge).UnixMilli()
+	for k, e := range m.data {
+		switch {
+		case e.Tombstone:
+			if WallMillis(e.Version) < gcBefore {
+				delete(m.data, k)
+			}
+		case e.ExpireAt != 0 && now >= e.ExpireAt:
+			delete(m.data, k)
+		}
+	}
+}
+
+func (m *model) liveKeys() []string {
+	now := m.now().UnixNano()
+	var keys []string
+	for k, e := range m.data {
+		if e.Live(now) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestStoreProperty drives a randomized op sequence through each
+// engine and the reference model in lock-step, comparing results after
+// every op and full raw state at checkpoints. Covers TTL expiry (lazy
+// and swept), tombstoned deletes with GC, set-if-newer merge in stale,
+// fresh, and tied flavors, and snapshot listing. The seed is logged so
+// a failure replays.
+func TestStoreProperty(t *testing.T) {
+	seed := time.Now().UnixNano()
+	for name, mk := range map[string]func(Options) Engine{
+		"sharded": func(o Options) Engine { return NewSharded(o) },
+		"flat":    func(o Options) Engine { return NewFlat(o) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			t.Logf("seed %d", seed)
+			rng := rand.New(rand.NewSource(seed))
+			ft := newFakeTime()
+			const gcAge = 10 * time.Minute
+			eng := mk(Options{Shards: 8, Now: ft.now, TombstoneGC: gcAge})
+			m := &model{data: map[string]Entry{}, now: ft.now}
+
+			key := func() string { return fmt.Sprintf("k-%d", rng.Intn(64)) }
+			val := func() []byte { return []byte(fmt.Sprintf("v-%d", rng.Intn(1_000_000))) }
+
+			const ops = 20_000
+			for i := 0; i < ops; i++ {
+				switch p := rng.Intn(100); {
+				case p < 35: // Set, sometimes with a TTL
+					k := key()
+					v := val()
+					var ttl time.Duration
+					if rng.Intn(4) == 0 {
+						ttl = time.Duration(1+rng.Intn(120)) * time.Second
+					}
+					ver := eng.Set(k, v, ttl)
+					m.set(k, v, ver, ttl)
+				case p < 55: // Get cross-check
+					k := key()
+					ge, gok := eng.Get(k)
+					me, mok := m.get(k)
+					if gok != mok || (gok && (string(ge.Value) != string(me.Value) || ge.Version != me.Version)) {
+						t.Fatalf("op %d: Get(%q) engine=%+v,%v model=%+v,%v", i, k, ge, gok, me, mok)
+					}
+				case p < 65: // Delete
+					k := key()
+					ver, _ := eng.Delete(k)
+					m.del(k, ver)
+				case p < 75: // Merge: stale, fresh, or tied
+					k := key()
+					e := Entry{Version: eng.Clock().Last()}
+					switch rng.Intn(3) {
+					case 0: // stale
+						if d := uint64(rng.Intn(5_000) + 1); e.Version > d {
+							e.Version -= d
+						} else {
+							e.Version = 1
+						}
+					case 1: // fresh
+						e.Version += uint64(rng.Intn(5_000) + 1)
+					case 2: // tie with whatever is resident, if anything
+						if cur, ok := eng.Load(k); ok {
+							e.Version = cur.Version
+						}
+					}
+					if rng.Intn(3) == 0 {
+						e.Tombstone = true
+					} else {
+						e.Value = val()
+					}
+					_, applied := eng.Merge(k, e)
+					if mApplied := m.merge(k, e); applied != mApplied {
+						t.Fatalf("op %d: Merge(%q, v%d tomb=%v) engine applied=%v model=%v",
+							i, k, e.Version, e.Tombstone, applied, mApplied)
+					}
+				case p < 80: // SetIfAbsent
+					k := key()
+					v := val()
+					if ver, stored := eng.SetIfAbsent(k, v); stored {
+						m.set(k, v, ver, 0)
+					} else if me, ok := m.get(k); !ok || me.Version != ver {
+						t.Fatalf("op %d: SetIfAbsent(%q) kept %d but model has %+v,%v", i, k, ver, me, ok)
+					}
+				case p < 85: // Load cross-check (raw view)
+					k := key()
+					ge, gok := eng.Load(k)
+					me, mok := m.data[k]
+					if gok != mok || (gok && (ge.Version != me.Version || ge.Tombstone != me.Tombstone)) {
+						t.Fatalf("op %d: Load(%q) engine=%+v,%v model=%+v,%v", i, k, ge, gok, me, mok)
+					}
+				case p < 90: // Keys snapshot cross-check
+					got := eng.Keys()
+					sort.Strings(got)
+					if want := m.liveKeys(); !reflect.DeepEqual(got, want) {
+						t.Fatalf("op %d: Keys engine=%v model=%v", i, got, want)
+					}
+				case p < 95: // advance time: TTLs lapse, tombstones age
+					ft.advance(time.Duration(1+rng.Intn(90)) * time.Second)
+				default: // sweep both (sometimes bounded)
+					limit := 0
+					if rng.Intn(2) == 0 {
+						limit = 1 + rng.Intn(32)
+					}
+					eng.Sweep(limit)
+					if limit == 0 {
+						m.sweep(gcAge)
+					} else {
+						// A bounded engine sweep removes a subset; resync the
+						// model by re-running full sweeps on both.
+						eng.Sweep(0)
+						m.sweep(gcAge)
+					}
+				}
+			}
+
+			// Final full-state comparison: raw entries, live keys, Len.
+			raw := map[string]Entry{}
+			eng.Range(func(k string, e Entry) bool {
+				raw[k] = e
+				return true
+			})
+			if len(raw) != len(m.data) {
+				t.Fatalf("raw entry count: engine %d model %d", len(raw), len(m.data))
+			}
+			for k, me := range m.data {
+				ge, ok := raw[k]
+				if !ok || ge.Version != me.Version || ge.Tombstone != me.Tombstone || string(ge.Value) != string(me.Value) {
+					t.Fatalf("raw entry %q: engine %+v model %+v", k, ge, me)
+				}
+			}
+			got := eng.Keys()
+			sort.Strings(got)
+			if want := m.liveKeys(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("final Keys: engine %v model %v", got, want)
+			}
+			live := 0
+			for _, e := range m.data {
+				if !e.Tombstone {
+					live++
+				}
+			}
+			if eng.Len() != live {
+				t.Fatalf("final Len: engine %d model %d", eng.Len(), live)
+			}
+		})
+	}
+}

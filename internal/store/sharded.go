@@ -1,0 +1,240 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultShards is the shard count when Options.Shards is zero: wide
+// enough that dozens of writer goroutines rarely collide, small enough
+// that a sweep pass over one shard stays cheap.
+const DefaultShards = 128
+
+// Sharded is the production engine: the key space is split over a
+// power-of-two number of shards, each an independent table behind its
+// own mutex. Writers on different shards never contend, and the
+// snapshot paths (Keys, Range, Sweep) lock one shard at a time, so a
+// listing of a huge store stalls at most 1/N of the key space at once
+// — the property the csnet KVHandler relies on to serve KEYS without
+// freezing all writes.
+type Sharded struct {
+	clock *Clock
+	now   func() time.Time
+	gcAge time.Duration
+	mask  uint32
+	// cursor rotates Sweep across shards so bounded sweeps cover the
+	// whole store over successive calls.
+	cursor atomic.Uint32
+	shards []shard
+}
+
+// shard pads each mutex+table pair out to exactly one 64-byte cache
+// line (mutex 8 + table 24 + pad 32), so two cores hammering
+// neighboring shards do not false-share (the same trap
+// internal/arch/falsesharing.go teaches).
+type shard struct {
+	mu sync.Mutex
+	t  table
+	_  [32]byte
+}
+
+// NewSharded creates a sharded engine.
+func NewSharded(o Options) *Sharded {
+	o = o.withDefaults()
+	n := o.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard picking is a mask, not a mod.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Sharded{
+		clock:  o.Clock,
+		now:    o.Now,
+		gcAge:  o.TombstoneGC,
+		mask:   uint32(pow - 1),
+		shards: make([]shard, pow),
+	}
+	for i := range s.shards {
+		s.shards[i].t = newTable(o.Now)
+	}
+	return s
+}
+
+// shardFor hashes key (FNV-1a with an avalanche finish, the same
+// family as the dist ring hash) onto its shard.
+func (s *Sharded) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	h ^= h >> 16
+	return &s.shards[h&s.mask]
+}
+
+// Shards reports the effective (power-of-two) shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Get implements Engine. TTL-free entries never cost a wall-clock
+// read here — the expiry check is lazy inside the table — which keeps
+// the hot path at hash + one shard lock + one map lookup.
+func (s *Sharded) Get(key string) (Entry, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.t.get(key)
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Load implements Engine.
+func (s *Sharded) Load(key string) (Entry, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.t.load(key)
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Set implements Engine. The version is stamped under the shard lock,
+// so within a key the map order and the version order agree.
+func (s *Sharded) Set(key string, value []byte, ttl time.Duration) uint64 {
+	var expireAt int64
+	if ttl > 0 {
+		expireAt = s.now().Add(ttl).UnixNano()
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ver := s.clock.Next()
+	sh.t.set(key, value, ver, expireAt)
+	sh.mu.Unlock()
+	return ver
+}
+
+// SetIfAbsent implements Engine.
+func (s *Sharded) SetIfAbsent(key string, value []byte) (uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.t.load(key); ok && sh.t.liveNow(cur) {
+		return cur.Version, false
+	}
+	ver := s.clock.Next()
+	sh.t.set(key, value, ver, 0)
+	return ver, true
+}
+
+// Delete implements Engine.
+func (s *Sharded) Delete(key string) (uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ver := s.clock.Next()
+	existed := sh.t.del(key, ver)
+	sh.mu.Unlock()
+	return ver, existed
+}
+
+// Merge implements Engine.
+func (s *Sharded) Merge(key string, e Entry) (uint64, bool) {
+	s.clock.Observe(e.Version)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	winner, applied := sh.t.merge(key, e)
+	sh.mu.Unlock()
+	return winner, applied
+}
+
+// Purge implements Engine.
+func (s *Sharded) Purge(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	ok := sh.t.purge(key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Keys implements Engine: a lock-bounded snapshot, one shard at a time.
+func (s *Sharded) Keys() []string {
+	now := s.now().UnixNano()
+	// Presize from the live counters (one cheap pass) so the listing
+	// appends never reallocate mid-shard; entries that expire between
+	// the two passes just leave a little slack.
+	keys := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.t.data {
+			if e.Live(now) {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return keys
+}
+
+// Range implements Engine: each shard is snapshotted under its lock,
+// then fn runs against the copy with no lock held, so fn may call back
+// into the engine.
+func (s *Sharded) Range(fn func(key string, e Entry) bool) {
+	type pair struct {
+		k string
+		e Entry
+	}
+	var buf []pair
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		buf = buf[:0]
+		for k, e := range sh.t.data {
+			buf = append(buf, pair{k, e})
+		}
+		sh.mu.Unlock()
+		for _, p := range buf {
+			if !fn(p.k, p.e) {
+				return
+			}
+		}
+	}
+}
+
+// Len implements Engine.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.t.live
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Sweep implements Engine: shards are swept in rotation starting at a
+// persistent cursor, stopping once roughly limit entries have been
+// scanned (always at least one shard), so a bounded sweep converges on
+// the full store across calls instead of re-scanning the same prefix.
+func (s *Sharded) Sweep(limit int) (expired, purged int) {
+	now := s.now()
+	gcBefore := now.Add(-s.gcAge).UnixMilli()
+	scanned := 0
+	for i := 0; i < len(s.shards); i++ {
+		sh := &s.shards[(s.cursor.Add(1)-1)&s.mask]
+		sh.mu.Lock()
+		scanned += len(sh.t.data)
+		e, p := sh.t.sweep(now.UnixNano(), gcBefore)
+		sh.mu.Unlock()
+		expired += e
+		purged += p
+		if limit > 0 && scanned >= limit {
+			break
+		}
+	}
+	return expired, purged
+}
+
+// Clock implements Engine.
+func (s *Sharded) Clock() *Clock { return s.clock }

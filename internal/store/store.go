@@ -1,0 +1,171 @@
+// Package store is the storage-engine substrate under the csnet KV
+// protocol, the dist cluster, and the txn transactional layer: a
+// pluggable Engine interface whose entries are versioned by a
+// hybrid-logical-clock stamp, with tombstoned deletes, TTL expiry, and
+// last-writer-wins merge.
+//
+// Two implementations ship. Sharded is the production engine: the key
+// space is split over N power-of-two shards, each a plain map behind
+// its own mutex, so writers on different shards never contend and a
+// full-store snapshot (Keys, Range) locks one shard at a time instead
+// of stalling every writer for the whole listing. Flat is the
+// single-lock baseline the benchmarks and the randomized property test
+// measure Sharded against; both share one transition-rule core (table)
+// so their semantics cannot drift.
+//
+// Version semantics: every write is stamped by a Clock value that is
+// unique and monotonic on its node and roughly tracks wall time across
+// nodes (clock.go). Merge applies an entry only if it Wins the resident
+// one — strictly newer version, or on a version tie tombstone beats
+// value and the lexicographically larger value beats the smaller, so
+// any set of replicas merging the same entries converges to one state
+// regardless of delivery order. A stale replay can therefore never
+// overwrite a newer write, which is what lets the replication layer
+// drop its set-if-absent ordering tricks.
+//
+// Deletes write tombstones rather than removing entries, so a delete
+// can propagate through merge exactly like a write; Sweep garbage
+// collects tombstones once they are older than the configured GC age
+// (their age is read straight out of the version's wall-clock bits)
+// and reaps expired TTL entries that lazy expiry on Get has not
+// already caught.
+//
+// Known limitation: expiry removes the entry outright, version
+// included — unlike deletes, it leaves no tombstone. A replica that
+// held an older immortal copy of the key through the expiry therefore
+// owns the newest surviving version and replication will restore its
+// copy. Retaining expired entries as tombstones until the GC horizon
+// (the ROADMAP "expiry tombstones" item) would close this; until
+// then, avoid mixing TTL'd and immortal writes to the same key on
+// replicated engines.
+package store
+
+import (
+	"bytes"
+	"time"
+)
+
+// Entry is one versioned record.
+type Entry struct {
+	// Value is the payload; nil for tombstones. Readers receive the
+	// stored slice without a copy and must not modify it (writers
+	// always install fresh copies, never mutate in place).
+	Value []byte
+	// Version is the HLC stamp ordering this write; never zero for a
+	// stored entry.
+	Version uint64
+	// Tombstone marks a deleted key awaiting garbage collection.
+	Tombstone bool
+	// ExpireAt is the expiry wall time in Unix nanoseconds; zero means
+	// the entry never expires.
+	ExpireAt int64
+}
+
+// Live reports whether the entry is readable at the given wall time
+// (Unix nanoseconds): not a tombstone and not past its expiry.
+func (e Entry) Live(now int64) bool {
+	return !e.Tombstone && (e.ExpireAt == 0 || now < e.ExpireAt)
+}
+
+// Wins reports whether e supersedes cur under last-writer-wins merge:
+// the higher version wins; on a version tie a tombstone beats a value
+// and the lexicographically larger value beats the smaller, so
+// concurrent merges converge to the same entry whichever order they
+// apply in. Equal entries do not win (merge is idempotent).
+func (e Entry) Wins(cur Entry) bool {
+	if e.Version != cur.Version {
+		return e.Version > cur.Version
+	}
+	if e.Tombstone != cur.Tombstone {
+		return e.Tombstone
+	}
+	return bytes.Compare(e.Value, cur.Value) > 0
+}
+
+// Engine is a versioned key-value storage engine. Implementations are
+// safe for concurrent use.
+type Engine interface {
+	// Get returns the live entry for key: tombstoned, expired, and
+	// absent keys all miss. Implementations may lazily drop an expired
+	// entry discovered here.
+	Get(key string) (Entry, bool)
+	// Load returns the raw entry including tombstones and expired
+	// entries — the replication view.
+	Load(key string) (Entry, bool)
+	// Set stores value with a fresh clock version (ttl <= 0 means no
+	// expiry) and returns the stamped version.
+	Set(key string, value []byte, ttl time.Duration) uint64
+	// SetIfAbsent stores value only when key has no live entry; it
+	// returns the stamped version and true, or the resident live
+	// version and false.
+	SetIfAbsent(key string, value []byte) (uint64, bool)
+	// Delete tombstones key at a fresh clock version (recording the
+	// deletion even when the key was never present, so it can propagate
+	// to replicas that do hold a copy) and reports whether a live value
+	// existed.
+	Delete(key string) (uint64, bool)
+	// Merge applies e iff e.Wins the resident entry, observing
+	// e.Version on the clock either way. It returns the winning
+	// version and whether e was applied.
+	Merge(key string, e Entry) (winner uint64, applied bool)
+	// Purge removes key's entry outright — no tombstone, no version
+	// stamp. Garbage collection uses it internally; tests use it to
+	// simulate data loss. It reports whether an entry was removed.
+	Purge(key string) bool
+	// Keys lists the live keys from a lock-bounded snapshot: at most
+	// one shard (or the single table) is locked at a time, so a large
+	// listing cannot stall all writers.
+	Keys() []string
+	// Range iterates raw entries (tombstones included) from per-shard
+	// snapshots taken one shard at a time; fn returning false stops
+	// the iteration. fn runs with no lock held.
+	Range(fn func(key string, e Entry) bool)
+	// Len reports the number of non-tombstone entries. Entries that
+	// expired but have not yet been swept or lazily dropped still
+	// count.
+	Len() int
+	// Sweep reaps expired entries and garbage-collects tombstones
+	// older than the engine's GC age, scanning roughly limit entries
+	// (at least one shard; limit <= 0 sweeps everything). It returns
+	// how many expired entries and old tombstones were removed.
+	Sweep(limit int) (expired, purged int)
+	// Clock returns the engine's version clock, so a coordinator can
+	// stamp or observe versions consistently with local writes.
+	Clock() *Clock
+}
+
+// Options configures an engine. The zero value is ready to use.
+type Options struct {
+	// Shards is the shard count for Sharded, rounded up to a power of
+	// two (default DefaultShards). Flat ignores it.
+	Shards int
+	// Clock supplies versions; nil creates a fresh clock (driven by
+	// Now when that is set).
+	Clock *Clock
+	// TombstoneGC is how long tombstones are retained before Sweep
+	// collects them (default one hour). Keep it longer than the
+	// longest expected replica outage, or a rejoining node can miss a
+	// delete.
+	TombstoneGC time.Duration
+	// Now is the wall-time source for TTL expiry and GC (default
+	// time.Now). Tests inject a fake time here.
+	Now func() time.Time
+}
+
+// DefaultTombstoneGC is the tombstone retention when Options.TombstoneGC
+// is zero.
+const DefaultTombstoneGC = time.Hour
+
+func (o Options) withDefaults() Options {
+	if o.TombstoneGC <= 0 {
+		o.TombstoneGC = DefaultTombstoneGC
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Clock == nil {
+		now := o.Now
+		o.Clock = NewClockAt(func() int64 { return now().UnixMilli() })
+	}
+	return o
+}

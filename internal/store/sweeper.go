@@ -1,0 +1,64 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Sweeper runs an engine's Sweep on a fixed interval in the
+// background, reaping expired entries that no read has touched and
+// garbage-collecting aged-out tombstones. One sweeper per engine is
+// plenty; Sweep itself is safe to run concurrently with everything
+// else.
+type Sweeper struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	expired int
+	purged  int
+}
+
+// StartSweeper begins sweeping e every interval (default one second),
+// scanning roughly limit entries per pass (limit <= 0 sweeps the whole
+// store each time).
+func StartSweeper(e Engine, interval time.Duration, limit int) *Sweeper {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sweeper{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				exp, pur := e.Sweep(limit)
+				s.mu.Lock()
+				s.expired += exp
+				s.purged += pur
+				s.mu.Unlock()
+			}
+		}
+	}()
+	return s
+}
+
+// Totals reports how many expired entries and tombstones the sweeper
+// has removed so far.
+func (s *Sweeper) Totals() (expired, purged int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired, s.purged
+}
+
+// Stop halts the sweeper and waits for the in-flight pass to finish.
+// Safe to call more than once.
+func (s *Sweeper) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,127 @@
+package store
+
+import "time"
+
+// table is the lock-agnostic core both engines share: one map of
+// entries plus the bookkeeping that keeps Flat and Sharded from ever
+// drifting semantically. Every method must be called with the
+// enclosing engine's lock (the shard's, or Flat's single one) held.
+type table struct {
+	data map[string]Entry
+	// now is the wall-time source, consulted lazily: an entry with no
+	// TTL never costs a clock read on the hot path.
+	now func() time.Time
+	// live counts non-tombstone entries. An entry that expired but has
+	// not been lazily dropped or swept still counts; the invariant is
+	// live == number of entries with Tombstone == false.
+	live int
+}
+
+func newTable(now func() time.Time) table {
+	return table{data: map[string]Entry{}, now: now}
+}
+
+// liveNow reports whether e is readable, reading the wall clock only
+// when e actually carries an expiry.
+func (t *table) liveNow(e Entry) bool {
+	if e.Tombstone {
+		return false
+	}
+	return e.ExpireAt == 0 || t.now().UnixNano() < e.ExpireAt
+}
+
+// get returns key's live entry, lazily dropping an expired one: once a
+// read has seen the entry dead there is no reason to keep paying for
+// it until the sweeper comes around.
+func (t *table) get(key string) (Entry, bool) {
+	e, ok := t.data[key]
+	if !ok || e.Tombstone {
+		return Entry{}, false
+	}
+	if e.ExpireAt != 0 && t.now().UnixNano() >= e.ExpireAt {
+		delete(t.data, key)
+		t.live--
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// load returns the raw entry, tombstones and expired entries included.
+func (t *table) load(key string) (Entry, bool) {
+	e, ok := t.data[key]
+	return e, ok
+}
+
+// set installs a value entry (a private copy of val) at version ver.
+func (t *table) set(key string, val []byte, ver uint64, expireAt int64) {
+	if cur, ok := t.data[key]; !ok || cur.Tombstone {
+		t.live++
+	}
+	t.data[key] = Entry{Value: append([]byte(nil), val...), Version: ver, ExpireAt: expireAt}
+}
+
+// del installs a tombstone at version ver and reports whether a live
+// value was displaced.
+func (t *table) del(key string, ver uint64) bool {
+	cur, ok := t.data[key]
+	existed := ok && t.liveNow(cur)
+	if ok && !cur.Tombstone {
+		t.live--
+	}
+	t.data[key] = Entry{Version: ver, Tombstone: true}
+	return existed
+}
+
+// merge applies e iff it Wins the resident entry, installing a private
+// copy of its value. It returns the winning version and whether e was
+// applied.
+func (t *table) merge(key string, e Entry) (uint64, bool) {
+	cur, ok := t.data[key]
+	if ok && !e.Wins(cur) {
+		return cur.Version, false
+	}
+	if (!ok || cur.Tombstone) && !e.Tombstone {
+		t.live++
+	} else if ok && !cur.Tombstone && e.Tombstone {
+		t.live--
+	}
+	if e.Tombstone {
+		e.Value = nil
+	} else {
+		e.Value = append([]byte(nil), e.Value...)
+	}
+	t.data[key] = e
+	return e.Version, true
+}
+
+// purge removes key's entry outright, reporting whether one existed.
+func (t *table) purge(key string) bool {
+	cur, ok := t.data[key]
+	if !ok {
+		return false
+	}
+	if !cur.Tombstone {
+		t.live--
+	}
+	delete(t.data, key)
+	return true
+}
+
+// sweep scans the whole table, dropping expired value entries and
+// tombstones whose version wall time is before gcBeforeMillis.
+func (t *table) sweep(now, gcBeforeMillis int64) (expired, purged int) {
+	for k, e := range t.data {
+		switch {
+		case e.Tombstone:
+			if WallMillis(e.Version) < gcBeforeMillis {
+				delete(t.data, k)
+				purged++
+			}
+		case e.ExpireAt != 0 && now >= e.ExpireAt:
+			delete(t.data, k)
+			t.live--
+			expired++
+		}
+	}
+	return expired, purged
+}

@@ -1,16 +1,22 @@
 package txn
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sync"
 	"sync/atomic"
+
+	"pdcedu/internal/store"
 )
 
-// DB is a transactional key-value store protected by strict 2PL.
+// DB is a transactional key-value store protected by strict 2PL. The
+// data lives in a store.Engine — the same sharded, versioned substrate
+// the csnet KV handler and the dist cluster run on — so transactions
+// no longer funnel every access through one DB-wide mutex: the lock
+// manager serializes conflicting transactions per key, and the engine
+// shards the physical access under them.
 type DB struct {
 	lm      *LockManager
-	mu      sync.Mutex
-	data    map[string]int64
+	eng     store.Engine
 	nextTxn atomic.Int64
 	history *History
 	// Commits and Aborts count outcomes.
@@ -18,25 +24,53 @@ type DB struct {
 	Aborts  atomic.Int64
 }
 
-// NewDB creates an empty store under the given deadlock policy. The
-// history of every successful read/write is recorded for offline
-// serializability checking.
+// NewDB creates an empty store under the given deadlock policy, on a
+// fresh sharded engine. The history of every successful read/write is
+// recorded for offline serializability checking.
 func NewDB(s Strategy) *DB {
-	return &DB{lm: NewLockManager(s), data: map[string]int64{}, history: &History{}}
+	return NewDBOn(s, store.NewSharded(store.Options{}))
 }
 
-// Set initializes a key outside any transaction (test/bench setup).
+// NewDBOn creates a DB over an existing engine, so a node can share
+// one storage substrate between its transactional and replicated
+// faces.
+func NewDBOn(s Strategy, eng store.Engine) *DB {
+	return &DB{lm: NewLockManager(s), eng: eng, history: &History{}}
+}
+
+// Engine returns the underlying storage engine.
+func (db *DB) Engine() store.Engine { return db.eng }
+
+// encInt packs a value for the byte-oriented engine.
+func encInt(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// decInt unpacks an engine value; absent or foreign-sized values read
+// as zero, matching the old map's zero-value semantics.
+func decInt(b []byte, ok bool) int64 {
+	if !ok || len(b) != 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// Set initializes a key outside any transaction — seeding for tests,
+// benchmarks, and demos. It bypasses the lock manager, so it must not
+// run concurrently with active transactions: a Set racing a
+// transaction's Put on the same key can be overwritten (and undone by
+// a later rollback) because nothing orders the two. The old DB-wide
+// mutex hid that race by accident; the contract is now explicit.
 func (db *DB) Set(key string, v int64) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.data[key] = v
+	db.eng.Set(key, encInt(v), 0)
 }
 
 // ReadCommitted returns a key's committed value outside any transaction.
 func (db *DB) ReadCommitted(key string) int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.data[key]
+	e, ok := db.eng.Get(key)
+	return decInt(e.Value, ok)
 }
 
 // History returns the recorded operation history.
@@ -75,15 +109,14 @@ func (t *Txn) Get(key string) (int64, error) {
 		t.rollback()
 		return 0, err
 	}
-	t.db.mu.Lock()
-	v := t.db.data[key]
-	t.db.mu.Unlock()
+	e, ok := t.db.eng.Get(key)
 	t.db.history.Record(t.id, OpRead, key)
-	return v, nil
+	return decInt(e.Value, ok), nil
 }
 
 // Put writes key under an exclusive lock, logging the before-image for
-// rollback.
+// rollback. The 2PL X lock serializes transactional access to the key,
+// so the read-for-undo and the write need no extra latch.
 func (t *Txn) Put(key string, v int64) error {
 	if t.done {
 		return fmt.Errorf("txn: transaction %d already finished", t.id)
@@ -92,11 +125,9 @@ func (t *Txn) Put(key string, v int64) error {
 		t.rollback()
 		return err
 	}
-	t.db.mu.Lock()
-	prev, had := t.db.data[key]
-	t.undo = append(t.undo, undoRec{key: key, prev: prev, had: had})
-	t.db.data[key] = v
-	t.db.mu.Unlock()
+	e, had := t.db.eng.Get(key)
+	t.undo = append(t.undo, undoRec{key: key, prev: decInt(e.Value, had), had: had})
+	t.db.eng.Set(key, encInt(v), 0)
 	t.db.history.Record(t.id, OpWrite, key)
 	return nil
 }
@@ -126,22 +157,22 @@ func (t *Txn) Abort() {
 	}
 }
 
-// rollback undoes writes in reverse order and releases locks.
+// rollback undoes writes in reverse order and releases locks. Each
+// restore is a fresh versioned write (or tombstone): the engine's
+// history moves forward even as the logical value moves back.
 func (t *Txn) rollback() {
 	if t.done {
 		return
 	}
 	t.done = true
-	t.db.mu.Lock()
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		u := t.undo[i]
 		if u.had {
-			t.db.data[u.key] = u.prev
+			t.db.eng.Set(u.key, encInt(u.prev), 0)
 		} else {
-			delete(t.db.data, u.key)
+			t.db.eng.Delete(u.key)
 		}
 	}
-	t.db.mu.Unlock()
 	t.db.history.Record(t.id, OpAbort, "")
 	t.db.lm.ReleaseAll(t.id)
 	t.db.Aborts.Add(1)

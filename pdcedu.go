@@ -5,25 +5,34 @@
 // Fig. 2 and Fig. 3, and Tables I-III) plus the full set of PDC teaching
 // substrates its case-study courses rely on, implemented in the internal
 // packages (conc, par, taskgraph, race, sched, arch, simd, simt, mpi,
-// csnet, dist, member, txn, perf).
+// store, csnet, dist, member, txn, perf).
 //
 // This package is the stable facade over the curriculum core. The
 // substrates are exercised through the example programs under examples/
 // and the command-line tools under cmd/.
 //
-// The dist substrate is the service-shaped layer: consistent hashing
-// with virtual nodes, pluggable load-balancing strategies with a
-// deterministic simulator, sequential- and eventual-consistency
-// replication, an RPC middleware over TCP, and a dist.Cluster that
-// shards one key space across several csnet backend servers with
-// synchronous replication, read-repair, and batched MSet/MGet/MDel —
+// The store substrate is the data layer everything key-value stands
+// on: a pluggable storage engine whose sharded implementation puts
+// each slice of the key space behind its own lock, stamps every entry
+// with a hybrid-logical-clock version, tombstones deletes (with
+// bounded GC and TTL expiry), and resolves concurrent writes by
+// last-writer-wins merge — the csnet KV handler, the dist cluster's
+// backends, and the txn transactional store all share it (see the
+// README "Storage engine" section). The dist substrate is the
+// service-shaped layer: consistent hashing with virtual nodes,
+// pluggable load-balancing strategies with a deterministic simulator,
+// sequential- and eventual-consistency replication, an RPC middleware
+// over TCP, and a dist.Cluster that shards one key space across
+// several csnet backend servers with synchronous coordinator-versioned
+// replication, version-aware read-repair, and batched MSet/MGet/MDel —
 // all carried by csnet's pipelined multiplexed transport, which keeps
 // N requests in flight per connection (see examples/distkv and the
 // README "Performance" section). The member substrate makes that
 // cluster self-healing: SWIM-style gossip membership with indirect
 // probing and incarnation-guarded suspicion drives the ring — dead
 // backends are evicted (writes degrade to a quorum of live replicas
-// with hinted handoff), recovered ones are readmitted and rebalanced
+// with hinted handoff), recovered ones are readmitted and converged by
+// the version-aware rebalancer, on which a stale replay can never win
 // (see cmd/distnode and the README "Fault tolerance" section).
 package pdcedu
 
