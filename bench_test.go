@@ -492,3 +492,120 @@ func BenchmarkStoreEngineFlatG16(b *testing.B) {
 func BenchmarkStoreEngineShardedG16(b *testing.B) {
 	benchEngineMixed(b, store.NewSharded(store.Options{}), 16)
 }
+
+// benchAntiEntropyCluster boots a fully replicated cluster (rf = n, so
+// converged replicas are byte-identical) preloaded with nKeys entries
+// and one settling anti-entropy pass, for E28.
+func benchAntiEntropyCluster(b *testing.B, nKeys int) (*dist.Cluster, []*csnet.KVHandler, []string) {
+	b.Helper()
+	const backends = 3
+	kvs := make([]*csnet.KVHandler, backends)
+	addrs := make([]string, backends)
+	for i := range addrs {
+		kvs[i] = csnet.NewKVHandler()
+		srv := csnet.NewServer(kvs[i], 64)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Shutdown)
+		addrs[i] = addr
+	}
+	c, err := dist.NewCluster(dist.ClusterConfig{
+		Addrs: addrs, Replication: backends, WriteQuorum: backends, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	keys := make([]string, nKeys)
+	vals := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ae-%d", i)
+		vals[i] = []byte(fmt.Sprintf("value-%d", i))
+	}
+	for at := 0; at < nKeys; at += 1000 {
+		end := at + 1000
+		if end > nKeys {
+			end = nKeys
+		}
+		if err := c.MSet(keys[at:end], vals[at:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.Rebalance(); err != nil {
+		b.Fatal(err)
+	}
+	return c, kvs, keys
+}
+
+// benchAntiEntropySteady measures one steady-state converge pass over
+// an already-converged nKeys cluster (E28). The Merkle pass costs one
+// root exchange per backend whatever the keyspace size; the listings
+// baseline ships every entry every time.
+func benchAntiEntropySteady(b *testing.B, nKeys int, pass func(*dist.Cluster) (int, error)) {
+	c, _, _ := benchAntiEntropyCluster(b, nKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copied, err := pass(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if copied != 0 {
+			b.Fatalf("steady-state pass streamed %d entries", copied)
+		}
+	}
+}
+
+// benchAntiEntropyDiff measures repairing a fixed-size divergence
+// (holes punched into one replica) inside an nKeys cluster (E28): the
+// Merkle pass's cost tracks the diff, not the keyspace.
+func benchAntiEntropyDiff(b *testing.B, nKeys, diff int, pass func(*dist.Cluster) (int, error)) {
+	c, kvs, keys := benchAntiEntropyCluster(b, nKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for d := 0; d < diff; d++ {
+			kvs[1].Engine().Purge(keys[(d*37)%len(keys)])
+		}
+		b.StartTimer()
+		copied, err := pass(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if copied < diff {
+			b.Fatalf("repair pass streamed %d, want >= %d", copied, diff)
+		}
+	}
+}
+
+// E28: steady-state converge cost vs keyspace size — Merkle digests
+// against the preserved full-listings baseline (RebalanceListings, the
+// pre-Merkle rebalancer kept in-tree as the fallback path).
+func BenchmarkAntiEntropyMerkleSteady1k(b *testing.B) {
+	benchAntiEntropySteady(b, 1_000, func(c *dist.Cluster) (int, error) { return c.Rebalance() })
+}
+func BenchmarkAntiEntropyMerkleSteady10k(b *testing.B) {
+	benchAntiEntropySteady(b, 10_000, func(c *dist.Cluster) (int, error) { return c.Rebalance() })
+}
+func BenchmarkAntiEntropyListingsSteady1k(b *testing.B) {
+	benchAntiEntropySteady(b, 1_000, func(c *dist.Cluster) (int, error) { return c.RebalanceListings() })
+}
+func BenchmarkAntiEntropyListingsSteady10k(b *testing.B) {
+	benchAntiEntropySteady(b, 10_000, func(c *dist.Cluster) (int, error) { return c.RebalanceListings() })
+}
+
+// E28: repair cost for a 64-key diff at two keyspace sizes — the
+// Merkle pass should cost roughly the same at both, the listings
+// baseline 10x more at 10k.
+func BenchmarkAntiEntropyMerkleDiff64Of1k(b *testing.B) {
+	benchAntiEntropyDiff(b, 1_000, 64, func(c *dist.Cluster) (int, error) { return c.Rebalance() })
+}
+func BenchmarkAntiEntropyMerkleDiff64Of10k(b *testing.B) {
+	benchAntiEntropyDiff(b, 10_000, 64, func(c *dist.Cluster) (int, error) { return c.Rebalance() })
+}
+func BenchmarkAntiEntropyListingsDiff64Of10k(b *testing.B) {
+	benchAntiEntropyDiff(b, 10_000, 64, func(c *dist.Cluster) (int, error) { return c.RebalanceListings() })
+}

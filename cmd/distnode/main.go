@@ -11,15 +11,24 @@
 //
 // The -addr value is both the listen address and the node's member
 // identity, so it must be a concrete host:port that peers can dial.
+//
+// The node serves the Merkle anti-entropy ops (OpTreeV/OpRangeV) that
+// a dist.Cluster coordinator's Rebalance drives; -merkle-buckets must
+// match the coordinator's ClusterConfig.Buckets (both default to
+// store.DefaultMerkleBuckets). The periodic summary reports the tree's
+// root hash and how many leaf rebuilds write traffic has forced —
+// replicas whose summaries show the same root are provably converged.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -29,35 +38,70 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7001", "listen address and member identity (host:port)")
-	join := flag.String("join", "", "comma-separated seed addresses to join")
-	probe := flag.Duration("probe", 500*time.Millisecond, "failure-detector probe interval")
-	suspicion := flag.Duration("suspicion", 0, "suspicion timeout before a suspect is declared dead (default 5x probe)")
-	quiet := flag.Bool("quiet", false, "log only membership transitions, not the periodic summary")
-	shards := flag.Int("shards", store.DefaultShards, "storage-engine shard count (rounded up to a power of two)")
-	tombGC := flag.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete tombstones are retained before garbage collection")
-	sweep := flag.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
-	flag.Parse()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], stop, nil, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	eng := store.NewSharded(store.Options{Shards: *shards, TombstoneGC: *tombGC})
+// run is the node's whole lifecycle, factored out of main so a test
+// can boot a real node: parse flags, start the engine + sweeper +
+// server + membership, loop until stop, shut down cleanly. When ready
+// is non-nil it receives the bound address once the node is serving
+// (essential with -addr 127.0.0.1:0, where the port is ephemeral).
+func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writer) error {
+	fs := flag.NewFlagSet("distnode", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", "127.0.0.1:7001", "listen address and member identity (host:port)")
+	join := fs.String("join", "", "comma-separated seed addresses to join")
+	probe := fs.Duration("probe", 500*time.Millisecond, "failure-detector probe interval")
+	suspicion := fs.Duration("suspicion", 0, "suspicion timeout before a suspect is declared dead (default 5x probe)")
+	quiet := fs.Bool("quiet", false, "log only membership transitions, not the periodic summary")
+	shards := fs.Int("shards", store.DefaultShards, "storage-engine shard count (rounded up to a power of two)")
+	merkleBuckets := fs.Int("merkle-buckets", store.DefaultMerkleBuckets,
+		"Merkle anti-entropy bucket count (rounded up to a power of two; must match the cluster coordinator's)")
+	tombGC := fs.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete and expiry tombstones are retained before garbage collection")
+	sweep := fs.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(logw, "", log.LstdFlags)
+
+	eng := store.NewSharded(store.Options{Shards: *shards, MerkleBuckets: *merkleBuckets, TombstoneGC: *tombGC})
 	sweeper := store.StartSweeper(eng, *sweep, 4096)
 	defer sweeper.Stop()
 	kv := csnet.NewKVHandlerOn(eng)
-	ml, err := member.New(member.Config{
-		ID:               *addr,
-		ProbeInterval:    *probe,
-		SuspicionTimeout: *suspicion,
-		Logf:             log.Printf,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := csnet.NewServer(ml.Handler(kv), 256)
+	// The member identity must be the address peers actually dial, so
+	// the server binds first (resolving an ephemeral ":0" port) and the
+	// memberlist is created with the bound address. The server starts
+	// on a swappable handler: gossip frames answer "not ready" for the
+	// instant before the memberlist exists, data frames work throughout.
+	var handler atomic.Value // csnet.HandlerFunc
+	handler.Store(csnet.HandlerFunc(kv.Serve))
+	srv := csnet.NewServer(csnet.HandlerFunc(func(r csnet.Request) csnet.Response {
+		return handler.Load().(csnet.HandlerFunc)(r)
+	}), 256)
 	bound, err := srv.Start(*addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("distnode %s: serving KV + gossip", bound)
+	defer srv.Shutdown()
+	ml, err := member.New(member.Config{
+		ID:               bound,
+		ProbeInterval:    *probe,
+		SuspicionTimeout: *suspicion,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	handler.Store(csnet.HandlerFunc(ml.Handler(kv).Serve))
+	logger.Printf("distnode %s: serving KV + gossip + anti-entropy (%d merkle buckets)",
+		bound, eng.Digest().Buckets())
+	if ready != nil {
+		ready <- bound
+	}
 
 	var seeds []string
 	for _, s := range strings.Split(*join, ",") {
@@ -69,36 +113,34 @@ func main() {
 		if err := ml.Join(seeds...); err != nil {
 			// A dead seed is not fatal: keep probing, the cluster may
 			// find us through another member's gossip.
-			log.Printf("distnode %s: join: %v", bound, err)
+			logger.Printf("distnode %s: join: %v", bound, err)
 		}
 	}
 	ml.Start()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(5 * *probe)
 	defer tick.Stop()
 	for {
 		select {
 		case <-stop:
-			log.Printf("distnode %s: shutting down", bound)
+			logger.Printf("distnode %s: shutting down", bound)
 			if err := ml.Stop(); err != nil {
-				log.Printf("distnode %s: stop membership: %v", bound, err)
+				logger.Printf("distnode %s: stop membership: %v", bound, err)
 			}
 			srv.Shutdown()
-			return
+			return nil
 		case <-tick.C:
 			if *quiet {
 				continue
 			}
 			var b strings.Builder
 			expired, purged := sweeper.Totals()
-			fmt.Fprintf(&b, "store: %d keys (swept %d expired, %d tombstones); members (%d alive):",
-				kv.Len(), expired, purged, ml.NumAlive())
+			fmt.Fprintf(&b, "store: %d keys (swept %d expired, %d tombstones); merkle root %016x (%d leaf rebuilds); members (%d alive):",
+				kv.Len(), expired, purged, eng.Digest().Root(), eng.MerkleRebuilds(), ml.NumAlive())
 			for _, m := range ml.Members() {
 				fmt.Fprintf(&b, " %s=%s@%d", m.ID, m.State, m.Incarnation)
 			}
-			log.Print(b.String())
+			logger.Print(b.String())
 		}
 	}
 }

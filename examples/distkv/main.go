@@ -369,13 +369,14 @@ func (n *healNode) kill() {
 }
 
 // replicaCoverage counts how many of the nKeys keys are present on
-// every member of their current replica set.
-func replicaCoverage(ring *dist.ConsistentHash, nodes []*healNode, nKeys, rf int) int {
+// every member of their current replica set (the cluster's own
+// bucket-granular placement, not a shadow ring).
+func replicaCoverage(c *dist.Cluster, nodes []*healNode, nKeys int) int {
 	full := 0
 	for i := 0; i < nKeys; i++ {
 		key := fmt.Sprintf("enrollment:%d", i)
 		whole := true
-		for _, b := range ring.PickN(key, rf) {
+		for _, b := range c.ReplicaSet(key) {
 			if nodes[b].kv.Serve(csnet.Request{Op: csnet.OpGet, Key: key}).Status != csnet.StatusOK {
 				whole = false
 				break
@@ -467,7 +468,6 @@ func selfHealing() {
 	if _, err := c.Rebalance(); err != nil {
 		log.Fatal(err)
 	}
-	ring := dist.NewConsistentHash(nNodes, 64)
 	fmt.Printf("after hint replay + rebalance: %d/%d keys on their full %d-replica set\n\n",
-		replicaCoverage(ring, nodes, nKeys, rf), nKeys, rf)
+		replicaCoverage(c, nodes, nKeys), nKeys, rf)
 }

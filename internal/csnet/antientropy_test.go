@@ -1,0 +1,201 @@
+package csnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pdcedu/internal/store"
+)
+
+func TestBucketListRoundTrip(t *testing.T) {
+	for _, ids := range [][]uint32{nil, {1}, {1, 2, 3, 1024, 0xFFFFFFFF}} {
+		got, err := DecodeBucketList(EncodeBucketList(ids))
+		if err != nil {
+			t.Fatalf("roundtrip %v: %v", ids, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("roundtrip %v = %v", ids, got)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("roundtrip %v = %v", ids, got)
+			}
+		}
+	}
+	for _, bad := range [][]byte{{}, {0, 0}, {0, 0, 0, 2, 0, 0, 0, 1}, append(EncodeBucketList([]uint32{1}), 9)} {
+		if _, err := DecodeBucketList(bad); err == nil {
+			t.Fatalf("malformed bucket list %v decoded", bad)
+		}
+	}
+}
+
+func TestTreeRoundTrip(t *testing.T) {
+	nodes := []TreeNode{{Node: 1, Hash: 0xDEADBEEF}, {Node: 1024, Hash: 0}, {Node: 2047, Hash: ^uint64(0)}}
+	buckets, got, err := DecodeTree(EncodeTree(1024, nodes))
+	if err != nil || buckets != 1024 || !reflect.DeepEqual(got, nodes) {
+		t.Fatalf("roundtrip = %d %v %v", buckets, got, err)
+	}
+	for _, bad := range [][]byte{{}, {0, 0, 0, 1}, {0, 0, 4, 0, 0, 0, 0, 2, 0, 0, 0, 1}} {
+		if _, _, err := DecodeTree(bad); err == nil {
+			t.Fatalf("malformed tree %v decoded", bad)
+		}
+	}
+}
+
+func TestRangeVRoundTrip(t *testing.T) {
+	entries := []KeyDigest{
+		{Key: "plain", Version: 100, Digest: 42},
+		{Key: "dead", Version: 200, Tombstone: true},
+		{Key: "mortal", Version: 300, Digest: 7, ExpireAt: 1_700_000_000_000_000_000},
+		{Key: "dead-mortal", Version: 400, Tombstone: true, ExpireAt: 1_700_000_000_000_000_000},
+		{Key: "", Version: 500, Digest: 1},
+	}
+	body, err := EncodeRangeV(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRangeV(body)
+	if err != nil || !reflect.DeepEqual(got, entries) {
+		t.Fatalf("roundtrip = %+v %v", got, err)
+	}
+	// A count claiming more entries than the body holds is rejected
+	// before allocation.
+	if _, err := DecodeRangeV([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("absurd count decoded")
+	}
+	if _, err := DecodeRangeV(append(body, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestTreeAndRangeOps drives the digest exchange end to end against a
+// live server: descend from the root to the divergent bucket, list it,
+// and find exactly the differing key.
+func TestTreeAndRangeOps(t *testing.T) {
+	kv := NewKVHandlerOn(store.NewSharded(store.Options{Shards: 8, MerkleBuckets: 64}))
+	srv := NewServer(kv, 4)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	local := store.NewSharded(store.Options{Shards: 8, MerkleBuckets: 64})
+	for i := 0; i < 50; i++ {
+		e := store.Entry{Value: []byte{byte(i)}, Version: uint64(1000 + i)}
+		kv.Engine().Merge(keyN(i), e)
+		local.Merge(keyN(i), e)
+	}
+
+	// Converged: the roots match in one frame.
+	buckets, nodes, err := cl.TreeV(nil)
+	if err != nil || buckets != 64 || len(nodes) != 1 || nodes[0].Node != 1 {
+		t.Fatalf("TreeV(root) = %d %v %v", buckets, nodes, err)
+	}
+	if nodes[0].Hash != local.Digest().Root() {
+		t.Fatal("converged roots differ")
+	}
+
+	// Diverge one key and descend to its bucket.
+	kv.Engine().Merge(keyN(7), store.Entry{Value: []byte("split"), Version: 1007})
+	want := store.BucketOf(keyN(7), 64)
+	frontier := []uint32{1}
+	var divergent []int
+	rounds := 0
+	for len(frontier) > 0 {
+		rounds++
+		_, remote, err := cl.TreeV(frontier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := local.Digest()
+		var next []uint32
+		for _, n := range remote {
+			h, _ := d.Node(int(n.Node))
+			if h == n.Hash {
+				continue
+			}
+			if int(n.Node) >= 64 {
+				divergent = append(divergent, int(n.Node)-64)
+			} else {
+				next = append(next, 2*n.Node, 2*n.Node+1)
+			}
+		}
+		frontier = next
+	}
+	if len(divergent) != 1 || divergent[0] != want {
+		t.Fatalf("descent found buckets %v, want [%d]", divergent, want)
+	}
+	if rounds != 7 { // log2(64) levels + the root round
+		t.Fatalf("descent took %d rounds, want 7", rounds)
+	}
+
+	// The bucket listing pins the divergent key by digest.
+	listing, err := cl.RangeV([]uint32{uint32(want)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range listing {
+		if e.Key != keyN(7) {
+			continue
+		}
+		found = true
+		if e.Version != 1007 || e.Digest != store.ValueDigest([]byte("split")) {
+			t.Fatalf("listing entry = %+v", e)
+		}
+	}
+	if !found {
+		t.Fatalf("bucket %d listing missed the divergent key: %+v", want, listing)
+	}
+
+	// Out-of-range queries error instead of panicking.
+	if _, _, err := cl.TreeV([]uint32{9999}); err == nil {
+		t.Fatal("out-of-range tree node accepted")
+	}
+	if _, err := cl.RangeV([]uint32{9999}); err == nil {
+		t.Fatal("out-of-range bucket accepted")
+	}
+}
+
+func keyN(i int) string {
+	return "key-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+}
+
+// TestMergeTombstoneCarriesExpiry pins the wire fix that rides along
+// with expiry tombstones: Client.Merge of a tombstone keeps ExpireAt,
+// so the replica GCs the expiry tombstone on the same horizon.
+func TestMergeTombstoneCarriesExpiry(t *testing.T) {
+	kv := NewKVHandler()
+	srv := NewServer(kv, 4)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	exp := time.Now().Add(time.Hour).UnixNano()
+	if _, applied, err := cl.Merge("k", store.Entry{Version: 100, Tombstone: true, ExpireAt: exp}); err != nil || !applied {
+		t.Fatalf("merge = %v %v", applied, err)
+	}
+	raw, ok := kv.Engine().Load("k")
+	if !ok || !raw.Tombstone || raw.ExpireAt != exp {
+		t.Fatalf("resident tombstone = %+v %v, want ExpireAt %d", raw, ok, exp)
+	}
+	// And GetV reports the tombstone's expiry on a miss.
+	e, found, err := cl.GetV("k")
+	if err != nil || found || !e.Tombstone || e.ExpireAt != exp {
+		t.Fatalf("GetV = %+v %v %v, want tombstone miss with expiry", e, found, err)
+	}
+}

@@ -229,13 +229,14 @@ func (c *Client) DelV(key string, version uint64) (winner uint64, applied bool, 
 }
 
 // Merge applies a full replicated entry (value or tombstone) iff it is
-// newer than the server's resident one.
+// newer than the server's resident one. Tombstones keep their ExpireAt
+// on the wire: an expiry tombstone must reach the replica with its
+// expiry, or the replica would GC it on the wrong horizon.
 func (c *Client) Merge(key string, e store.Entry) (winner uint64, applied bool, err error) {
 	req := Request{Op: OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
 	if e.Tombstone {
 		req.Flags |= FlagTombstone
 		req.Value = nil
-		req.ExpireAt = 0
 	}
 	resp, err := c.Send(req).ResponseV()
 	if err != nil {
@@ -249,6 +250,35 @@ func (c *Client) Merge(key string, e store.Entry) (winner uint64, applied bool, 
 	default:
 		return 0, false, fmt.Errorf("csnet: merge %q: %s", key, resp.Value)
 	}
+}
+
+// TreeV queries the server's Merkle digest for the given tree node
+// indexes (nil or empty = just the root), returning the tree's leaf
+// count and the requested hashes. Callers descend: compare the root,
+// then ask for the children of every mismatching node, down to the
+// divergent leaf buckets.
+func (c *Client) TreeV(nodes []uint32) (buckets int, hashes []TreeNode, err error) {
+	resp, err := c.Send(Request{Op: OpTreeV, Value: EncodeBucketList(nodes)}).ResponseV()
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.Status != StatusOK {
+		return 0, nil, fmt.Errorf("csnet: treev: %s", resp.Value)
+	}
+	return DecodeTree(resp.Value)
+}
+
+// RangeV lists the raw entries of the given Merkle buckets, each with
+// its version, value digest, tombstone flag, and expiry.
+func (c *Client) RangeV(bucketIDs []uint32) ([]KeyDigest, error) {
+	resp, err := c.Send(Request{Op: OpRangeV, Value: EncodeBucketList(bucketIDs)}).ResponseV()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("csnet: rangev: %s", resp.Value)
+	}
+	return DecodeRangeV(resp.Value)
 }
 
 // KeysV lists every entry the server holds — tombstones included —

@@ -60,13 +60,29 @@ const (
 	// rebalancer uses it to find not just missing copies but stale
 	// ones.
 	OpKeysV
+	// OpTreeV answers Merkle digest queries: the request Value is an
+	// EncodeBucketList of tree node indexes (empty = just the root),
+	// the response Value an EncodeTree of their hashes plus the tree
+	// geometry. Two replicas (or their coordinator) descend from the
+	// root through mismatching nodes to the divergent leaf buckets in
+	// O(log buckets) exchanges — the anti-entropy replacement for
+	// shipping full OpKeysV listings.
+	OpTreeV
+	// OpRangeV lists the raw entries of the requested Merkle buckets
+	// only (request Value: EncodeBucketList of bucket indexes; response
+	// Value: EncodeRangeV), each entry carrying its version, value
+	// digest, tombstone flag, and expiry. It is the bucket-scoped
+	// OpKeysV the digest descent ends in: only divergent buckets ever
+	// pay for a listing, and the digest makes same-version value splits
+	// visible to the planner.
+	OpRangeV
 )
 
 // Versioned reports whether op's request and response frames carry the
 // 8-byte version + 1-byte flags trailer.
 func Versioned(op Op) bool {
 	switch op {
-	case OpSetV, OpGetV, OpDelV, OpMerge, OpKeysV:
+	case OpSetV, OpGetV, OpDelV, OpMerge, OpKeysV, OpTreeV, OpRangeV:
 		return true
 	}
 	return false
@@ -114,6 +130,10 @@ func (o Op) String() string {
 		return "MERGE"
 	case OpKeysV:
 		return "KEYSV"
+	case OpTreeV:
+		return "TREEV"
+	case OpRangeV:
+		return "RANGEV"
 	default:
 		return "UNKNOWN"
 	}

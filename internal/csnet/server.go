@@ -327,17 +327,19 @@ func (kv *KVHandler) Serve(req Request) Response {
 		// Get first: the dominant live-hit case costs one engine
 		// lookup, and liveness stays the engine's call (it owns the
 		// time source). A miss falls back to Load so a resident
-		// tombstone's version still reaches the reader, who needs it to
-		// order the delete against other replicas' copies; an expired
-		// entry was just lazily dropped by the Get, so it reports as
-		// plain-absent — consistent with it no longer being able to
-		// win a merge either.
+		// tombstone's version — and, for expiry tombstones, its
+		// ExpireAt — still reaches the reader, who needs them to order
+		// the delete against other replicas' copies and to repair
+		// peers with a correctly-aging tombstone. An entry that just
+		// expired was lazily converted to exactly such a tombstone by
+		// the Get, so it reports as a tombstone miss, not plain-absent.
 		if e, live := kv.eng.Get(req.Key); live {
 			return Response{Status: StatusOK, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
 		}
 		resp := Response{Status: StatusNotFound}
 		if raw, ok := kv.eng.Load(req.Key); ok {
 			resp.Version = raw.Version
+			resp.ExpireAt = raw.ExpireAt // expiry tombstones carry their expiry
 			if raw.Tombstone {
 				resp.Flags |= FlagTombstone
 			}
@@ -384,12 +386,13 @@ func (kv *KVHandler) Serve(req Request) Response {
 		if resp, ok := checkVersion(req.Version); !ok {
 			return resp
 		}
-		e := store.Entry{Version: req.Version}
+		// ExpireAt applies to tombstones too: an expiry tombstone keeps
+		// its expiry so the receiving replica GCs it on the same horizon.
+		e := store.Entry{Version: req.Version, ExpireAt: req.ExpireAt}
 		if req.Flags&FlagTombstone != 0 {
 			e.Tombstone = true
 		} else {
 			e.Value = req.Value
-			e.ExpireAt = req.ExpireAt
 		}
 		return kv.merge(e, req.Key)
 	case OpKeysV:
@@ -399,6 +402,48 @@ func (kv *KVHandler) Serve(req Request) Response {
 			return true
 		})
 		body, err := EncodeKeysV(entries)
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
+		}
+		return Response{Status: StatusOK, Value: body}
+	case OpTreeV:
+		ids, err := DecodeBucketList(req.Value)
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
+		}
+		d := kv.eng.Digest()
+		if len(ids) == 0 {
+			ids = []uint32{1} // bare query: just the root
+		}
+		nodes := make([]TreeNode, 0, len(ids))
+		for _, id := range ids {
+			h, ok := d.Node(int(id))
+			if !ok {
+				return Response{Status: StatusError, Value: []byte(fmt.Sprintf("tree node %d out of range", id))}
+			}
+			nodes = append(nodes, TreeNode{Node: id, Hash: h})
+		}
+		return Response{Status: StatusOK, Value: EncodeTree(d.Buckets(), nodes)}
+	case OpRangeV:
+		ids, err := DecodeBucketList(req.Value)
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
+		}
+		buckets := kv.eng.Digest().Buckets()
+		var entries []KeyDigest
+		for _, b := range ids {
+			if int(b) >= buckets {
+				return Response{Status: StatusError, Value: []byte(fmt.Sprintf("bucket %d out of range", b))}
+			}
+			kv.eng.RangeBucket(int(b), func(k string, e store.Entry) bool {
+				entries = append(entries, KeyDigest{
+					Key: k, Version: e.Version, Digest: store.ValueDigest(e.Value),
+					Tombstone: e.Tombstone, ExpireAt: e.ExpireAt,
+				})
+				return true
+			})
+		}
+		body, err := EncodeRangeV(entries)
 		if err != nil {
 			return Response{Status: StatusError, Value: []byte(err.Error())}
 		}

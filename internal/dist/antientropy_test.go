@@ -1,0 +1,299 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pdcedu/internal/csnet"
+	"pdcedu/internal/store"
+)
+
+// startKVCluster boots n KV backends (optionally with custom engines)
+// and a cluster over them.
+func startKVCluster(t *testing.T, n int, cfg ClusterConfig, mkEngine func(i int) store.Engine) ([]*csnet.KVHandler, *Cluster) {
+	t.Helper()
+	kvs := make([]*csnet.KVHandler, n)
+	addrs := make([]string, n)
+	for i := range kvs {
+		if mkEngine != nil {
+			kvs[i] = csnet.NewKVHandlerOn(mkEngine(i))
+		} else {
+			kvs[i] = csnet.NewKVHandler()
+		}
+		srv := csnet.NewServer(kvs[i], 64)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		t.Cleanup(srv.Shutdown)
+	}
+	cfg.Addrs = addrs
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return kvs, c
+}
+
+// TestAntiEntropySteadyStateFrames is the acceptance pin for the
+// tentpole: one anti-entropy pass over a converged 10k-key cluster
+// exchanges O(backends) digest frames and zero per-key listings, and
+// after a small divergence the listing cost tracks the diff, not the
+// keyspace.
+func TestAntiEntropySteadyStateFrames(t *testing.T) {
+	const n, keys = 3, 10_000
+	kvs, c := startKVCluster(t, n, ClusterConfig{Replication: n, WriteQuorum: n}, nil)
+	ks := make([]string, keys)
+	vs := make([][]byte, keys)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("outcome-%d", i)
+		vs[i] = []byte(fmt.Sprintf("score-%d", i%100))
+	}
+	if err := c.MSet(ks, vs); err != nil {
+		t.Fatal(err)
+	}
+
+	// First pass settles any noise; the second is the steady state.
+	if _, err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := c.Rebalance()
+	if err != nil || copied != 0 {
+		t.Fatalf("steady-state pass = %d %v, want 0 nil", copied, err)
+	}
+	st := c.AntiEntropyStats()
+	if st.DigestFrames != n {
+		t.Errorf("steady-state digest frames = %d, want %d (one root exchange per backend)", st.DigestFrames, n)
+	}
+	if st.ListingFrames != 0 || st.KeysListed != 0 || st.ValueFetches != 0 {
+		t.Errorf("steady-state pass listed keys: %+v", st)
+	}
+
+	// Damage a handful of keys on one backend: the repair pass must
+	// list only the divergent buckets — far below the keyspace.
+	const holes = 5
+	for i := 0; i < holes; i++ {
+		kvs[1].Engine().Purge(ks[i*17])
+	}
+	copied, err = c.Rebalance()
+	if err != nil || copied != holes {
+		t.Fatalf("repair pass = %d %v, want %d nil", copied, err, holes)
+	}
+	st = c.AntiEntropyStats()
+	if st.BucketsDiffed == 0 || st.BucketsDiffed > holes {
+		t.Errorf("repair pass diffed %d buckets, want 1..%d", st.BucketsDiffed, holes)
+	}
+	if st.KeysListed == 0 || st.KeysListed > keys/10 {
+		t.Errorf("repair pass listed %d keys for %d holes over %d keys — cost should track the diff", st.KeysListed, holes, keys)
+	}
+	for i := 0; i < holes; i++ {
+		if _, ok := kvs[1].Engine().Get(ks[i*17]); !ok {
+			t.Fatalf("hole %d not repaired", i)
+		}
+	}
+}
+
+// TestAntiEntropySameVersionSplitConverges pins the divergence class
+// the digests exist for: two replicas holding the same version with
+// different bytes converge to the Entry.Wins (larger) value.
+func TestAntiEntropySameVersionSplitConverges(t *testing.T) {
+	kvs, _, addrs, c := startVersionedPair(t)
+	cl0, err := csnet.Dial(addrs[0], time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl0.Close()
+	cl1, err := csnet.Dial(addrs[1], time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl1.Close()
+	if _, _, err := cl0.SetV("k", []byte("aaa"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl1.SetV("k", []byte("zzz"), 100); err != nil {
+		t.Fatal(err)
+	}
+	copied, err := c.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if copied == 0 {
+		t.Fatal("split went unstreamed — the divergence the old listings rebalancer could not see")
+	}
+	if st := c.AntiEntropyStats(); st.ValueFetches < 2 {
+		t.Errorf("stats = %+v, want both split copies fetched", st)
+	}
+	for b, kv := range kvs {
+		e, ok := kv.Engine().Get("k")
+		if !ok || string(e.Value) != "zzz" || e.Version != 100 {
+			t.Fatalf("backend %d after split repair = %+v %v, want zzz@100", b, e, ok)
+		}
+	}
+	// Converged: the next pass is digest-only.
+	if copied, err = c.Rebalance(); err != nil || copied != 0 {
+		t.Fatalf("steady-state pass = %d %v, want 0 nil", copied, err)
+	}
+	if st := c.AntiEntropyStats(); st.ListingFrames != 0 {
+		t.Errorf("steady-state pass still listing: %+v", st)
+	}
+}
+
+// TestRebalanceGeometryFallback pins the mismatch path: backends whose
+// engines were built with a different Merkle bucket count cannot be
+// tree-diffed, so the pass falls back to full listings — slower, still
+// convergent.
+func TestRebalanceGeometryFallback(t *testing.T) {
+	kvs, c := startKVCluster(t, 2, ClusterConfig{Replication: 2, WriteQuorum: 1},
+		func(int) store.Engine { return store.NewSharded(store.Options{Shards: 8, MerkleBuckets: 64}) })
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	kvs[1].Engine().Purge("k")
+	copied, err := c.Rebalance()
+	if err == nil {
+		t.Fatal("geometry mismatch unreported")
+	}
+	if copied != 1 {
+		t.Fatalf("fallback streamed %d, want 1", copied)
+	}
+	if st := c.AntiEntropyStats(); !st.FellBack {
+		t.Errorf("stats = %+v, want FellBack", st)
+	}
+	if _, ok := kvs[1].Engine().Get("k"); !ok {
+		t.Fatal("fallback did not repair the hole")
+	}
+}
+
+// TestClusterTTLReplicatedMortal pins the TTL plumb: SetTTL/MSetTTL
+// stamp one absolute expiry into every replica's copy — including
+// copies delivered by hint replay — so no replica holds an immortal
+// version of a mortal key.
+func TestClusterTTLReplicatedMortal(t *testing.T) {
+	kvs, srvs, addrs, c := startVersionedPair(t)
+	if err := c.SetTTL("session", []byte("tok"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MSetTTL([]string{"m1", "m2"}, [][]byte{[]byte("a"), []byte("b")}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"session", "m1", "m2"} {
+		var exps [2]int64
+		for b, kv := range kvs {
+			e, ok := kv.Engine().Load(key)
+			if !ok || e.ExpireAt == 0 {
+				t.Fatalf("backend %d: %q = %+v %v, want a mortal copy", b, key, e, ok)
+			}
+			exps[b] = e.ExpireAt
+		}
+		if exps[0] != exps[1] {
+			t.Fatalf("%q replicas disagree on expiry: %d vs %d", key, exps[0], exps[1])
+		}
+	}
+
+	// A TTL'd write hinted past an outage must replay mortal too.
+	srvs[1].Shutdown()
+	if err := c.SetTTL("hinted", []byte("tok"), time.Hour); err != nil {
+		t.Fatalf("degraded SetTTL: %v", err)
+	}
+	srvs[1] = csnet.NewServer(kvs[1], 16)
+	if _, err := srvs[1].Start(addrs[1]); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srvs[1].Shutdown)
+	c.MarkDown(1)
+	c.MarkUp(1)
+	if got := c.Hints(1); got != 0 {
+		t.Fatalf("Hints(1) = %d after replay, want 0", got)
+	}
+	e, ok := kvs[1].Engine().Load("hinted")
+	if !ok || e.ExpireAt == 0 {
+		t.Fatalf("hint-replayed copy = %+v %v, want mortal", e, ok)
+	}
+
+	// End to end: a short TTL actually expires at the cluster API.
+	if err := c.SetTTL("blink", []byte("x"), 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok, err := c.Get("blink")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TTL'd key still readable 5s past its expiry")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReadRepairKeepsTombstoneExpiry pins the Get path fix that rides
+// with expiry tombstones: the tombstone a miss repairs onto a stale
+// holder must carry its ExpireAt, or the holder would age it from the
+// (older) write time and could GC it before its own copy had expired.
+func TestReadRepairKeepsTombstoneExpiry(t *testing.T) {
+	kvs, _, _, c := startVersionedPair(t)
+	// Find a key whose first replica is backend 0 (balancer-less Get
+	// order), so the Get sees the tombstone before the stale value.
+	key := ""
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("exp-probe-%d", i)
+		if set := c.replicaSet(k); len(set) == 2 && set[0] == 0 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key with backend 0 first in 256 probes")
+	}
+	exp := time.Now().Add(-time.Minute).UnixNano()
+	ver := kvs[0].Engine().Clock().Next()
+	kvs[0].Engine().Merge(key, store.Entry{Value: []byte("v"), Version: ver, ExpireAt: exp})
+	kvs[0].Engine().Get(key) // expire into a tombstone
+	kvs[1].Engine().Merge(key, store.Entry{Value: []byte("zombie"), Version: ver - 1})
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("Get = %v %v, want miss", ok, err)
+	}
+	repaired, ok := kvs[1].Engine().Load(key)
+	if !ok || !repaired.Tombstone || repaired.Version != ver || repaired.ExpireAt != exp {
+		t.Fatalf("repaired tombstone = %+v %v, want tombstone@%d with ExpireAt %d", repaired, ok, ver, exp)
+	}
+}
+
+// TestAntiEntropyExpiredImmortalConverges pins the expiry leg of the
+// chaos classes deterministically: one replica's copy expired into a
+// tombstone, the other still holds the same version immortal — the
+// cluster must converge to deleted, never resurrect.
+func TestAntiEntropyExpiredImmortalConverges(t *testing.T) {
+	kvs, _, _, c := startVersionedPair(t)
+	ver := kvs[0].Engine().Clock().Next()
+	// Backend 0: mortal copy, already expired into a tombstone.
+	kvs[0].Engine().Merge("k", store.Entry{Value: []byte("v"), Version: ver, ExpireAt: time.Now().Add(-time.Minute).UnixNano()})
+	if _, ok := kvs[0].Engine().Get("k"); ok {
+		t.Fatal("expired copy readable")
+	}
+	// Backend 1: the same write delivered without its expiry (the
+	// pre-fix hint replay could do this).
+	kvs[1].Engine().Merge("k", store.Entry{Value: []byte("v"), Version: ver})
+	if _, err := c.Rebalance(); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	for b, kv := range kvs {
+		if _, ok := kv.Engine().Get("k"); ok {
+			t.Fatalf("backend %d resurrected an expired key", b)
+		}
+	}
+	if v, ok, err := c.Get("k"); err != nil || ok {
+		t.Fatalf("cluster Get = %q %v %v, want miss", v, ok, err)
+	}
+}

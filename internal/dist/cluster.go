@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdcedu/internal/csnet"
@@ -31,14 +32,22 @@ type ClusterConfig struct {
 	// (default a majority of Replication, clamped to [1, Replication]).
 	// Set it to Replication to restore strict write-all semantics.
 	WriteQuorum int
+	// Buckets is the Merkle bucket count placement and anti-entropy
+	// agree on (rounded up to a power of two; default
+	// store.DefaultMerkleBuckets). It must match the backends' engine
+	// MerkleBuckets — the digest exchange carries the geometry, and a
+	// mismatch makes Rebalance fall back to full listings.
+	Buckets int
 }
 
 // Cluster shards one key space across several csnet backend servers: a
-// consistent-hash ring places each key on its Replication first
-// distinct ring successors, writes go synchronously to the live members
-// of that set (succeeding on a quorum of acks), and reads are spread
-// over the replica set by the configured Balancer with read-repair
-// backfilling replicas that missed a write.
+// consistent-hash ring places each key's Merkle bucket (so every key
+// in a bucket shares one replica set — the granularity anti-entropy
+// digests compare) on its Replication first distinct ring successors,
+// writes go synchronously to the live members of that set (succeeding
+// on a quorum of acks), and reads are spread over the replica set by
+// the configured Balancer with read-repair backfilling replicas that
+// missed a write.
 //
 // Transport: one pipelined, multiplexed connection per backend, shared
 // by all concurrent callers. Replica fan-out and the batch APIs
@@ -60,10 +69,12 @@ type ClusterConfig struct {
 // so dead backends are evicted from the ring (their keys reroute to the
 // next live nodes) and recovered ones are readmitted. Writes that fail
 // on an unreachable replica are queued as hints (latest version per
-// key) and replayed when the replica rejoins; a background rebalancer
-// streams entries — missing or stale, values or tombstones — to their
-// current owners after every ring change. See MarkDown, MarkUp,
-// Rebalance, and PartialWriteError.
+// key, expiry included) and replayed when the replica rejoins; a
+// background Merkle anti-entropy pass compares replica digests and
+// streams exactly the diverged entries — missing, stale, value-split,
+// or tombstoned — to their current owners after every ring change. See
+// MarkDown, MarkUp, Rebalance, AntiEntropyStats, and
+// PartialWriteError.
 type Cluster struct {
 	ring     *ConsistentHash // live placement: down backends removed
 	clock    *store.Clock    // stamps write versions, observes read versions
@@ -72,13 +83,23 @@ type Cluster struct {
 	quorum   int
 	pools    []*clientPool
 	addrIdx  map[string]int
+	// Placement is bucket-granular: a key maps to its Merkle bucket
+	// (store.BucketOf) and the bucket — not the key — is what the ring
+	// places. Every key in a bucket therefore shares one replica set,
+	// which is what makes two replicas' bucket hashes comparable: when
+	// they disagree, the bucket has genuinely diverged, not merely been
+	// sliced differently by per-key placement.
+	buckets    int
+	bucketKeys []string // precomputed ring keys, one per bucket
 
 	mu        sync.Mutex
 	down      []bool
 	hints     []map[string]hintEntry // per-backend pending hinted operations
 	hintDrops uint64
+	lastAE    AntiEntropyStats
 
-	rebalanceMu   sync.Mutex // serializes Rebalance passes
+	rebalanceMu   sync.Mutex  // serializes Rebalance passes
+	fullPass      atomic.Bool // next scheduled pass must be full listings (set on ring changes)
 	rebalance     chan struct{}
 	stop          chan struct{}
 	rebalanceDone chan struct{}
@@ -109,6 +130,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if quorum > rf {
 		quorum = rf
 	}
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = store.DefaultMerkleBuckets
+	}
+	pow := 1
+	for pow < buckets {
+		pow <<= 1
+	}
+	buckets = pow
 	c := &Cluster{
 		ring:          NewConsistentHash(n, cfg.Vnodes),
 		clock:         store.NewClock(),
@@ -117,11 +147,16 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		quorum:        quorum,
 		pools:         make([]*clientPool, n),
 		addrIdx:       make(map[string]int, n),
+		buckets:       buckets,
+		bucketKeys:    make([]string, buckets),
 		down:          make([]bool, n),
 		hints:         make([]map[string]hintEntry, n),
 		rebalance:     make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 		rebalanceDone: make(chan struct{}),
+	}
+	for b := range c.bucketKeys {
+		c.bucketKeys[b] = fmt.Sprintf("bucket-%d", b)
 	}
 	for i, addr := range cfg.Addrs {
 		c.pools[i] = &clientPool{addr: addr, timeout: timeout}
@@ -138,12 +173,24 @@ func (c *Cluster) Backends() int { return len(c.pools) }
 func (c *Cluster) Replication() int { return c.rf }
 
 // replicaSet returns the live backends holding key: the first rf
-// distinct nodes clockwise from the key's ring position. Backends
-// marked down are out of the ring, so the set shrinks below rf only
-// when fewer than rf backends are live.
+// distinct nodes clockwise from the key's *bucket's* ring position
+// (placement is bucket-granular; see the Cluster doc). Backends marked
+// down are out of the ring, so the set shrinks below rf only when
+// fewer than rf backends are live.
 func (c *Cluster) replicaSet(key string) []int {
-	return c.ring.PickN(key, c.rf)
+	return c.ownersOf(store.BucketOf(key, c.buckets))
 }
+
+// ownersOf returns the live replica set of one Merkle bucket.
+func (c *Cluster) ownersOf(bucket int) []int {
+	return c.ring.PickN(c.bucketKeys[bucket], c.rf)
+}
+
+// ReplicaSet reports the live backends currently owning key, primary
+// first — the placement every read, write, and anti-entropy pass
+// uses. Demos and operators use it to check replication coverage
+// against the cluster's actual geometry.
+func (c *Cluster) ReplicaSet(key string) []int { return c.replicaSet(key) }
 
 // quorumFor is the ack count a write to a set of n live replicas needs:
 // the configured quorum, degraded to n when fewer than quorum replicas
@@ -177,9 +224,22 @@ func (c *Cluster) quorumFor(n int) int {
 // rejoin. Below quorum it returns a *PartialWriteError naming the
 // replicas that did acknowledge.
 func (c *Cluster) Set(key string, value []byte) error {
+	return c.SetTTL(key, value, 0)
+}
+
+// SetTTL is Set with an expiry: the coordinator computes one absolute
+// ExpireAt from ttl (<= 0 means no expiry) and stamps it into every
+// replica's OpSetV — and into any hint queued for an unreachable
+// replica — so the entry is mortal everywhere it lands, and an expired
+// copy converges to an expiry tombstone instead of resurrecting.
+func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return fmt.Errorf("dist: cluster set %q: no live backends", key)
+	}
+	var expireAt int64
+	if ttl > 0 {
+		expireAt = time.Now().Add(ttl).UnixNano()
 	}
 	ver := c.clock.Next()
 	type sent struct {
@@ -196,7 +256,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 		}
 		causes[b] = err
 		if hint {
-			c.hint(b, key, hintEntry{val: value, ver: ver})
+			c.hint(b, key, hintEntry{val: value, ver: ver, exp: expireAt})
 			hinted = append(hinted, b)
 		}
 	}
@@ -206,7 +266,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 			fail(b, err, true)
 			continue
 		}
-		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver}), b})
+		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver, ExpireAt: expireAt}), b})
 	}
 	for _, s := range calls {
 		resp, err := s.call.ResponseV()
@@ -267,6 +327,7 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	defer release()
 	var missed []int
 	var tombVer uint64 // newest tombstone seen across misses
+	var tombExp int64  // its ExpireAt (nonzero for expiry tombstones)
 	var lastErr error
 	for i := 0; i < len(set); i++ {
 		b := set[(first+i)%len(set)]
@@ -288,7 +349,12 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 		c.clock.Observe(e.Version)
 		if !found {
 			if e.Tombstone && e.Version > tombVer {
-				tombVer = e.Version
+				// Keep the tombstone's expiry too: an expiry tombstone
+				// repaired onto a peer without its ExpireAt would age
+				// from the (older) write time and could be GC'd before
+				// the peer's own copy had even expired — reopening the
+				// resurrection hole.
+				tombVer, tombExp = e.Version, e.ExpireAt
 			}
 			missed = append(missed, b)
 			continue
@@ -299,7 +365,7 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 			// A replica consulted earlier holds a newer delete: the
 			// value is stale, not the miss. Push the tombstone at the
 			// stale holder and report the key gone.
-			c.readRepair(key, store.Entry{Version: tombVer, Tombstone: true}, []int{b})
+			c.readRepair(key, store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp}, []int{b})
 			return nil, false, nil
 		}
 		c.readRepair(key, e, missed)
@@ -328,7 +394,6 @@ func (c *Cluster) readRepair(key string, e store.Entry, missed []int) {
 		if e.Tombstone {
 			req.Flags |= csnet.FlagTombstone
 			req.Value = nil
-			req.ExpireAt = 0
 		}
 		calls = append(calls, cl.Send(req))
 	}
@@ -422,8 +487,18 @@ func (bc *batchClients) get(b int) (*csnet.Client, error) {
 // first such key's detail plus the total count of under-quorum keys
 // (every other key's writes still complete and remain durable).
 func (c *Cluster) MSet(keys []string, values [][]byte) error {
+	return c.MSetTTL(keys, values, 0)
+}
+
+// MSetTTL is MSet with one expiry applied to the whole batch (ttl <= 0
+// means no expiry); see SetTTL for the replication semantics.
+func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) error {
 	if len(keys) != len(values) {
 		return fmt.Errorf("dist: cluster mset: %d keys but %d values", len(keys), len(values))
+	}
+	var expireAt int64
+	if ttl > 0 {
+		expireAt = time.Now().Add(ttl).UnixNano()
 	}
 	bc := c.newBatchClients()
 	type sent struct {
@@ -442,7 +517,7 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 		}
 		causes[i][b] = err
 		if hint {
-			c.hint(b, keys[i], hintEntry{val: values[i], ver: vers[i]})
+			c.hint(b, keys[i], hintEntry{val: values[i], ver: vers[i], exp: expireAt})
 			hinted[i] = append(hinted[i], b)
 		}
 	}
@@ -457,7 +532,7 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 				continue
 			}
 			calls = append(calls, sent{
-				call:    cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: values[i], Version: vers[i]}),
+				call:    cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: values[i], Version: vers[i], ExpireAt: expireAt}),
 				key:     i,
 				backend: b,
 			})

@@ -110,8 +110,8 @@ func TestClusterMGetFallbackRepair(t *testing.T) {
 	if err := c.Set("grade", []byte("A")); err != nil {
 		t.Fatal(err)
 	}
-	primary := NewConsistentHash(3, 0).Pick("grade") // balancer-less first choice
-	handlers[primary].Engine().Purge("grade")        // simulated data loss, not a delete
+	primary := c.replicaSet("grade")[0]       // balancer-less first choice
+	handlers[primary].Engine().Purge("grade") // simulated data loss, not a delete
 	got, err := c.MGet([]string{"grade", "missing"})
 	if err != nil {
 		t.Fatal(err)

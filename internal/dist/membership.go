@@ -77,6 +77,7 @@ const maxHintsPerNode = 8192
 type hintEntry struct {
 	val []byte
 	ver uint64
+	exp int64 // ExpireAt of a TTL'd write, so a replayed hint stays mortal
 	del bool
 }
 
@@ -157,7 +158,7 @@ func (c *Cluster) replayHints(b int) int {
 	}
 	calls := make(map[string]*csnet.Call, len(pending))
 	for k, e := range pending {
-		req := csnet.Request{Op: csnet.OpMerge, Key: k, Value: e.val, Version: e.ver}
+		req := csnet.Request{Op: csnet.OpMerge, Key: k, Value: e.val, Version: e.ver, ExpireAt: e.exp}
 		if e.del {
 			req.Flags |= csnet.FlagTombstone
 			req.Value = nil
@@ -196,7 +197,7 @@ func (c *Cluster) MarkDown(b int) bool {
 	c.down[b] = true
 	c.mu.Unlock()
 	c.ring.RemoveNode(b)
-	c.kickRebalance()
+	c.kickRebalance(true)
 	return true
 }
 
@@ -237,7 +238,7 @@ func (c *Cluster) MarkUp(b int) bool {
 	c.down[b] = false
 	c.mu.Unlock()
 	c.replayHints(b)
-	c.kickRebalance()
+	c.kickRebalance(true)
 	return true
 }
 
@@ -290,8 +291,17 @@ func (c *Cluster) Watch(ml *member.Memberlist) (stop func()) {
 }
 
 // kickRebalance schedules a background rebalance; coalesces with one
-// already pending.
-func (c *Cluster) kickRebalance() {
+// already pending. Ring changes (MarkDown/MarkUp) request a *full
+// listings* pass: right after a geometry change the cluster can hold
+// copies the Merkle pass deliberately ignores — a write accepted by
+// ring successors while every current owner was down lives on backends
+// that are non-owners once the ring is restored, and only a
+// whole-backend listing can find and rescue it. Steady-state scheduled
+// passes and manual Rebalance calls stay on the cheap digest exchange.
+func (c *Cluster) kickRebalance(full bool) {
+	if full {
+		c.fullPass.Store(true)
+	}
 	select {
 	case c.rebalance <- struct{}{}:
 	default:
@@ -306,34 +316,39 @@ func (c *Cluster) rebalanceLoop() {
 		case <-c.stop:
 			return
 		case <-c.rebalance:
-			_, _ = c.Rebalance()
+			if c.fullPass.Swap(false) {
+				_, _ = c.RebalanceListings()
+			} else {
+				_, _ = c.Rebalance()
+			}
 		}
 	}
 }
 
-// Rebalance converges replication after ring changes by version-aware
-// staleness detection: every live backend lists its entries with
-// versions, tombstones included (one OpKeysV round each), the listings
+// RebalanceListings is the pre-Merkle converger, kept as the fallback
+// Rebalance drops to when a backend's tree geometry disagrees with the
+// cluster's, and as the O(keyspace) baseline bench E28 measures the
+// digest exchange against: every live backend ships its *entire*
+// entry listing with versions (one OpKeysV round each), the listings
 // join into a per-key version map, and every (key, owner) pair where a
 // current owner is missing the entry *or holds an older version* gets
 // the newest entry streamed — tombstones straight from the listing,
 // values as one pipelined OpGetV burst per source backend — applied
 // with OpMerge, which fills holes and overwrites stale copies but can
-// never clobber a write that landed after the listing. A steady-state
-// pass therefore costs entry listings, not the keyspace. It returns
-// how many entries were streamed and applied. Runs automatically after
-// MarkDown/MarkUp; callable directly for a deterministic converge in
-// tests and demos.
+// never clobber a write that landed after the listing.
 //
-// This subsumes two jobs the set-if-absent rebalancer could not do:
-// a rejoined backend's stale value is repaired even though the slot is
-// occupied, and a delete that happened during its outage reaches it as
-// a streamed tombstone even when the delete hint was dropped. Keys a
-// backend no longer owns are still not deleted locally (harmless
-// extras; a compaction pass may reap them).
-func (c *Cluster) Rebalance() (copied int, err error) {
+// Two costs Rebalance no longer pays remain here: a steady-state pass
+// ships every key's listing even when nothing diverged, and an
+// equal-version value-vs-value split is invisible (OpKeysV listings
+// carry no value digest), so such copies stay divergent until
+// overwritten.
+func (c *Cluster) RebalanceListings() (copied int, err error) {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
+	return c.rebalanceListings()
+}
+
+func (c *Cluster) rebalanceListings() (copied int, err error) {
 	n := len(c.pools)
 	var firstErr error
 	noteErr := func(b int, err error) {
@@ -418,13 +433,10 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 		// with the top version but holding a value where the top is a
 		// tombstone (the Entry.Wins tie-break the engines apply). An
 		// equal-version value-vs-value tie is invisible here — listings
-		// carry no value digest, and read-repair cannot see it either
-		// (it only targets replicas that missed), so two same-version
-		// different-value copies stay divergent until one is
-		// overwritten; digest-bearing listings (the ROADMAP Merkle
-		// anti-entropy item) are the real fix.
+		// carry no value digest; the Merkle Rebalance sees and repairs
+		// that divergence, which is one reason it replaced this pass.
 		var targets []int
-		for _, t := range c.ring.PickN(k, c.rf) {
+		for _, t := range c.replicaSet(k) {
 			if clients[t] == nil {
 				continue
 			}

@@ -11,9 +11,10 @@ import (
 // perfectly good engine for small single-writer stores where shard
 // bookkeeping buys nothing.
 type Flat struct {
-	clock *Clock
-	now   func() time.Time
-	gcAge time.Duration
+	clock  *Clock
+	now    func() time.Time
+	gcAge  time.Duration
+	merkle merkle
 
 	mu sync.Mutex
 	t  table
@@ -22,7 +23,10 @@ type Flat struct {
 // NewFlat creates a flat engine (Options.Shards is ignored).
 func NewFlat(o Options) *Flat {
 	o = o.withDefaults()
-	return &Flat{clock: o.Clock, now: o.Now, gcAge: o.TombstoneGC, t: newTable(o.Now)}
+	f := &Flat{clock: o.Clock, now: o.Now, gcAge: o.TombstoneGC}
+	f.merkle.init(merkleBuckets(o.MerkleBuckets, 1))
+	f.t = newTable(o.Now, f.merkle.touch)
+	return f
 }
 
 // Get implements Engine.
@@ -145,6 +149,46 @@ func (f *Flat) Sweep(int) (expired, purged int) {
 	f.mu.Unlock()
 	return expired, purged
 }
+
+// RangeBucket implements Engine: one table, so the snapshot scans it
+// and filters by bucket.
+func (f *Flat) RangeBucket(b int, fn func(key string, e Entry) bool) {
+	type pair struct {
+		k string
+		e Entry
+	}
+	f.mu.Lock()
+	var buf []pair
+	for k, e := range f.t.data {
+		if BucketOf(k, f.merkle.buckets) == b {
+			buf = append(buf, pair{k, e})
+		}
+	}
+	f.mu.Unlock()
+	for _, p := range buf {
+		if !fn(p.k, p.e) {
+			return
+		}
+	}
+}
+
+// Digest implements Engine: any dirty bucket costs one full-table scan
+// under the single lock — the same ceiling every Flat snapshot has.
+func (f *Flat) Digest() *Digest {
+	return f.merkle.digest(func(buckets map[int]bool, fn func(key string, e Entry)) {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for k, e := range f.t.data {
+			if buckets[BucketOf(k, f.merkle.buckets)] {
+				fn(k, e)
+			}
+		}
+	})
+}
+
+// MerkleRebuilds reports how many Merkle leaf rebuilds Digest has
+// performed.
+func (f *Flat) MerkleRebuilds() uint64 { return f.merkle.MerkleRebuilds() }
 
 // Clock implements Engine.
 func (f *Flat) Clock() *Clock { return f.clock }

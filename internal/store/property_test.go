@@ -25,7 +25,8 @@ func (m *model) get(k string) (Entry, bool) {
 		return Entry{}, false
 	}
 	if e.ExpireAt != 0 && m.now().UnixNano() >= e.ExpireAt {
-		delete(m.data, k) // mirror the engine's lazy expiry on read
+		// Mirror the engine's lazy expiry-into-tombstone on read.
+		m.data[k] = Entry{Version: e.Version, Tombstone: true, ExpireAt: e.ExpireAt}
 		return Entry{}, false
 	}
 	return e, true
@@ -61,11 +62,15 @@ func (m *model) sweep(gcAge time.Duration) {
 	for k, e := range m.data {
 		switch {
 		case e.Tombstone:
-			if WallMillis(e.Version) < gcBefore {
+			age := WallMillis(e.Version)
+			if expMillis := e.ExpireAt / int64(time.Millisecond); expMillis > age {
+				age = expMillis
+			}
+			if age < gcBefore {
 				delete(m.data, k)
 			}
 		case e.ExpireAt != 0 && now >= e.ExpireAt:
-			delete(m.data, k)
+			m.data[k] = Entry{Version: e.Version, Tombstone: true, ExpireAt: e.ExpireAt}
 		}
 	}
 }
@@ -149,6 +154,11 @@ func TestStoreProperty(t *testing.T) {
 						e.Tombstone = true
 					} else {
 						e.Value = val()
+						if rng.Intn(4) == 0 {
+							// A replicated TTL'd entry: exercises the expiry
+							// wire field and the mortal-beats-immortal tie-break.
+							e.ExpireAt = ft.now().Add(time.Duration(1+rng.Intn(300)) * time.Second).UnixNano()
+						}
 					}
 					_, applied := eng.Merge(k, e)
 					if mApplied := m.merge(k, e); applied != mApplied {
@@ -167,14 +177,18 @@ func TestStoreProperty(t *testing.T) {
 					k := key()
 					ge, gok := eng.Load(k)
 					me, mok := m.data[k]
-					if gok != mok || (gok && (ge.Version != me.Version || ge.Tombstone != me.Tombstone)) {
+					if gok != mok || (gok && (ge.Version != me.Version || ge.Tombstone != me.Tombstone || ge.ExpireAt != me.ExpireAt)) {
 						t.Fatalf("op %d: Load(%q) engine=%+v,%v model=%+v,%v", i, k, ge, gok, me, mok)
 					}
-				case p < 90: // Keys snapshot cross-check
+				case p < 90: // Keys + Merkle digest cross-check
 					got := eng.Keys()
 					sort.Strings(got)
 					if want := m.liveKeys(); !reflect.DeepEqual(got, want) {
 						t.Fatalf("op %d: Keys engine=%v model=%v", i, got, want)
+					}
+					d := eng.Digest()
+					if want := digestOf(m.data, d.Buckets()); d.Root() != want.Root() {
+						t.Fatalf("op %d: Digest root %016x, model %016x", i, d.Root(), want.Root())
 					}
 				case p < 95: // advance time: TTLs lapse, tombstones age
 					ft.advance(time.Duration(1+rng.Intn(90)) * time.Second)
@@ -206,7 +220,8 @@ func TestStoreProperty(t *testing.T) {
 			}
 			for k, me := range m.data {
 				ge, ok := raw[k]
-				if !ok || ge.Version != me.Version || ge.Tombstone != me.Tombstone || string(ge.Value) != string(me.Value) {
+				if !ok || ge.Version != me.Version || ge.Tombstone != me.Tombstone ||
+					string(ge.Value) != string(me.Value) || ge.ExpireAt != me.ExpireAt {
 					t.Fatalf("raw entry %q: engine %+v model %+v", k, ge, me)
 				}
 			}

@@ -27,6 +27,7 @@ type Sharded struct {
 	// whole store over successive calls.
 	cursor atomic.Uint32
 	shards []shard
+	merkle merkle
 }
 
 // shard pads each mutex+table pair out to exactly one 64-byte cache
@@ -58,22 +59,37 @@ func NewSharded(o Options) *Sharded {
 		mask:   uint32(pow - 1),
 		shards: make([]shard, pow),
 	}
+	// Buckets and shards mask the same key hash's low bits, so with
+	// buckets >= shards every bucket's keys live in exactly one shard
+	// (shard = bucket & mask) — what lets a dirty-bucket rebuild and a
+	// RangeBucket listing scan one shard instead of the whole store.
+	s.merkle.init(merkleBuckets(o.MerkleBuckets, pow))
 	for i := range s.shards {
-		s.shards[i].t = newTable(o.Now)
+		s.shards[i].t = newTable(o.Now, s.merkle.touch)
 	}
 	return s
 }
 
-// shardFor hashes key (FNV-1a with an avalanche finish, the same
-// family as the dist ring hash) onto its shard.
-func (s *Sharded) shardFor(key string) *shard {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
+// merkleBuckets rounds the configured Merkle leaf count up to a power
+// of two no smaller than the (power-of-two) shard count.
+func merkleBuckets(n, shards int) int {
+	if n <= 0 {
+		n = DefaultMerkleBuckets
 	}
-	h ^= h >> 16
-	return &s.shards[h&s.mask]
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	if pow < shards {
+		pow = shards
+	}
+	return pow
+}
+
+// shardFor hashes key onto its shard with the shared keyHash32 (the
+// same hash the Merkle bucket partition masks).
+func (s *Sharded) shardFor(key string) *shard {
+	return &s.shards[keyHash32(key)&s.mask]
 }
 
 // Shards reports the effective (power-of-two) shard count.
@@ -235,6 +251,57 @@ func (s *Sharded) Sweep(limit int) (expired, purged int) {
 	}
 	return expired, purged
 }
+
+// RangeBucket implements Engine: bucket b's keys all live in one shard
+// (the bucket mask refines the shard mask), so the listing snapshots
+// that single shard and filters, never touching the rest of the store.
+func (s *Sharded) RangeBucket(b int, fn func(key string, e Entry) bool) {
+	type pair struct {
+		k string
+		e Entry
+	}
+	var buf []pair
+	sh := &s.shards[uint32(b)&s.mask]
+	sh.mu.Lock()
+	for k, e := range sh.t.data {
+		if BucketOf(k, s.merkle.buckets) == b {
+			buf = append(buf, pair{k, e})
+		}
+	}
+	sh.mu.Unlock()
+	for _, p := range buf {
+		if !fn(p.k, p.e) {
+			return
+		}
+	}
+}
+
+// Digest implements Engine. Dirty buckets are grouped by shard and
+// each affected shard is scanned once under its own lock, so a digest
+// after scattered writes costs a few shard scans, and a digest of an
+// idle engine costs nothing.
+func (s *Sharded) Digest() *Digest {
+	return s.merkle.digest(func(buckets map[int]bool, fn func(key string, e Entry)) {
+		shards := map[uint32]bool{}
+		for b := range buckets {
+			shards[uint32(b)&s.mask] = true
+		}
+		for si := range shards {
+			sh := &s.shards[si]
+			sh.mu.Lock()
+			for k, e := range sh.t.data {
+				if buckets[BucketOf(k, s.merkle.buckets)] {
+					fn(k, e)
+				}
+			}
+			sh.mu.Unlock()
+		}
+	})
+}
+
+// MerkleRebuilds reports how many Merkle leaf rebuilds Digest has
+// performed.
+func (s *Sharded) MerkleRebuilds() uint64 { return s.merkle.MerkleRebuilds() }
 
 // Clock implements Engine.
 func (s *Sharded) Clock() *Clock { return s.clock }

@@ -24,20 +24,20 @@
 // drop its set-if-absent ordering tricks.
 //
 // Deletes write tombstones rather than removing entries, so a delete
-// can propagate through merge exactly like a write; Sweep garbage
-// collects tombstones once they are older than the configured GC age
-// (their age is read straight out of the version's wall-clock bits)
-// and reaps expired TTL entries that lazy expiry on Get has not
-// already caught.
+// can propagate through merge exactly like a write. TTL expiry does
+// the same: an expired entry converts (lazily on read, or in Sweep)
+// into a tombstone that keeps the entry's version and ExpireAt, so a
+// replica that held an older immortal copy of the key through the
+// expiry loses the merge instead of resurrecting the value. Sweep
+// garbage-collects tombstones once they are older than the configured
+// GC age — a delete tombstone ages from its version's wall-clock
+// bits, an expiry tombstone from max(write wall time, ExpireAt).
 //
-// Known limitation: expiry removes the entry outright, version
-// included — unlike deletes, it leaves no tombstone. A replica that
-// held an older immortal copy of the key through the expiry therefore
-// owns the newest surviving version and replication will restore its
-// copy. Retaining expired entries as tombstones until the GC horizon
-// (the ROADMAP "expiry tombstones" item) would close this; until
-// then, avoid mixing TTL'd and immortal writes to the same key on
-// replicated engines.
+// Every engine also maintains an incremental Merkle tree over its raw
+// entry space (Digest): leaves are hash-partitioned key buckets,
+// dirtied on write and rebuilt lazily, so two replicas can find their
+// differences in O(log buckets) hash exchanges instead of comparing
+// full listings. See merkle.go and the csnet OpTreeV/OpRangeV ops.
 package store
 
 import (
@@ -68,10 +68,15 @@ func (e Entry) Live(now int64) bool {
 }
 
 // Wins reports whether e supersedes cur under last-writer-wins merge:
-// the higher version wins; on a version tie a tombstone beats a value
-// and the lexicographically larger value beats the smaller, so
-// concurrent merges converge to the same entry whichever order they
-// apply in. Equal entries do not win (merge is idempotent).
+// the higher version wins; on a version tie a tombstone beats a value,
+// the lexicographically larger value beats the smaller, and — with
+// everything else equal — the mortal entry beats the immortal one
+// (the earlier nonzero ExpireAt wins). The chain is a strict total
+// order, so concurrent merges converge to the same entry whichever
+// order they apply in; the expiry tie-break is what lets an
+// expired-into-tombstone copy and a same-version immortal copy
+// converge to deleted instead of diverging forever. Equal entries do
+// not win (merge is idempotent).
 func (e Entry) Wins(cur Entry) bool {
 	if e.Version != cur.Version {
 		return e.Version > cur.Version
@@ -79,7 +84,16 @@ func (e Entry) Wins(cur Entry) bool {
 	if e.Tombstone != cur.Tombstone {
 		return e.Tombstone
 	}
-	return bytes.Compare(e.Value, cur.Value) > 0
+	if c := bytes.Compare(e.Value, cur.Value); c != 0 {
+		return c > 0
+	}
+	if e.ExpireAt != cur.ExpireAt {
+		if e.ExpireAt == 0 {
+			return false // immortal never beats mortal
+		}
+		return cur.ExpireAt == 0 || e.ExpireAt < cur.ExpireAt
+	}
+	return false
 }
 
 // Engine is a versioned key-value storage engine. Implementations are
@@ -120,6 +134,16 @@ type Engine interface {
 	// snapshots taken one shard at a time; fn returning false stops
 	// the iteration. fn runs with no lock held.
 	Range(fn func(key string, e Entry) bool)
+	// RangeBucket iterates the raw entries whose keys hash into Merkle
+	// bucket b (see BucketOf), from a snapshot like Range. It is how
+	// the anti-entropy protocol lists exactly one divergent bucket
+	// without scanning the keyspace.
+	RangeBucket(b int, fn func(key string, e Entry) bool)
+	// Digest returns a point-in-time Merkle tree over the raw entry
+	// space — tombstones and not-yet-swept expired entries included,
+	// exactly what Range exposes. Dirty buckets are rebuilt lazily
+	// here; an idle engine answers from a cached snapshot.
+	Digest() *Digest
 	// Len reports the number of non-tombstone entries. Entries that
 	// expired but have not yet been swept or lazily dropped still
 	// count.
@@ -139,6 +163,12 @@ type Options struct {
 	// Shards is the shard count for Sharded, rounded up to a power of
 	// two (default DefaultShards). Flat ignores it.
 	Shards int
+	// MerkleBuckets is the Merkle tree leaf count, rounded up to a
+	// power of two no smaller than the shard count (default
+	// DefaultMerkleBuckets). Replicas must agree on it for their
+	// digests to be comparable; the wire exchange carries it so a
+	// mismatch is detected rather than mis-diffed.
+	MerkleBuckets int
 	// Clock supplies versions; nil creates a fresh clock (driven by
 	// Now when that is set).
 	Clock *Clock

@@ -144,7 +144,7 @@ func TestEngineTTL(t *testing.T) {
 	ft := newFakeTime()
 	for name, eng := range engines(ft) {
 		t.Run(name, func(t *testing.T) {
-			eng.Set(name+"-short", []byte("x"), 100*time.Millisecond)
+			ver := eng.Set(name+"-short", []byte("x"), 100*time.Millisecond)
 			eng.Set(name+"-long", []byte("y"), time.Hour)
 			eng.Set(name+"-forever", []byte("z"), 0)
 			if _, ok := eng.Get(name + "-short"); !ok {
@@ -154,9 +154,12 @@ func TestEngineTTL(t *testing.T) {
 			if _, ok := eng.Get(name + "-short"); ok {
 				t.Fatal("expired entry still readable")
 			}
-			// Lazy expiry dropped it on that read.
-			if _, ok := eng.Load(name + "-short"); ok {
-				t.Fatal("lazy expiry left the entry behind")
+			// Lazy expiry converted it into an expiry tombstone that
+			// keeps the version and expiry, so the expiry can propagate
+			// through merge instead of leaving a resurrection hole.
+			raw, ok := eng.Load(name + "-short")
+			if !ok || !raw.Tombstone || raw.Version != ver || raw.ExpireAt == 0 {
+				t.Fatalf("lazy expiry left %+v %v, want expiry tombstone@%d", raw, ok, ver)
 			}
 			if _, ok := eng.Get(name + "-long"); !ok {
 				t.Fatal("unexpired entry missing")
@@ -184,17 +187,21 @@ func TestEngineSweep(t *testing.T) {
 			if exp, pur := eng.Sweep(0); exp != 0 || pur != 0 {
 				t.Fatalf("premature sweep removed %d/%d", exp, pur)
 			}
-			// Past the TTL but inside the tombstone GC age: only expiry.
+			// Past the TTL but inside the tombstone GC age: expiry only,
+			// and each expired entry is retained as a tombstone.
 			ft.advance(2 * time.Minute)
 			exp, pur := eng.Sweep(0)
 			if exp != 50 || pur != 0 {
 				t.Fatalf("post-TTL sweep = %d expired %d purged, want 50/0", exp, pur)
 			}
-			// Past the GC age: tombstones go too.
+			if raw, ok := eng.Load("ttl-0"); !ok || !raw.Tombstone {
+				t.Fatalf("swept TTL entry = %+v %v, want expiry tombstone", raw, ok)
+			}
+			// Past the GC age: delete tombstones and expiry tombstones go.
 			ft.advance(2 * time.Hour)
 			exp, pur = eng.Sweep(0)
-			if exp != 0 || pur != 30 {
-				t.Fatalf("post-GC sweep = %d expired %d purged, want 0/30", exp, pur)
+			if exp != 0 || pur != 80 {
+				t.Fatalf("post-GC sweep = %d expired %d purged, want 0/80", exp, pur)
 			}
 			if eng.Len() != 1 {
 				t.Fatalf("Len after sweeps = %d, want 1", eng.Len())

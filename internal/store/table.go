@@ -11,14 +11,17 @@ type table struct {
 	// now is the wall-time source, consulted lazily: an entry with no
 	// TTL never costs a clock read on the hot path.
 	now func() time.Time
+	// touch notifies the engine's Merkle tree that key's raw entry
+	// changed; every mutation of data must call it (never nil).
+	touch func(key string)
 	// live counts non-tombstone entries. An entry that expired but has
-	// not been lazily dropped or swept still counts; the invariant is
-	// live == number of entries with Tombstone == false.
+	// not been lazily tombstoned or swept still counts; the invariant
+	// is live == number of entries with Tombstone == false.
 	live int
 }
 
-func newTable(now func() time.Time) table {
-	return table{data: map[string]Entry{}, now: now}
+func newTable(now func() time.Time, touch func(key string)) table {
+	return table{data: map[string]Entry{}, now: now, touch: touch}
 }
 
 // liveNow reports whether e is readable, reading the wall clock only
@@ -30,20 +33,29 @@ func (t *table) liveNow(e Entry) bool {
 	return e.ExpireAt == 0 || t.now().UnixNano() < e.ExpireAt
 }
 
-// get returns key's live entry, lazily dropping an expired one: once a
-// read has seen the entry dead there is no reason to keep paying for
-// it until the sweeper comes around.
+// get returns key's live entry, lazily converting an expired one into
+// a tombstone: the tombstone keeps the entry's version and expiry, so
+// the expiry propagates through merge like a delete would, and a stale
+// immortal copy on another replica can never resurrect the value (the
+// hole outright deletion used to leave). The sweeper reaps it at the
+// GC horizon.
 func (t *table) get(key string) (Entry, bool) {
 	e, ok := t.data[key]
 	if !ok || e.Tombstone {
 		return Entry{}, false
 	}
 	if e.ExpireAt != 0 && t.now().UnixNano() >= e.ExpireAt {
-		delete(t.data, key)
-		t.live--
+		t.expire(key, e)
 		return Entry{}, false
 	}
 	return e, true
+}
+
+// expire converts an expired value entry into its expiry tombstone.
+func (t *table) expire(key string, e Entry) {
+	t.data[key] = Entry{Version: e.Version, Tombstone: true, ExpireAt: e.ExpireAt}
+	t.live--
+	t.touch(key)
 }
 
 // load returns the raw entry, tombstones and expired entries included.
@@ -58,6 +70,7 @@ func (t *table) set(key string, val []byte, ver uint64, expireAt int64) {
 		t.live++
 	}
 	t.data[key] = Entry{Value: append([]byte(nil), val...), Version: ver, ExpireAt: expireAt}
+	t.touch(key)
 }
 
 // del installs a tombstone at version ver and reports whether a live
@@ -69,6 +82,7 @@ func (t *table) del(key string, ver uint64) bool {
 		t.live--
 	}
 	t.data[key] = Entry{Version: ver, Tombstone: true}
+	t.touch(key)
 	return existed
 }
 
@@ -91,6 +105,7 @@ func (t *table) merge(key string, e Entry) (uint64, bool) {
 		e.Value = append([]byte(nil), e.Value...)
 	}
 	t.data[key] = e
+	t.touch(key)
 	return e.Version, true
 }
 
@@ -104,22 +119,30 @@ func (t *table) purge(key string) bool {
 		t.live--
 	}
 	delete(t.data, key)
+	t.touch(key)
 	return true
 }
 
-// sweep scans the whole table, dropping expired value entries and
-// tombstones whose version wall time is before gcBeforeMillis.
+// sweep scans the whole table, converting expired value entries into
+// expiry tombstones and garbage-collecting tombstones older than the
+// GC horizon. A delete tombstone ages from its version's wall-clock
+// bits; an expiry tombstone from max(write wall time, ExpireAt), so it
+// survives long enough for every replica to have expired its own copy.
 func (t *table) sweep(now, gcBeforeMillis int64) (expired, purged int) {
 	for k, e := range t.data {
 		switch {
 		case e.Tombstone:
-			if WallMillis(e.Version) < gcBeforeMillis {
+			age := WallMillis(e.Version)
+			if expMillis := e.ExpireAt / int64(time.Millisecond); expMillis > age {
+				age = expMillis
+			}
+			if age < gcBeforeMillis {
 				delete(t.data, k)
+				t.touch(k)
 				purged++
 			}
 		case e.ExpireAt != 0 && now >= e.ExpireAt:
-			delete(t.data, k)
-			t.live--
+			t.expire(k, e)
 			expired++
 		}
 	}

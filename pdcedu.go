@@ -14,9 +14,10 @@
 // The store substrate is the data layer everything key-value stands
 // on: a pluggable storage engine whose sharded implementation puts
 // each slice of the key space behind its own lock, stamps every entry
-// with a hybrid-logical-clock version, tombstones deletes (with
-// bounded GC and TTL expiry), and resolves concurrent writes by
-// last-writer-wins merge — the csnet KV handler, the dist cluster's
+// with a hybrid-logical-clock version, tombstones both deletes and
+// TTL expiries (with bounded GC), resolves concurrent writes by
+// last-writer-wins merge, and maintains an incremental Merkle digest
+// over its entries — the csnet KV handler, the dist cluster's
 // backends, and the txn transactional store all share it (see the
 // README "Storage engine" section). The dist substrate is the
 // service-shaped layer: consistent hashing with virtual nodes,
@@ -32,8 +33,11 @@
 // probing and incarnation-guarded suspicion drives the ring — dead
 // backends are evicted (writes degrade to a quorum of live replicas
 // with hinted handoff), recovered ones are readmitted and converged by
-// the version-aware rebalancer, on which a stale replay can never win
-// (see cmd/distnode and the README "Fault tolerance" section).
+// Merkle anti-entropy — replicas compare hash-tree digests and
+// exchange only the diverged buckets, so a steady-state converge
+// costs one root hash per backend and a stale replay can never win
+// (see cmd/distnode and the README "Fault tolerance" and
+// "Anti-entropy" sections).
 package pdcedu
 
 import (

@@ -1,12 +1,12 @@
 #!/usr/bin/env sh
 # Runs the root benchmark suite (E1-E6 paper artifacts, E17-E24 cluster
-# transport and fault tolerance, E25-E27 storage engine: parallel mixed
-# workload and writes-under-KEYS on the old single-RWMutex handler vs
-# the sharded versioned engine, plus flat-vs-sharded at the engine API)
-# and records the numbers as BENCH_<n>.json, continuing the perf
-# trajectory the README tracks.
+# transport and fault tolerance, E25-E27 storage engine, E28 Merkle
+# anti-entropy: steady-state and fixed-diff converge cost at 1k/10k
+# keys against the preserved full-listings baseline) and records the
+# numbers as BENCH_<n>.json, continuing the perf trajectory the README
+# tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 4)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 5)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,6 +24,6 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-4}.json"
+' >"BENCH_${1:-5}.json"
 
-echo "wrote BENCH_${1:-4}.json"
+echo "wrote BENCH_${1:-5}.json"
