@@ -16,6 +16,7 @@ import (
 
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/dist"
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -608,4 +609,78 @@ func BenchmarkAntiEntropyMerkleDiff64Of10k(b *testing.B) {
 }
 func BenchmarkAntiEntropyListingsDiff64Of10k(b *testing.B) {
 	benchAntiEntropyDiff(b, 10_000, 64, func(c *dist.Cluster) (int, error) { return c.RebalanceListings() })
+}
+
+// benchServerOp measures one server round trip (a legacy SET through a
+// real loopback server and muxed client) with metric recording either
+// enabled or disabled — the E29 pair. The whole-stack contract is that
+// the two land within noise of each other and neither allocates more
+// than the baseline op: instrumentation must be invisible on the
+// hottest path in the system.
+func benchServerOp(b *testing.B, instrumented bool) {
+	b.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(instrumented)
+	b.Cleanup(func() { obs.SetEnabled(prev) })
+	srv := csnet.NewServer(csnet.NewKVHandler(), 64)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	cl, err := csnet.Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	val := []byte("benchmark-value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Set(fmt.Sprintf("bench-%d", i&4095), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E29: the instrumented server op vs the disabled-metrics baseline.
+func BenchmarkServerOpInstrumented(b *testing.B) { benchServerOp(b, true) }
+func BenchmarkServerOpBaseline(b *testing.B)     { benchServerOp(b, false) }
+
+// E29 micro-costs: a counter increment (striped atomic), a disabled
+// increment (one load and a branch), and a histogram observation —
+// each must report 0 allocs/op.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(false)
+	b.Cleanup(func() { obs.SetEnabled(prev) })
+	c := obs.NewCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v * 2862933555777941757) & 0xFFFFF // cheap LCG spreads buckets
+		}
+	})
 }

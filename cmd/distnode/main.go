@@ -21,19 +21,25 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/member"
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -63,6 +69,8 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		"Merkle anti-entropy bucket count (rounded up to a power of two; must match the cluster coordinator's)")
 	tombGC := fs.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete and expiry tombstones are retained before garbage collection")
 	sweep := fs.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
+	slowOp := fs.Duration("slow-op", 0, "log server-side ops slower than this threshold (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +79,19 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 	eng := store.NewSharded(store.Options{Shards: *shards, MerkleBuckets: *merkleBuckets, TombstoneGC: *tombGC})
 	sweeper := store.StartSweeper(eng, *sweep, 4096)
 	defer sweeper.Stop()
+	// Live store levels as func gauges: read at snapshot time, so the
+	// stats plane reports the engine's truth rather than a shadow
+	// counter. Func re-registration is last-wins by design — a test
+	// booting several nodes in one process points the gauges at the
+	// newest node's engine, which is the one it is probing.
+	obs.Default().Func("store.entries", func() int64 {
+		live, _ := eng.Counts()
+		return int64(live)
+	})
+	obs.Default().Func("store.tombstones", func() int64 {
+		_, tombs := eng.Counts()
+		return int64(tombs)
+	})
 	kv := csnet.NewKVHandlerOn(eng)
 	// The member identity must be the address peers actually dial, so
 	// the server binds first (resolving an ephemeral ":0" port) and the
@@ -97,6 +118,25 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		return err
 	}
 	handler.Store(csnet.HandlerFunc(ml.Handler(kv).Serve))
+	if *slowOp > 0 {
+		csnet.SetSlowOp(*slowOp, func(op csnet.Op, bucket int, d time.Duration) {
+			logger.Printf("distnode %s: slow op %s bucket=%d took %s (threshold %s)",
+				bound, op, bucket, d, *slowOp)
+		})
+		defer csnet.SetSlowOp(0, nil)
+	}
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, merr := net.Listen("tcp", *metricsAddr)
+		if merr != nil {
+			return fmt.Errorf("distnode: metrics listen %s: %w", *metricsAddr, merr)
+		}
+		metricsSrv = &http.Server{Handler: metricsMux()}
+		go func() { _ = metricsSrv.Serve(mln) }()
+		defer metricsSrv.Close()
+		logger.Printf("distnode %s: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)",
+			bound, mln.Addr())
+	}
 	logger.Printf("distnode %s: serving KV + gossip + anti-entropy (%d merkle buckets)",
 		bound, eng.Digest().Buckets())
 	if ready != nil {
@@ -128,6 +168,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 				logger.Printf("distnode %s: stop membership: %v", bound, err)
 			}
 			srv.Shutdown()
+			// The exit summary is the node's last words: the full metrics
+			// snapshot, so a run that ends before anyone scraped /metrics
+			// still leaves its numbers in the log.
+			logger.Printf("distnode %s: final metrics snapshot:\n%s", bound, obs.Default().Snapshot())
 			return nil
 		case <-tick.C:
 			if *quiet {
@@ -143,4 +187,51 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 			logger.Print(b.String())
 		}
 	}
+}
+
+// publishExpvar exposes the obs registry through the standard
+// /debug/vars JSON as one "pdcedu" map (alongside the runtime's
+// memstats and cmdline). expvar.Publish panics on duplicates, so tests
+// that boot several nodes in one process share a single publication of
+// the process-global registry — which is what the registry is anyway.
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("pdcedu", expvar.Func(func() any {
+		snap := obs.Default().Snapshot()
+		vars := make(map[string]any, len(snap.Metrics))
+		for _, m := range snap.Metrics {
+			if m.Kind == obs.KindHistogram && m.Hist != nil {
+				vars[m.Name] = map[string]uint64{
+					"count": m.Hist.Count,
+					"p50":   m.Hist.Quantile(0.50),
+					"p99":   m.Hist.Quantile(0.99),
+					"p999":  m.Hist.Quantile(0.999),
+					"max":   m.Hist.Max,
+					"mean":  m.Hist.Mean(),
+				}
+				continue
+			}
+			vars[m.Name] = m.Value
+		}
+		return vars
+	}))
+})
+
+// metricsMux builds the node's observability HTTP plane: the plain-text
+// /metrics page (one line per metric, histograms with percentiles),
+// /debug/vars (expvar JSON, runtime memstats included), and the
+// standard /debug/pprof profiling endpoints.
+func metricsMux() *http.ServeMux {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = obs.Default().Snapshot().WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

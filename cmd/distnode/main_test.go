@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -109,5 +112,76 @@ func TestDistnodeSmoke(t *testing.T) {
 			t.Fatalf("seed never saw the joined peer; logs:\n%s", seedLogs.String())
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDistnodeMetricsPlane boots a node with -metrics-addr and -slow-op,
+// drives traffic through it, and checks every observability surface:
+// the OpStats wire op, the /metrics text page (with per-op latency
+// percentiles), /debug/vars, the slow-op log, and the exit snapshot.
+func TestDistnodeMetricsPlane(t *testing.T) {
+	addr, logs, shutdown := startNode(t, "-quiet", "-metrics-addr", "127.0.0.1:0", "-slow-op", "1ns")
+
+	cl, err := csnet.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 10; i++ {
+		if err := cl.Set("metrics-key", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get("metrics-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The OpStats wire op answers with a live merged-ready snapshot.
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if m, ok := snap.Get("csnet.server.ops.SET"); !ok || m.Value < 10 {
+		t.Fatalf("snapshot csnet.server.ops.SET = %+v %v, want >= 10", m, ok)
+	}
+	if m, ok := snap.Get("store.entries"); !ok || m.Value != 1 {
+		t.Fatalf("snapshot store.entries = %+v %v, want 1", m, ok)
+	}
+
+	// The HTTP plane is discoverable from the log line and serves the
+	// text page with latency percentiles, plus expvar.
+	re := regexp.MustCompile(`metrics on http://([^/]+)/metrics`)
+	m := re.FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no metrics address in logs:\n%s", logs.String())
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + m[1] + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	page := get("/metrics")
+	if !regexp.MustCompile(`(?m)^csnet\.server\.op_latency\.GET count=\d+ p50=\d+ p99=\d+ p999=\d+ max=\d+`).MatchString(page) {
+		t.Fatalf("/metrics missing GET latency percentiles:\n%s", page)
+	}
+	if !strings.Contains(get("/debug/vars"), `"pdcedu"`) {
+		t.Fatal("/debug/vars missing the pdcedu expvar map")
+	}
+
+	// -slow-op 1ns flags everything; the log names the op and bucket.
+	if !regexp.MustCompile(`slow op (SET|GET|SETV|GETV|PING|STATS) bucket=\d+ took`).MatchString(logs.String()) {
+		t.Fatalf("no slow-op line in logs:\n%s", logs.String())
+	}
+
+	shutdown()
+	if !strings.Contains(logs.String(), "final metrics snapshot") {
+		t.Fatalf("no exit snapshot in logs:\n%s", logs.String())
 	}
 }

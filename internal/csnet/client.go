@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -304,6 +305,21 @@ func (c *Client) Keys() ([]string, error) {
 		return nil, fmt.Errorf("csnet: keys: %s", resp.Value)
 	}
 	return DecodeKeys(resp.Value)
+}
+
+// Stats fetches the server's live metrics snapshot — every counter,
+// gauge, and latency histogram its process-global registry holds.
+// Snapshots from many nodes Merge into cluster totals (see
+// dist.Cluster.ClusterStats).
+func (c *Client) Stats() (obs.Snapshot, error) {
+	resp, err := c.Do(Request{Op: OpStats})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Status != StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("csnet: stats: %s", resp.Value)
+	}
+	return obs.DecodeSnapshot(resp.Value)
 }
 
 // Ping checks server liveness.

@@ -1,0 +1,113 @@
+package csnet
+
+import (
+	"sync/atomic"
+	"time"
+
+	"pdcedu/internal/obs"
+	"pdcedu/internal/store"
+)
+
+// Wire-layer metric names. Per-op metrics append the op mnemonic:
+//
+//	csnet.server.ops.<OP>         counter: requests served
+//	csnet.server.op_latency.<OP>  histogram: handler latency, ns
+//	csnet.server.bytes_in         counter: request frame bytes
+//	csnet.server.bytes_out        counter: response frame bytes
+//	csnet.server.decode_errors    counter: malformed request frames
+//	csnet.server.queue_depth.hw   gauge: per-conn worker queue high water
+//	csnet.server.slow_ops         counter: ops over the slow-op threshold
+//	csnet.mux.pending.hw          gauge: client pipeline depth high water
+//	csnet.mux.timeouts            counter: client waits that expired
+//	csnet.mux.poisoned            counter: muxed conns failed with error
+//
+// Reconnects after a poisoned conn are counted by the layer that owns
+// redial policy (dist.pool.redials).
+//
+// Out-of-range or unknown op bytes (including the decode-failure path,
+// where the op is untrusted) land in the UNKNOWN slot rather than
+// silently vanishing.
+type serverMetrics struct {
+	ops      [int(OpStats) + 1]*obs.Counter
+	latency  [int(OpStats) + 1]*obs.Histogram
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	decodeEr *obs.Counter
+	queueHW  *obs.Gauge
+	slowOps  *obs.Counter
+
+	muxPendingHW *obs.Gauge
+	muxTimeouts  *obs.Counter
+	muxPoisoned  *obs.Counter
+}
+
+// csnetM holds the package's metric pointers, resolved once at init so
+// the request path never touches the registry map. Index 0 of the
+// per-op arrays is the UNKNOWN slot (op byte 0 or past OpStats).
+var csnetM = func() *serverMetrics {
+	r := obs.Default()
+	m := &serverMetrics{
+		bytesIn:      r.Counter("csnet.server.bytes_in"),
+		bytesOut:     r.Counter("csnet.server.bytes_out"),
+		decodeEr:     r.Counter("csnet.server.decode_errors"),
+		queueHW:      r.Gauge("csnet.server.queue_depth.hw"),
+		slowOps:      r.Counter("csnet.server.slow_ops"),
+		muxPendingHW: r.Gauge("csnet.mux.pending.hw"),
+		muxTimeouts:  r.Counter("csnet.mux.timeouts"),
+		muxPoisoned:  r.Counter("csnet.mux.poisoned"),
+	}
+	for op := 0; op <= int(OpStats); op++ {
+		name := Op(op).String() // op 0 and unmapped bytes stringify as UNKNOWN
+		m.ops[op] = r.Counter("csnet.server.ops." + name)
+		m.latency[op] = r.Histogram("csnet.server.op_latency." + name)
+	}
+	return m
+}()
+
+// opSlot clamps an untrusted op byte into the metric arrays: known ops
+// map to themselves, everything else to the UNKNOWN slot (0).
+func opSlot(op Op) int {
+	if op >= 1 && op <= OpStats {
+		return int(op)
+	}
+	return 0
+}
+
+// Slow-op logging: a server-side threshold (0 = off, the default) and
+// a callback invoked — outside any lock, on the serving goroutine —
+// for every op whose handler latency exceeds it. The key is reported
+// as its Merkle bucket, not verbatim: enough to localize a hot range
+// without writing user keys into logs.
+var (
+	slowOpThreshold atomic.Int64
+	slowOpLog       atomic.Value // of func(op Op, bucket int, d time.Duration)
+)
+
+// SetSlowOp installs the slow-op log: server ops slower than threshold
+// invoke logf with the op, the key's Merkle bucket, and the measured
+// latency. A zero threshold or nil logf disables it. The previous
+// setting is replaced atomically; in-flight ops may use either.
+func SetSlowOp(threshold time.Duration, logf func(op Op, bucket int, d time.Duration)) {
+	if threshold <= 0 || logf == nil {
+		slowOpThreshold.Store(0)
+		slowOpLog.Store((func(op Op, bucket int, d time.Duration))(nil))
+		return
+	}
+	slowOpLog.Store(logf)
+	slowOpThreshold.Store(int64(threshold))
+}
+
+// noteSlowOp checks one served request against the slow-op threshold.
+// The fast path — logging disabled — is a single atomic load.
+func noteSlowOp(op Op, key string, d time.Duration) {
+	t := slowOpThreshold.Load()
+	if t == 0 || int64(d) < t {
+		return
+	}
+	logf, _ := slowOpLog.Load().(func(op Op, bucket int, d time.Duration))
+	if logf == nil {
+		return
+	}
+	csnetM.slowOps.Inc()
+	logf(op, store.BucketOf(key, store.DefaultMerkleBuckets), d)
+}

@@ -64,6 +64,7 @@ func (p *Pending) WaitTimeout(d time.Duration) ([]byte, error) {
 	case r := <-p.ch:
 		return r.body, r.err
 	case <-t.C:
+		csnetM.muxTimeouts.Inc()
 		return nil, ErrWaitTimeout
 	}
 }
@@ -147,7 +148,9 @@ func (m *muxConn) enqueue(body []byte) *Pending {
 	m.nextSeq++
 	wasIdle := len(m.pending) == 0
 	m.pending[seq] = muxEntry{p: p, deadline: time.Now().Add(m.timeout)}
+	depth := len(m.pending)
 	m.mu.Unlock()
+	csnetM.muxPendingHW.SetMax(int64(depth))
 	if wasIdle {
 		// The reader may be blocked in its long idle window; re-arming
 		// the read deadline interrupts that read so this request's
@@ -204,6 +207,11 @@ func (m *muxConn) fail(err error) {
 	m.mu.Lock()
 	if m.err == nil {
 		m.err = err
+		if !errors.Is(err, ErrClientClosed) {
+			// A deliberate close is lifecycle, not damage; everything
+			// else is a poisoned connection the pool will have to redial.
+			csnetM.muxPoisoned.Inc()
+		}
 		close(m.dead)
 		for seq, e := range m.pending {
 			delete(m.pending, seq)

@@ -76,6 +76,14 @@ const (
 	// pay for a listing, and the digest makes same-version value splits
 	// visible to the planner.
 	OpRangeV
+	// OpStats asks the server for its live metrics: the response Value
+	// is an obs.Snapshot of the process-global registry, encoded by
+	// Snapshot.Encode. Key and request Value are unused. It is the wire
+	// leg of the cluster stats plane — dist.Cluster.ClusterStats fans it
+	// out over the existing mux and merges the replies, so one call sees
+	// every node's counters and latency histograms without any side
+	// channel.
+	OpStats
 )
 
 // Versioned reports whether op's request and response frames carry the
@@ -134,6 +142,8 @@ func (o Op) String() string {
 		return "TREEV"
 	case OpRangeV:
 		return "RANGEV"
+	case OpStats:
+		return "STATS"
 	default:
 		return "UNKNOWN"
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -44,11 +45,18 @@ type protocolFrames struct {
 
 // ServeFrame implements FrameHandler. Versioned ops get the versioned
 // response encoding (their callers expect the trailer); legacy ops get
-// the legacy one, so old clients interoperate on the same port.
+// the legacy one, so old clients interoperate on the same port. Every
+// frame is counted into the per-op request/latency/byte metrics; the
+// timer spans decode through encode, so the histograms report what the
+// client actually waited on the server, not just the handler body.
 func (p protocolFrames) ServeFrame(body []byte) []byte {
+	start := obs.StartTimer()
 	req, err := DecodeRequest(body)
 	var resp Response
 	if err != nil {
+		csnetM.decodeEr.Inc()
+		csnetM.ops[0].Inc() // the op byte is untrusted after a failed decode
+		csnetM.bytesIn.Add(uint64(len(body)))
 		resp = Response{Status: StatusError, Value: []byte(err.Error())}
 		// The decode failed, so trust only the op byte for the framing
 		// choice.
@@ -58,10 +66,22 @@ func (p protocolFrames) ServeFrame(body []byte) []byte {
 		return EncodeResponse(resp)
 	}
 	resp = p.h.Serve(req)
+	var out []byte
 	if Versioned(req.Op) {
-		return EncodeResponseV(resp)
+		out = EncodeResponseV(resp)
+	} else {
+		out = EncodeResponse(resp)
 	}
-	return EncodeResponse(resp)
+	slot := opSlot(req.Op)
+	csnetM.ops[slot].Inc()
+	csnetM.bytesIn.Add(uint64(len(body)))
+	csnetM.bytesOut.Add(uint64(len(out)))
+	if !start.IsZero() {
+		d := time.Since(start)
+		csnetM.latency[slot].Observe(d.Nanoseconds())
+		noteSlowOp(req.Op, req.Key, d)
+	}
+	return out
 }
 
 // Server is a concurrent framed-protocol TCP server.
@@ -242,6 +262,10 @@ func (s *Server) serveMux(conn net.Conn) {
 		if _, err := io.ReadFull(br, body); err != nil {
 			break
 		}
+		// Depth after this send = queued + the frame itself; a sustained
+		// high water near muxConnHandlers means the workers, not the
+		// wire, are the bottleneck on this connection.
+		csnetM.queueHW.SetMax(int64(len(in) + 1))
 		in <- muxFrame{seq: seq, body: body}
 	}
 	close(in)
@@ -448,6 +472,11 @@ func (kv *KVHandler) Serve(req Request) Response {
 			return Response{Status: StatusError, Value: []byte(err.Error())}
 		}
 		return Response{Status: StatusOK, Value: body}
+	case OpStats:
+		// The process-global registry, not a per-handler one: a node's
+		// wire, coordinator, membership, and storage metrics all answer
+		// through whichever handler serves the op.
+		return Response{Status: StatusOK, Value: obs.Default().Snapshot().Encode()}
 	default:
 		return Response{Status: StatusError, Value: []byte(fmt.Sprintf("unknown op %d", req.Op))}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdcedu/internal/csnet"
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -83,10 +84,23 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
 	st := AntiEntropyStats{}
+	start := obs.StartTimer()
 	defer func() {
 		c.mu.Lock()
 		c.lastAE = st
 		c.mu.Unlock()
+		// Fold the per-pass stats into the registry so the stats plane
+		// sees cumulative anti-entropy cost; lastAE stays the per-pass
+		// view the accessor and tests read.
+		distM.aePasses.Inc()
+		if st.FellBack {
+			distM.aeFallbacks.Inc()
+		}
+		distM.aeDigestFrames.Add(uint64(st.DigestFrames))
+		distM.aeListingFrames.Add(uint64(st.ListingFrames))
+		distM.aeKeysListed.Add(uint64(st.KeysListed))
+		distM.aeStreamed.Add(uint64(st.Streamed))
+		distM.aePassLatency.ObserveSince(start)
 	}()
 
 	n := len(c.pools)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pdcedu/internal/csnet"
+	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
 )
 
@@ -233,6 +234,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 // replica — so the entry is mortal everywhere it lands, and an expired
 // copy converges to an expiry tombstone instead of resurrecting.
 func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
+	defer distM.latSet.ObserveSince(obs.StartTimer())
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return fmt.Errorf("dist: cluster set %q: no live backends", key)
@@ -288,6 +290,8 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 		}
 	}
 	if q := c.quorumFor(len(set)); len(acked) < q {
+		distM.partialWrites.Inc()
+		distM.quorumShort.Inc()
 		return &PartialWriteError{
 			Op: "set", Key: key, Replicas: set,
 			Acked: acked, Hinted: hinted, Quorum: q, MissedKeys: 1, Causes: causes,
@@ -319,6 +323,7 @@ func (c *Cluster) readPick(key string, n int) (first int, release func()) {
 // tombstone to the stale holder instead of resurrecting the value. A
 // (nil, false, nil) return means no replica has a live copy.
 func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
+	defer distM.latGet.ObserveSince(obs.StartTimer())
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return nil, false, fmt.Errorf("dist: cluster get %q: no live backends", key)
@@ -384,6 +389,9 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 // the newer version and answers StatusExists. Failures are ignored
 // (the next read retries the repair).
 func (c *Cluster) readRepair(key string, e store.Entry, missed []int) {
+	if len(missed) > 0 {
+		distM.readRepairs.Add(uint64(len(missed)))
+	}
 	calls := make([]*csnet.Call, 0, len(missed))
 	for _, b := range missed {
 		cl, err := c.pools[b].get()
@@ -410,6 +418,7 @@ func (c *Cluster) readRepair(key string, e store.Entry, missed []int) {
 // through hint replay or the rebalancer's tombstone streaming, and a
 // stale copy can never win the merge against it.
 func (c *Cluster) Del(key string) (ok bool, err error) {
+	defer distM.latDel.ObserveSince(obs.StartTimer())
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return false, fmt.Errorf("dist: cluster del %q: no live backends", key)
@@ -493,6 +502,7 @@ func (c *Cluster) MSet(keys []string, values [][]byte) error {
 // MSetTTL is MSet with one expiry applied to the whole batch (ttl <= 0
 // means no expiry); see SetTTL for the replication semantics.
 func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) error {
+	defer distM.latMSet.ObserveSince(obs.StartTimer())
 	if len(keys) != len(values) {
 		return fmt.Errorf("dist: cluster mset: %d keys but %d values", len(keys), len(values))
 	}
@@ -564,6 +574,8 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 		}
 	}
 	if pe != nil {
+		distM.partialWrites.Inc()
+		distM.quorumShort.Add(uint64(pe.MissedKeys))
 		return pe
 	}
 	return nil
@@ -577,6 +589,7 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 // key whose full replica set failed, after the rest of the batch has
 // completed.
 func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
+	defer distM.latMGet.ObserveSince(obs.StartTimer())
 	bc := c.newBatchClients()
 	found := make(map[string][]byte, len(keys))
 	type sent struct {
@@ -650,6 +663,7 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 // hints for replicas that were unreachable (see Del). It returns how
 // many keys existed on at least one replica.
 func (c *Cluster) MDel(keys []string) (int, error) {
+	defer distM.latMDel.ObserveSince(obs.StartTimer())
 	bc := c.newBatchClients()
 	type sent struct {
 		call    *csnet.Call
@@ -750,6 +764,9 @@ func (p *clientPool) get() (*csnet.Client, error) {
 	p.cl = nil
 	p.mu.Unlock()
 	if stale != nil {
+		// A broken connection being replaced — as opposed to the first
+		// dial — is the redial the pool exists to absorb; count it.
+		distM.poolRedials.Inc()
 		stale.Close()
 	}
 	cl, err := csnet.Dial(p.addr, p.timeout) // dial outside the lock

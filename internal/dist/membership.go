@@ -8,6 +8,7 @@ import (
 
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/member"
+	"pdcedu/internal/obs"
 )
 
 // PartialWriteError reports a replicated write that reached fewer live
@@ -93,10 +94,14 @@ func (c *Cluster) hintLocked(b int, key string, e hintEntry) {
 	cur, queued := c.hints[b][key]
 	if !queued && len(c.hints[b]) >= maxHintsPerNode {
 		c.hintDrops++
+		distM.hintsDropped.Inc()
 		return
 	}
 	if queued && cur.ver > e.ver {
 		return
+	}
+	if !queued {
+		distM.hintsQueued.Inc()
 	}
 	c.hints[b][key] = e
 }
@@ -175,6 +180,9 @@ func (c *Cluster) replayHints(b int) int {
 		}
 		c.clock.Observe(resp.Version) // an Exists reply carries the newer resident version
 		delivered++
+	}
+	if delivered > 0 {
+		distM.hintsReplayed.Add(uint64(delivered))
 	}
 	return delivered
 }
@@ -345,7 +353,11 @@ func (c *Cluster) rebalanceLoop() {
 func (c *Cluster) RebalanceListings() (copied int, err error) {
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
-	return c.rebalanceListings()
+	defer distM.aePassLatency.ObserveSince(obs.StartTimer())
+	distM.aeListingPasses.Inc()
+	copied, err = c.rebalanceListings()
+	distM.aeStreamed.Add(uint64(copied))
+	return copied, err
 }
 
 func (c *Cluster) rebalanceListings() (copied int, err error) {

@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"pdcedu/internal/csnet"
+)
+
+// TestClusterStats drives traffic through a replicated cluster and
+// checks the stats plane end to end: every live backend answers
+// OpStats over the existing mux, the snapshots merge, and the merged
+// result carries both the wire-layer per-op counts and the
+// coordinator's own metrics (which ride along because test backends
+// share this process's registry — exactly the OpStats contract: a
+// node reports its whole process).
+func TestClusterStats(t *testing.T) {
+	const n = 3
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := csnet.NewServer(csnet.NewKVHandler(), 16)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown()
+		addrs[i] = addr
+	}
+	c, err := NewCluster(ClusterConfig{Addrs: addrs, Replication: 2, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	before, err := c.ClusterStats()
+	if err != nil {
+		t.Fatalf("ClusterStats before traffic: %v", err)
+	}
+	base, _ := before.Get("csnet.server.ops.SETV")
+
+	const writes = 20
+	for i := 0; i < writes; i++ {
+		if err := c.Set("stats-key", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := c.Get("stats-key"); !ok || err != nil {
+		t.Fatalf("Get = %v %v", ok, err)
+	}
+
+	snap, err := c.ClusterStats()
+	if err != nil {
+		t.Fatalf("ClusterStats: %v", err)
+	}
+	// Replication 2 lands every Set on two backends; the merged count
+	// must reflect the cluster-wide total, not one node's share.
+	m, ok := snap.Get("csnet.server.ops.SETV")
+	if !ok || m.Value-base.Value < 2*writes {
+		t.Fatalf("merged csnet.server.ops.SETV grew by %d, want >= %d", m.Value-base.Value, 2*writes)
+	}
+	// The coordinator's latency histogram is in the merged view too,
+	// with enough samples to quote percentiles.
+	lat, ok := snap.Get("dist.op_latency.set")
+	if !ok || lat.Hist == nil {
+		t.Fatalf("merged snapshot missing dist.op_latency.set histogram")
+	}
+	if lat.Hist.Count < writes || lat.Hist.Quantile(0.99) == 0 {
+		t.Fatalf("set latency histogram = count %d p99 %d, want >= %d samples and a nonzero p99",
+			lat.Hist.Count, lat.Hist.Quantile(0.99), writes)
+	}
+
+	// A down backend is skipped, not fatal: stats still merge from the
+	// survivors.
+	c.MarkDown(0)
+	if _, err := c.ClusterStats(); err != nil {
+		t.Fatalf("ClusterStats with one backend down: %v", err)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"pdcedu/internal/obs"
 )
 
 // Config configures a Memberlist. Zero values take the documented
@@ -139,6 +141,17 @@ func New(cfg Config) (*Memberlist, error) {
 // held: it queues the update for gossip and fans the event out to
 // subscribers (non-blocking; a full subscriber drops).
 func (m *Memberlist) onChange(u Update, local bool) {
+	switch {
+	case u.State == StateSuspect:
+		suspectTrans.Inc()
+	case u.State == StateDead:
+		deadTrans.Inc()
+	case local && u.ID == m.cfg.ID && u.State == StateAlive:
+		// The only local self-alive transition is the refutation path:
+		// this node heard itself suspected or dead and re-asserted life
+		// with a higher incarnation.
+		refuteTrans.Inc()
+	}
 	m.bq.queue(u)
 	if m.cfg.Logf != nil {
 		origin := "gossip"
@@ -391,9 +404,13 @@ func (m *Memberlist) applyUpdates(from string, updates []Update) {
 // probe runs one SWIM failure-detection round against target: direct
 // ping, then IndirectFanout relayed ping-reqs, then suspicion.
 func (m *Memberlist) probe(target string) {
+	start := obs.StartTimer()
 	reply, err := m.transport.Exchange(target, m.encodeOutbound(msgPing, ""), m.cfg.ProbeTimeout)
 	if err == nil {
 		if msg, derr := m.ingest(reply); derr == nil && msg.Kind == msgAck {
+			// Only acked direct pings record an RTT: a timed-out probe
+			// measures the timeout, not the peer.
+			probeRTT.ObserveSince(start)
 			return
 		}
 	}

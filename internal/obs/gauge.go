@@ -1,0 +1,54 @@
+package obs
+
+import "sync/atomic"
+
+// Gauge is a point-in-time level: a queue depth, an entry count, a
+// high-water mark. Unlike Counter it supports Set, whose
+// last-writer-wins semantics do not distribute over stripes, so a
+// gauge is a single padded atomic — still lock-free and allocation-
+// free, just not striped.
+//
+// The zero value is NOT usable; create gauges with NewGauge or
+// Registry.Gauge.
+type Gauge struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+// NewGauge creates a standalone gauge (see NewCounter for when to
+// register it).
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v is higher — the high-water-mark
+// primitive (per-conn queue depth, pending pipeline depth). Lock-free
+// CAS loop; the fast path (v not a new maximum) is one load.
+func (g *Gauge) SetMax(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

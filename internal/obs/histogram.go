@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values are placed by their power of two
+// (the "major" bucket) refined by the next histSubBits bits below the
+// leading one (the sub-bucket), HDR-histogram style. Values below
+// histSubBuckets get exact unit buckets. The worst-case relative error
+// of reconstructing a value from its bucket is 2^-histSubBits = 12.5%,
+// constant across the full uint64 range — the property that makes
+// log-bucketed percentiles honest from nanoseconds to hours, unlike
+// linear buckets that either truncate the tail or smear the body.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers every uint64: histSubBuckets exact unit
+	// buckets, then histSubBuckets per major bucket for exponents
+	// histSubBits..63.
+	histBuckets = (64-histSubBits)*histSubBuckets + histSubBuckets
+)
+
+// bucketIdx maps a value to its bucket.
+func bucketIdx(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading one, >= histSubBits
+	sub := int((v >> (uint(exp) - histSubBits)) & (histSubBuckets - 1))
+	return (exp-histSubBits)*histSubBuckets + histSubBuckets + sub
+}
+
+// bucketBounds returns the closed value range [lo, hi] bucket idx
+// covers (lo == hi for the exact unit buckets).
+func bucketBounds(idx int) (lo, hi uint64) {
+	if idx < histSubBuckets {
+		return uint64(idx), uint64(idx)
+	}
+	exp := idx/histSubBuckets - 1 + histSubBits
+	sub := uint64(idx % histSubBuckets)
+	shift := uint(exp - histSubBits)
+	lo = (histSubBuckets + sub) << shift
+	return lo, lo + (1 << shift) - 1
+}
+
+// Histogram is a log-bucketed distribution — latencies in
+// nanoseconds, sizes in bytes — recorded with atomic increments and
+// read as mergeable snapshots reporting p50/p99/p999/max. Recording is
+// lock-free and allocation-free: one bucket increment plus
+// count/sum/max bookkeeping, ~4 uncontended atomic ops. The bucket
+// array is fixed (histBuckets cells, a few KB), so histograms never
+// grow, never rebalance, and two histograms with the same geometry —
+// which is all of them — merge by adding buckets, making cluster-wide
+// aggregation a sum instead of a quantile-of-quantiles approximation.
+//
+// The zero value is NOT usable; create histograms with NewHistogram or
+// Registry.Histogram.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// NewHistogram creates a standalone histogram (see NewCounter for when
+// to register it).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value. Negative values clamp to zero (a
+// latency measured across a clock step is noise, not a crash).
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.counts[bucketIdx(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since start, or nothing
+// when start is the zero Time — the StartTimer convention, so a
+// disabled timer costs neither clock read.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// Snapshot captures the histogram's current state. Concurrent with
+// writers the buckets are read one atomic load at a time, so the
+// snapshot is consistent per bucket, not across buckets — fine for
+// monitoring, meaningless drift at most a few in-flight samples.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.counts {
+		if n := h.counts[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, Bucket{Idx: uint16(i), Count: n})
+		}
+	}
+	return s
+}

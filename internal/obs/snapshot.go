@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates metric types in snapshots and on the wire.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonic count.
+	KindCounter Kind = iota + 1
+	// KindGauge is a point-in-time level (func gauges snapshot as this
+	// kind too).
+	KindGauge
+	// KindHistogram is a log-bucketed distribution.
+	KindHistogram
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "unknown"
+	}
+}
+
+// Bucket is one nonzero histogram bucket in a snapshot.
+type Bucket struct {
+	Idx   uint16
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram: total
+// count, value sum, observed max, and the nonzero buckets in ascending
+// index order. Snapshots merge by adding buckets, so any set of them
+// folds into exact cluster-wide totals and honest percentiles.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets []Bucket
+}
+
+// Quantile returns the value at quantile q in [0, 1]: the upper bound
+// of the bucket holding the q-th sample, clamped to the observed max
+// (so Quantile(1) == Max exactly, and no percentile overshoots a value
+// that was never recorded by more than a bucket width). Zero when the
+// histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			_, hi := bucketBounds(int(b.Idx))
+			if hi > h.Max {
+				return h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max // counters raced the snapshot; the tail is the max
+}
+
+// Mean returns the arithmetic mean of recorded values (exact: Sum and
+// Count are tracked outside the buckets), zero when empty.
+func (h HistogramSnapshot) Mean() uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+// merge adds o into a copy of h.
+func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: h.Count + o.Count, Sum: h.Sum + o.Sum, Max: h.Max}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	out.Buckets = make([]Bucket, 0, len(h.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(h.Buckets) && j < len(o.Buckets) {
+		a, b := h.Buckets[i], o.Buckets[j]
+		switch {
+		case a.Idx < b.Idx:
+			out.Buckets = append(out.Buckets, a)
+			i++
+		case a.Idx > b.Idx:
+			out.Buckets = append(out.Buckets, b)
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{Idx: a.Idx, Count: a.Count + b.Count})
+			i, j = i+1, j+1
+		}
+	}
+	out.Buckets = append(out.Buckets, h.Buckets[i:]...)
+	out.Buckets = append(out.Buckets, o.Buckets[j:]...)
+	return out
+}
+
+// MetricSnapshot is one named metric in a Snapshot.
+type MetricSnapshot struct {
+	Name string
+	Kind Kind
+	// Value carries counters (cast from uint64), gauges, and func
+	// gauges; unused for histograms.
+	Value int64
+	// Hist carries histogram state; nil for scalar kinds.
+	Hist *HistogramSnapshot
+}
+
+// Snapshot is a point-in-time view of a registry: metrics sorted by
+// name. It renders as text (WriteText), encodes to a compact binary
+// frame for the csnet OpStats op (Encode/DecodeSnapshot), and merges
+// with other snapshots (Merge) — the three faces of the stats plane.
+type Snapshot struct {
+	Metrics []MetricSnapshot
+}
+
+// Get returns the named metric and whether it exists.
+func (s Snapshot) Get(name string) (MetricSnapshot, bool) {
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return MetricSnapshot{}, false
+}
+
+// Merge combines two snapshots into a new one: metrics present in both
+// (by name) fold — counters and gauges add, histograms add bucketwise
+// (max takes the larger) — and metrics present in one pass through.
+// The fold is commutative and associative, so any number of node
+// snapshots combine into the same cluster totals in any grouping
+// order; that property is what ClusterStats leans on and the obs
+// property test pins. A name carrying different kinds on the two sides
+// cannot be folded meaningfully; the receiver's metric wins and the
+// other is dropped.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{Metrics: make([]MetricSnapshot, 0, len(s.Metrics)+len(o.Metrics))}
+	i, j := 0, 0
+	for i < len(s.Metrics) && j < len(o.Metrics) {
+		a, b := s.Metrics[i], o.Metrics[j]
+		switch {
+		case a.Name < b.Name:
+			out.Metrics = append(out.Metrics, a)
+			i++
+		case a.Name > b.Name:
+			out.Metrics = append(out.Metrics, b)
+			j++
+		default:
+			out.Metrics = append(out.Metrics, mergeMetric(a, b))
+			i, j = i+1, j+1
+		}
+	}
+	out.Metrics = append(out.Metrics, s.Metrics[i:]...)
+	out.Metrics = append(out.Metrics, o.Metrics[j:]...)
+	return out
+}
+
+func mergeMetric(a, b MetricSnapshot) MetricSnapshot {
+	if a.Kind != b.Kind {
+		return a
+	}
+	if a.Kind == KindHistogram {
+		var ha, hb HistogramSnapshot
+		if a.Hist != nil {
+			ha = *a.Hist
+		}
+		if b.Hist != nil {
+			hb = *b.Hist
+		}
+		m := ha.merge(hb)
+		return MetricSnapshot{Name: a.Name, Kind: KindHistogram, Hist: &m}
+	}
+	return MetricSnapshot{Name: a.Name, Kind: a.Kind, Value: a.Value + b.Value}
+}
+
+// snapshotVersion tags the binary encoding so a future geometry change
+// can be detected instead of mis-decoded.
+const snapshotVersion = 1
+
+// metricWireMin is the smallest wire size of one encoded metric:
+// kind(1) nameLen(2) value(8) with an empty name.
+const metricWireMin = 1 + 2 + 8
+
+// Encode serializes the snapshot:
+//
+//	version(1) count(4) then per metric:
+//	  kind(1) nameLen(2) name
+//	  counters/gauges: value(8)
+//	  histograms: count(8) sum(8) max(8) nbuckets(4) then
+//	              nbuckets * (idx(2) count(8))
+func (s Snapshot) Encode() []byte {
+	size := 1 + 4
+	for _, m := range s.Metrics {
+		size += metricWireMin + len(m.Name)
+		if m.Kind == KindHistogram && m.Hist != nil {
+			size += 8 + 8 + 4 - 8 + 8 + len(m.Hist.Buckets)*10
+		}
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s.Metrics)))
+	for _, m := range s.Metrics {
+		buf = append(buf, byte(m.Kind))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Name)))
+		buf = append(buf, m.Name...)
+		if m.Kind == KindHistogram {
+			var h HistogramSnapshot
+			if m.Hist != nil {
+				h = *m.Hist
+			}
+			buf = binary.BigEndian.AppendUint64(buf, h.Count)
+			buf = binary.BigEndian.AppendUint64(buf, h.Sum)
+			buf = binary.BigEndian.AppendUint64(buf, h.Max)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(h.Buckets)))
+			for _, b := range h.Buckets {
+				buf = binary.BigEndian.AppendUint16(buf, b.Idx)
+				buf = binary.BigEndian.AppendUint64(buf, b.Count)
+			}
+			continue
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Value))
+	}
+	return buf
+}
+
+// DecodeSnapshot parses an encoded snapshot, validating lengths before
+// every allocation so a malformed frame cannot demand gigabytes.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if len(b) < 5 {
+		return s, fmt.Errorf("obs: snapshot too short (%d bytes)", len(b))
+	}
+	if b[0] != snapshotVersion {
+		return s, fmt.Errorf("obs: snapshot version %d, want %d", b[0], snapshotVersion)
+	}
+	n := int(binary.BigEndian.Uint32(b[1:5]))
+	b = b[5:]
+	if n > len(b)/metricWireMin {
+		return s, fmt.Errorf("obs: metric count %d exceeds body size %d", n, len(b))
+	}
+	s.Metrics = make([]MetricSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 3 {
+			return s, fmt.Errorf("obs: truncated metric header at entry %d", i)
+		}
+		kind := Kind(b[0])
+		nl := int(binary.BigEndian.Uint16(b[1:3]))
+		if len(b) < 3+nl {
+			return s, fmt.Errorf("obs: truncated metric name at entry %d", i)
+		}
+		m := MetricSnapshot{Name: string(b[3 : 3+nl]), Kind: kind}
+		b = b[3+nl:]
+		if kind == KindHistogram {
+			if len(b) < 8+8+8+4 {
+				return s, fmt.Errorf("obs: truncated histogram %q", m.Name)
+			}
+			h := HistogramSnapshot{
+				Count: binary.BigEndian.Uint64(b[0:8]),
+				Sum:   binary.BigEndian.Uint64(b[8:16]),
+				Max:   binary.BigEndian.Uint64(b[16:24]),
+			}
+			nb := int(binary.BigEndian.Uint32(b[24:28]))
+			b = b[28:]
+			if nb > len(b)/10 {
+				return s, fmt.Errorf("obs: histogram %q bucket count %d exceeds body size %d", m.Name, nb, len(b))
+			}
+			h.Buckets = make([]Bucket, 0, nb)
+			for k := 0; k < nb; k++ {
+				h.Buckets = append(h.Buckets, Bucket{
+					Idx:   binary.BigEndian.Uint16(b[0:2]),
+					Count: binary.BigEndian.Uint64(b[2:10]),
+				})
+				b = b[10:]
+			}
+			m.Hist = &h
+		} else {
+			if len(b) < 8 {
+				return s, fmt.Errorf("obs: truncated metric value for %q", m.Name)
+			}
+			m.Value = int64(binary.BigEndian.Uint64(b[:8]))
+			b = b[8:]
+		}
+		s.Metrics = append(s.Metrics, m)
+	}
+	if len(b) != 0 {
+		return s, fmt.Errorf("obs: %d trailing bytes after snapshot", len(b))
+	}
+	return s, nil
+}
+
+// WriteText renders the snapshot as one line per metric, sorted by
+// name — the /metrics page format:
+//
+//	csnet.server.ops.SETV 10293
+//	csnet.server.op_latency.SETV count=10293 p50=3583 p99=12287 p999=24575 max=31744 mean=4113
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, m := range s.Metrics {
+		var err error
+		if m.Kind == KindHistogram {
+			var h HistogramSnapshot
+			if m.Hist != nil {
+				h = *m.Hist
+			}
+			_, err = fmt.Fprintf(w, "%s count=%d p50=%d p99=%d p999=%d max=%d mean=%d\n",
+				m.Name, h.Count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max, h.Mean())
+		} else {
+			_, err = fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the snapshot as WriteText does.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	_ = s.WriteText(&b)
+	return b.String()
+}

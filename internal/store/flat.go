@@ -147,7 +147,17 @@ func (f *Flat) Sweep(int) (expired, purged int) {
 	f.mu.Lock()
 	expired, purged = f.t.sweep(now.UnixNano(), gcBefore)
 	f.mu.Unlock()
+	sweepExpired.Add(uint64(expired))
+	sweepPurged.Add(uint64(purged))
 	return expired, purged
+}
+
+// Counts reports the engine's live entry and resident tombstone counts
+// (see Sharded.Counts).
+func (f *Flat) Counts() (live, tombstones int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t.live, len(f.t.data) - f.t.live
 }
 
 // RangeBucket implements Engine: one table, so the snapshot scans it

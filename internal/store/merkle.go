@@ -215,6 +215,7 @@ func (m *merkle) digest(scan func(buckets map[int]bool, fn func(key string, e En
 		}
 		m.leaves[b] = h
 		m.rebuilds.Add(1)
+		merkleRebuilt.Inc()
 	}
 	m.snap = newDigest(m.leaves)
 	return m.snap

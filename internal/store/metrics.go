@@ -1,0 +1,21 @@
+package store
+
+import "pdcedu/internal/obs"
+
+// Storage metric names (process-wide, summed over every engine in the
+// process — per-engine figures stay on the engines' own accessors like
+// MerkleRebuilds and Counts):
+//
+//	store.sweep.expired         counter: entries expired by sweeps
+//	store.sweep.purged          counter: tombstones GC'd by sweeps
+//	store.merkle.leaf_rebuilds  counter: dirty Merkle leaves rehashed
+//
+// The live entries / tombstones gauges are deliberately not here: a
+// process can host several engines, so cmd/distnode registers
+// store.entries and store.tombstones as func gauges over its own
+// engine's Counts.
+var (
+	sweepExpired  = obs.Default().Counter("store.sweep.expired")
+	sweepPurged   = obs.Default().Counter("store.sweep.purged")
+	merkleRebuilt = obs.Default().Counter("store.merkle.leaf_rebuilds")
+)

@@ -249,7 +249,23 @@ func (s *Sharded) Sweep(limit int) (expired, purged int) {
 			break
 		}
 	}
+	sweepExpired.Add(uint64(expired))
+	sweepPurged.Add(uint64(purged))
 	return expired, purged
+}
+
+// Counts reports the engine's live entry and resident tombstone counts
+// in one pass over the shard counters — the feed for the
+// store.entries / store.tombstones gauges.
+func (s *Sharded) Counts() (live, tombstones int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		live += sh.t.live
+		tombstones += len(sh.t.data) - sh.t.live
+		sh.mu.Unlock()
+	}
+	return live, tombstones
 }
 
 // RangeBucket implements Engine: bucket b's keys all live in one shard

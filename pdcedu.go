@@ -5,7 +5,7 @@
 // Fig. 2 and Fig. 3, and Tables I-III) plus the full set of PDC teaching
 // substrates its case-study courses rely on, implemented in the internal
 // packages (conc, par, taskgraph, race, sched, arch, simd, simt, mpi,
-// store, csnet, dist, member, txn, perf).
+// store, csnet, dist, member, obs, txn, perf).
 //
 // This package is the stable facade over the curriculum core. The
 // substrates are exercised through the example programs under examples/
@@ -37,7 +37,13 @@
 // exchange only the diverged buckets, so a steady-state converge
 // costs one root hash per backend and a stale replay can never win
 // (see cmd/distnode and the README "Fault tolerance" and
-// "Anti-entropy" sections).
+// "Anti-entropy" sections). The obs substrate watches all of it:
+// striped zero-allocation counters, padded gauges, and mergeable
+// log-bucketed latency histograms instrument every layer, a node
+// answers the OpStats wire op with its encoded registry snapshot,
+// dist.Cluster.ClusterStats merges those snapshots cluster-wide, and
+// distnode's -metrics-addr serves /metrics, /debug/vars, and pprof
+// (see the README "Observability" section).
 package pdcedu
 
 import (

@@ -2,11 +2,13 @@
 # Runs the root benchmark suite (E1-E6 paper artifacts, E17-E24 cluster
 # transport and fault tolerance, E25-E27 storage engine, E28 Merkle
 # anti-entropy: steady-state and fixed-diff converge cost at 1k/10k
-# keys against the preserved full-listings baseline) and records the
-# numbers as BENCH_<n>.json, continuing the perf trajectory the README
-# tracks.
+# keys against the preserved full-listings baseline, E29 observability:
+# instrumented vs metrics-disabled server round trips plus obs
+# counter/histogram micro-benches proving the zero-alloc hot path) and
+# records the numbers as BENCH_<n>.json, continuing the perf trajectory
+# the README tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 5)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 6)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,6 +26,6 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-5}.json"
+' >"BENCH_${1:-6}.json"
 
-echo "wrote BENCH_${1:-5}.json"
+echo "wrote BENCH_${1:-6}.json"
