@@ -18,6 +18,7 @@ import (
 	"pdcedu/internal/dist"
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 // BenchmarkTableI regenerates Table I (E1).
@@ -681,6 +682,77 @@ func BenchmarkObsHistogramObserve(b *testing.B) {
 		for pb.Next() {
 			h.Observe(v)
 			v = (v * 2862933555777941757) & 0xFFFFF // cheap LCG spreads buckets
+		}
+	})
+}
+
+// benchTracedServerOp measures one versioned server round trip (a SetV
+// through a real loopback server and muxed client) with a trace
+// recorder either wired into the handler and enabled, or absent — the
+// E30 pair. The requests carry no trace context (the unsampled common
+// case), so the enabled side must land within noise of the baseline
+// at identical allocs/op: tracing is paid only by sampled requests.
+func benchTracedServerOp(b *testing.B, traced bool) {
+	b.Helper()
+	h := csnet.NewKVHandler()
+	if traced {
+		rec := trace.New(trace.Config{Node: "bench"})
+		rec.SetEnabled(true)
+		rec.SetSampleEvery(1 << 30) // enabled, but this bench's ops stay unsampled
+		h = h.WithTracer(rec)
+	}
+	srv := csnet.NewServer(h, 64)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Shutdown)
+	cl, err := csnet.Dial(addr, 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	val := []byte("benchmark-value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.SetV(fmt.Sprintf("bench-%d", i&4095), val, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E30: the tracing-enabled versioned server op vs the untraced
+// baseline.
+func BenchmarkTracedServerOpEnabled(b *testing.B)  { benchTracedServerOp(b, true) }
+func BenchmarkTracedServerOpBaseline(b *testing.B) { benchTracedServerOp(b, false) }
+
+// E30 micro-costs: recording a sampled span into the ring, and the
+// start/finish path of a span that was never sampled — the latter must
+// report 0 allocs/op, it is the cost every untraced request pays.
+func BenchmarkTraceRingRecord(b *testing.B) {
+	rec := trace.New(trace.Config{Node: "bench"})
+	rec.SetEnabled(true)
+	rec.SetSampleEvery(1)
+	ctx := rec.NewTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan(ctx, trace.KindServer, "SETV")
+		sp.Finish()
+	}
+}
+
+func BenchmarkTraceUnsampledStartFinish(b *testing.B) {
+	rec := trace.New(trace.Config{Node: "bench"})
+	rec.SetEnabled(true)
+	rec.SetSampleEvery(1 << 30)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ctx := rec.NewTrace() // unsampled: invalid context
+			sp := rec.StartSpan(ctx, trace.KindServer, "SETV")
+			sp.Finish()
 		}
 	})
 }

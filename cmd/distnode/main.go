@@ -31,6 +31,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,7 @@ import (
 	"pdcedu/internal/member"
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 func main() {
@@ -69,8 +72,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		"Merkle anti-entropy bucket count (rounded up to a power of two; must match the cluster coordinator's)")
 	tombGC := fs.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete and expiry tombstones are retained before garbage collection")
 	sweep := fs.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (empty = off)")
-	slowOp := fs.Duration("slow-op", 0, "log server-side ops slower than this threshold (0 = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/traces, /debug/vars, and /debug/pprof on this address (empty = off)")
+	slowOp := fs.Duration("slow-op", 0, "log server-side ops slower than this threshold and tail-promote their traces (0 = off)")
+	traceSample := fs.Int("trace-sample", 0, "head-sample 1 in N locally originated traces (0 = off; wire-propagated traces are always honored)")
+	traceRing := fs.Int("trace-ring", trace.DefaultCapacity, "span ring capacity (rounded up to a power of two)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,7 +97,19 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		_, tombs := eng.Counts()
 		return int64(tombs)
 	})
-	kv := csnet.NewKVHandlerOn(eng)
+	// A per-node recorder (not the process-global default) so tests that
+	// boot several nodes in one process keep distinct span rings and node
+	// identities. The node name is set once the listener resolves.
+	rec := trace.New(trace.Config{Capacity: *traceRing})
+	rec.SetSlowThreshold(*slowOp)
+	if *traceSample > 0 {
+		rec.SetSampleEvery(*traceSample)
+		rec.SetEnabled(true)
+	}
+	obs.Default().Func("trace.spans_recorded", func() int64 { return int64(rec.Stats().Recorded) })
+	obs.Default().Func("trace.spans_dropped", func() int64 { return int64(rec.Stats().Dropped) })
+	obs.Default().Func("trace.traces_promoted", func() int64 { return int64(rec.Stats().Promoted) })
+	kv := csnet.NewKVHandlerOn(eng).WithTracer(rec)
 	// The member identity must be the address peers actually dial, so
 	// the server binds first (resolving an ephemeral ":0" port) and the
 	// memberlist is created with the bound address. The server starts
@@ -108,6 +125,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		return err
 	}
 	defer srv.Shutdown()
+	rec.SetNode(bound)
 	ml, err := member.New(member.Config{
 		ID:               bound,
 		ProbeInterval:    *probe,
@@ -119,7 +137,14 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 	}
 	handler.Store(csnet.HandlerFunc(ml.Handler(kv).Serve))
 	if *slowOp > 0 {
-		csnet.SetSlowOp(*slowOp, func(op csnet.Op, bucket int, d time.Duration) {
+		csnet.SetSlowOp(*slowOp, func(op csnet.Op, bucket int, d time.Duration, traceID uint64) {
+			if traceID != 0 {
+				// The trace ID makes the log line actionable: paste it into
+				// /debug/traces?id= for the whole request's waterfall.
+				logger.Printf("distnode %s: slow op %s bucket=%d took %s (threshold %s) trace=%016x",
+					bound, op, bucket, d, *slowOp, traceID)
+				return
+			}
 			logger.Printf("distnode %s: slow op %s bucket=%d took %s (threshold %s)",
 				bound, op, bucket, d, *slowOp)
 		})
@@ -131,10 +156,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		if merr != nil {
 			return fmt.Errorf("distnode: metrics listen %s: %w", *metricsAddr, merr)
 		}
-		metricsSrv = &http.Server{Handler: metricsMux()}
+		metricsSrv = &http.Server{Handler: metricsMux(rec, ml, eng)}
 		go func() { _ = metricsSrv.Serve(mln) }()
 		defer metricsSrv.Close()
-		logger.Printf("distnode %s: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)",
+		logger.Printf("distnode %s: metrics on http://%s/metrics (also /healthz, /readyz, /debug/traces, /debug/vars, /debug/pprof)",
 			bound, mln.Addr())
 	}
 	logger.Printf("distnode %s: serving KV + gossip + anti-entropy (%d merkle buckets)",
@@ -218,14 +243,67 @@ var publishExpvar = sync.OnceFunc(func() {
 
 // metricsMux builds the node's observability HTTP plane: the plain-text
 // /metrics page (one line per metric, histograms with percentiles),
-// /debug/vars (expvar JSON, runtime memstats included), and the
-// standard /debug/pprof profiling endpoints.
-func metricsMux() *http.ServeMux {
+// liveness and readiness probes, the trace waterfalls under
+// /debug/traces, /debug/vars (expvar JSON, runtime memstats included),
+// and the standard /debug/pprof profiling endpoints.
+func metricsMux(rec *trace.Recorder, ml *member.Memberlist, eng *store.Sharded) *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = obs.Default().Snapshot().WriteText(w)
+	})
+	// Liveness: the process is up and the HTTP plane answers — nothing
+	// more. Orchestrators restart on its failure, so it must not depend
+	// on cluster state.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// Readiness: safe to route traffic here — the engine is serving and
+	// this node's membership view has at least one alive member (itself;
+	// zero means the memberlist has been stopped).
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if eng == nil || ml == nil || ml.NumAlive() < 1 {
+			http.Error(w, "not ready: membership down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	// /debug/traces lists the node's tail-promoted slow traces (slowest
+	// first) as text waterfalls; ?id=<hex trace id> renders one specific
+	// trace from whatever spans this node holds for it.
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if q := r.URL.Query().Get("id"); q != "" {
+			id, err := strconv.ParseUint(strings.TrimPrefix(q, "0x"), 16, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad trace id %q: %v", q, err), http.StatusBadRequest)
+				return
+			}
+			trees := trace.Assemble(rec.TraceSpans(id))
+			if len(trees) == 0 {
+				fmt.Fprintf(w, "no spans for trace %016x\n", id)
+				return
+			}
+			for _, t := range trees {
+				t.Waterfall(w)
+			}
+			return
+		}
+		trees := trace.Assemble(rec.SlowSpans())
+		if len(trees) == 0 {
+			fmt.Fprintln(w, "no slow traces recorded (tail promotion is driven by -slow-op)")
+			return
+		}
+		sort.Slice(trees, func(i, j int) bool { return trees[i].Duration() > trees[j].Duration() })
+		for i, t := range trees {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			t.Waterfall(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pdcedu/internal/csnet"
+	"pdcedu/internal/trace"
 )
 
 // syncBuffer lets the node's logger and the test goroutine share a log
@@ -183,5 +184,78 @@ func TestDistnodeMetricsPlane(t *testing.T) {
 	shutdown()
 	if !strings.Contains(logs.String(), "final metrics snapshot") {
 		t.Fatalf("no exit snapshot in logs:\n%s", logs.String())
+	}
+}
+
+// TestDistnodeTracePlane boots a node with tracing and a 1ns slow-op
+// threshold, drives a traced request through it, and checks the trace
+// surfaces: /healthz, /readyz, the tail-promoted waterfall on
+// /debug/traces (list and ?id= lookup), and the trace ID on the
+// slow-op log line.
+func TestDistnodeTracePlane(t *testing.T) {
+	addr, logs, shutdown := startNode(t, "-quiet", "-metrics-addr", "127.0.0.1:0", "-slow-op", "1ns")
+	defer shutdown()
+
+	re := regexp.MustCompile(`metrics on http://([^/]+)/metrics`)
+	m := re.FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no metrics address in logs:\n%s", logs.String())
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + m[1] + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q, want 200 ready", code, body)
+	}
+
+	// A traced request: the sampled context rides the versioned frame,
+	// the server span it records outlives the ring via tail promotion
+	// (everything beats 1ns).
+	cl, err := csnet.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tc := trace.Context{TraceID: 0xFEEDFACE, SpanID: 0x1, Flags: trace.FlagSampled}
+	resp, err := cl.Send(csnet.Request{Op: csnet.OpSetV, Key: "traced", Value: []byte("v"), Version: 1, Trace: tc}).ResponseV()
+	if err != nil || resp.Status != csnet.StatusOK {
+		t.Fatalf("traced SetV = %+v %v", resp, err)
+	}
+
+	// The slow-op line carries the trace ID for /debug/traces lookup.
+	slowRE := regexp.MustCompile(`slow op SETV bucket=\d+ took \S+ \(threshold \S+\) trace=00000000feedface`)
+	deadline := time.Now().Add(2 * time.Second)
+	for !slowRE.MatchString(logs.String()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("no traced slow-op line in logs:\n%s", logs.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The waterfall surfaces on the slow list and the by-ID lookup.
+	if code, body := get("/debug/traces"); code != http.StatusOK ||
+		!strings.Contains(body, "trace 00000000feedface") || !strings.Contains(body, "server SETV") {
+		t.Fatalf("/debug/traces = %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/traces?id=feedface"); code != http.StatusOK ||
+		!strings.Contains(body, "server SETV") {
+		t.Fatalf("/debug/traces?id= = %d:\n%s", code, body)
+	}
+	if code, _ := get("/debug/traces?id=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("/debug/traces?id=zzz = %d, want 400", code)
+	}
+	// An unknown trace is a clean empty page, not an error.
+	if code, body := get("/debug/traces?id=1"); code != http.StatusOK || !strings.Contains(body, "no spans") {
+		t.Fatalf("/debug/traces?id=1 = %d %q, want 'no spans'", code, body)
 	}
 }

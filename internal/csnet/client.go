@@ -7,6 +7,7 @@ import (
 
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 // Client is a framed-protocol TCP client over a single pipelined,
@@ -178,7 +179,13 @@ func (c *Client) Del(key string) (bool, error) {
 // Tombstone flag) of a resident tombstone or expired copy, so callers
 // can order the miss against other replicas.
 func (c *Client) GetV(key string) (e store.Entry, ok bool, err error) {
-	resp, err := c.Send(Request{Op: OpGetV, Key: key}).ResponseV()
+	return c.GetVT(key, trace.Context{})
+}
+
+// GetVT is GetV with a trace context attached to the request frame, so
+// the server's handling joins the caller's trace.
+func (c *Client) GetVT(key string, tr trace.Context) (e store.Entry, ok bool, err error) {
+	resp, err := c.Send(Request{Op: OpGetV, Key: key, Trace: tr}).ResponseV()
 	if err != nil {
 		return store.Entry{}, false, err
 	}
@@ -320,6 +327,21 @@ func (c *Client) Stats() (obs.Snapshot, error) {
 		return obs.Snapshot{}, fmt.Errorf("csnet: stats: %s", resp.Value)
 	}
 	return obs.DecodeSnapshot(resp.Value)
+}
+
+// Traces fetches spans from the server's trace recorder: mode is one
+// of the TraceQuery constants, id the trace ID for TraceQueryID (0
+// otherwise). Spans from many nodes assemble into cross-node trees
+// via trace.Assemble (see dist.Cluster.ClusterTrace).
+func (c *Client) Traces(mode byte, id uint64) ([]trace.Span, error) {
+	resp, err := c.Do(Request{Op: OpTraces, Value: EncodeTraceQuery(mode, id)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("csnet: traces: %s", resp.Value)
+	}
+	return trace.DecodeSpans(resp.Value)
 }
 
 // Ping checks server liveness.

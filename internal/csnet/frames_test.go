@@ -63,7 +63,7 @@ func TestFrameServerCustomProtocol(t *testing.T) {
 // frameFunc adapts a function to FrameHandler for tests.
 type frameFunc func([]byte) []byte
 
-func (f frameFunc) ServeFrame(body []byte) []byte { return f(body) }
+func (f frameFunc) ServeFrame(body []byte, _ FrameMeta) []byte { return f(body) }
 
 // TestDecodeKeysMalformedCount rejects a key-list whose count field
 // promises more entries than the body could hold, instead of

@@ -28,8 +28,8 @@ import (
 // where the op is untrusted) land in the UNKNOWN slot rather than
 // silently vanishing.
 type serverMetrics struct {
-	ops      [int(OpStats) + 1]*obs.Counter
-	latency  [int(OpStats) + 1]*obs.Histogram
+	ops      [int(OpTraces) + 1]*obs.Counter
+	latency  [int(OpTraces) + 1]*obs.Histogram
 	bytesIn  *obs.Counter
 	bytesOut *obs.Counter
 	decodeEr *obs.Counter
@@ -43,7 +43,7 @@ type serverMetrics struct {
 
 // csnetM holds the package's metric pointers, resolved once at init so
 // the request path never touches the registry map. Index 0 of the
-// per-op arrays is the UNKNOWN slot (op byte 0 or past OpStats).
+// per-op arrays is the UNKNOWN slot (op byte 0 or past OpTraces).
 var csnetM = func() *serverMetrics {
 	r := obs.Default()
 	m := &serverMetrics{
@@ -56,7 +56,7 @@ var csnetM = func() *serverMetrics {
 		muxTimeouts:  r.Counter("csnet.mux.timeouts"),
 		muxPoisoned:  r.Counter("csnet.mux.poisoned"),
 	}
-	for op := 0; op <= int(OpStats); op++ {
+	for op := 0; op <= int(OpTraces); op++ {
 		name := Op(op).String() // op 0 and unmapped bytes stringify as UNKNOWN
 		m.ops[op] = r.Counter("csnet.server.ops." + name)
 		m.latency[op] = r.Histogram("csnet.server.op_latency." + name)
@@ -67,7 +67,7 @@ var csnetM = func() *serverMetrics {
 // opSlot clamps an untrusted op byte into the metric arrays: known ops
 // map to themselves, everything else to the UNKNOWN slot (0).
 func opSlot(op Op) int {
-	if op >= 1 && op <= OpStats {
+	if op >= 1 && op <= OpTraces {
 		return int(op)
 	}
 	return 0
@@ -80,17 +80,19 @@ func opSlot(op Op) int {
 // without writing user keys into logs.
 var (
 	slowOpThreshold atomic.Int64
-	slowOpLog       atomic.Value // of func(op Op, bucket int, d time.Duration)
+	slowOpLog       atomic.Value // of func(op Op, bucket int, d time.Duration, traceID uint64)
 )
 
 // SetSlowOp installs the slow-op log: server ops slower than threshold
-// invoke logf with the op, the key's Merkle bucket, and the measured
-// latency. A zero threshold or nil logf disables it. The previous
+// invoke logf with the op, the key's Merkle bucket, the measured
+// latency, and the request's trace ID (0 when the request carried no
+// trace) — so a logged slow op can be looked up in /debug/traces
+// directly. A zero threshold or nil logf disables it. The previous
 // setting is replaced atomically; in-flight ops may use either.
-func SetSlowOp(threshold time.Duration, logf func(op Op, bucket int, d time.Duration)) {
+func SetSlowOp(threshold time.Duration, logf func(op Op, bucket int, d time.Duration, traceID uint64)) {
 	if threshold <= 0 || logf == nil {
 		slowOpThreshold.Store(0)
-		slowOpLog.Store((func(op Op, bucket int, d time.Duration))(nil))
+		slowOpLog.Store((func(op Op, bucket int, d time.Duration, traceID uint64))(nil))
 		return
 	}
 	slowOpLog.Store(logf)
@@ -99,15 +101,15 @@ func SetSlowOp(threshold time.Duration, logf func(op Op, bucket int, d time.Dura
 
 // noteSlowOp checks one served request against the slow-op threshold.
 // The fast path — logging disabled — is a single atomic load.
-func noteSlowOp(op Op, key string, d time.Duration) {
+func noteSlowOp(op Op, key string, d time.Duration, traceID uint64) {
 	t := slowOpThreshold.Load()
 	if t == 0 || int64(d) < t {
 		return
 	}
-	logf, _ := slowOpLog.Load().(func(op Op, bucket int, d time.Duration))
+	logf, _ := slowOpLog.Load().(func(op Op, bucket int, d time.Duration, traceID uint64))
 	if logf == nil {
 		return
 	}
 	csnetM.slowOps.Inc()
-	logf(op, store.BucketOf(key, store.DefaultMerkleBuckets), d)
+	logf(op, store.BucketOf(key, store.DefaultMerkleBuckets), d, traceID)
 }

@@ -84,10 +84,13 @@ type muxEntry struct {
 }
 
 // muxFrame is one sequence-tagged frame queued for a connection's
-// writer goroutine (client requests and server responses alike).
+// writer goroutine (client requests and server responses alike). The
+// server's read loop stamps at so a handler can report how long the
+// frame queued before it ran; the client writer leaves it zero.
 type muxFrame struct {
 	seq  uint64
 	body []byte
+	at   time.Time
 }
 
 // muxConn is a pipelined, multiplexed framed connection: N concurrent

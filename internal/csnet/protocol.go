@@ -3,6 +3,9 @@ package csnet
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
+
+	"pdcedu/internal/trace"
 )
 
 // Op is a protocol operation code.
@@ -84,6 +87,14 @@ const (
 	// every node's counters and latency histograms without any side
 	// channel.
 	OpStats
+	// OpTraces asks the server for spans from its trace recorder: the
+	// request Value is an EncodeTraceQuery (all spans, one trace by ID,
+	// or only pinned slow traces), the response Value a
+	// trace.EncodeSpans list. It is the wire leg of the cluster trace
+	// plane — dist.Cluster.ClusterTrace / SlowTraces fan it out over
+	// the existing mux and assemble the replies into cross-node span
+	// trees. Key is unused.
+	OpTraces
 )
 
 // Versioned reports whether op's request and response frames carry the
@@ -107,6 +118,13 @@ const (
 	// replica it merges to (and keeps an expired copy from being
 	// resurrected as immortal by read-repair or the rebalancer).
 	FlagHasExpiry byte = 1 << 1
+	// FlagHasTrace marks a versioned request whose trailer carries a
+	// 17-byte trace context — traceID(8) spanID(8) traceFlags(1) —
+	// after the optional expiry. The codec sets and consumes it from
+	// the Trace field, so an untraced frame stays byte-identical to a
+	// pre-tracing build and a legacy peer is never shown the trailer:
+	// the same interop discipline as FlagHasExpiry.
+	FlagHasTrace byte = 1 << 2
 )
 
 // String returns the op mnemonic.
@@ -144,6 +162,8 @@ func (o Op) String() string {
 		return "RANGEV"
 	case OpStats:
 		return "STATS"
+	case OpTraces:
+		return "TRACES"
 	default:
 		return "UNKNOWN"
 	}
@@ -181,7 +201,9 @@ func (s Status) String() string {
 
 // Request is a protocol request. Version, Flags, and ExpireAt ride the
 // wire only for versioned ops (see Versioned; ExpireAt only when
-// nonzero, gated by FlagHasExpiry).
+// nonzero, gated by FlagHasExpiry). Trace likewise rides only
+// versioned requests, only when valid (gated by FlagHasTrace).
+// QueueWait is server-local bookkeeping and never touches the wire.
 type Request struct {
 	Op       Op
 	Key      string
@@ -189,6 +211,13 @@ type Request struct {
 	Version  uint64
 	Flags    byte
 	ExpireAt int64
+	// Trace is the distributed trace context stamped by the
+	// coordinator; the server's handler records its spans under it.
+	Trace trace.Context
+	// QueueWait is how long the frame waited in the server's worker
+	// queue before handling began (set by the server, muxed
+	// connections only).
+	QueueWait time.Duration
 }
 
 // Response is a protocol response. Version, Flags, and ExpireAt ride
@@ -202,12 +231,17 @@ type Response struct {
 }
 
 // versionTrailerSize is the fixed part of a versioned frame's trailer:
-// version(8) flags(1). FlagHasExpiry appends expireAt(8).
+// version(8) flags(1). FlagHasExpiry appends expireAt(8); FlagHasTrace
+// appends traceID(8) spanID(8) traceFlags(1) after the expiry.
 const versionTrailerSize = 8 + 1
 
+// traceTrailerSize is the optional trace extension of the trailer.
+const traceTrailerSize = 8 + 8 + 1
+
 // appendTrailer writes the versioned trailer: version, flags (with
-// FlagHasExpiry derived from expireAt), then the optional expiry.
-func appendTrailer(buf []byte, version uint64, flags byte, expireAt int64) []byte {
+// FlagHasExpiry derived from expireAt and FlagHasTrace from tr), then
+// the optional expiry and trace context.
+func appendTrailer(buf []byte, version uint64, flags byte, expireAt int64, tr trace.Context) []byte {
 	var scratch [8]byte
 	binary.BigEndian.PutUint64(scratch[:], version)
 	buf = append(buf, scratch[:]...)
@@ -216,45 +250,72 @@ func appendTrailer(buf []byte, version uint64, flags byte, expireAt int64) []byt
 	} else {
 		flags &^= FlagHasExpiry
 	}
+	if tr.Valid() {
+		flags |= FlagHasTrace
+	} else {
+		flags &^= FlagHasTrace
+	}
 	buf = append(buf, flags)
 	if expireAt != 0 {
 		binary.BigEndian.PutUint64(scratch[:], uint64(expireAt))
 		buf = append(buf, scratch[:]...)
 	}
+	if tr.Valid() {
+		binary.BigEndian.PutUint64(scratch[:], tr.TraceID)
+		buf = append(buf, scratch[:]...)
+		binary.BigEndian.PutUint64(scratch[:], tr.SpanID)
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, tr.Flags)
+	}
 	return buf
 }
 
 // parseTrailer reads a versioned trailer, returning the decoded fields
-// (flags with FlagHasExpiry cleared — ExpireAt carries the meaning).
-func parseTrailer(b []byte) (version uint64, flags byte, expireAt int64, err error) {
+// (flags with FlagHasExpiry and FlagHasTrace cleared — ExpireAt and
+// the Context carry the meaning).
+func parseTrailer(b []byte) (version uint64, flags byte, expireAt int64, tr trace.Context, err error) {
 	if len(b) < versionTrailerSize {
-		return 0, 0, 0, fmt.Errorf("csnet: truncated version trailer (%d bytes)", len(b))
+		return 0, 0, 0, tr, fmt.Errorf("csnet: truncated version trailer (%d bytes)", len(b))
 	}
 	version = binary.BigEndian.Uint64(b[:8])
 	flags = b[8]
 	rest := b[versionTrailerSize:]
 	if flags&FlagHasExpiry != 0 {
-		if len(rest) != 8 {
-			return 0, 0, 0, fmt.Errorf("csnet: truncated expiry in version trailer")
+		if len(rest) < 8 {
+			return 0, 0, 0, tr, fmt.Errorf("csnet: truncated expiry in version trailer")
 		}
 		expireAt = int64(binary.BigEndian.Uint64(rest))
+		rest = rest[8:]
 		flags &^= FlagHasExpiry
-	} else if len(rest) != 0 {
-		return 0, 0, 0, fmt.Errorf("csnet: %d trailing bytes after version trailer", len(rest))
 	}
-	return version, flags, expireAt, nil
+	if flags&FlagHasTrace != 0 {
+		if len(rest) < traceTrailerSize {
+			return 0, 0, 0, tr, fmt.Errorf("csnet: truncated trace in version trailer")
+		}
+		tr.TraceID = binary.BigEndian.Uint64(rest[:8])
+		tr.SpanID = binary.BigEndian.Uint64(rest[8:16])
+		tr.Flags = rest[16]
+		rest = rest[traceTrailerSize:]
+		flags &^= FlagHasTrace
+	}
+	if len(rest) != 0 {
+		return 0, 0, 0, tr, fmt.Errorf("csnet: %d trailing bytes after version trailer", len(rest))
+	}
+	return version, flags, expireAt, tr, nil
 }
 
 // EncodeRequest serializes a request:
-// op(1) keyLen(2) key valLen(4) val [version(8) flags(1) [expireAt(8)]],
-// the trailer present exactly for versioned ops.
+// op(1) keyLen(2) key valLen(4) val
+// [version(8) flags(1) [expireAt(8)] [traceID(8) spanID(8) tflags(1)]],
+// the trailer present exactly for versioned ops, the trace extension
+// only when the request carries a valid trace context.
 func EncodeRequest(r Request) ([]byte, error) {
 	if len(r.Key) > 0xFFFF {
 		return nil, fmt.Errorf("csnet: key length %d exceeds 65535", len(r.Key))
 	}
 	size := 1 + 2 + len(r.Key) + 4 + len(r.Value)
 	if Versioned(r.Op) {
-		size += versionTrailerSize + 8
+		size += versionTrailerSize + 8 + traceTrailerSize
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, byte(r.Op))
@@ -267,7 +328,7 @@ func EncodeRequest(r Request) ([]byte, error) {
 	buf = append(buf, v[:]...)
 	buf = append(buf, r.Value...)
 	if Versioned(r.Op) {
-		buf = appendTrailer(buf, r.Version, r.Flags, r.ExpireAt)
+		buf = appendTrailer(buf, r.Version, r.Flags, r.ExpireAt, r.Trace)
 	}
 	return buf, nil
 }
@@ -292,7 +353,7 @@ func DecodeRequest(b []byte) (Request, error) {
 		}
 		r.Value = rest[:vl]
 		var err error
-		r.Version, r.Flags, r.ExpireAt, err = parseTrailer(rest[vl:])
+		r.Version, r.Flags, r.ExpireAt, r.Trace, err = parseTrailer(rest[vl:])
 		return r, err
 	}
 	if len(rest) != vl {
@@ -322,7 +383,10 @@ func EncodeResponseV(r Response) []byte {
 	binary.BigEndian.PutUint32(v[:], uint32(len(r.Value)))
 	buf = append(buf, v[:]...)
 	buf = append(buf, r.Value...)
-	return appendTrailer(buf, r.Version, r.Flags, r.ExpireAt)
+	// Responses never carry a trace context: the caller already holds
+	// it, so the zero Context keeps response bytes identical to an
+	// untraced build.
+	return appendTrailer(buf, r.Version, r.Flags, r.ExpireAt, trace.Context{})
 }
 
 // DecodeResponseV parses a versioned response.
@@ -339,7 +403,7 @@ func DecodeResponseV(b []byte) (Response, error) {
 	}
 	r.Value = b[5 : 5+vl]
 	var err error
-	r.Version, r.Flags, r.ExpireAt, err = parseTrailer(b[5+vl:])
+	r.Version, r.Flags, r.ExpireAt, _, err = parseTrailer(b[5+vl:])
 	return r, err
 }
 
@@ -467,6 +531,48 @@ func DecodeKeysV(b []byte) ([]KeyVersion, error) {
 		return nil, fmt.Errorf("csnet: %d trailing bytes after versioned key list", len(b))
 	}
 	return entries, nil
+}
+
+// Trace query modes for OpTraces.
+const (
+	// TraceQueryAll asks for every span the recorder currently holds.
+	TraceQueryAll byte = iota
+	// TraceQueryID asks for one trace's spans; the query carries the
+	// 8-byte trace ID.
+	TraceQueryID
+	// TraceQuerySlow asks for only the pinned (tail-promoted) slow
+	// traces.
+	TraceQuerySlow
+)
+
+// EncodeTraceQuery serializes an OpTraces request body: mode(1), plus
+// the 8-byte trace ID for TraceQueryID.
+func EncodeTraceQuery(mode byte, id uint64) []byte {
+	if mode != TraceQueryID {
+		return []byte{mode}
+	}
+	buf := make([]byte, 1+8)
+	buf[0] = mode
+	binary.BigEndian.PutUint64(buf[1:], id)
+	return buf
+}
+
+// DecodeTraceQuery parses an OpTraces request body.
+func DecodeTraceQuery(b []byte) (mode byte, id uint64, err error) {
+	if len(b) < 1 {
+		return 0, 0, fmt.Errorf("csnet: empty trace query")
+	}
+	mode = b[0]
+	if mode == TraceQueryID {
+		if len(b) != 1+8 {
+			return 0, 0, fmt.Errorf("csnet: trace query by ID is %d bytes, want 9", len(b))
+		}
+		return mode, binary.BigEndian.Uint64(b[1:]), nil
+	}
+	if len(b) != 1 {
+		return 0, 0, fmt.Errorf("csnet: %d trailing bytes after trace query", len(b)-1)
+	}
+	return mode, 0, nil
 }
 
 // DecodeResponse parses a serialized response.

@@ -12,6 +12,7 @@ import (
 
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 // Handler processes one request; implementations must be safe for
@@ -26,6 +27,15 @@ type HandlerFunc func(Request) Response
 // Serve implements Handler.
 func (f HandlerFunc) Serve(r Request) Response { return f(r) }
 
+// FrameMeta carries per-frame transport facts the handler cannot
+// measure itself. QueueWait is how long the frame sat in the
+// connection's worker queue before a handler picked it up (muxed
+// connections only; zero on the synchronous legacy path) — the
+// queue-wait vs handle-time split a trace waterfall renders.
+type FrameMeta struct {
+	QueueWait time.Duration
+}
+
 // FrameHandler processes one raw request frame and returns the raw
 // response frame. It is the layer below Handler: protocols that are not
 // the binary key-value protocol (e.g. the dist RPC middleware) plug in
@@ -35,7 +45,7 @@ func (f HandlerFunc) Serve(r Request) Response { return f(r) }
 // read buffer for the next frame. The returned frame may alias body
 // contents (it is written out before the buffer is reused).
 type FrameHandler interface {
-	ServeFrame(body []byte) []byte
+	ServeFrame(body []byte, meta FrameMeta) []byte
 }
 
 // protocolFrames adapts a key-value Handler to the frame layer.
@@ -49,7 +59,7 @@ type protocolFrames struct {
 // frame is counted into the per-op request/latency/byte metrics; the
 // timer spans decode through encode, so the histograms report what the
 // client actually waited on the server, not just the handler body.
-func (p protocolFrames) ServeFrame(body []byte) []byte {
+func (p protocolFrames) ServeFrame(body []byte, meta FrameMeta) []byte {
 	start := obs.StartTimer()
 	req, err := DecodeRequest(body)
 	var resp Response
@@ -65,6 +75,7 @@ func (p protocolFrames) ServeFrame(body []byte) []byte {
 		}
 		return EncodeResponse(resp)
 	}
+	req.QueueWait = meta.QueueWait
 	resp = p.h.Serve(req)
 	var out []byte
 	if Versioned(req.Op) {
@@ -79,7 +90,7 @@ func (p protocolFrames) ServeFrame(body []byte) []byte {
 	if !start.IsZero() {
 		d := time.Since(start)
 		csnetM.latency[slot].Observe(d.Nanoseconds())
-		noteSlowOp(req.Op, req.Key, d)
+		noteSlowOp(req.Op, req.Key, d, req.Trace.TraceID)
 	}
 	return out
 }
@@ -200,7 +211,7 @@ func (s *Server) serveLegacy(conn net.Conn, firstLen uint32) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		resp := s.frames.ServeFrame(body)
+		resp := s.frames.ServeFrame(body, FrameMeta{})
 		if len(resp) > MaxFrameSize {
 			return
 		}
@@ -244,7 +255,11 @@ func (s *Server) serveMux(conn net.Conn) {
 		go func() {
 			defer workerWG.Done()
 			for f := range in {
-				out <- muxFrame{seq: f.seq, body: s.frames.ServeFrame(f.body)}
+				var meta FrameMeta
+				if !f.at.IsZero() {
+					meta.QueueWait = time.Since(f.at)
+				}
+				out <- muxFrame{seq: f.seq, body: s.frames.ServeFrame(f.body, meta)}
 			}
 		}()
 	}
@@ -266,7 +281,7 @@ func (s *Server) serveMux(conn net.Conn) {
 		// high water near muxConnHandlers means the workers, not the
 		// wire, are the bottleneck on this connection.
 		csnetM.queueHW.SetMax(int64(len(in) + 1))
-		in <- muxFrame{seq: seq, body: body}
+		in <- muxFrame{seq: seq, body: body, at: time.Now()}
 	}
 	close(in)
 	workerWG.Wait()
@@ -298,6 +313,7 @@ func (s *Server) Shutdown() {
 // (SETV/GETV/DELV/MERGE/KEYSV) on the same handler.
 type KVHandler struct {
 	eng store.Engine
+	trc *trace.Recorder // nil = trace.Default()
 }
 
 // NewKVHandler creates a handler over a fresh sharded engine.
@@ -312,11 +328,44 @@ func NewKVHandlerOn(eng store.Engine) *KVHandler {
 	return &KVHandler{eng: eng}
 }
 
+// WithTracer routes this handler's spans — server handling, engine
+// calls — and its OpTraces answers through rec instead of the
+// process-global trace.Default(). It is the seam that lets several
+// in-process nodes keep distinct trace identities. Returns kv.
+func (kv *KVHandler) WithTracer(rec *trace.Recorder) *KVHandler {
+	kv.trc = rec
+	return kv
+}
+
+// tracer returns the recorder this handler reports to.
+func (kv *KVHandler) tracer() *trace.Recorder {
+	if kv.trc != nil {
+		return kv.trc
+	}
+	return trace.Default()
+}
+
 // Engine returns the underlying storage engine.
 func (kv *KVHandler) Engine() store.Engine { return kv.eng }
 
-// Serve implements Handler.
+// Serve implements Handler. A request carrying a trace context gets a
+// server span wrapped around its handling — queue wait split out, the
+// context reparented so engine (and deeper) spans hang off it; an
+// untraced request skips all of it, never touching the clock.
 func (kv *KVHandler) Serve(req Request) Response {
+	if !req.Trace.Valid() {
+		return kv.serve(req)
+	}
+	srv := kv.tracer().StartSpan(req.Trace, trace.KindServer, req.Op.String())
+	srv.S.Wait = int64(req.QueueWait)
+	req.Trace = srv.Context()
+	resp := kv.serve(req)
+	srv.S.Err = resp.Status == StatusError
+	srv.Finish()
+	return resp
+}
+
+func (kv *KVHandler) serve(req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{Status: StatusOK, Value: []byte("pong")}
@@ -348,27 +397,7 @@ func (kv *KVHandler) Serve(req Request) Response {
 		}
 		return Response{Status: StatusOK, Value: body}
 	case OpGetV:
-		// Get first: the dominant live-hit case costs one engine
-		// lookup, and liveness stays the engine's call (it owns the
-		// time source). A miss falls back to Load so a resident
-		// tombstone's version — and, for expiry tombstones, its
-		// ExpireAt — still reaches the reader, who needs them to order
-		// the delete against other replicas' copies and to repair
-		// peers with a correctly-aging tombstone. An entry that just
-		// expired was lazily converted to exactly such a tombstone by
-		// the Get, so it reports as a tombstone miss, not plain-absent.
-		if e, live := kv.eng.Get(req.Key); live {
-			return Response{Status: StatusOK, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
-		}
-		resp := Response{Status: StatusNotFound}
-		if raw, ok := kv.eng.Load(req.Key); ok {
-			resp.Version = raw.Version
-			resp.ExpireAt = raw.ExpireAt // expiry tombstones carry their expiry
-			if raw.Tombstone {
-				resp.Flags |= FlagTombstone
-			}
-		}
-		return resp
+		return kv.getV(req)
 	case OpSetV:
 		if req.Version == 0 {
 			if req.ExpireAt == 0 {
@@ -377,12 +406,12 @@ func (kv *KVHandler) Serve(req Request) Response {
 			// Server-stamped write with an expiry: stamp a fresh version
 			// and merge, so the request's absolute ExpireAt is honored
 			// exactly (Set only takes a relative TTL).
-			return kv.merge(store.Entry{Value: req.Value, Version: kv.eng.Clock().Next(), ExpireAt: req.ExpireAt}, req.Key)
+			return kv.merge(store.Entry{Value: req.Value, Version: kv.eng.Clock().Next(), ExpireAt: req.ExpireAt}, req.Key, req.Trace)
 		}
 		if resp, ok := checkVersion(req.Version); !ok {
 			return resp
 		}
-		return kv.merge(store.Entry{Value: req.Value, Version: req.Version, ExpireAt: req.ExpireAt}, req.Key)
+		return kv.merge(store.Entry{Value: req.Value, Version: req.Version, ExpireAt: req.ExpireAt}, req.Key, req.Trace)
 	case OpDelV:
 		if req.Version == 0 {
 			ver, existed := kv.eng.Delete(req.Key)
@@ -396,7 +425,7 @@ func (kv *KVHandler) Serve(req Request) Response {
 			return resp
 		}
 		_, hadLive := kv.eng.Get(req.Key) // engine-judged liveness, engine's clock
-		resp := kv.merge(store.Entry{Version: req.Version, Tombstone: true}, req.Key)
+		resp := kv.merge(store.Entry{Version: req.Version, Tombstone: true}, req.Key, req.Trace)
 		if resp.Status == StatusOK && !hadLive {
 			// The tombstone landed but displaced nothing readable:
 			// report NotFound so a deleter can tell the two apart.
@@ -418,7 +447,7 @@ func (kv *KVHandler) Serve(req Request) Response {
 		} else {
 			e.Value = req.Value
 		}
-		return kv.merge(e, req.Key)
+		return kv.merge(e, req.Key, req.Trace)
 	case OpKeysV:
 		var entries []KeyVersion
 		kv.eng.Range(func(k string, e store.Entry) bool {
@@ -477,6 +506,24 @@ func (kv *KVHandler) Serve(req Request) Response {
 		// wire, coordinator, membership, and storage metrics all answer
 		// through whichever handler serves the op.
 		return Response{Status: StatusOK, Value: obs.Default().Snapshot().Encode()}
+	case OpTraces:
+		mode, id, err := DecodeTraceQuery(req.Value)
+		if err != nil {
+			return Response{Status: StatusError, Value: []byte(err.Error())}
+		}
+		rec := kv.tracer()
+		var spans []trace.Span
+		switch mode {
+		case TraceQueryAll:
+			spans = rec.Spans()
+		case TraceQueryID:
+			spans = rec.TraceSpans(id)
+		case TraceQuerySlow:
+			spans = rec.SlowSpans()
+		default:
+			return Response{Status: StatusError, Value: []byte(fmt.Sprintf("unknown trace query mode %d", mode))}
+		}
+		return Response{Status: StatusOK, Value: trace.EncodeSpans(spans)}
 	default:
 		return Response{Status: StatusError, Value: []byte(fmt.Sprintf("unknown op %d", req.Op))}
 	}
@@ -494,12 +541,47 @@ func checkVersion(v uint64) (Response, bool) {
 	return Response{}, true
 }
 
+// getV serves OpGetV. Get first: the dominant live-hit case costs one
+// engine lookup, and liveness stays the engine's call (it owns the
+// time source). A miss falls back to Load so a resident tombstone's
+// version — and, for expiry tombstones, its ExpireAt — still reaches
+// the reader, who needs them to order the delete against other
+// replicas' copies and to repair peers with a correctly-aging
+// tombstone. An entry that just expired was lazily converted to
+// exactly such a tombstone by the Get, so it reports as a tombstone
+// miss, not plain-absent.
+func (kv *KVHandler) getV(req Request) Response {
+	eng := kv.tracer().StartSpan(req.Trace, trace.KindEngine, "get")
+	if eng.Live() {
+		eng.S.Bucket = int32(store.BucketOf(req.Key, store.DefaultMerkleBuckets))
+	}
+	resp := Response{Status: StatusNotFound}
+	if e, live := kv.eng.Get(req.Key); live {
+		resp = Response{Status: StatusOK, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+	} else if raw, ok := kv.eng.Load(req.Key); ok {
+		resp.Version = raw.Version
+		resp.ExpireAt = raw.ExpireAt // expiry tombstones carry their expiry
+		if raw.Tombstone {
+			resp.Flags |= FlagTombstone
+		}
+	}
+	eng.Finish()
+	return resp
+}
+
 // merge applies a replicated entry last-writer-wins: StatusOK when it
 // won, StatusExists when the resident entry was newer and kept — both
 // are success for a replicator, and both responses carry the winning
-// version.
-func (kv *KVHandler) merge(e store.Entry, key string) Response {
+// version. A traced request gets an engine span with the key's Merkle
+// bucket — computed only when tracing, so the untraced path pays
+// nothing.
+func (kv *KVHandler) merge(e store.Entry, key string, tr trace.Context) Response {
+	eng := kv.tracer().StartSpan(tr, trace.KindEngine, "merge")
+	if eng.Live() {
+		eng.S.Bucket = int32(store.BucketOf(key, store.DefaultMerkleBuckets))
+	}
 	winner, applied := kv.eng.Merge(key, e)
+	eng.Finish()
 	resp := Response{Status: StatusOK, Version: winner}
 	if !applied {
 		resp.Status = StatusExists

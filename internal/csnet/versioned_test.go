@@ -1,11 +1,13 @@
 package csnet
 
 import (
+	"bytes"
 	"sort"
 	"testing"
 	"time"
 
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 func TestVersionedRequestRoundTrip(t *testing.T) {
@@ -287,5 +289,98 @@ func TestVersionedLegacyInterop(t *testing.T) {
 	sort.Strings(keys)
 	if len(keys) != 2 || keys[0] != "legacy" || keys[1] != "versioned" {
 		t.Fatalf("Keys = %v, want [legacy versioned]", keys)
+	}
+}
+
+// TestTracedLegacyInterop pins the trace trailer's interop discipline,
+// alongside TestVersionedLegacyInterop: an untraced versioned frame is
+// byte-identical to a pre-tracing build (no FlagHasTrace, no trailer
+// extension — built here by hand), a traced frame round-trips its
+// context, and traced, plain-versioned, and legacy frames mix freely on
+// one server port with only the traced request recording spans.
+func TestTracedLegacyInterop(t *testing.T) {
+	// Untraced wire bytes, fully hand-assembled: any trailer growth on
+	// the untraced path breaks legacy peers and must fail here.
+	req := Request{Op: OpSetV, Key: "k", Value: []byte("v"), Version: 7}
+	b, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		byte(OpSetV),
+		0, 1, 'k', // keyLen(2) key
+		0, 0, 0, 1, 'v', // valLen(4) val
+		0, 0, 0, 0, 0, 0, 0, 7, // version(8)
+		0, // flags: no expiry, no trace
+	}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("untraced SetV frame = %x, want byte-identical pre-tracing wire %x", b, want)
+	}
+
+	// The traced frame is exactly the 17-byte extension longer and
+	// round-trips its context; decoding the untraced frame yields the
+	// zero context.
+	tc := trace.Context{TraceID: 0xDEADBEEF, SpanID: 0x1234, Flags: trace.FlagSampled}
+	req.Trace = tc
+	tb, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb) != len(b)+17 {
+		t.Fatalf("traced frame is %d bytes, want untraced %d + 17", len(tb), len(b))
+	}
+	dec, err := DecodeRequest(tb)
+	if err != nil || dec.Trace != tc {
+		t.Fatalf("traced round trip = %+v %v, want context %+v", dec.Trace, err, tc)
+	}
+	if dec, err := DecodeRequest(b); err != nil || dec.Trace.Valid() {
+		t.Fatalf("untraced decode = %+v %v, want zero trace context", dec.Trace, err)
+	}
+
+	// Mixed traffic on one port: the server records spans only for the
+	// traced request, and every flavor of peer keeps working.
+	rec := trace.New(trace.Config{Node: "srv"})
+	srv := NewServer(NewKVHandler().WithTracer(rec), 16)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp, err := cl.Send(Request{Op: OpSetV, Key: "traced", Value: []byte("t"), Version: 1, Trace: tc}).ResponseV()
+	if err != nil || resp.Status != StatusOK {
+		t.Fatalf("traced SetV = %+v %v", resp, err)
+	}
+	if err := cl.Set("legacy", []byte("l")); err != nil {
+		t.Fatalf("legacy Set on the same port: %v", err)
+	}
+	if v, ok, err := cl.Get("traced"); err != nil || !ok || string(v) != "t" {
+		t.Fatalf("legacy Get of traced write = %q %v %v", v, ok, err)
+	}
+	if e, ok, err := cl.GetV("legacy"); err != nil || !ok || string(e.Value) != "l" {
+		t.Fatalf("untraced GetV of legacy write = %+v %v %v", e, ok, err)
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced request recorded no server spans")
+	}
+	for _, s := range spans {
+		if s.TraceID != tc.TraceID {
+			t.Fatalf("span %+v recorded outside trace %x: untraced requests must not record", s, tc.TraceID)
+		}
+	}
+	found := false
+	for _, s := range spans {
+		if s.Kind == trace.KindServer && s.Op == "SETV" && s.Parent == tc.SpanID && s.Node == "srv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no server SETV span parented to the wire context in %+v", spans)
 	}
 }

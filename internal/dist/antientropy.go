@@ -6,6 +6,7 @@ import (
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 // AntiEntropyStats describes the last Rebalance pass — chiefly how
@@ -103,6 +104,12 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 		distM.aePassLatency.ObserveSince(start)
 	}()
 
+	ctx, root := c.startAE("rebalance")
+	defer func() {
+		root.S.Err = err != nil
+		root.Finish()
+	}()
+
 	n := len(c.pools)
 	var firstErr error
 	noteErr := func(b int, err error) {
@@ -131,7 +138,7 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 	divergent, geomOK := c.descendTrees(clients, live, &st, noteErr)
 	if !geomOK {
 		st.FellBack = true
-		copied, err = c.rebalanceListings()
+		copied, err = c.rebalanceListings(ctx)
 		if err == nil {
 			err = firstErr
 		}
@@ -144,7 +151,7 @@ func (c *Cluster) Rebalance() (copied int, err error) {
 	st.BucketsDiffed = len(divergent)
 
 	holders := c.listDivergent(clients, divergent, &st, noteErr)
-	copied = c.streamWinners(clients, holders, &st, noteErr)
+	copied = c.streamWinners(ctx, clients, holders, &st, noteErr)
 	st.Streamed = copied
 	return copied, firstErr
 }
@@ -351,7 +358,7 @@ func winsListed(e, cur csnet.KeyDigest) (wins, ordered bool) {
 // read — which may be newer than the listing's, and merge keeps every
 // target at least that new. Same-version different-digest splits fetch
 // one copy per digest and let Entry.Wins order the bytes.
-func (c *Cluster) streamWinners(clients []*csnet.Client, holders map[string][]holderDigest, st *AntiEntropyStats, noteErr func(int, error)) (copied int) {
+func (c *Cluster) streamWinners(ctx trace.Context, clients []*csnet.Client, holders map[string][]holderDigest, st *AntiEntropyStats, noteErr func(int, error)) (copied int) {
 	type job struct {
 		key     string
 		winner  csnet.KeyDigest
@@ -420,14 +427,25 @@ func (c *Cluster) streamWinners(clients []*csnet.Client, holders map[string][]ho
 		}
 	}
 
-	var copies []*csnet.Call
+	type mergeCall struct {
+		call *csnet.Call
+		sp   trace.Active
+	}
+	var copies []mergeCall
 	merge := func(target int, key string, e store.Entry) {
-		req := csnet.Request{Op: csnet.OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+		// Each repair merge is a child span of the pass: a waterfall of a
+		// slow pass shows exactly which owners were converged and at what
+		// cost per stream.
+		sp := c.tracer.StartSpan(ctx, trace.KindAE, "MERGE")
+		if sp.Live() {
+			sp.S.Peer = c.pools[target].addr
+		}
+		req := csnet.Request{Op: csnet.OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt, Trace: sp.Context()}
 		if e.Tombstone {
 			req.Flags |= csnet.FlagTombstone
 			req.Value = nil
 		}
-		copies = append(copies, clients[target].Send(req))
+		copies = append(copies, mergeCall{call: clients[target].Send(req), sp: sp})
 	}
 	// Tombstones need no source read: the listing carries everything
 	// (version and — for expiry tombstones — the expiry for GC aging).
@@ -492,10 +510,13 @@ func (c *Cluster) streamWinners(clients []*csnet.Client, holders map[string][]ho
 			merge(t, j.key, best)
 		}
 	}
-	for _, call := range copies {
-		if resp, rerr := call.ResponseV(); rerr == nil && resp.Status == csnet.StatusOK {
+	for _, mc := range copies {
+		resp, rerr := mc.call.ResponseV()
+		if rerr == nil && resp.Status == csnet.StatusOK {
 			copied++
 		}
+		mc.sp.S.Err = rerr != nil
+		mc.sp.Finish()
 	}
 	return copied
 }

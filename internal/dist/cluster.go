@@ -10,6 +10,7 @@ import (
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
+	"pdcedu/internal/trace"
 )
 
 // ClusterConfig configures a Cluster.
@@ -39,6 +40,12 @@ type ClusterConfig struct {
 	// MerkleBuckets — the digest exchange carries the geometry, and a
 	// mismatch makes Rebalance fall back to full listings.
 	Buckets int
+	// Tracer records the coordinator's spans and originates trace
+	// contexts for cluster operations (nil = trace.Default()). Enable
+	// and sample it to trace: while it is disabled — the default —
+	// every op runs untraced at one extra atomic load, and request
+	// frames stay byte-identical.
+	Tracer *trace.Recorder
 }
 
 // Cluster shards one key space across several csnet backend servers: a
@@ -80,6 +87,7 @@ type Cluster struct {
 	ring     *ConsistentHash // live placement: down backends removed
 	clock    *store.Clock    // stamps write versions, observes read versions
 	balancer Balancer
+	tracer   *trace.Recorder
 	rf       int
 	quorum   int
 	pools    []*clientPool
@@ -140,10 +148,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		pow <<= 1
 	}
 	buckets = pow
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.Default()
+	}
 	c := &Cluster{
 		ring:          NewConsistentHash(n, cfg.Vnodes),
 		clock:         store.NewClock(),
 		balancer:      cfg.Balancer,
+		tracer:        tracer,
 		rf:            rf,
 		quorum:        quorum,
 		pools:         make([]*clientPool, n),
@@ -192,6 +205,42 @@ func (c *Cluster) ownersOf(bucket int) []int {
 // uses. Demos and operators use it to check replication coverage
 // against the cluster's actual geometry.
 func (c *Cluster) ReplicaSet(key string) []int { return c.replicaSet(key) }
+
+// startOp opens a new trace plus its root coordinator span for one
+// public cluster operation, returning the propagation context (root as
+// parent) and the root span to Finish. With tracing disabled both are
+// inert and the whole detour is one atomic load.
+func (c *Cluster) startOp(op string) (trace.Context, trace.Active) {
+	ctx := c.tracer.NewTrace()
+	if !ctx.Valid() {
+		return ctx, trace.Active{}
+	}
+	root := c.tracer.StartSpan(ctx, trace.KindOp, op)
+	return root.Context(), root
+}
+
+// rpcSpan opens the coordinator-side span for one backend call; the
+// returned span's Context goes onto the request so the backend's
+// server span hangs off this hop.
+func (c *Cluster) rpcSpan(ctx trace.Context, op string, backend int) trace.Active {
+	sp := c.tracer.StartSpan(ctx, trace.KindRPC, op)
+	if sp.Live() {
+		sp.S.Peer = c.pools[backend].addr
+	}
+	return sp
+}
+
+// startAE opens a trace for one anti-entropy pass. Unlike client ops a
+// pass is self-originated, so its root span carries the AE kind — a
+// slow-pass waterfall reads as "antientropy" rather than a client op.
+func (c *Cluster) startAE(op string) (trace.Context, trace.Active) {
+	ctx := c.tracer.NewTrace()
+	if !ctx.Valid() {
+		return ctx, trace.Active{}
+	}
+	root := c.tracer.StartSpan(ctx, trace.KindAE, op)
+	return root.Context(), root
+}
 
 // quorumFor is the ack count a write to a set of n live replicas needs:
 // the configured quorum, degraded to n when fewer than quorum replicas
@@ -244,9 +293,11 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 		expireAt = time.Now().Add(ttl).UnixNano()
 	}
 	ver := c.clock.Next()
+	ctx, root := c.startOp("set")
 	type sent struct {
 		call    *csnet.Call
 		backend int
+		sp      trace.Active
 	}
 	calls := make([]sent, 0, len(set))
 	acked := make([]int, 0, len(set))
@@ -258,7 +309,7 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 		}
 		causes[b] = err
 		if hint {
-			c.hint(b, key, hintEntry{val: value, ver: ver, exp: expireAt})
+			c.hint(b, key, hintEntry{val: value, ver: ver, exp: expireAt, tr: ctx})
 			hinted = append(hinted, b)
 		}
 	}
@@ -268,19 +319,23 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 			fail(b, err, true)
 			continue
 		}
-		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver, ExpireAt: expireAt}), b})
+		sp := c.rpcSpan(ctx, "SETV", b)
+		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver, ExpireAt: expireAt, Trace: sp.Context()}), b, sp})
 	}
-	for _, s := range calls {
+	for i := range calls {
+		s := &calls[i]
 		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			// Transport failure: the backend is unreachable or dying, so
 			// the write is worth replaying when it returns.
 			fail(s.backend, err, true)
+			s.sp.S.Err = true
 		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
 			// The backend is alive and rejected the write; a replay
 			// would be rejected again, so no hint.
 			fail(s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+			s.sp.S.Err = true
 		default:
 			// Observe the winner: a StatusExists reply carries the newer
 			// resident version, and a coordinator whose wall clock lags
@@ -288,15 +343,19 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 			c.clock.Observe(resp.Version)
 			acked = append(acked, s.backend)
 		}
+		s.sp.Finish()
 	}
 	if q := c.quorumFor(len(set)); len(acked) < q {
 		distM.partialWrites.Inc()
 		distM.quorumShort.Inc()
+		root.S.Err = true
+		root.Finish()
 		return &PartialWriteError{
 			Op: "set", Key: key, Replicas: set,
 			Acked: acked, Hinted: hinted, Quorum: q, MissedKeys: 1, Causes: causes,
 		}
 	}
+	root.Finish()
 	return nil
 }
 
@@ -330,6 +389,7 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 	}
 	first, release := c.readPick(key, len(set))
 	defer release()
+	ctx, root := c.startOp("get")
 	var missed []int
 	var tombVer uint64 // newest tombstone seen across misses
 	var tombExp int64  // its ExpireAt (nonzero for expiry tombstones)
@@ -341,11 +401,15 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 			lastErr = err
 			continue
 		}
-		e, found, err := cl.GetV(key)
+		sp := c.rpcSpan(ctx, "GETV", b)
+		e, found, err := cl.GetVT(key, sp.Context())
 		if err != nil {
 			lastErr = err
+			sp.S.Err = true
+			sp.Finish()
 			continue
 		}
+		sp.Finish()
 		// Observe every version seen — misses included: a tombstone (or
 		// expired copy) this coordinator has read must order below its
 		// next write, or a Set issued after reading the delete could
@@ -370,15 +434,20 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 			// A replica consulted earlier holds a newer delete: the
 			// value is stale, not the miss. Push the tombstone at the
 			// stale holder and report the key gone.
-			c.readRepair(key, store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp}, []int{b})
+			c.readRepair(ctx, key, store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp}, []int{b})
+			root.Finish()
 			return nil, false, nil
 		}
-		c.readRepair(key, e, missed)
+		c.readRepair(ctx, key, e, missed)
+		root.Finish()
 		return e.Value, true, nil
 	}
 	if lastErr != nil {
+		root.S.Err = true
+		root.Finish()
 		return nil, false, fmt.Errorf("dist: cluster get %q: %w", key, lastErr)
 	}
+	root.Finish()
 	return nil, false, nil
 }
 
@@ -388,25 +457,38 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 // write that landed between the miss and the repair — the engine keeps
 // the newer version and answers StatusExists. Failures are ignored
 // (the next read retries the repair).
-func (c *Cluster) readRepair(key string, e store.Entry, missed []int) {
+func (c *Cluster) readRepair(ctx trace.Context, key string, e store.Entry, missed []int) {
 	if len(missed) > 0 {
 		distM.readRepairs.Add(uint64(len(missed)))
 	}
-	calls := make([]*csnet.Call, 0, len(missed))
+	type repairCall struct {
+		call *csnet.Call
+		sp   trace.Active
+	}
+	calls := make([]repairCall, 0, len(missed))
 	for _, b := range missed {
 		cl, err := c.pools[b].get()
 		if err != nil {
 			continue
 		}
-		req := csnet.Request{Op: csnet.OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt}
+		// The repair rides the read's trace: a waterfall shows exactly
+		// which replicas were backfilled (or tombstoned) and what it cost.
+		sp := c.tracer.StartSpan(ctx, trace.KindRepair, "MERGE")
+		if sp.Live() {
+			sp.S.Peer = c.pools[b].addr
+		}
+		req := csnet.Request{Op: csnet.OpMerge, Key: key, Value: e.Value, Version: e.Version, ExpireAt: e.ExpireAt, Trace: sp.Context()}
 		if e.Tombstone {
 			req.Flags |= csnet.FlagTombstone
 			req.Value = nil
 		}
-		calls = append(calls, cl.Send(req))
+		calls = append(calls, repairCall{call: cl.Send(req), sp: sp})
 	}
-	for _, call := range calls {
-		_, _ = call.ResponseV()
+	for _, rc := range calls {
+		if _, err := rc.call.ResponseV(); err != nil {
+			rc.sp.S.Err = true
+		}
+		rc.sp.Finish()
 	}
 }
 
@@ -424,18 +506,21 @@ func (c *Cluster) Del(key string) (ok bool, err error) {
 		return false, fmt.Errorf("dist: cluster del %q: no live backends", key)
 	}
 	ver := c.clock.Next()
+	ctx, root := c.startOp("del")
 	calls := make([]*csnet.Call, len(set))
+	spans := make([]trace.Active, len(set))
 	var firstErr error
 	for i, b := range set {
 		cl, cerr := c.pools[b].get()
 		if cerr != nil {
-			c.hint(b, key, hintEntry{del: true, ver: ver})
+			c.hint(b, key, hintEntry{del: true, ver: ver, tr: ctx})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, b, cerr)
 			}
 			continue
 		}
-		calls[i] = cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: ver})
+		spans[i] = c.rpcSpan(ctx, "DELV", b)
+		calls[i] = cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: ver, Trace: spans[i].Context()})
 	}
 	for i, call := range calls {
 		if call == nil {
@@ -445,21 +530,28 @@ func (c *Cluster) Del(key string) (ok bool, err error) {
 		if cerr != nil {
 			// Transport failure: the replica may still hold the key, so
 			// the deletion must replay when it returns.
-			c.hint(set[i], key, hintEntry{del: true, ver: ver})
+			c.hint(set[i], key, hintEntry{del: true, ver: ver, tr: ctx})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, set[i], cerr)
 			}
+			spans[i].S.Err = true
+			spans[i].Finish()
 			continue
 		}
 		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: status %s: %s", key, set[i], resp.Status, resp.Value)
 			}
+			spans[i].S.Err = true
+			spans[i].Finish()
 			continue
 		}
 		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 		ok = ok || resp.Status == csnet.StatusOK
+		spans[i].Finish()
 	}
+	root.S.Err = firstErr != nil
+	root.Finish()
 	return ok, firstErr
 }
 
@@ -511,10 +603,12 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 		expireAt = time.Now().Add(ttl).UnixNano()
 	}
 	bc := c.newBatchClients()
+	ctx, root := c.startOp("mset")
 	type sent struct {
 		call    *csnet.Call
 		key     int
 		backend int
+		sp      trace.Active
 	}
 	sets := make([][]int, len(keys))
 	acked := make([][]int, len(keys))
@@ -527,7 +621,7 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 		}
 		causes[i][b] = err
 		if hint {
-			c.hint(b, keys[i], hintEntry{val: values[i], ver: vers[i], exp: expireAt})
+			c.hint(b, keys[i], hintEntry{val: values[i], ver: vers[i], exp: expireAt, tr: ctx})
 			hinted[i] = append(hinted[i], b)
 		}
 	}
@@ -541,24 +635,30 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 				fail(i, b, err, true)
 				continue
 			}
+			sp := c.rpcSpan(ctx, "SETV", b)
 			calls = append(calls, sent{
-				call:    cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: values[i], Version: vers[i], ExpireAt: expireAt}),
+				call:    cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: values[i], Version: vers[i], ExpireAt: expireAt, Trace: sp.Context()}),
 				key:     i,
 				backend: b,
+				sp:      sp,
 			})
 		}
 	}
-	for _, s := range calls {
+	for i := range calls {
+		s := &calls[i]
 		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			fail(s.key, s.backend, err, true)
+			s.sp.S.Err = true
 		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
 			fail(s.key, s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+			s.sp.S.Err = true
 		default:
 			c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 			acked[s.key] = append(acked[s.key], s.backend)
 		}
+		s.sp.Finish()
 	}
 	var pe *PartialWriteError
 	for i := range keys {
@@ -576,8 +676,11 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 	if pe != nil {
 		distM.partialWrites.Inc()
 		distM.quorumShort.Add(uint64(pe.MissedKeys))
+		root.S.Err = true
+		root.Finish()
 		return pe
 	}
+	root.Finish()
 	return nil
 }
 
@@ -591,10 +694,13 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 	defer distM.latMGet.ObserveSince(obs.StartTimer())
 	bc := c.newBatchClients()
+	ctx, root := c.startOp("mget")
+	defer root.Finish()
 	found := make(map[string][]byte, len(keys))
 	type sent struct {
 		call *csnet.Call
 		key  int
+		sp   trace.Active
 	}
 	calls := make([]sent, 0, len(keys))
 	releases := make([]func(), 0, len(keys))
@@ -617,14 +723,17 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 			retry = append(retry, i)
 			continue
 		}
-		calls = append(calls, sent{call: cl.Send(csnet.Request{Op: csnet.OpGetV, Key: key}), key: i})
+		sp := c.rpcSpan(ctx, "GETV", set[first])
+		calls = append(calls, sent{call: cl.Send(csnet.Request{Op: csnet.OpGetV, Key: key, Trace: sp.Context()}), key: i, sp: sp})
 	}
 	var firstErr error
-	for _, s := range calls {
+	for ci := range calls {
+		s := &calls[ci]
 		resp, err := s.call.ResponseV()
 		switch {
 		case err != nil:
 			retry = append(retry, s.key)
+			s.sp.S.Err = true
 		case resp.Status == csnet.StatusOK:
 			c.clock.Observe(resp.Version)
 			found[keys[s.key]] = resp.Value
@@ -641,7 +750,9 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mget %q: status %s: %s", keys[s.key], resp.Status, resp.Value)
 			}
+			s.sp.S.Err = true
 		}
+		s.sp.Finish()
 	}
 	for _, i := range retry {
 		v, ok, err := c.Get(keys[i])
@@ -665,10 +776,12 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 func (c *Cluster) MDel(keys []string) (int, error) {
 	defer distM.latMDel.ObserveSince(obs.StartTimer())
 	bc := c.newBatchClients()
+	ctx, root := c.startOp("mdel")
 	type sent struct {
 		call    *csnet.Call
 		key     int
 		backend int
+		sp      trace.Active
 	}
 	calls := make([]sent, 0, len(keys)*c.rf)
 	vers := make([]uint64, len(keys))
@@ -678,39 +791,47 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 		for _, b := range c.replicaSet(key) {
 			cl, err := bc.get(b)
 			if err != nil {
-				c.hint(b, key, hintEntry{del: true, ver: vers[i]})
+				c.hint(b, key, hintEntry{del: true, ver: vers[i], tr: ctx})
 				if firstErr == nil {
 					firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", key, b, err)
 				}
 				continue
 			}
+			sp := c.rpcSpan(ctx, "DELV", b)
 			calls = append(calls, sent{
-				call:    cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: vers[i]}),
+				call:    cl.Send(csnet.Request{Op: csnet.OpDelV, Key: key, Version: vers[i], Trace: sp.Context()}),
 				key:     i,
 				backend: b,
+				sp:      sp,
 			})
 		}
 	}
 	existed := make([]bool, len(keys))
-	for _, s := range calls {
+	for ci := range calls {
+		s := &calls[ci]
 		resp, err := s.call.ResponseV()
 		if err != nil {
-			c.hint(s.backend, keys[s.key], hintEntry{del: true, ver: vers[s.key]})
+			c.hint(s.backend, keys[s.key], hintEntry{del: true, ver: vers[s.key], tr: ctx})
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, err)
 			}
+			s.sp.S.Err = true
+			s.sp.Finish()
 			continue
 		}
 		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: status %s: %s", keys[s.key], s.backend, resp.Status, resp.Value)
 			}
+			s.sp.S.Err = true
+			s.sp.Finish()
 			continue
 		}
 		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
 		if resp.Status == csnet.StatusOK {
 			existed[s.key] = true
 		}
+		s.sp.Finish()
 	}
 	n := 0
 	for _, e := range existed {
@@ -718,6 +839,8 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 			n++
 		}
 	}
+	root.S.Err = firstErr != nil
+	root.Finish()
 	return n, firstErr
 }
 

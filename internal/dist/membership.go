@@ -9,6 +9,7 @@ import (
 	"pdcedu/internal/csnet"
 	"pdcedu/internal/member"
 	"pdcedu/internal/obs"
+	"pdcedu/internal/trace"
 )
 
 // PartialWriteError reports a replicated write that reached fewer live
@@ -80,6 +81,7 @@ type hintEntry struct {
 	ver uint64
 	exp int64 // ExpireAt of a TTL'd write, so a replayed hint stays mortal
 	del bool
+	tr  trace.Context // trace of the write that queued the hint, so the replay joins it
 }
 
 // hintLocked queues e for backend b under key, superseding a queued
@@ -161,24 +163,38 @@ func (c *Cluster) replayHints(b int) int {
 		}
 		return 0
 	}
-	calls := make(map[string]*csnet.Call, len(pending))
+	type hintCall struct {
+		call *csnet.Call
+		sp   trace.Active
+	}
+	calls := make(map[string]hintCall, len(pending))
 	for k, e := range pending {
-		req := csnet.Request{Op: csnet.OpMerge, Key: k, Value: e.val, Version: e.ver, ExpireAt: e.exp}
+		// A hint carries the trace of the write that queued it; the
+		// replay merge joins that trace as a hint span, so a waterfall
+		// shows the write completing on the recovered backend.
+		sp := c.tracer.StartSpan(e.tr, trace.KindHint, "replay")
+		if sp.Live() {
+			sp.S.Peer = c.pools[b].addr
+		}
+		req := csnet.Request{Op: csnet.OpMerge, Key: k, Value: e.val, Version: e.ver, ExpireAt: e.exp, Trace: sp.Context()}
 		if e.del {
 			req.Flags |= csnet.FlagTombstone
 			req.Value = nil
 		}
-		calls[k] = cl.Send(req)
+		calls[k] = hintCall{call: cl.Send(req), sp: sp}
 	}
 	delivered := 0
-	for k, call := range calls {
-		resp, err := call.ResponseV()
+	for k, hc := range calls {
+		resp, err := hc.call.ResponseV()
 		ok := err == nil && (resp.Status == csnet.StatusOK || resp.Status == csnet.StatusExists)
 		if !ok {
 			c.hintIfAbsent(b, k, pending[k])
+			hc.sp.S.Err = true
+			hc.sp.Finish()
 			continue
 		}
 		c.clock.Observe(resp.Version) // an Exists reply carries the newer resident version
+		hc.sp.Finish()
 		delivered++
 	}
 	if delivered > 0 {
@@ -355,12 +371,15 @@ func (c *Cluster) RebalanceListings() (copied int, err error) {
 	defer c.rebalanceMu.Unlock()
 	defer distM.aePassLatency.ObserveSince(obs.StartTimer())
 	distM.aeListingPasses.Inc()
-	copied, err = c.rebalanceListings()
+	ctx, root := c.startAE("rebalance-listings")
+	copied, err = c.rebalanceListings(ctx)
+	root.S.Err = err != nil
+	root.Finish()
 	distM.aeStreamed.Add(uint64(copied))
 	return copied, err
 }
 
-func (c *Cluster) rebalanceListings() (copied int, err error) {
+func (c *Cluster) rebalanceListings(ctx trace.Context) (copied int, err error) {
 	n := len(c.pools)
 	var firstErr error
 	noteErr := func(b int, err error) {
@@ -471,12 +490,24 @@ func (c *Cluster) rebalanceListings() (copied int, err error) {
 			jobs[ks.holder] = append(jobs[ks.holder], j)
 		}
 	}
-	var copies []*csnet.Call
+	type mergeCall struct {
+		call *csnet.Call
+		sp   trace.Active
+	}
+	var copies []mergeCall
+	stream := func(t int, req csnet.Request) {
+		sp := c.tracer.StartSpan(ctx, trace.KindAE, "MERGE")
+		if sp.Live() {
+			sp.S.Peer = c.pools[t].addr
+		}
+		req.Trace = sp.Context()
+		copies = append(copies, mergeCall{call: clients[t].Send(req), sp: sp})
+	}
 	for _, j := range tombs {
 		for _, t := range j.targets {
-			copies = append(copies, clients[t].Send(csnet.Request{
+			stream(t, csnet.Request{
 				Op: csnet.OpMerge, Key: j.key, Version: j.top, Flags: csnet.FlagTombstone,
-			}))
+			})
 		}
 	}
 	for src, list := range jobs {
@@ -497,16 +528,18 @@ func (c *Cluster) rebalanceListings() (copied int, err error) {
 			// be newer than the listing's; merge keeps every target at
 			// least that new, and carrying ExpireAt keeps a TTL'd entry
 			// mortal on the targets too.
-			req := csnet.Request{Op: csnet.OpMerge, Key: j.key, Value: resp.Value, Version: resp.Version, ExpireAt: resp.ExpireAt}
 			for _, t := range j.targets {
-				copies = append(copies, clients[t].Send(req))
+				stream(t, csnet.Request{Op: csnet.OpMerge, Key: j.key, Value: resp.Value, Version: resp.Version, ExpireAt: resp.ExpireAt})
 			}
 		}
 	}
-	for _, call := range copies {
-		if resp, rerr := call.ResponseV(); rerr == nil && resp.Status == csnet.StatusOK {
+	for _, mc := range copies {
+		resp, rerr := mc.call.ResponseV()
+		if rerr == nil && resp.Status == csnet.StatusOK {
 			copied++
 		}
+		mc.sp.S.Err = rerr != nil
+		mc.sp.Finish()
 	}
 	return copied, firstErr
 }

@@ -93,7 +93,7 @@ func (s *RPCServer) Start(addr string) (string, error) {
 
 // ServeFrame implements csnet.FrameHandler: decode the call envelope,
 // dispatch, encode the reply envelope.
-func (s *RPCServer) ServeFrame(body []byte) []byte {
+func (s *RPCServer) ServeFrame(body []byte, _ csnet.FrameMeta) []byte {
 	var resp rpcResponse
 	var req rpcRequest
 	if err := json.Unmarshal(body, &req); err != nil {

@@ -1,0 +1,204 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pdcedu/internal/csnet"
+	"pdcedu/internal/trace"
+)
+
+// startTracedBackends launches n csnet KV servers, each with its own
+// trace recorder under a distinct node identity — the in-process
+// equivalent of n distnode processes with tracing wired up.
+func startTracedBackends(t testing.TB, n int) (handlers []*csnet.KVHandler, recs []*trace.Recorder, addrs []string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := trace.New(trace.Config{Node: fmt.Sprintf("backend-%d", i)})
+		h := csnet.NewKVHandler().WithTracer(rec)
+		srv := csnet.NewServer(h, 64)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Shutdown)
+		handlers = append(handlers, h)
+		recs = append(recs, rec)
+		addrs = append(addrs, addr)
+	}
+	return handlers, recs, addrs
+}
+
+// findRoot returns the trace ID of the coordinator's most recent root
+// op span matching op.
+func findRoot(t *testing.T, rec *trace.Recorder, op string) uint64 {
+	t.Helper()
+	var id uint64
+	var start int64
+	for _, s := range rec.Spans() {
+		if s.Kind == trace.KindOp && s.Op == op && s.Start >= start {
+			id, start = s.TraceID, s.Start
+		}
+	}
+	if id == 0 {
+		t.Fatalf("coordinator recorded no %q root span", op)
+	}
+	return id
+}
+
+// TestClusterTraceEndToEnd drives a traced replicated write and a
+// quorum read with an induced read-repair through a real multi-node
+// cluster, then asserts ClusterTrace assembles each into one
+// cross-node tree: spans from at least two distinct nodes, server
+// spans correctly parented under the coordinator's RPC hops, and the
+// repair surfacing as a child span of the read's trace.
+func TestClusterTraceEndToEnd(t *testing.T) {
+	handlers, _, addrs := startTracedBackends(t, 3)
+	coord := trace.New(trace.Config{Node: "coordinator"})
+	coord.SetEnabled(true)
+	coord.SetSampleEvery(1) // trace everything: the test drives single ops
+	c, err := NewCluster(ClusterConfig{
+		Addrs:       addrs,
+		Replication: 2,
+		Timeout:     5 * time.Second,
+		Tracer:      coord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Traced multi-replica write.
+	if err := c.Set("grade", []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	setID := findRoot(t, coord, "set")
+	tree, err := c.ClusterTrace(setID)
+	if err != nil {
+		t.Fatalf("ClusterTrace(set): %v", err)
+	}
+	if tree == nil || tree.TraceID != setID {
+		t.Fatalf("ClusterTrace(set) = %+v, want tree for %016x", tree, setID)
+	}
+	if nodes := tree.Nodes(); len(nodes) < 3 { // coordinator + both replicas
+		t.Fatalf("set trace touched nodes %v, want coordinator plus 2 backends", nodes)
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Span.Op != "set" {
+		t.Fatalf("set trace roots = %+v, want single 'set' op root", tree.Roots)
+	}
+	// Every backend server span must hang off one of the coordinator's
+	// RPC spans — the wire propagation under test.
+	spansByID := map[uint64]trace.Span{}
+	var walk func(n *trace.Node)
+	walk = func(n *trace.Node) {
+		spansByID[n.Span.ID] = n.Span
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	serverSpans := 0
+	for _, s := range spansByID {
+		if s.Kind != trace.KindServer {
+			continue
+		}
+		serverSpans++
+		parent, ok := spansByID[s.Parent]
+		if !ok || parent.Kind != trace.KindRPC {
+			t.Fatalf("server span %+v not parented under an RPC span (parent %+v)", s, parent)
+		}
+	}
+	if serverSpans < 2 {
+		t.Fatalf("set trace has %d server spans, want one per replica (2)", serverSpans)
+	}
+
+	// Induce a read-repair: purge the primary's copy behind the
+	// cluster's back, then do a traced quorum read.
+	primary := c.replicaSet("grade")[0]
+	handlers[primary].Engine().Purge("grade")
+	got, ok, err := c.Get("grade")
+	if err != nil || !ok || string(got) != "A" {
+		t.Fatalf("Get after damage = %q %v %v", got, ok, err)
+	}
+	getID := findRoot(t, coord, "get")
+	tree, err = c.ClusterTrace(getID)
+	if err != nil {
+		t.Fatalf("ClusterTrace(get): %v", err)
+	}
+	if tree == nil {
+		t.Fatalf("no tree for get trace %016x", getID)
+	}
+	if nodes := tree.Nodes(); len(nodes) < 3 {
+		t.Fatalf("get trace touched nodes %v, want coordinator plus 2 backends", nodes)
+	}
+	repair, found := tree.Find(func(s trace.Span) bool { return s.Kind == trace.KindRepair })
+	if !found {
+		t.Fatal("get trace has no read-repair span despite the induced miss")
+	}
+	// The repaired backend's server-side MERGE must be a child of the
+	// coordinator's repair span, proving the repair merge carried the
+	// trace context over the wire too.
+	spansByID = map[uint64]trace.Span{}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	foundMerge := false
+	for _, s := range spansByID {
+		if s.Kind == trace.KindServer && s.Op == "MERGE" && s.Parent == repair.ID {
+			foundMerge = true
+		}
+	}
+	if !foundMerge {
+		t.Fatalf("no server MERGE span parented under repair span %+v", repair)
+	}
+
+	// SlowTraces with a zero threshold everywhere: nothing promoted.
+	slow, err := c.SlowTraces(10)
+	if err != nil {
+		t.Fatalf("SlowTraces: %v", err)
+	}
+	if len(slow) != 0 {
+		t.Fatalf("SlowTraces = %d trees with tail promotion disabled, want 0", len(slow))
+	}
+}
+
+// TestClusterSlowTraces pins the tail-promotion plane: with an
+// aggressive slow threshold on the coordinator, ordinary ops pin their
+// traces and SlowTraces surfaces them cluster-wide, slowest first.
+func TestClusterSlowTraces(t *testing.T) {
+	_, _, addrs := startTracedBackends(t, 2)
+	coord := trace.New(trace.Config{Node: "coordinator"})
+	coord.SetEnabled(true)
+	coord.SetSampleEvery(1)
+	coord.SetSlowThreshold(time.Nanosecond) // everything is "slow"
+	c, err := NewCluster(ClusterConfig{Addrs: addrs, Replication: 2, Tracer: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := c.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trees, err := c.SlowTraces(2)
+	if err != nil {
+		t.Fatalf("SlowTraces: %v", err)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("SlowTraces(2) = %d trees, want capped at 2", len(trees))
+	}
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Duration() > trees[i-1].Duration() {
+			t.Fatalf("SlowTraces not sorted slowest-first: %v then %v", trees[i-1].Duration(), trees[i].Duration())
+		}
+	}
+	// Each pinned trace still assembles into a full cross-node tree.
+	if nodes := trees[0].Nodes(); len(nodes) < 3 {
+		t.Fatalf("slow trace touched nodes %v, want coordinator plus both replicas", nodes)
+	}
+}

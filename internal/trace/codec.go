@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Span wire format, used by the OpTraces collection op:
+//
+//	count(4)
+//	per span:
+//	  traceID(8) id(8) parent(8) start(8) dur(8) wait(8)
+//	  bucket(4) kind(1) err(1)
+//	  opLen(2) op  nodeLen(2) node  peerLen(2) peer
+//
+// All integers big-endian, matching the rest of the csnet wire.
+const (
+	spanFixedSize = 8*6 + 4 + 1 + 1 // fixed-width fields
+	spanMinSize   = spanFixedSize + 3*2
+	maxSpanString = 1 << 12 // sanity cap on op/node/peer strings
+)
+
+// EncodeSpans serializes spans for the wire.
+func EncodeSpans(spans []Span) []byte {
+	size := 4
+	for i := range spans {
+		size += spanMinSize + len(spans[i].Op) + len(spans[i].Node) + len(spans[i].Peer)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(spans)))
+	for i := range spans {
+		s := &spans[i]
+		buf = binary.BigEndian.AppendUint64(buf, s.TraceID)
+		buf = binary.BigEndian.AppendUint64(buf, s.ID)
+		buf = binary.BigEndian.AppendUint64(buf, s.Parent)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.Start))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.Dur))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(s.Wait))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(s.Bucket))
+		buf = append(buf, byte(s.Kind), boolByte(s.Err))
+		buf = appendString(buf, s.Op)
+		buf = appendString(buf, s.Node)
+		buf = appendString(buf, s.Peer)
+	}
+	return buf
+}
+
+// DecodeSpans parses a span list, strictly: short bodies, oversized
+// strings, and trailing bytes are errors, and the count is checked
+// against the body size before any allocation sized from it.
+func DecodeSpans(b []byte) ([]Span, error) {
+	if len(b) < 4 {
+		return nil, errors.New("trace: span list truncated")
+	}
+	count := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if count < 0 || count > len(b)/spanMinSize {
+		return nil, fmt.Errorf("trace: span count %d exceeds body", count)
+	}
+	spans := make([]Span, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < spanFixedSize {
+			return nil, errors.New("trace: span truncated")
+		}
+		var s Span
+		s.TraceID = binary.BigEndian.Uint64(b)
+		s.ID = binary.BigEndian.Uint64(b[8:])
+		s.Parent = binary.BigEndian.Uint64(b[16:])
+		s.Start = int64(binary.BigEndian.Uint64(b[24:]))
+		s.Dur = int64(binary.BigEndian.Uint64(b[32:]))
+		s.Wait = int64(binary.BigEndian.Uint64(b[40:]))
+		s.Bucket = int32(binary.BigEndian.Uint32(b[48:]))
+		s.Kind = Kind(b[52])
+		s.Err = b[53] != 0
+		b = b[spanFixedSize:]
+		var err error
+		if s.Op, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if s.Node, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if s.Peer, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		spans = append(spans, s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("trace: %d trailing bytes after span list", len(b))
+	}
+	return spans, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	if len(s) > maxSpanString {
+		s = s[:maxSpanString]
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("trace: string length truncated")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if n > maxSpanString {
+		return "", nil, fmt.Errorf("trace: string length %d exceeds cap", n)
+	}
+	if len(b) < n {
+		return "", nil, errors.New("trace: string body truncated")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+// Package trace is a zero-dependency, allocation-frugal distributed
+// tracing substrate for the pdcedu stack.
+//
+// A trace is a tree of spans sharing a 64-bit TraceID. The coordinator
+// stamps a trace context onto an operation, the context rides the
+// versioned wire trailer to every backend the operation touches, and
+// each hop records its own span — coordinator op, per-replica RPC,
+// server handling (with queue wait split out), engine call, read
+// repair, hint replay, anti-entropy — into a per-node fixed-capacity
+// lock-free ring that overwrites oldest.
+//
+// Sampling is two-sided:
+//
+//   - Head-based: the coordinator flips a sampled bit on 1-in-N new
+//     traces. Sampled spans are always recorded, everywhere.
+//   - Tail-based promotion: any span whose duration crosses the slow
+//     threshold promotes its whole trace into a small pin table that
+//     survives ring wraparound — so the slow requests are never the
+//     ones sampled away, even at sample rate 0.
+//
+// When tracing is disabled (the default), contexts are invalid, spans
+// never start, nothing touches the clock, and the wire stays
+// byte-identical to an untraced build.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies what stage of the distributed pipeline a span covers.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+	KindOp           // coordinator-level cluster operation (set/get/…)
+	KindRPC          // one backend call, coordinator side of the wire
+	KindServer       // server-side handling of one framed request
+	KindEngine       // storage-engine work inside a server handler
+	KindRepair       // read-repair merge pushed at a stale replica
+	KindHint         // hinted-handoff replay of a missed write
+	KindAE           // anti-entropy pass or one of its phases
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOp:
+		return "op"
+	case KindRPC:
+		return "rpc"
+	case KindServer:
+		return "server"
+	case KindEngine:
+		return "engine"
+	case KindRepair:
+		return "repair"
+	case KindHint:
+		return "hint"
+	case KindAE:
+		return "antientropy"
+	default:
+		return "unknown"
+	}
+}
+
+// FlagSampled marks a head-sampled trace; it rides the wire so every
+// backend records the trace's spans without its own sampling decision.
+const FlagSampled uint8 = 1 << 0
+
+// Context identifies the trace (and current parent span) a request
+// belongs to. The zero value means "not traced" and costs nothing.
+type Context struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// Valid reports whether the context carries a live trace.
+func (c Context) Valid() bool { return c.TraceID != 0 }
+
+// Sampled reports whether the trace was head-sampled at the
+// coordinator, forcing every participant to record its spans.
+func (c Context) Sampled() bool { return c.Flags&FlagSampled != 0 }
+
+// Span is one recorded stage of a trace: a fixed, small annotation
+// set — no maps, no variable attributes — so recording never
+// allocates beyond the ring slot it lands in.
+type Span struct {
+	TraceID uint64
+	ID      uint64
+	Parent  uint64 // 0 for a root span
+	Start   int64  // unix nanoseconds
+	Dur     int64  // nanoseconds
+	Wait    int64  // queue wait before handling began (server spans)
+	Bucket  int32  // Merkle bucket of the key, -1 when not applicable
+	Kind    Kind
+	Err     bool
+	Op      string // operation name (constant strings: "SETV", "merge", …)
+	Node    string // recording node's identity
+	Peer    string // remote address for RPC/repair/hint spans
+}
+
+// End returns the span's end time in unix nanoseconds.
+func (s Span) End() int64 { return s.Start + s.Dur }
+
+// idState seeds the splitmix64 ID stream from the wall clock once so
+// concurrent processes do not mint colliding trace IDs.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+// newID mints a process-unique, well-mixed, nonzero 64-bit ID.
+// splitmix64 over an atomic counter: one atomic add, no locks.
+func newID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}

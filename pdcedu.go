@@ -43,7 +43,15 @@
 // answers the OpStats wire op with its encoded registry snapshot,
 // dist.Cluster.ClusterStats merges those snapshots cluster-wide, and
 // distnode's -metrics-addr serves /metrics, /debug/vars, and pprof
-// (see the README "Observability" section).
+// (see the README "Observability" section). The trace substrate
+// follows individual requests through all of that: a coordinator
+// stamps sampled operations with a trace context that rides the
+// versioned frame trailer into every backend, hint replay, and
+// anti-entropy stream; each node records its spans in a lock-free
+// ring with tail promotion pinning any trace that crossed the slow-op
+// threshold; dist.Cluster.ClusterTrace and SlowTraces reassemble the
+// cross-node span trees, and distnode's /debug/traces renders them as
+// text waterfalls (see the README "Tracing" section).
 package pdcedu
 
 import (

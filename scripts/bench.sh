@@ -4,11 +4,13 @@
 # anti-entropy: steady-state and fixed-diff converge cost at 1k/10k
 # keys against the preserved full-listings baseline, E29 observability:
 # instrumented vs metrics-disabled server round trips plus obs
-# counter/histogram micro-benches proving the zero-alloc hot path) and
-# records the numbers as BENCH_<n>.json, continuing the perf trajectory
-# the README tracks.
+# counter/histogram micro-benches proving the zero-alloc hot path,
+# E30 tracing: tracing-enabled vs untraced versioned server round
+# trips plus span-ring micro-benches proving the unsampled path adds
+# nothing) and records the numbers as BENCH_<n>.json, continuing the
+# perf trajectory the README tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 6)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 7)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -26,6 +28,6 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-6}.json"
+' >"BENCH_${1:-7}.json"
 
-echo "wrote BENCH_${1:-6}.json"
+echo "wrote BENCH_${1:-7}.json"
