@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"pdcedu/internal/csnet"
+	"pdcedu/internal/dist"
 	"pdcedu/internal/member"
 	"pdcedu/internal/obs"
 	"pdcedu/internal/store"
@@ -73,6 +74,11 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 	tombGC := fs.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete and expiry tombstones are retained before garbage collection")
 	sweep := fs.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/traces, /debug/vars, and /debug/pprof on this address (empty = off)")
+	shedQueue := fs.Int("shed-queue", 0, "admission control: per-connection worker queue depth; frames past it are shed with BUSY (0 = queue bounded only by worker count, no shedding)")
+	shedInflight := fs.Int("shed-inflight", 0, "admission control: server-wide in-flight request budget; frames past it are shed with BUSY (0 = unlimited)")
+	clusterAddrs := fs.String("cluster", "", "comma-separated backend addresses: run an embedded cluster coordinator serving HTTP /kv/{key} on -metrics-addr and wired to this node's membership (empty = off)")
+	clusterRF := fs.Int("cluster-rf", 3, "replication factor of the embedded coordinator (requires -cluster)")
+	readCache := fs.Int("read-cache", 0, "embedded coordinator's hot-key read-cache size in entries (0 = off; requires -cluster)")
 	slowOp := fs.Duration("slow-op", 0, "log server-side ops slower than this threshold and tail-promote their traces (0 = off)")
 	traceSample := fs.Int("trace-sample", 0, "head-sample 1 in N locally originated traces (0 = off; wire-propagated traces are always honored)")
 	traceRing := fs.Int("trace-ring", trace.DefaultCapacity, "span ring capacity (rounded up to a power of two)")
@@ -120,6 +126,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 	srv := csnet.NewServer(csnet.HandlerFunc(func(r csnet.Request) csnet.Response {
 		return handler.Load().(csnet.HandlerFunc)(r)
 	}), 256)
+	srv.SetAdmission(*shedQueue, *shedInflight)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		return err
@@ -136,6 +143,34 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		return err
 	}
 	handler.Store(csnet.HandlerFunc(ml.Handler(kv).Serve))
+	// The embedded coordinator: the same dist.Cluster a standalone
+	// gateway would run, co-located with a node and subscribed to its
+	// membership, so dead backends leave its ring by gossip. Its /kv
+	// HTTP surface (on the metrics plane) is what distload and demos
+	// drive; its dist.* metrics — the read-cache hit/miss/invalidation
+	// counters included — land in this node's registry and therefore on
+	// /metrics and in every OpStats/ClusterStats merge.
+	var gw *dist.Cluster
+	if *clusterAddrs != "" {
+		var backends []string
+		for _, s := range strings.Split(*clusterAddrs, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				backends = append(backends, s)
+			}
+		}
+		gw, err = dist.NewCluster(dist.ClusterConfig{
+			Addrs:       backends,
+			Replication: *clusterRF,
+			Buckets:     *merkleBuckets,
+			ReadCache:   *readCache,
+			Tracer:      rec,
+		})
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		defer gw.Watch(ml)()
+	}
 	if *slowOp > 0 {
 		csnet.SetSlowOp(*slowOp, func(op csnet.Op, bucket int, d time.Duration, traceID uint64) {
 			if traceID != 0 {
@@ -156,7 +191,7 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		if merr != nil {
 			return fmt.Errorf("distnode: metrics listen %s: %w", *metricsAddr, merr)
 		}
-		metricsSrv = &http.Server{Handler: metricsMux(rec, ml, eng)}
+		metricsSrv = &http.Server{Handler: metricsMux(rec, ml, eng, gw)}
 		go func() { _ = metricsSrv.Serve(mln) }()
 		defer metricsSrv.Close()
 		logger.Printf("distnode %s: metrics on http://%s/metrics (also /healthz, /readyz, /debug/traces, /debug/vars, /debug/pprof)",
@@ -245,10 +280,58 @@ var publishExpvar = sync.OnceFunc(func() {
 // /metrics page (one line per metric, histograms with percentiles),
 // liveness and readiness probes, the trace waterfalls under
 // /debug/traces, /debug/vars (expvar JSON, runtime memstats included),
-// and the standard /debug/pprof profiling endpoints.
-func metricsMux(rec *trace.Recorder, ml *member.Memberlist, eng *store.Sharded) *http.ServeMux {
+// and the standard /debug/pprof profiling endpoints. With an embedded
+// coordinator (-cluster) it also serves the /kv/{key} data gateway.
+func metricsMux(rec *trace.Recorder, ml *member.Memberlist, eng *store.Sharded, gw *dist.Cluster) *http.ServeMux {
 	publishExpvar()
 	mux := http.NewServeMux()
+	if gw != nil {
+		mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
+			key := strings.TrimPrefix(r.URL.Path, "/kv/")
+			if key == "" {
+				http.Error(w, "missing key", http.StatusBadRequest)
+				return
+			}
+			switch r.Method {
+			case http.MethodGet:
+				v, ok, err := gw.Get(key)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				if !ok {
+					http.NotFound(w, r)
+					return
+				}
+				w.Header().Set("Content-Type", "application/octet-stream")
+				_, _ = w.Write(v)
+			case http.MethodPut, http.MethodPost:
+				body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				if err := gw.Set(key, body); err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				w.WriteHeader(http.StatusNoContent)
+			case http.MethodDelete:
+				ok, err := gw.Del(key)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadGateway)
+					return
+				}
+				if !ok {
+					http.NotFound(w, r)
+					return
+				}
+				w.WriteHeader(http.StatusNoContent)
+			default:
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			}
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = obs.Default().Snapshot().WriteText(w)

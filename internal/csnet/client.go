@@ -1,7 +1,9 @@
 package csnet
 
 import (
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
 
@@ -9,6 +11,29 @@ import (
 	"pdcedu/internal/store"
 	"pdcedu/internal/trace"
 )
+
+// ErrBusy is the typed, retryable error a StatusBusy reply maps to:
+// the server shed the request under admission control before executing
+// it, so it had no effect and is safe to retry after backoff. Every
+// client helper wraps it with the operation's context; test for it
+// with IsBusy (or errors.Is), never by string.
+var ErrBusy = errors.New("csnet: server busy")
+
+// IsBusy reports whether err — however deeply wrapped — stems from an
+// admission-control shed (StatusBusy). It is the predicate callers use
+// to tell "shed, back off and retry" apart from genuine failure.
+func IsBusy(err error) bool { return errors.Is(err, ErrBusy) }
+
+// respErr converts a non-success response into an error. A StatusBusy
+// reply maps to the typed ErrBusy (wrapped with what, so the operation
+// still reads out of the message); anything else reports the server's
+// message verbatim.
+func respErr(what string, resp Response) error {
+	if resp.Status == StatusBusy {
+		return fmt.Errorf("csnet: %s: %w", what, ErrBusy)
+	}
+	return fmt.Errorf("csnet: %s: %s", what, resp.Value)
+}
 
 // Client is a framed-protocol TCP client over a single pipelined,
 // multiplexed connection. It is safe for concurrent use: N callers
@@ -120,6 +145,36 @@ func (c *Client) Do(req Request) (Response, error) {
 	return c.Send(req).Response()
 }
 
+// DoRetry is Do plus jittered backoff on StatusBusy: a shed reply is
+// retried up to attempts times, sleeping a full-jitter exponential
+// delay (uniform in [0, base<<try)) between tries so a fleet of
+// rejected clients doesn't re-converge on the same instant. Transport
+// errors return immediately — only an explicit Busy, which proves the
+// server is alive and declining, is worth re-offering. If every
+// attempt is shed the final Busy response is returned with a nil
+// error; callers distinguish it by Status (or by respErr/IsBusy in
+// the typed helpers) rather than by a synthesized failure.
+func (c *Client) DoRetry(req Request, attempts int, base time.Duration) (Response, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	var resp Response
+	var err error
+	for try := 0; try < attempts; try++ {
+		resp, err = c.Do(req)
+		if err != nil || resp.Status != StatusBusy {
+			return resp, err
+		}
+		if try < attempts-1 {
+			time.Sleep(rand.N(base << try))
+		}
+	}
+	return resp, nil
+}
+
 // Get fetches a key; ok is false for StatusNotFound.
 func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 	resp, err := c.Do(Request{Op: OpGet, Key: key})
@@ -132,7 +187,7 @@ func (c *Client) Get(key string) (value []byte, ok bool, err error) {
 	case StatusNotFound:
 		return nil, false, nil
 	default:
-		return nil, false, fmt.Errorf("csnet: get %q: %s", key, resp.Value)
+		return nil, false, respErr(fmt.Sprintf("get %q", key), resp)
 	}
 }
 
@@ -143,7 +198,7 @@ func (c *Client) Set(key string, value []byte) error {
 		return err
 	}
 	if resp.Status != StatusOK {
-		return fmt.Errorf("csnet: set %q: %s", key, resp.Value)
+		return respErr(fmt.Sprintf("set %q", key), resp)
 	}
 	return nil
 }
@@ -161,7 +216,7 @@ func (c *Client) SetNX(key string, value []byte) (stored bool, err error) {
 	case StatusExists:
 		return false, nil
 	default:
-		return false, fmt.Errorf("csnet: setnx %q: %s", key, resp.Value)
+		return false, respErr(fmt.Sprintf("setnx %q", key), resp)
 	}
 }
 
@@ -170,6 +225,9 @@ func (c *Client) Del(key string) (bool, error) {
 	resp, err := c.Do(Request{Op: OpDel, Key: key})
 	if err != nil {
 		return false, err
+	}
+	if resp.Status == StatusBusy {
+		return false, respErr(fmt.Sprintf("del %q", key), resp)
 	}
 	return resp.Status == StatusOK, nil
 }
@@ -196,7 +254,7 @@ func (c *Client) GetVT(key string, tr trace.Context) (e store.Entry, ok bool, er
 	case StatusNotFound:
 		return e, false, nil
 	default:
-		return store.Entry{}, false, fmt.Errorf("csnet: getv %q: %s", key, resp.Value)
+		return store.Entry{}, false, respErr(fmt.Sprintf("getv %q", key), resp)
 	}
 }
 
@@ -214,7 +272,7 @@ func (c *Client) SetV(key string, value []byte, version uint64) (winner uint64, 
 	case StatusExists:
 		return resp.Version, false, nil
 	default:
-		return 0, false, fmt.Errorf("csnet: setv %q: %s", key, resp.Value)
+		return 0, false, respErr(fmt.Sprintf("setv %q", key), resp)
 	}
 }
 
@@ -232,7 +290,7 @@ func (c *Client) DelV(key string, version uint64) (winner uint64, applied bool, 
 	case StatusExists, StatusNotFound:
 		return resp.Version, false, nil
 	default:
-		return 0, false, fmt.Errorf("csnet: delv %q: %s", key, resp.Value)
+		return 0, false, respErr(fmt.Sprintf("delv %q", key), resp)
 	}
 }
 
@@ -256,7 +314,7 @@ func (c *Client) Merge(key string, e store.Entry) (winner uint64, applied bool, 
 	case StatusExists:
 		return resp.Version, false, nil
 	default:
-		return 0, false, fmt.Errorf("csnet: merge %q: %s", key, resp.Value)
+		return 0, false, respErr(fmt.Sprintf("merge %q", key), resp)
 	}
 }
 

@@ -17,6 +17,10 @@ import (
 //	csnet.server.decode_errors    counter: malformed request frames
 //	csnet.server.queue_depth.hw   gauge: per-conn worker queue high water
 //	csnet.server.slow_ops         counter: ops over the slow-op threshold
+//	csnet.server.shed             counter: frames answered StatusBusy by
+//	                              admission control (queue or budget)
+//	csnet.server.inflight.hw      gauge: admitted-frame high water while
+//	                              the in-flight budget is enabled
 //	csnet.mux.pending.hw          gauge: client pipeline depth high water
 //	csnet.mux.timeouts            counter: client waits that expired
 //	csnet.mux.poisoned            counter: muxed conns failed with error
@@ -28,13 +32,15 @@ import (
 // where the op is untrusted) land in the UNKNOWN slot rather than
 // silently vanishing.
 type serverMetrics struct {
-	ops      [int(OpTraces) + 1]*obs.Counter
-	latency  [int(OpTraces) + 1]*obs.Histogram
-	bytesIn  *obs.Counter
-	bytesOut *obs.Counter
-	decodeEr *obs.Counter
-	queueHW  *obs.Gauge
-	slowOps  *obs.Counter
+	ops        [int(OpTraces) + 1]*obs.Counter
+	latency    [int(OpTraces) + 1]*obs.Histogram
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	decodeEr   *obs.Counter
+	queueHW    *obs.Gauge
+	slowOps    *obs.Counter
+	shed       *obs.Counter
+	inflightHW *obs.Gauge
 
 	muxPendingHW *obs.Gauge
 	muxTimeouts  *obs.Counter
@@ -52,6 +58,8 @@ var csnetM = func() *serverMetrics {
 		decodeEr:     r.Counter("csnet.server.decode_errors"),
 		queueHW:      r.Gauge("csnet.server.queue_depth.hw"),
 		slowOps:      r.Counter("csnet.server.slow_ops"),
+		shed:         r.Counter("csnet.server.shed"),
+		inflightHW:   r.Gauge("csnet.server.inflight.hw"),
 		muxPendingHW: r.Gauge("csnet.mux.pending.hw"),
 		muxTimeouts:  r.Counter("csnet.mux.timeouts"),
 		muxPoisoned:  r.Counter("csnet.mux.poisoned"),

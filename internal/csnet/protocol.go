@@ -181,6 +181,14 @@ const (
 	StatusError
 	// StatusExists reports that OpSetNX left an existing key unchanged.
 	StatusExists
+	// StatusBusy reports that the server shed the request under
+	// admission control (worker queue full or in-flight budget
+	// exhausted) without executing it. The request had no effect and is
+	// safe to retry after backoff; clients map it to the typed,
+	// retryable ErrBusy. A server never emits it unless shedding was
+	// explicitly enabled (Server.SetAdmission), so a pre-busy peer — or
+	// a default-configured one — stays byte-identical on the wire.
+	StatusBusy
 )
 
 // String returns the status name.
@@ -194,6 +202,8 @@ func (s Status) String() string {
 		return "ERROR"
 	case StatusExists:
 		return "EXISTS"
+	case StatusBusy:
+		return "BUSY"
 	default:
 		return "UNKNOWN"
 	}

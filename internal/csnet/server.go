@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdcedu/internal/obs"
@@ -100,6 +101,13 @@ type Server struct {
 	frames   FrameHandler
 	maxConns int
 
+	// Admission control (SetAdmission). Both default to zero — no
+	// shedding — so a server that never opts in is byte-identical to a
+	// pre-busy build and never emits StatusBusy.
+	shedQueue   int          // per-conn worker queue depth to shed beyond (0 = block)
+	maxInflight int64        // server-wide admitted-frame budget (0 = unbounded)
+	inflight    atomic.Int64 // frames admitted and not yet answered
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -108,6 +116,64 @@ type Server struct {
 
 	// ActiveConns is exposed for tests and monitoring.
 	active sync.WaitGroup
+}
+
+// SetAdmission enables overload shedding; call it before Start.
+// queueDepth bounds each muxed connection's worker queue: a frame
+// arriving while the queue is full is answered StatusBusy immediately
+// instead of queueing (0 keeps the pre-busy behavior — the read loop
+// blocks, pushing backpressure into TCP). maxInflight is a server-wide
+// budget on frames admitted but not yet answered, across every
+// connection and both wire formats; past it, new frames are shed the
+// same way. A shed request is never silently dropped — the caller
+// always receives the typed busy response — and never reaches the
+// handler, so it has no effect and is safe to retry. This is what
+// keeps p99 bounded past capacity: the queues that would otherwise
+// grow without bound are capped, and the excess is converted into
+// fast, explicit busy replies the client can back off on (see
+// ErrBusy).
+func (s *Server) SetAdmission(queueDepth, maxInflight int) {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if maxInflight < 0 {
+		maxInflight = 0
+	}
+	s.shedQueue = queueDepth
+	s.maxInflight = int64(maxInflight)
+}
+
+// admit reserves one slot of the server-wide in-flight budget;
+// release returns it. With the budget disabled both are free.
+func (s *Server) admit() bool {
+	if s.maxInflight <= 0 {
+		return true
+	}
+	n := s.inflight.Add(1)
+	if n > s.maxInflight {
+		s.inflight.Add(-1)
+		return false
+	}
+	csnetM.inflightHW.SetMax(n)
+	return true
+}
+
+func (s *Server) release() {
+	if s.maxInflight > 0 {
+		s.inflight.Add(-1)
+	}
+}
+
+// busyResponse encodes the StatusBusy reply for a request frame that
+// was shed before decoding. Only the op byte is trusted for the
+// framing choice (versioned vs legacy) — the same discipline as the
+// decode-failure path.
+func busyResponse(body []byte) []byte {
+	resp := Response{Status: StatusBusy}
+	if len(body) > 0 && Versioned(Op(body[0])) {
+		return EncodeResponseV(resp)
+	}
+	return EncodeResponse(resp)
 }
 
 // NewServer creates a key-value protocol server with the given handler;
@@ -211,7 +277,17 @@ func (s *Server) serveLegacy(conn net.Conn, firstLen uint32) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		resp := s.frames.ServeFrame(body, FrameMeta{})
+		var resp []byte
+		if s.admit() {
+			resp = s.frames.ServeFrame(body, FrameMeta{})
+			s.release()
+		} else {
+			// The legacy path is synchronous, so this conn holds at most
+			// one slot; shedding here means muxed traffic elsewhere has
+			// exhausted the server-wide budget.
+			csnetM.shed.Inc()
+			resp = busyResponse(body)
+		}
 		if len(resp) > MaxFrameSize {
 			return
 		}
@@ -241,7 +317,14 @@ const muxConnHandlers = 32
 // concurrently, so the legacy path's scratch reuse would be a data
 // race.
 func (s *Server) serveMux(conn net.Conn) {
-	in := make(chan muxFrame, muxConnHandlers)
+	// With queue shedding enabled the worker queue's capacity IS the
+	// shed bound: a frame that cannot be buffered is answered busy
+	// rather than parking the read loop.
+	queueCap := muxConnHandlers
+	if s.shedQueue > 0 {
+		queueCap = s.shedQueue
+	}
+	in := make(chan muxFrame, queueCap)
 	out := make(chan muxFrame, 2*muxConnHandlers)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -260,6 +343,7 @@ func (s *Server) serveMux(conn net.Conn) {
 					meta.QueueWait = time.Since(f.at)
 				}
 				out <- muxFrame{seq: f.seq, body: s.frames.ServeFrame(f.body, meta)}
+				s.release()
 			}
 		}()
 	}
@@ -278,10 +362,32 @@ func (s *Server) serveMux(conn net.Conn) {
 			break
 		}
 		// Depth after this send = queued + the frame itself; a sustained
-		// high water near muxConnHandlers means the workers, not the
+		// high water near the queue capacity means the workers, not the
 		// wire, are the bottleneck on this connection.
 		csnetM.queueHW.SetMax(int64(len(in) + 1))
-		in <- muxFrame{seq: seq, body: body, at: time.Now()}
+		f := muxFrame{seq: seq, body: body, at: time.Now()}
+		admitted := s.admit()
+		if admitted {
+			if s.shedQueue > 0 {
+				select {
+				case in <- f:
+				default: // queue full: shed instead of blocking the reader
+					s.release()
+					admitted = false
+				}
+			} else {
+				in <- f
+			}
+		}
+		if !admitted {
+			// Shed, never dropped: the busy reply rides the ordinary
+			// response writer, so the caller's Pending always resolves.
+			// If the writer is itself backed up, this send blocks — the
+			// ceiling admission cannot lift is the client outrunning its
+			// own read loop.
+			csnetM.shed.Inc()
+			out <- muxFrame{seq: seq, body: busyResponse(body)}
+		}
 	}
 	close(in)
 	workerWG.Wait()

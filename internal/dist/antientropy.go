@@ -433,6 +433,10 @@ func (c *Cluster) streamWinners(ctx trace.Context, clients []*csnet.Client, hold
 	}
 	var copies []mergeCall
 	merge := func(target int, key string, e store.Entry) {
+		// A streamed winner is newer state this coordinator may never
+		// have read — written through a peer coordinator — so the cache
+		// must not keep serving anything older.
+		c.cacheSupersede(key, e.Version)
 		// Each repair merge is a child span of the pass: a waterfall of a
 		// slow pass shows exactly which owners were converged and at what
 		// cost per stream.

@@ -46,6 +46,12 @@ type ClusterConfig struct {
 	// every op runs untraced at one extra atomic load, and request
 	// frames stay byte-identical.
 	Tracer *trace.Recorder
+	// ReadCache bounds the coordinator's hot-key read cache in entries
+	// (0, the default, disables it). Quorum-read wins and quorum-write
+	// successes populate it; every write path the coordinator sees
+	// invalidates by version. See readCache for the coherence contract
+	// and Session for read-your-writes on top of it.
+	ReadCache int
 }
 
 // Cluster shards one key space across several csnet backend servers: a
@@ -88,6 +94,7 @@ type Cluster struct {
 	clock    *store.Clock    // stamps write versions, observes read versions
 	balancer Balancer
 	tracer   *trace.Recorder
+	cache    *readCache // hot-key read cache; nil when disabled
 	rf       int
 	quorum   int
 	pools    []*clientPool
@@ -157,6 +164,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		clock:         store.NewClock(),
 		balancer:      cfg.Balancer,
 		tracer:        tracer,
+		cache:         newReadCache(cfg.ReadCache),
 		rf:            rf,
 		quorum:        quorum,
 		pools:         make([]*clientPool, n),
@@ -258,6 +266,25 @@ func (c *Cluster) quorumFor(n int) int {
 	return q
 }
 
+// statusErr converts a backend rejection into a cause error,
+// preserving the busy type: a StatusBusy reply wraps csnet.ErrBusy so
+// errors.Is(err, csnet.ErrBusy) — including through a
+// PartialWriteError's causes — identifies shed writes as retryable.
+func statusErr(resp csnet.Response) error {
+	if resp.Status == csnet.StatusBusy {
+		return fmt.Errorf("status %s: %w", resp.Status, csnet.ErrBusy)
+	}
+	return fmt.Errorf("status %s: %s", resp.Status, resp.Value)
+}
+
+// cacheSupersede invalidates the read cache at ver, counting only
+// calls that actually changed a slot.
+func (c *Cluster) cacheSupersede(key string, ver uint64) {
+	if c.cache.supersede(key, ver) {
+		distM.cacheInval.Inc()
+	}
+}
+
 // Set writes key to every live replica synchronously: the coordinator
 // stamps one clock version, the sends are pipelined onto each
 // replica's multiplexed connection as versioned merges (OpSetV) and
@@ -274,7 +301,15 @@ func (c *Cluster) quorumFor(n int) int {
 // rejoin. Below quorum it returns a *PartialWriteError naming the
 // replicas that did acknowledge.
 func (c *Cluster) Set(key string, value []byte) error {
-	return c.SetTTL(key, value, 0)
+	return c.setTTL(key, value, 0, nil)
+}
+
+// SetS is Set bound to a read-your-writes Session: on success the
+// session observes the write's version, so a later GetS through the
+// same session can never be served a cached entry older than this
+// write. See Session.
+func (c *Cluster) SetS(sess *Session, key string, value []byte) error {
+	return c.setTTL(key, value, 0, sess)
 }
 
 // SetTTL is Set with an expiry: the coordinator computes one absolute
@@ -283,6 +318,10 @@ func (c *Cluster) Set(key string, value []byte) error {
 // replica — so the entry is mortal everywhere it lands, and an expired
 // copy converges to an expiry tombstone instead of resurrecting.
 func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
+	return c.setTTL(key, value, ttl, nil)
+}
+
+func (c *Cluster) setTTL(key string, value []byte, ttl time.Duration, sess *Session) error {
 	defer distM.latSet.ObserveSince(obs.StartTimer())
 	set := c.replicaSet(key)
 	if len(set) == 0 {
@@ -322,6 +361,7 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 		sp := c.rpcSpan(ctx, "SETV", b)
 		calls = append(calls, sent{cl.Send(csnet.Request{Op: csnet.OpSetV, Key: key, Value: value, Version: ver, ExpireAt: expireAt, Trace: sp.Context()}), b, sp})
 	}
+	var lostTo uint64 // newest StatusExists version: a replica already held newer
 	for i := range calls {
 		s := &calls[i]
 		resp, err := s.call.ResponseV()
@@ -334,18 +374,24 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
 			// The backend is alive and rejected the write; a replay
 			// would be rejected again, so no hint.
-			fail(s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+			fail(s.backend, statusErr(resp), false)
 			s.sp.S.Err = true
 		default:
 			// Observe the winner: a StatusExists reply carries the newer
 			// resident version, and a coordinator whose wall clock lags
 			// must advance past it or its next write loses too.
 			c.clock.Observe(resp.Version)
+			if resp.Status == csnet.StatusExists && resp.Version > lostTo {
+				lostTo = resp.Version
+			}
 			acked = append(acked, s.backend)
 		}
 		s.sp.Finish()
 	}
 	if q := c.quorumFor(len(set)); len(acked) < q {
+		// Under quorum the write's fate is unsettled — it may yet win or
+		// lose on the replicas — so the cache must not claim either way.
+		c.cacheSupersede(key, ver)
 		distM.partialWrites.Inc()
 		distM.quorumShort.Inc()
 		root.S.Err = true
@@ -354,6 +400,15 @@ func (c *Cluster) SetTTL(key string, value []byte, ttl time.Duration) error {
 			Op: "set", Key: key, Replicas: set,
 			Acked: acked, Hinted: hinted, Quorum: q, MissedKeys: 1, Causes: causes,
 		}
+	}
+	sess.Observe(ver)
+	if lostTo > 0 {
+		// A replica already held something newer: this write is durable
+		// but not the winner, and the coordinator never saw the winning
+		// value — invalidate rather than cache a loser.
+		c.cacheSupersede(key, lostTo)
+	} else {
+		c.cache.put(key, store.Entry{Value: value, Version: ver, ExpireAt: expireAt})
 	}
 	root.Finish()
 	return nil
@@ -381,8 +436,38 @@ func (c *Cluster) readPick(key string, n int) (first int, release func()) {
 // returns, the key is deleted — Get reports a miss and propagates the
 // tombstone to the stale holder instead of resurrecting the value. A
 // (nil, false, nil) return means no replica has a live copy.
+//
+// With a read cache configured (ClusterConfig.ReadCache) a servable
+// cached entry — a live value, or a cached tombstone reported as a
+// definitive miss — short-circuits the replica round entirely; reads
+// that do go to the replicas populate the cache with what they learn
+// (the winning entry, or the newest tombstone seen).
 func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
+	return c.getS(key, nil)
+}
+
+// GetS is Get bound to a read-your-writes Session: a cached entry is
+// served only when its version is at least the session's watermark, so
+// a session can never be handed a cached read older than its own
+// writes; the session then observes what it read, making session reads
+// monotonic too.
+func (c *Cluster) GetS(sess *Session, key string) (value []byte, ok bool, err error) {
+	return c.getS(key, sess)
+}
+
+func (c *Cluster) getS(key string, sess *Session) (value []byte, ok bool, err error) {
 	defer distM.latGet.ObserveSince(obs.StartTimer())
+	if c.cache != nil {
+		if e, hit := c.cache.get(key, cacheNow()); hit && e.Version >= sess.Last() {
+			distM.cacheHits.Inc()
+			sess.Observe(e.Version)
+			if e.Tombstone {
+				return nil, false, nil
+			}
+			return e.Value, true, nil
+		}
+		distM.cacheMiss.Inc()
+	}
 	set := c.replicaSet(key)
 	if len(set) == 0 {
 		return nil, false, fmt.Errorf("dist: cluster get %q: no live backends", key)
@@ -434,11 +519,16 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 			// A replica consulted earlier holds a newer delete: the
 			// value is stale, not the miss. Push the tombstone at the
 			// stale holder and report the key gone.
-			c.readRepair(ctx, key, store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp}, []int{b})
+			tomb := store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp}
+			c.readRepair(ctx, key, tomb, []int{b})
+			c.cache.put(key, tomb)
+			sess.Observe(tombVer)
 			root.Finish()
 			return nil, false, nil
 		}
 		c.readRepair(ctx, key, e, missed)
+		c.cache.put(key, e)
+		sess.Observe(e.Version)
 		root.Finish()
 		return e.Value, true, nil
 	}
@@ -446,6 +536,13 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 		root.S.Err = true
 		root.Finish()
 		return nil, false, fmt.Errorf("dist: cluster get %q: %w", key, lastErr)
+	}
+	if tombVer > 0 {
+		// Every replica missed and the newest miss was an explicit
+		// tombstone: cache it, so the hot "polling a deleted key" case
+		// is as cheap as the hot value case.
+		c.cache.put(key, store.Entry{Version: tombVer, Tombstone: true, ExpireAt: tombExp})
+		sess.Observe(tombVer)
 	}
 	root.Finish()
 	return nil, false, nil
@@ -458,6 +555,10 @@ func (c *Cluster) Get(key string) (value []byte, ok bool, err error) {
 // the newer version and answers StatusExists. Failures are ignored
 // (the next read retries the repair).
 func (c *Cluster) readRepair(ctx trace.Context, key string, e store.Entry, missed []int) {
+	// The repair entry supersedes whatever the cache holds below it;
+	// the caller installs the same entry right after, replacing the
+	// floor with the servable copy.
+	c.cacheSupersede(key, e.Version)
 	if len(missed) > 0 {
 		distM.readRepairs.Add(uint64(len(missed)))
 	}
@@ -500,6 +601,18 @@ func (c *Cluster) readRepair(ctx trace.Context, key string, e store.Entry, misse
 // through hint replay or the rebalancer's tombstone streaming, and a
 // stale copy can never win the merge against it.
 func (c *Cluster) Del(key string) (ok bool, err error) {
+	return c.delS(key, nil)
+}
+
+// DelS is Del bound to a read-your-writes Session: on success the
+// session observes the tombstone's version, so a later GetS through
+// the same session reports the key gone rather than serving a cached
+// pre-delete value.
+func (c *Cluster) DelS(sess *Session, key string) (ok bool, err error) {
+	return c.delS(key, sess)
+}
+
+func (c *Cluster) delS(key string, sess *Session) (ok bool, err error) {
 	defer distM.latDel.ObserveSince(obs.StartTimer())
 	set := c.replicaSet(key)
 	if len(set) == 0 {
@@ -510,6 +623,7 @@ func (c *Cluster) Del(key string) (ok bool, err error) {
 	calls := make([]*csnet.Call, len(set))
 	spans := make([]trace.Active, len(set))
 	var firstErr error
+	var lostTo uint64 // newest StatusExists version seen (see setTTL)
 	for i, b := range set {
 		cl, cerr := c.pools[b].get()
 		if cerr != nil {
@@ -540,15 +654,31 @@ func (c *Cluster) Del(key string) (ok bool, err error) {
 		}
 		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: status %s: %s", key, set[i], resp.Status, resp.Value)
+				firstErr = fmt.Errorf("dist: cluster del %q on backend %d: %w", key, set[i], statusErr(resp))
 			}
 			spans[i].S.Err = true
 			spans[i].Finish()
 			continue
 		}
 		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
+		if resp.Status == csnet.StatusExists && resp.Version > lostTo {
+			lostTo = resp.Version
+		}
 		ok = ok || resp.Status == csnet.StatusOK
 		spans[i].Finish()
+	}
+	sess.Observe(ver)
+	switch {
+	case firstErr != nil:
+		// Some replica's fate is unknown (hinted or rejected): the
+		// delete is in flight, not settled — invalidate, don't assert.
+		c.cacheSupersede(key, ver)
+	case lostTo > 0:
+		// A replica already held something newer than this tombstone;
+		// the coordinator never saw it, so it cannot cache the outcome.
+		c.cacheSupersede(key, lostTo)
+	default:
+		c.cache.put(key, store.Entry{Version: ver, Tombstone: true})
 	}
 	root.S.Err = firstErr != nil
 	root.Finish()
@@ -644,6 +774,7 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 			})
 		}
 	}
+	lostTo := make([]uint64, len(keys)) // per key: newest StatusExists version (see setTTL)
 	for i := range calls {
 		s := &calls[i]
 		resp, err := s.call.ResponseV()
@@ -652,10 +783,13 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 			fail(s.key, s.backend, err, true)
 			s.sp.S.Err = true
 		case resp.Status != csnet.StatusOK && resp.Status != csnet.StatusExists:
-			fail(s.key, s.backend, fmt.Errorf("status %s: %s", resp.Status, resp.Value), false)
+			fail(s.key, s.backend, statusErr(resp), false)
 			s.sp.S.Err = true
 		default:
 			c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
+			if resp.Status == csnet.StatusExists && resp.Version > lostTo[s.key] {
+				lostTo[s.key] = resp.Version
+			}
 			acked[s.key] = append(acked[s.key], s.backend)
 		}
 		s.sp.Finish()
@@ -663,7 +797,9 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 	var pe *PartialWriteError
 	for i := range keys {
 		q := c.quorumFor(len(sets[i]))
-		if len(sets[i]) == 0 || len(acked[i]) < q {
+		switch {
+		case len(sets[i]) == 0 || len(acked[i]) < q:
+			c.cacheSupersede(keys[i], vers[i])
 			if pe == nil {
 				pe = &PartialWriteError{
 					Op: "mset", Key: keys[i], Replicas: sets[i],
@@ -671,6 +807,10 @@ func (c *Cluster) MSetTTL(keys []string, values [][]byte, ttl time.Duration) err
 				}
 			}
 			pe.MissedKeys++
+		case lostTo[i] > 0:
+			c.cacheSupersede(keys[i], lostTo[i])
+		default:
+			c.cache.put(keys[i], store.Entry{Value: values[i], Version: vers[i], ExpireAt: expireAt})
 		}
 	}
 	if pe != nil {
@@ -711,6 +851,16 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 	}()
 	var retry []int
 	for i, key := range keys {
+		if c.cache != nil {
+			if e, hit := c.cache.get(key, cacheNow()); hit {
+				distM.cacheHits.Inc()
+				if !e.Tombstone {
+					found[key] = e.Value
+				}
+				continue
+			}
+			distM.cacheMiss.Inc()
+		}
 		set := c.replicaSet(key)
 		if len(set) == 0 {
 			retry = append(retry, i) // Get reports the no-backends error
@@ -737,6 +887,7 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 		case resp.Status == csnet.StatusOK:
 			c.clock.Observe(resp.Version)
 			found[keys[s.key]] = resp.Value
+			c.cache.put(keys[s.key], store.Entry{Value: resp.Value, Version: resp.Version, ExpireAt: resp.ExpireAt})
 		case resp.Status == csnet.StatusNotFound && c.rf > 1:
 			// Another replica may still hold it (and want repair) — or
 			// hold a copy staler than a tombstone seen here; the Get
@@ -746,6 +897,9 @@ func (c *Cluster) MGet(keys []string) (map[string][]byte, error) {
 		case resp.Status == csnet.StatusNotFound:
 			// rf == 1: a miss on the only replica is a definitive miss.
 			c.clock.Observe(resp.Version)
+			if resp.Flags&csnet.FlagTombstone != 0 {
+				c.cache.put(keys[s.key], store.Entry{Version: resp.Version, Tombstone: true, ExpireAt: resp.ExpireAt})
+			}
 		default:
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mget %q: status %s: %s", keys[s.key], resp.Status, resp.Value)
@@ -785,6 +939,8 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	}
 	calls := make([]sent, 0, len(keys)*c.rf)
 	vers := make([]uint64, len(keys))
+	keyErr := make([]bool, len(keys))   // per key: some replica's fate is unknown
+	lostTo := make([]uint64, len(keys)) // per key: newest StatusExists version (see setTTL)
 	var firstErr error
 	for i, key := range keys {
 		vers[i] = c.clock.Next()
@@ -792,6 +948,7 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 			cl, err := bc.get(b)
 			if err != nil {
 				c.hint(b, key, hintEntry{del: true, ver: vers[i], tr: ctx})
+				keyErr[i] = true
 				if firstErr == nil {
 					firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", key, b, err)
 				}
@@ -812,6 +969,7 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 		resp, err := s.call.ResponseV()
 		if err != nil {
 			c.hint(s.backend, keys[s.key], hintEntry{del: true, ver: vers[s.key], tr: ctx})
+			keyErr[s.key] = true
 			if firstErr == nil {
 				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, err)
 			}
@@ -820,14 +978,18 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 			continue
 		}
 		if resp.Status != csnet.StatusOK && resp.Status != csnet.StatusNotFound && resp.Status != csnet.StatusExists {
+			keyErr[s.key] = true
 			if firstErr == nil {
-				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: status %s: %s", keys[s.key], s.backend, resp.Status, resp.Value)
+				firstErr = fmt.Errorf("dist: cluster mdel %q on backend %d: %w", keys[s.key], s.backend, statusErr(resp))
 			}
 			s.sp.S.Err = true
 			s.sp.Finish()
 			continue
 		}
 		c.clock.Observe(resp.Version) // advance past a newer resident version (see Set)
+		if resp.Status == csnet.StatusExists && resp.Version > lostTo[s.key] {
+			lostTo[s.key] = resp.Version
+		}
 		if resp.Status == csnet.StatusOK {
 			existed[s.key] = true
 		}
@@ -837,6 +999,16 @@ func (c *Cluster) MDel(keys []string) (int, error) {
 	for _, e := range existed {
 		if e {
 			n++
+		}
+	}
+	for i, key := range keys {
+		switch {
+		case keyErr[i]:
+			c.cacheSupersede(key, vers[i])
+		case lostTo[i] > 0:
+			c.cacheSupersede(key, lostTo[i])
+		default:
+			c.cache.put(key, store.Entry{Version: vers[i], Tombstone: true})
 		}
 	}
 	root.S.Err = firstErr != nil

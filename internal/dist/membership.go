@@ -37,6 +37,22 @@ type PartialWriteError struct {
 	Causes map[int]error
 }
 
+// Unwrap exposes the per-backend causes, so errors.Is and errors.As
+// see through a partial write to what actually failed — in particular
+// errors.Is(err, csnet.ErrBusy) identifies a write that missed quorum
+// because replicas shed it under admission control, which is worth a
+// backoff-and-retry where a hard rejection is not.
+func (e *PartialWriteError) Unwrap() []error {
+	if len(e.Causes) == 0 {
+		return nil
+	}
+	errs := make([]error, 0, len(e.Causes))
+	for _, err := range e.Causes {
+		errs = append(errs, err)
+	}
+	return errs
+}
+
 // Error implements error.
 func (e *PartialWriteError) Error() string {
 	var b strings.Builder
@@ -108,8 +124,13 @@ func (c *Cluster) hintLocked(b int, key string, e hintEntry) {
 	c.hints[b][key] = e
 }
 
-// hint queues key's latest operation for backend b.
+// hint queues key's latest operation for backend b. Enqueueing is a
+// write-path event the read cache must see: the hinted version
+// supersedes anything older the cache holds (a caller that later gets
+// quorum confirmation re-installs the servable entry at this same
+// version, replacing the floor).
 func (c *Cluster) hint(b int, key string, e hintEntry) {
+	c.cacheSupersede(key, e.ver)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hintLocked(b, key, e)
@@ -194,6 +215,15 @@ func (c *Cluster) replayHints(b int) int {
 			continue
 		}
 		c.clock.Observe(resp.Version) // an Exists reply carries the newer resident version
+		// A replay landing (or finding the replica already newer) is a
+		// write-path event: supersede the cache at whichever version is
+		// higher — the hint's own, or the newer resident an Exists reply
+		// reported.
+		if v := resp.Version; v >= pending[k].ver {
+			c.cacheSupersede(k, v)
+		} else {
+			c.cacheSupersede(k, pending[k].ver)
+		}
 		hc.sp.Finish()
 		delivered++
 	}
@@ -496,6 +526,9 @@ func (c *Cluster) rebalanceListings(ctx trace.Context) (copied int, err error) {
 	}
 	var copies []mergeCall
 	stream := func(t int, req csnet.Request) {
+		// An entry streamed to an owner is newer state the coordinator's
+		// cache may not have seen (another coordinator wrote it).
+		c.cacheSupersede(req.Key, req.Version)
 		sp := c.tracer.StartSpan(ctx, trace.KindAE, "MERGE")
 		if sp.Live() {
 			sp.S.Peer = c.pools[t].addr

@@ -18,6 +18,10 @@ import (
 //	dist.partial_writes             counter: writes returning PartialWriteError
 //	dist.quorum_shortfall           counter: keys that missed quorum (MissedKeys)
 //	dist.pool.redials               counter: backend connections re-dialed
+//	dist.cache.hits                 counter: reads served from the coordinator cache
+//	dist.cache.misses               counter: cache-enabled reads that went to replicas
+//	dist.cache.invalidations        counter: entries superseded by a write-path event
+//	dist.cache.evictions            counter: entries dropped by LRU capacity
 //	dist.antientropy.passes         counter: digest-descent Rebalance passes
 //	dist.antientropy.listing_passes counter: full-listing passes
 //	dist.antientropy.fallbacks      counter: digest passes that fell back
@@ -41,6 +45,11 @@ type distMetrics struct {
 	partialWrites *obs.Counter
 	quorumShort   *obs.Counter
 	poolRedials   *obs.Counter
+
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	cacheInval *obs.Counter
+	cacheEvict *obs.Counter
 
 	aePasses        *obs.Counter
 	aeListingPasses *obs.Counter
@@ -70,6 +79,10 @@ var distM = func() *distMetrics {
 		partialWrites:   r.Counter("dist.partial_writes"),
 		quorumShort:     r.Counter("dist.quorum_shortfall"),
 		poolRedials:     r.Counter("dist.pool.redials"),
+		cacheHits:       r.Counter("dist.cache.hits"),
+		cacheMiss:       r.Counter("dist.cache.misses"),
+		cacheInval:      r.Counter("dist.cache.invalidations"),
+		cacheEvict:      r.Counter("dist.cache.evictions"),
 		aePasses:        r.Counter("dist.antientropy.passes"),
 		aeListingPasses: r.Counter("dist.antientropy.listing_passes"),
 		aeFallbacks:     r.Counter("dist.antientropy.fallbacks"),

@@ -51,7 +51,16 @@
 // ring with tail promotion pinning any trace that crossed the slow-op
 // threshold; dist.Cluster.ClusterTrace and SlowTraces reassemble the
 // cross-node span trees, and distnode's /debug/traces renders them as
-// text waterfalls (see the README "Tracing" section).
+// text waterfalls (see the README "Tracing" section). The load layer
+// closes the loop between serving and measuring: the coordinator
+// carries a bounded hot-key read cache (version-invalidated by every
+// write path, session tokens for read-your-writes), the csnet server
+// sheds excess load with a typed BUSY status once its queue depth or
+// in-flight budget is exceeded (clients retry with jittered backoff),
+// and cmd/distload drives the whole stack open- or closed-loop with
+// zipfian or uniform keys, reporting coordinated-omission-safe
+// p50/p99/p999 latencies (see the README "Load testing &
+// backpressure" section).
 package pdcedu
 
 import (

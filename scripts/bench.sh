@@ -7,10 +7,13 @@
 # counter/histogram micro-benches proving the zero-alloc hot path,
 # E30 tracing: tracing-enabled vs untraced versioned server round
 # trips plus span-ring micro-benches proving the unsampled path adds
-# nothing) and records the numbers as BENCH_<n>.json, continuing the
+# nothing, E31 cluster load: the distload acceptance suite — zipfian
+# hot-key reads through the coordinator cached vs uncached, and a
+# single backend at 2x capacity with admission-control shedding vs
+# without) and records the numbers as BENCH_<n>.json, continuing the
 # perf trajectory the README tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 7)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 8)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -28,6 +31,11 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-7}.json"
+' >"BENCH_${1:-8}.json"
 
-echo "wrote BENCH_${1:-7}.json"
+# The whole-cluster load numbers ride in the same artifact: distload's
+# acceptance suite merges its reports into the JSON the awk pass above
+# just wrote.
+go run ./cmd/distload -suite bench -json "BENCH_${1:-8}.json"
+
+echo "wrote BENCH_${1:-8}.json"
