@@ -756,3 +756,90 @@ func BenchmarkTraceUnsampledStartFinish(b *testing.B) {
 		}
 	})
 }
+
+// benchStoreWALSet is the E32 hot path: 16 goroutines hammering Set on
+// 4096 keys, the same pipelined shape as E27 but write-only so the WAL
+// cost is undiluted by reads. The in-memory run is the baseline;
+// buffered FsyncInterval logging must keep a durable write
+// sub-microsecond (a small multiple of the baseline), and under
+// FsyncAlways concurrent writers on a shard share one leader fsync,
+// so the per-write fsync cost amortizes across the pipeline instead
+// of serializing it.
+func benchStoreWALSet(b *testing.B, open func(b *testing.B) *store.Sharded) {
+	b.Helper()
+	eng := open(b)
+	defer eng.Close()
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("hot-%d", i)
+		eng.Set(keys[i], []byte("seed"), 0)
+	}
+	val := []byte("benchmark-value")
+	b.ReportAllocs()
+	runExactGoroutines(b, 16, func(n uint64) {
+		eng.Set(keys[n&4095], val, 0)
+	})
+	b.StopTimer()
+	if err := eng.Err(); err != nil {
+		b.Fatalf("engine poisoned: %v", err)
+	}
+}
+
+func openDurable(fsync store.FsyncPolicy) func(b *testing.B) *store.Sharded {
+	return func(b *testing.B) *store.Sharded {
+		b.Helper()
+		eng, err := store.OpenSharded(store.Options{}, store.WALOptions{Dir: b.TempDir(), Fsync: fsync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+}
+
+// E32: durable write throughput against the in-memory baseline.
+func BenchmarkStoreWALOffG16(b *testing.B) {
+	benchStoreWALSet(b, func(b *testing.B) *store.Sharded { return store.NewSharded(store.Options{}) })
+}
+func BenchmarkStoreWALIntervalG16(b *testing.B) {
+	benchStoreWALSet(b, openDurable(store.FsyncInterval))
+}
+func BenchmarkStoreWALAlwaysG16(b *testing.B) { benchStoreWALSet(b, openDurable(store.FsyncAlways)) }
+
+// benchWALRecovery measures a cold OpenSharded over a directory holding
+// nkeys live entries (E32): the recovery-time-vs-keyspace curve the
+// README's durability section quotes. The directory is built once; each
+// iteration replays it from scratch.
+func benchWALRecovery(b *testing.B, nkeys int) {
+	b.Helper()
+	dir := b.TempDir()
+	opts := store.Options{Shards: 16}
+	wopts := store.WALOptions{Dir: dir, Fsync: store.FsyncNever}
+	eng, err := store.OpenSharded(opts, wopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nkeys; i++ {
+		eng.Set(fmt.Sprintf("key-%06d", i), []byte(fmt.Sprintf("value-%06d", i)), 0)
+	}
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.OpenSharded(opts, wopts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != nkeys {
+			b.Fatalf("recovered %d keys, want %d", s.Len(), nkeys)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// E32: WAL replay cost as the keyspace grows.
+func BenchmarkStoreWALRecovery10k(b *testing.B) { benchWALRecovery(b, 10_000) }
+func BenchmarkStoreWALRecovery50k(b *testing.B) { benchWALRecovery(b, 50_000) }

@@ -73,6 +73,10 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 		"Merkle anti-entropy bucket count (rounded up to a power of two; must match the cluster coordinator's)")
 	tombGC := fs.Duration("tombstone-gc", store.DefaultTombstoneGC, "how long delete and expiry tombstones are retained before garbage collection")
 	sweep := fs.Duration("sweep", 5*time.Second, "background sweep interval for TTL expiry and tombstone GC")
+	dataDir := fs.String("data-dir", "", "durability: directory for the per-shard WAL and snapshots; on restart the node reloads from it and catches up via Merkle anti-entropy (empty = in-memory only)")
+	fsyncPolicy := fs.String("fsync", "interval", "WAL fsync policy: always (group-commit per write), interval (background flush), or never (requires -data-dir)")
+	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
+	snapshotEvery := fs.Int64("snapshot-every", 8<<20, "snapshot a shard and truncate its log once its segment exceeds this many bytes (requires -data-dir)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /healthz, /readyz, /debug/traces, /debug/vars, and /debug/pprof on this address (empty = off)")
 	shedQueue := fs.Int("shed-queue", 0, "admission control: per-connection worker queue depth; frames past it are shed with BUSY (0 = queue bounded only by worker count, no shedding)")
 	shedInflight := fs.Int("shed-inflight", 0, "admission control: server-wide in-flight request budget; frames past it are shed with BUSY (0 = unlimited)")
@@ -87,7 +91,42 @@ func run(args []string, stop <-chan os.Signal, ready chan<- string, logw io.Writ
 	}
 	logger := log.New(logw, "", log.LstdFlags)
 
-	eng := store.NewSharded(store.Options{Shards: *shards, MerkleBuckets: *merkleBuckets, TombstoneGC: *tombGC})
+	sopts := store.Options{Shards: *shards, MerkleBuckets: *merkleBuckets, TombstoneGC: *tombGC}
+	var eng *store.Sharded
+	if *dataDir != "" {
+		policy, perr := store.ParseFsyncPolicy(*fsyncPolicy)
+		if perr != nil {
+			return perr
+		}
+		var oerr error
+		eng, oerr = store.OpenSharded(sopts, store.WALOptions{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			Interval:      *fsyncEvery,
+			SnapshotBytes: *snapshotEvery,
+		})
+		if oerr != nil {
+			return fmt.Errorf("distnode: open %s: %w", *dataDir, oerr)
+		}
+		rs := eng.Recovery()
+		logger.Printf("distnode: recovered %d snapshot entries + %d WAL records (%d segments, %d torn bytes dropped) from %s in %s; fsync=%s",
+			rs.SnapshotEntries, rs.WALRecords, rs.Segments, rs.TornBytes, *dataDir, rs.Elapsed.Round(time.Microsecond), policy)
+		// Reload gauges on /metrics: what this node's last open rebuilt
+		// from disk. Func re-registration is last-wins (see the store
+		// gauges below), matching the newest engine in test processes.
+		obs.Default().Func("store.recovery.entries", func() int64 { return int64(eng.Recovery().SnapshotEntries) })
+		obs.Default().Func("store.recovery.records", func() int64 { return int64(eng.Recovery().WALRecords) })
+		obs.Default().Func("store.recovery.torn_bytes", func() int64 { return eng.Recovery().TornBytes })
+	} else {
+		eng = store.NewSharded(sopts)
+	}
+	// Deferred before the sweeper starts so it runs after the sweeper
+	// stops: a close mid-sweep would poison the sweep's purge records.
+	defer func() {
+		if cerr := eng.Close(); cerr != nil {
+			logger.Printf("distnode: close engine: %v", cerr)
+		}
+	}()
 	sweeper := store.StartSweeper(eng, *sweep, 4096)
 	defer sweeper.Stop()
 	// Live store levels as func gauges: read at snapshot time, so the

@@ -420,6 +420,12 @@ func (s *Server) Shutdown() {
 type KVHandler struct {
 	eng store.Engine
 	trc *trace.Recorder // nil = trace.Default()
+	// durable is the engine's sticky persistence-error accessor
+	// ((*store.Sharded).Err), captured once at construction when the
+	// engine offers one. Checked after every write op: a WAL that can
+	// no longer commit must not let the node keep acking writes the
+	// disk is silently dropping.
+	durable func() error
 }
 
 // NewKVHandler creates a handler over a fresh sharded engine.
@@ -431,7 +437,25 @@ func NewKVHandler() *KVHandler {
 // pluggable seam: a node can share one engine between the handler, a
 // TTL sweeper, and a transactional layer.
 func NewKVHandlerOn(eng store.Engine) *KVHandler {
-	return &KVHandler{eng: eng}
+	kv := &KVHandler{eng: eng}
+	if d, ok := eng.(interface{ Err() error }); ok {
+		kv.durable = d.Err
+	}
+	return kv
+}
+
+// ackDurable downgrades a write acknowledgment to StatusError when the
+// engine's log is poisoned. The in-memory write happened — replicas
+// may still converge on it — but this node cannot promise durability,
+// so the client must hear failure, not OK.
+func (kv *KVHandler) ackDurable(resp Response) Response {
+	if kv.durable == nil {
+		return resp
+	}
+	if err := kv.durable(); err != nil {
+		return Response{Status: StatusError, Value: []byte(err.Error())}
+	}
+	return resp
 }
 
 // WithTracer routes this handler's spans — server handling, engine
@@ -485,17 +509,17 @@ func (kv *KVHandler) serve(req Request) Response {
 		return Response{Status: StatusOK, Value: e.Value}
 	case OpSet:
 		kv.eng.Set(req.Key, req.Value, 0)
-		return Response{Status: StatusOK}
+		return kv.ackDurable(Response{Status: StatusOK})
 	case OpSetNX:
 		if _, stored := kv.eng.SetIfAbsent(req.Key, req.Value); !stored {
 			return Response{Status: StatusExists}
 		}
-		return Response{Status: StatusOK}
+		return kv.ackDurable(Response{Status: StatusOK})
 	case OpDel:
 		if _, existed := kv.eng.Delete(req.Key); !existed {
-			return Response{Status: StatusNotFound}
+			return kv.ackDurable(Response{Status: StatusNotFound})
 		}
-		return Response{Status: StatusOK}
+		return kv.ackDurable(Response{Status: StatusOK})
 	case OpKeys:
 		body, err := EncodeKeys(kv.eng.Keys())
 		if err != nil {
@@ -507,7 +531,7 @@ func (kv *KVHandler) serve(req Request) Response {
 	case OpSetV:
 		if req.Version == 0 {
 			if req.ExpireAt == 0 {
-				return Response{Status: StatusOK, Version: kv.eng.Set(req.Key, req.Value, 0)}
+				return kv.ackDurable(Response{Status: StatusOK, Version: kv.eng.Set(req.Key, req.Value, 0)})
 			}
 			// Server-stamped write with an expiry: stamp a fresh version
 			// and merge, so the request's absolute ExpireAt is honored
@@ -525,7 +549,7 @@ func (kv *KVHandler) serve(req Request) Response {
 			if !existed {
 				resp.Status = StatusNotFound
 			}
-			return resp
+			return kv.ackDurable(resp)
 		}
 		if resp, ok := checkVersion(req.Version); !ok {
 			return resp
@@ -695,7 +719,7 @@ func (kv *KVHandler) merge(e store.Entry, key string, tr trace.Context) Response
 	if e.Tombstone {
 		resp.Flags |= FlagTombstone
 	}
-	return resp
+	return kv.ackDurable(resp)
 }
 
 // Len reports the number of live stored keys.

@@ -251,7 +251,11 @@ func (c *Cluster) MarkDown(b int) bool {
 	c.down[b] = true
 	c.mu.Unlock()
 	c.ring.RemoveNode(b)
-	c.kickRebalance(true)
+	// Full listings only when rf < n: the full pass exists to rescue
+	// copies stranded on non-owners after a ring change, and at rf == n
+	// every backend owns every bucket, so no copy can be stranded and
+	// the cheap digest exchange converges the cluster on its own.
+	c.kickRebalance(c.rf < len(c.pools))
 	return true
 }
 
@@ -292,7 +296,11 @@ func (c *Cluster) MarkUp(b int) bool {
 	c.down[b] = false
 	c.mu.Unlock()
 	c.replayHints(b)
-	c.kickRebalance(true)
+	// Same rf == n carve-out as MarkDown: a restarted full-replication
+	// backend (e.g. a distnode that reloaded its WAL) catches up through
+	// the Merkle digest pass alone — only partial replication can leave
+	// stranded non-owner copies that need whole-backend listings.
+	c.kickRebalance(c.rf < len(c.pools))
 	return true
 }
 

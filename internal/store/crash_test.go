@@ -1,0 +1,346 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trackFS wraps the default segment opener, recording each file's
+// written size and its durable floor (the size at the last successful
+// fsync). The crash suite uses those floors to pick legal crash
+// points: anything at or above the floor may be torn away, anything
+// below it must survive.
+type trackFS struct {
+	mu    sync.Mutex
+	files map[string]*trackFile
+}
+
+func newTrackFS() *trackFS {
+	return &trackFS{files: map[string]*trackFile{}}
+}
+
+func (fs *trackFS) open(path string) (WALFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	tf := &trackFile{f: f, path: path}
+	if st, err := f.Stat(); err == nil {
+		tf.size = st.Size()
+	}
+	fs.mu.Lock()
+	fs.files[path] = tf
+	fs.mu.Unlock()
+	return tf, nil
+}
+
+// reset forgets every tracked file: called before a reopen so segments
+// recovered in an earlier incarnation are never cut again (their
+// content is the baseline the next round's acked-floor checks build
+// on).
+func (fs *trackFS) reset() {
+	fs.mu.Lock()
+	fs.files = map[string]*trackFile{}
+	fs.mu.Unlock()
+}
+
+func (fs *trackFS) tracked() []*trackFile {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]*trackFile, 0, len(fs.files))
+	for _, tf := range fs.files {
+		out = append(out, tf)
+	}
+	return out
+}
+
+type trackFile struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	synced int64
+}
+
+func (tf *trackFile) Write(p []byte) (int, error) {
+	n, err := tf.f.Write(p)
+	tf.mu.Lock()
+	tf.size += int64(n)
+	tf.mu.Unlock()
+	return n, err
+}
+
+func (tf *trackFile) Sync() error {
+	if err := tf.f.Sync(); err != nil {
+		return err
+	}
+	tf.mu.Lock()
+	tf.synced = tf.size
+	tf.mu.Unlock()
+	return nil
+}
+
+func (tf *trackFile) Close() error { return tf.f.Close() }
+
+func (tf *trackFile) floors() (synced, size int64) {
+	tf.mu.Lock()
+	defer tf.mu.Unlock()
+	return tf.synced, tf.size
+}
+
+// refReplay is the reference model: a straight-line, single-map replay
+// of the directory's current on-disk state, written independently of
+// the engine's recovery path. For each shard it picks the newest
+// loadable snapshot, then applies segment records oldest-first,
+// last-record-wins, stopping the shard at the first torn or corrupt
+// record (and ignoring the shard's later segments, which recovery
+// discards for the same reason).
+func refReplay(t *testing.T, dir string, shards int) map[string]Entry {
+	t.Helper()
+	m := map[string]Entry{}
+	for si := 0; si < shards; si++ {
+		segs, snaps := scanShardFiles(dir, si)
+		var snapGen uint64
+		for i := len(snaps) - 1; i >= 0; i-- {
+			entries, err := loadSnapshot(fmt.Sprintf("%s/s%d.snap.%d", dir, si, snaps[i]))
+			if err != nil {
+				continue
+			}
+			snapGen = snaps[i]
+			for _, se := range entries {
+				m[se.key] = se.e
+			}
+			break
+		}
+		broken := false
+		for _, g := range segs {
+			if g <= snapGen || broken {
+				continue
+			}
+			b, err := os.ReadFile(fmt.Sprintf("%s/s%d.wal.%d", dir, si, g))
+			if err != nil {
+				t.Fatalf("ref read shard %d gen %d: %v", si, g, err)
+			}
+			if len(b) < magicLen || string(b[:magicLen]) != walMagic {
+				broken = true
+				continue
+			}
+			off := magicLen
+			for off < len(b) {
+				key, e, purge, n, err := decodeRecord(b[off:])
+				if err != nil {
+					broken = true
+					break
+				}
+				if purge {
+					delete(m, key)
+				} else {
+					m[key] = e
+				}
+				off += n
+			}
+		}
+	}
+	return m
+}
+
+// TestCrashRecoveryProperty is the durability property suite: a
+// randomized op stream runs against a persistent engine whose fsync
+// points are controlled by the test, then the process "crashes" —
+// files close with no final flush and the unsynced tails are torn at
+// random byte offsets or corrupted with a byte flip. On reopen the
+// engine must equal the reference replay of the surviving bytes
+// exactly, and every write acked durable (below a fsync floor) must
+// still be there. Runs under -count=2 -race in CI like
+// TestStoreProperty.
+func TestCrashRecoveryProperty(t *testing.T) {
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("crash property seed %d", seed)
+
+	ft := newFakeTime()
+	dir := t.TempDir()
+	tfs := newTrackFS()
+	const shards = 4
+	opts := Options{Shards: shards, MerkleBuckets: 64, Now: ft.now, TombstoneGC: time.Minute}
+	// FsyncNever keeps every fsync under test control: the explicit
+	// Sync barrier below and snapshot rotations are the only durability
+	// points, so the acked floor is exactly what the test tracked.
+	wopts := WALOptions{Dir: dir, Fsync: FsyncNever, SnapshotBytes: 4 << 10, OpenFile: tfs.open}
+	open := func() *Sharded {
+		tfs.reset()
+		s, err := OpenSharded(opts, wopts)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		return s
+	}
+	s := open()
+
+	keys := make([]string, 96)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+	}
+	randKey := func() string { return keys[rng.Intn(len(keys))] }
+	randVal := func() []byte {
+		v := make([]byte, rng.Intn(64))
+		rng.Read(v)
+		return v
+	}
+
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		// ackedState is the raw engine state at the last Sync barrier;
+		// keys untouched since then (and not subject to deterministic
+		// expiry) must come back exactly after the crash.
+		var ackedState map[string]Entry
+		touched := map[string]bool{}
+		sweptSinceSync := false
+
+		nops := 1200 + rng.Intn(800)
+		for i := 0; i < nops; i++ {
+			switch r := rng.Intn(100); {
+			case r < 40:
+				k := randKey()
+				var ttl time.Duration
+				if rng.Intn(5) == 0 {
+					ttl = time.Duration(1+rng.Intn(50)) * time.Millisecond
+				}
+				s.Set(k, randVal(), ttl)
+				touched[k] = true
+			case r < 52:
+				k := randKey()
+				s.Delete(k)
+				touched[k] = true
+			case r < 64:
+				k := randKey()
+				e := Entry{Version: s.Clock().Last() - uint64(rng.Intn(3)) + uint64(rng.Intn(6))}
+				if rng.Intn(4) == 0 {
+					e.Tombstone = true
+				} else {
+					e.Value = randVal()
+				}
+				s.Merge(k, e)
+				touched[k] = true
+			case r < 70:
+				k := randKey()
+				s.SetIfAbsent(k, randVal())
+				touched[k] = true
+			case r < 75:
+				k := randKey()
+				s.Purge(k)
+				touched[k] = true
+			case r < 82:
+				s.Get(randKey())
+			case r < 88:
+				ft.advance(time.Duration(rng.Intn(30)) * time.Millisecond)
+			case r < 93:
+				s.Sweep(rng.Intn(200))
+				sweptSinceSync = true
+			default:
+				if err := s.Sync(); err != nil {
+					t.Fatalf("round %d: sync: %v", round, err)
+				}
+				ackedState = rawState(s)
+				touched = map[string]bool{}
+				sweptSinceSync = false
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatalf("round %d: engine poisoned mid-run: %v", round, err)
+		}
+
+		// Crash: close with no final flush, then tear the unsynced
+		// region of each live segment — truncate at a random offset or
+		// flip a byte (a corrupt CRC), both of which recovery must
+		// refuse to replay past.
+		s.wal.close(false)
+		for _, tf := range tfs.tracked() {
+			st, err := os.Stat(tf.path)
+			if err != nil {
+				continue // rotated away: its content lives in a snapshot now
+			}
+			synced, _ := tf.floors()
+			size := st.Size()
+			if size <= synced || rng.Intn(2) == 0 {
+				continue
+			}
+			cut := synced + rng.Int63n(size-synced+1)
+			if cut < size && rng.Intn(3) == 0 {
+				f, err := os.OpenFile(tf.path, os.O_RDWR, 0)
+				if err != nil {
+					t.Fatalf("corrupt %s: %v", tf.path, err)
+				}
+				var b [1]byte
+				f.ReadAt(b[:], cut)
+				b[0] ^= 0xff
+				f.WriteAt(b[:], cut)
+				f.Close()
+			} else if err := os.Truncate(tf.path, cut); err != nil {
+				t.Fatalf("truncate %s: %v", tf.path, err)
+			}
+		}
+
+		want := refReplay(t, dir, shards)
+		s = open()
+		got := rawState(s)
+		diffStates(t, fmt.Sprintf("round %d (seed %d)", round, seed), got, want)
+
+		wantLive := 0
+		for _, e := range want {
+			if !e.Tombstone {
+				wantLive++
+			}
+		}
+		if s.Len() != wantLive {
+			t.Fatalf("round %d: recovered Len = %d, want %d", round, s.Len(), wantLive)
+		}
+
+		// Acked-durability floor: every key untouched since the last
+		// Sync barrier (and immortal, so lazy expiry cannot have moved
+		// it without an op) must survive the crash byte-identically.
+		if ackedState != nil && !sweptSinceSync {
+			for k, e := range ackedState {
+				if touched[k] || e.ExpireAt != 0 {
+					continue
+				}
+				g, ok := got[k]
+				if !ok || !reflect.DeepEqual(g, e) {
+					t.Fatalf("round %d: acked write lost: key %q got %+v want %+v (seed %d)",
+						round, k, g, e, seed)
+				}
+			}
+		}
+	}
+
+	// Final round: a clean close must bring back the state exactly
+	// (modulo deterministic expiry, which replay re-derives lazily).
+	final := rawState(s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+	tfs.reset()
+	r, err := OpenSharded(opts, wopts)
+	if err != nil {
+		t.Fatalf("final reopen: %v", err)
+	}
+	defer r.Close()
+	got := rawState(r)
+	nowNS := ft.now().UnixNano()
+	normalize := func(m map[string]Entry) map[string]Entry {
+		out := make(map[string]Entry, len(m))
+		for k, e := range m {
+			if !e.Tombstone && e.ExpireAt != 0 && nowNS >= e.ExpireAt {
+				e = Entry{Version: e.Version, Tombstone: true, ExpireAt: e.ExpireAt}
+			}
+			out[k] = e
+		}
+		return out
+	}
+	diffStates(t, "clean close", normalize(got), normalize(final))
+}

@@ -145,7 +145,7 @@ func (f *Flat) Sweep(int) (expired, purged int) {
 	now := f.now()
 	gcBefore := now.Add(-f.gcAge).UnixMilli()
 	f.mu.Lock()
-	expired, purged = f.t.sweep(now.UnixNano(), gcBefore)
+	expired, purged = f.t.sweep(now.UnixNano(), gcBefore, nil)
 	f.mu.Unlock()
 	sweepExpired.Add(uint64(expired))
 	sweepPurged.Add(uint64(purged))

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// RecoveryStats summarizes what OpenSharded rebuilt from disk.
+type RecoveryStats struct {
+	// SnapshotEntries is how many entries were loaded from snapshots.
+	SnapshotEntries int
+	// WALRecords is how many log records were replayed after them.
+	WALRecords int
+	// Segments is how many log segments held those records.
+	Segments int
+	// TornBytes counts log bytes dropped at torn or corrupt tails —
+	// writes that were in flight at the crash and never fsynced.
+	TornBytes int64
+	// Elapsed is the wall time the whole reload took.
+	Elapsed time.Duration
+}
+
+// OpenSharded opens (or creates) a persistent sharded engine on
+// wo.Dir: it loads each shard's newest snapshot, replays the log
+// segments after it — truncating at the first torn or corrupt record,
+// so exactly the intact prefix is recovered — observes the largest
+// recovered version on the engine's clock, and starts the background
+// fsync/snapshot loop. A directory's manifest pins its shard count
+// and Merkle bucket count; when one exists it overrides o.Shards and
+// o.MerkleBuckets so the on-disk layout always matches the engine
+// geometry.
+func OpenSharded(o Options, wo WALOptions) (*Sharded, error) {
+	start := time.Now()
+	if wo.Dir == "" {
+		return nil, fmt.Errorf("store: OpenSharded requires WALOptions.Dir")
+	}
+	wo = wo.withDefaults()
+	if err := os.MkdirAll(wo.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	shards, buckets, ok, err := loadManifest(wo.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		o.Shards, o.MerkleBuckets = shards, buckets
+	}
+	s := NewSharded(o)
+	if !ok {
+		if err := writeManifest(wo.Dir, s.Shards(), s.merkle.buckets); err != nil {
+			return nil, err
+		}
+	}
+	w := &wal{
+		o:           wo,
+		eng:         s,
+		logs:        make([]shardLog, s.Shards()),
+		snapPending: make([]atomic.Bool, s.Shards()),
+		snapC:       make(chan int, s.Shards()),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	var maxVer uint64
+	for si := 0; si < s.Shards(); si++ {
+		l := &w.logs[si]
+		l.cond.L = &l.mu
+		mv, err := w.recoverShard(s, si)
+		if err != nil {
+			return nil, err
+		}
+		if mv > maxVer {
+			maxVer = mv
+		}
+	}
+	if maxVer > 0 {
+		s.clock.Observe(maxVer)
+	}
+	w.rec.Elapsed = time.Since(start)
+	walRecoveredEntries.Add(uint64(w.rec.SnapshotEntries))
+	walRecoveredRecords.Add(uint64(w.rec.WALRecords))
+	walTornBytes.Add(uint64(w.rec.TornBytes))
+	walRecoveryLatency.Observe(int64(w.rec.Elapsed))
+	s.wal = w
+	go w.run()
+	return s, nil
+}
+
+// recoverShard rebuilds shard si from its newest snapshot plus the
+// segments after it, then opens a fresh segment for new appends (so a
+// recovered tail is never appended through again). Returns the
+// largest version it installed.
+func (w *wal) recoverShard(s *Sharded, si int) (uint64, error) {
+	segs, snaps := scanShardFiles(w.o.Dir, si)
+	sh := &s.shards[si]
+	l := &w.logs[si]
+
+	// Newest parseable snapshot wins; an unparseable one was half
+	// written (impossible after the atomic rename, but cheap to
+	// tolerate) and is skipped.
+	var snapGen uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		entries, err := loadSnapshot(w.snapPath(si, snaps[i]))
+		if err != nil {
+			continue
+		}
+		snapGen = snaps[i]
+		for _, se := range entries {
+			sh.t.install(se.key, se.e)
+		}
+		w.rec.SnapshotEntries += len(entries)
+		break
+	}
+
+	// Replay segments after the snapshot, oldest first, stopping the
+	// shard at the first torn or corrupt record: the file is truncated
+	// there and any later segments are dropped — by the crash model
+	// nothing past the first tear was ever acked as durable.
+	var maxVer uint64
+	maxGen := snapGen
+	stopped := false
+	for _, g := range segs {
+		if g > maxGen {
+			maxGen = g
+		}
+		if g <= snapGen {
+			os.Remove(w.segPath(si, g))
+			continue
+		}
+		path := w.segPath(si, g)
+		if stopped {
+			if st, err := os.Stat(path); err == nil {
+				w.rec.TornBytes += st.Size()
+			}
+			os.Remove(path)
+			continue
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		if len(b) < magicLen || string(b[:magicLen]) != walMagic {
+			// Never even got its header down: drop it.
+			w.rec.TornBytes += int64(len(b))
+			os.Remove(path)
+			stopped = true
+			continue
+		}
+		w.rec.Segments++
+		off := magicLen
+		for off < len(b) {
+			key, e, purge, n, err := decodeRecord(b[off:])
+			if err != nil {
+				w.rec.TornBytes += int64(len(b) - off)
+				if terr := os.Truncate(path, int64(off)); terr != nil {
+					return 0, terr
+				}
+				stopped = true
+				break
+			}
+			if purge {
+				sh.t.purge(key)
+			} else {
+				sh.t.install(key, e)
+			}
+			if e.Version > maxVer {
+				maxVer = e.Version
+			}
+			w.rec.WALRecords++
+			off += n
+		}
+	}
+	for _, g := range snaps {
+		if g < snapGen {
+			os.Remove(w.snapPath(si, g))
+		}
+	}
+
+	// Fresh segment for this incarnation's appends.
+	f, path, err := w.createSegment(si, maxGen+1)
+	if err != nil {
+		return 0, err
+	}
+	l.f, l.path, l.gen, l.size = f, path, maxGen+1, magicLen
+	return maxVer, nil
+}
+
+// scanShardFiles lists shard si's log segment and snapshot
+// generations, each sorted ascending.
+func scanShardFiles(dir string, si int) (segs, snaps []uint64) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil
+	}
+	walPrefix := fmt.Sprintf("s%d.wal.", si)
+	snapPrefix := fmt.Sprintf("s%d.snap.", si)
+	for _, de := range des {
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, walPrefix):
+			if g, err := strconv.ParseUint(name[len(walPrefix):], 10, 64); err == nil {
+				segs = append(segs, g)
+			}
+		case strings.HasPrefix(name, snapPrefix):
+			rest := name[len(snapPrefix):]
+			if strings.HasSuffix(rest, ".tmp") {
+				continue
+			}
+			if g, err := strconv.ParseUint(rest, 10, 64); err == nil {
+				snaps = append(snaps, g)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps
+}
+
+// Manifest: one tiny file pinning the directory's engine geometry, so
+// a reopen with different Options cannot scatter keys across the
+// wrong shard files or build incomparable Merkle trees.
+
+const manifestName = "WALMETA"
+
+func loadManifest(dir string) (shards, buckets int, ok bool, err error) {
+	b, rerr := os.ReadFile(dir + string(os.PathSeparator) + manifestName)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, rerr
+	}
+	if _, serr := fmt.Sscanf(string(b), "pdcedu-wal v1\nshards %d\nbuckets %d\n", &shards, &buckets); serr != nil {
+		return 0, 0, false, fmt.Errorf("store: bad manifest %s/%s: %v", dir, manifestName, serr)
+	}
+	return shards, buckets, true, nil
+}
+
+func writeManifest(dir string, shards, buckets int) error {
+	body := fmt.Sprintf("pdcedu-wal v1\nshards %d\nbuckets %d\n", shards, buckets)
+	tmp := dir + string(os.PathSeparator) + manifestName + ".tmp"
+	if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dir+string(os.PathSeparator)+manifestName); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Recovery reports what the engine reloaded at OpenSharded time; the
+// zero value for memory-only engines.
+func (s *Sharded) Recovery() RecoveryStats {
+	if s.wal == nil {
+		return RecoveryStats{}
+	}
+	return s.wal.rec
+}

@@ -28,6 +28,12 @@ type Sharded struct {
 	cursor atomic.Uint32
 	shards []shard
 	merkle merkle
+	// wal is the persistence seam: nil for a memory-only engine
+	// (NewSharded), set by OpenSharded. Write paths append under the
+	// shard lock — the same critical section as the table mutation, so
+	// replay order equals install order — and wait for group commit
+	// (policy permitting) after the lock is released.
+	wal *wal
 }
 
 // shard pads each mutex+table pair out to exactly one 64-byte cache
@@ -92,6 +98,12 @@ func (s *Sharded) shardFor(key string) *shard {
 	return &s.shards[keyHash32(key)&s.mask]
 }
 
+// shardIdx is shardFor's index form — the write paths need the index
+// to address the shard's log.
+func (s *Sharded) shardIdx(key string) int {
+	return int(keyHash32(key) & s.mask)
+}
+
 // Shards reports the effective (power-of-two) shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
@@ -122,53 +134,99 @@ func (s *Sharded) Set(key string, value []byte, ttl time.Duration) uint64 {
 	if ttl > 0 {
 		expireAt = s.now().Add(ttl).UnixNano()
 	}
-	sh := s.shardFor(key)
+	si := s.shardIdx(key)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	ver := s.clock.Next()
 	sh.t.set(key, value, ver, expireAt)
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.append(si, key, Entry{Value: value, Version: ver, ExpireAt: expireAt}, false)
+	}
 	sh.mu.Unlock()
+	if s.wal != nil {
+		s.wal.ack(si, seq)
+	}
 	return ver
 }
 
 // SetIfAbsent implements Engine.
 func (s *Sharded) SetIfAbsent(key string, value []byte) (uint64, bool) {
-	sh := s.shardFor(key)
+	si := s.shardIdx(key)
+	sh := &s.shards[si]
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if cur, ok := sh.t.load(key); ok && sh.t.liveNow(cur) {
+		sh.mu.Unlock()
 		return cur.Version, false
 	}
 	ver := s.clock.Next()
 	sh.t.set(key, value, ver, 0)
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.append(si, key, Entry{Value: value, Version: ver}, false)
+	}
+	sh.mu.Unlock()
+	if s.wal != nil {
+		s.wal.ack(si, seq)
+	}
 	return ver, true
 }
 
 // Delete implements Engine.
 func (s *Sharded) Delete(key string) (uint64, bool) {
-	sh := s.shardFor(key)
+	si := s.shardIdx(key)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	ver := s.clock.Next()
 	existed := sh.t.del(key, ver)
+	var seq uint64
+	if s.wal != nil {
+		seq = s.wal.append(si, key, Entry{Version: ver, Tombstone: true}, false)
+	}
 	sh.mu.Unlock()
+	if s.wal != nil {
+		s.wal.ack(si, seq)
+	}
 	return ver, existed
 }
 
-// Merge implements Engine.
+// Merge implements Engine. Only an applied merge is logged — and it
+// is logged as the exact entry installed, so replay needs no Wins
+// re-judging.
 func (s *Sharded) Merge(key string, e Entry) (uint64, bool) {
 	s.clock.Observe(e.Version)
-	sh := s.shardFor(key)
+	si := s.shardIdx(key)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	winner, applied := sh.t.merge(key, e)
+	var seq uint64
+	if s.wal != nil && applied {
+		if e.Tombstone {
+			e.Value = nil
+		}
+		seq = s.wal.append(si, key, e, false)
+	}
 	sh.mu.Unlock()
+	if s.wal != nil && applied {
+		s.wal.ack(si, seq)
+	}
 	return winner, applied
 }
 
 // Purge implements Engine.
 func (s *Sharded) Purge(key string) bool {
-	sh := s.shardFor(key)
+	si := s.shardIdx(key)
+	sh := &s.shards[si]
 	sh.mu.Lock()
 	ok := sh.t.purge(key)
+	var seq uint64
+	if s.wal != nil && ok {
+		seq = s.wal.append(si, key, Entry{}, true)
+	}
 	sh.mu.Unlock()
+	if s.wal != nil && ok {
+		s.wal.ack(si, seq)
+	}
 	return ok
 }
 
@@ -238,10 +296,18 @@ func (s *Sharded) Sweep(limit int) (expired, purged int) {
 	gcBefore := now.Add(-s.gcAge).UnixMilli()
 	scanned := 0
 	for i := 0; i < len(s.shards); i++ {
-		sh := &s.shards[(s.cursor.Add(1)-1)&s.mask]
+		si := int((s.cursor.Add(1) - 1) & s.mask)
+		sh := &s.shards[si]
+		var onPurge func(string)
+		if s.wal != nil {
+			// GC'd tombstones are logged as purges so a reopen cannot
+			// resurrect them; sweeps are not client-acked, so the
+			// records just ride the next fsync.
+			onPurge = func(k string) { s.wal.append(si, k, Entry{}, true) }
+		}
 		sh.mu.Lock()
 		scanned += len(sh.t.data)
-		e, p := sh.t.sweep(now.UnixNano(), gcBefore)
+		e, p := sh.t.sweep(now.UnixNano(), gcBefore, onPurge)
 		sh.mu.Unlock()
 		expired += e
 		purged += p

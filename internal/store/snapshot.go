@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"pdcedu/internal/obs"
+)
+
+// Snapshots bound recovery time and disk growth: once a shard's
+// segment passes WALOptions.SnapshotBytes, the background loop
+// rotates the log to a fresh generation and writes the shard's whole
+// table to s<N>.snap.<G> — where G is the generation the snapshot
+// covers — then deletes the covered segments. Recovery loads the
+// newest snapshot and replays only the segments after it.
+//
+// Crash windows are all safe by construction:
+//
+//   - The old segment is fsynced before the rotation is acked past,
+//     so no group-commit ack ever rides on a snapshot that has not
+//     been written yet.
+//   - The snapshot is written to a .tmp, fsynced, renamed into place,
+//     and the directory fsynced — it exists fully or not at all.
+//   - Covered segments are deleted only after the rename; a crash
+//     between snapshot and delete just replays records the snapshot
+//     already contains (replay is last-record-wins, so that is
+//     idempotent).
+
+// snapEntry is one copied table entry headed for a snapshot file.
+type snapEntry struct {
+	key string
+	e   Entry
+}
+
+// snapshotShard rotates shard si's log to a new generation and writes
+// a snapshot covering everything before it. Called from the
+// background loop and from the manual Snapshot barrier.
+func (w *wal) snapshotShard(si int) error {
+	if w.failed.Load() != nil {
+		return w.errOrNil()
+	}
+	start := obs.StartTimer()
+	sh := &w.eng.shards[si]
+	l := &w.logs[si]
+
+	sh.mu.Lock()
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if w.failed.Load() != nil || w.closed.Load() {
+		l.mu.Unlock()
+		sh.mu.Unlock()
+		return w.errOrNil()
+	}
+	// Seal the old segment: everything appended so far is flushed and
+	// becomes durable here, so acks issued after the swap ride the new
+	// file's fsyncs and never depend on the snapshot write below
+	// succeeding.
+	w.flushBuf(l)
+	if w.failed.Load() != nil {
+		l.mu.Unlock()
+		sh.mu.Unlock()
+		return w.errOrNil()
+	}
+	if err := l.f.Sync(); err != nil {
+		w.poison(l, "rotate", l.path, err)
+		l.mu.Unlock()
+		sh.mu.Unlock()
+		return w.errOrNil()
+	}
+	walFsyncs.Inc()
+	oldF, oldGen := l.f, l.gen
+	nf, newPath, err := w.createSegment(si, oldGen+1)
+	if err != nil {
+		w.poison(l, "rotate", newPath, err)
+		l.mu.Unlock()
+		sh.mu.Unlock()
+		return w.errOrNil()
+	}
+	l.f, l.path, l.gen, l.size = nf, newPath, oldGen+1, magicLen
+	l.durable = l.seq
+	l.dirty = false
+	l.cond.Broadcast()
+	entries := make([]snapEntry, 0, len(sh.t.data))
+	for k, e := range sh.t.data {
+		entries = append(entries, snapEntry{k, e})
+	}
+	l.mu.Unlock()
+	sh.mu.Unlock()
+
+	oldF.Close()
+	if err := w.writeSnapshot(si, oldGen, entries); err != nil {
+		// The old segments stay on disk: recovery replays snapshot-less
+		// and remains exact. Poison anyway — a disk that cannot take a
+		// snapshot will not keep absorbing a growing log for long, and
+		// the operator should hear about it now.
+		w.poison(l, "snapshot", w.snapPath(si, oldGen), err)
+		return w.errOrNil()
+	}
+	// Drop everything the snapshot covers: segments at or below its
+	// generation and any older snapshot.
+	segs, snaps := scanShardFiles(w.o.Dir, si)
+	for _, g := range segs {
+		if g <= oldGen {
+			os.Remove(w.segPath(si, g))
+		}
+	}
+	for _, g := range snaps {
+		if g < oldGen {
+			os.Remove(w.snapPath(si, g))
+		}
+	}
+	walSnapshots.Inc()
+	walSnapshotLatency.ObserveSince(start)
+	return nil
+}
+
+// writeSnapshot persists entries as s<si>.snap.<gen> atomically:
+// tmp file, fsync, rename, directory fsync.
+func (w *wal) writeSnapshot(si int, gen uint64, entries []snapEntry) error {
+	tmp := w.snapPath(si, gen) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	bw.WriteString(snapMagic)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(entries)))
+	bw.Write(hdr[:])
+	var buf []byte
+	for _, se := range entries {
+		buf = appendRecord(buf[:0], se.key, se.e, false)
+		if _, err := bw.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.snapPath(si, gen)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(w.o.Dir)
+}
+
+// loadSnapshot parses a snapshot file into entries. Any framing or
+// count mismatch makes the whole file invalid (snapshots are written
+// atomically, so a bad one was interrupted before its rename and
+// should not exist — treat it as absent).
+func loadSnapshot(path string) ([]snapEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < magicLen+4 || string(b[:magicLen]) != snapMagic {
+		return nil, fmt.Errorf("%s: bad snapshot header", path)
+	}
+	count := int(binary.LittleEndian.Uint32(b[magicLen:]))
+	off := magicLen + 4
+	entries := make([]snapEntry, 0, count)
+	for off < len(b) {
+		key, e, _, n, err := decodeRecord(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v at offset %d", path, err, off)
+		}
+		entries = append(entries, snapEntry{key, e})
+		off += n
+	}
+	if len(entries) != count {
+		return nil, fmt.Errorf("%s: snapshot holds %d entries, header says %d", path, len(entries), count)
+	}
+	return entries, nil
+}
+
+// Snapshot forces a snapshot + log rotation on every shard that has
+// accumulated log records — the manual form of the size-triggered
+// background rotation (distnode calls it on shutdown so the next boot
+// replays a snapshot instead of the whole log). Memory-only engines
+// return nil.
+func (s *Sharded) Snapshot() error {
+	if s.wal == nil {
+		return nil
+	}
+	for si := range s.shards {
+		l := &s.wal.logs[si]
+		l.mu.Lock()
+		hasRecords := l.size > magicLen
+		l.mu.Unlock()
+		if !hasRecords {
+			continue
+		}
+		if err := s.wal.snapshotShard(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -109,6 +109,21 @@ func (t *table) merge(key string, e Entry) (uint64, bool) {
 	return e.Version, true
 }
 
+// install stores e exactly as given — no Wins comparison, no value
+// copy. WAL replay uses it: records reapply in append order, so
+// last-record-wins reproduces the table state at the crash point, and
+// the decoded entry is already a private copy.
+func (t *table) install(key string, e Entry) {
+	cur, ok := t.data[key]
+	if (!ok || cur.Tombstone) && !e.Tombstone {
+		t.live++
+	} else if ok && !cur.Tombstone && e.Tombstone {
+		t.live--
+	}
+	t.data[key] = e
+	t.touch(key)
+}
+
 // purge removes key's entry outright, reporting whether one existed.
 func (t *table) purge(key string) bool {
 	cur, ok := t.data[key]
@@ -128,7 +143,12 @@ func (t *table) purge(key string) bool {
 // GC horizon. A delete tombstone ages from its version's wall-clock
 // bits; an expiry tombstone from max(write wall time, ExpireAt), so it
 // survives long enough for every replica to have expired its own copy.
-func (t *table) sweep(now, gcBeforeMillis int64) (expired, purged int) {
+// onPurge (may be nil) fires for each GC'd tombstone while the
+// enclosing lock is still held — the persistent engine logs the purge
+// there so a reopen cannot resurrect a collected tombstone. Expiry
+// conversions are deliberately not reported: they are deterministic
+// from the stored ExpireAt, so replay re-derives them for free.
+func (t *table) sweep(now, gcBeforeMillis int64, onPurge func(key string)) (expired, purged int) {
 	for k, e := range t.data {
 		switch {
 		case e.Tombstone:
@@ -139,6 +159,9 @@ func (t *table) sweep(now, gcBeforeMillis int64) (expired, purged int) {
 			if age < gcBeforeMillis {
 				delete(t.data, k)
 				t.touch(k)
+				if onPurge != nil {
+					onPurge(k)
+				}
 				purged++
 			}
 		case e.ExpireAt != 0 && now >= e.ExpireAt:

@@ -1,0 +1,615 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdcedu/internal/obs"
+)
+
+// This file is the write-ahead side of the engine's persistence seam:
+// a per-shard append-only log of CRC-framed versioned records, with
+// group-commit fsync batching. snapshot.go rotates the logs under
+// periodic snapshots; recovery.go replays snapshot + tail on open.
+//
+// On-disk layout of a WAL directory (one engine):
+//
+//	WALMETA           manifest pinning shard count and Merkle buckets
+//	s<N>.wal.<G>      shard N's log segment, generation G
+//	s<N>.snap.<G>     shard N's snapshot covering segments <= G
+//
+// Each segment starts with an 8-byte magic, then records:
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//	payload = u8 flags | u64 version | i64 expireAt |
+//	          u32 keyLen | key | u32 valLen | value
+//
+// Everything is little-endian. A record is torn when the file ends
+// mid-frame and corrupt when the CRC or structure does not check out;
+// recovery truncates at the first such record, so replay recovers
+// exactly the prefix that reached disk intact.
+
+// FsyncPolicy says when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) fsyncs dirty logs on a background
+	// cadence (WALOptions.Interval): a crash can lose at most the last
+	// interval's writes, and the write hot path never waits on a disk
+	// flush — appends land in the shard's in-memory log buffer and
+	// reach the file at the next flush point (an fsync, the buffer
+	// threshold, a rotation, or Close).
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways group-commits: a write does not return until its
+	// record is fsynced. Concurrent writers on a shard share one fsync
+	// (one leader syncs, everyone sealed under it is acked together).
+	FsyncAlways
+	// FsyncNever appends without ever forcing a flush; durability is
+	// whatever the OS page cache provides.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses the flag spelling: always, interval, never.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// WALFile is the slice of *os.File the log's write path needs — the
+// injection seam the crash and fault tests use to deliver short
+// writes, failed fsyncs, and torn tails. OpenFile implementations
+// must open for appending, creating the file when absent.
+type WALFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WALOptions configures persistence for OpenSharded.
+type WALOptions struct {
+	// Dir is the engine's data directory (required; created if absent).
+	Dir string
+	// Fsync is the durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// Interval is the background fsync cadence under FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SnapshotBytes triggers a shard snapshot + log rotation once the
+	// shard's segment exceeds this many bytes (default 8 MiB).
+	SnapshotBytes int64
+	// OpenFile opens a log segment for appending, creating it when
+	// absent (default os.OpenFile with O_CREATE|O_WRONLY|O_APPEND).
+	// Tests inject failing implementations here.
+	OpenFile func(path string) (WALFile, error)
+}
+
+const (
+	defaultFsyncInterval = 100 * time.Millisecond
+	defaultSnapshotBytes = 8 << 20
+)
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.Interval <= 0 {
+		o.Interval = defaultFsyncInterval
+	}
+	if o.SnapshotBytes <= 0 {
+		o.SnapshotBytes = defaultSnapshotBytes
+	}
+	if o.OpenFile == nil {
+		o.OpenFile = func(path string) (WALFile, error) {
+			return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		}
+	}
+	return o
+}
+
+// WALError is the typed, sticky failure a persistent engine surfaces
+// through (*Sharded).Err once its log can no longer be trusted: the
+// first write, fsync, or rotation error poisons the engine — appends
+// stop, FsyncAlways writers stop acking — and only a reopen (which
+// replays the intact prefix) clears it.
+type WALError struct {
+	Op   string // "write", "sync", "rotate", "snapshot", "closed"
+	Path string
+	Err  error
+}
+
+func (e *WALError) Error() string {
+	return fmt.Sprintf("wal %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *WALError) Unwrap() error { return e.Err }
+
+var errWALClosed = errors.New("log is closed")
+
+// Record framing.
+
+const (
+	walMagic  = "PDCWAL1\n"
+	snapMagic = "PDCSNP1\n"
+	magicLen  = 8
+	recHeader = 8                 // u32 length + u32 crc
+	recFixed  = 1 + 8 + 8 + 4 + 4 // flags + version + expireAt + keyLen + valLen
+	maxKeyLen = 1 << 20
+	maxValLen = 1 << 30
+
+	recFlagTombstone = 1 << 0
+	recFlagPurge     = 1 << 1
+
+	// walFlushBytes bounds the in-memory log buffer: past it an append
+	// flushes inline, so one write syscall carries many records instead
+	// of each record paying its own.
+	walFlushBytes = 64 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord encodes one record onto buf and returns the extended
+// slice.
+func appendRecord(buf []byte, key string, e Entry, purge bool) []byte {
+	payload := recFixed + len(key) + len(e.Value)
+	start := len(buf)
+	buf = append(buf, make([]byte, recHeader+payload)...)
+	b := buf[start:]
+	binary.LittleEndian.PutUint32(b[0:], uint32(payload))
+	var flags byte
+	if e.Tombstone {
+		flags |= recFlagTombstone
+	}
+	if purge {
+		flags |= recFlagPurge
+	}
+	p := b[recHeader:]
+	p[0] = flags
+	binary.LittleEndian.PutUint64(p[1:], e.Version)
+	binary.LittleEndian.PutUint64(p[9:], uint64(e.ExpireAt))
+	binary.LittleEndian.PutUint32(p[17:], uint32(len(key)))
+	copy(p[21:], key)
+	binary.LittleEndian.PutUint32(p[21+len(key):], uint32(len(e.Value)))
+	copy(p[25+len(key):], e.Value)
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(p, crcTable))
+	return buf
+}
+
+var (
+	errTornRecord    = errors.New("wal: torn record")
+	errCorruptRecord = errors.New("wal: corrupt record")
+)
+
+// decodeRecord parses the record at the head of b, returning the key,
+// entry, purge flag, and bytes consumed. errTornRecord means b ends
+// mid-frame (a crash mid-append); errCorruptRecord means the frame is
+// structurally invalid or fails its CRC. The returned value is a
+// fresh copy, never an alias of b.
+func decodeRecord(b []byte) (key string, e Entry, purge bool, n int, err error) {
+	if len(b) < recHeader {
+		return "", Entry{}, false, 0, errTornRecord
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen < recFixed || plen > recFixed+maxKeyLen+maxValLen {
+		return "", Entry{}, false, 0, errCorruptRecord
+	}
+	if len(b) < recHeader+plen {
+		return "", Entry{}, false, 0, errTornRecord
+	}
+	p := b[recHeader : recHeader+plen]
+	if crc32.Checksum(p, crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return "", Entry{}, false, 0, errCorruptRecord
+	}
+	flags := p[0]
+	e.Version = binary.LittleEndian.Uint64(p[1:])
+	e.ExpireAt = int64(binary.LittleEndian.Uint64(p[9:]))
+	klen := int(binary.LittleEndian.Uint32(p[17:]))
+	if klen > maxKeyLen || recFixed+klen > plen {
+		return "", Entry{}, false, 0, errCorruptRecord
+	}
+	vlen := int(binary.LittleEndian.Uint32(p[21+klen:]))
+	if vlen != plen-recFixed-klen {
+		return "", Entry{}, false, 0, errCorruptRecord
+	}
+	key = string(p[21 : 21+klen])
+	e.Tombstone = flags&recFlagTombstone != 0
+	purge = flags&recFlagPurge != 0
+	if vlen > 0 && !e.Tombstone {
+		e.Value = append([]byte(nil), p[25+klen:25+klen+vlen]...)
+	}
+	return key, e, purge, recHeader + plen, nil
+}
+
+// shardLog is one shard's open segment plus the group-commit state.
+// Appends happen under the owning shard's mutex (so log order equals
+// table order); mu below guards the log buffer, the file handle, and
+// the durability watermarks, letting fsyncs run outside the shard
+// lock.
+type shardLog struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	f    WALFile
+	path string
+	gen  uint64
+	size int64 // logical log size: file bytes plus buffered bytes
+
+	// buf holds encoded records not yet written to f. Every durability
+	// point (group-commit ack, interval/manual sync, rotation, clean
+	// close) flushes it first, so "fsynced" always means "buffered,
+	// written, and synced" — a crash loses the buffer exactly like it
+	// loses the OS page cache, and the ack contract is unchanged.
+	buf []byte
+
+	// pendAppends/pendBytes batch the per-record metric increments:
+	// the hot path counts under mu and flushBuf folds into the shared
+	// registry counters, keeping contended atomics off every append.
+	pendAppends uint64
+	pendBytes   uint64
+
+	// seq numbers appended records; durable is the highest seq known
+	// to be on stable storage. syncing is the group-commit leader
+	// latch: one goroutine holds the fsync, everyone else waits on
+	// cond for durable to pass their seq.
+	seq     uint64
+	durable uint64
+	syncing bool
+	dirty   bool
+}
+
+// wal is the engine-wide persistence state hanging off a Sharded
+// opened with OpenSharded.
+type wal struct {
+	o    WALOptions
+	eng  *Sharded
+	logs []shardLog
+
+	// failed is the sticky first error; once set the engine is
+	// poisoned (see WALError).
+	failed atomic.Pointer[WALError]
+	closed atomic.Bool
+
+	snapPending []atomic.Bool
+	snapC       chan int
+	stop        chan struct{}
+	done        chan struct{}
+
+	rec RecoveryStats
+}
+
+// poison records the engine's first fatal log error and wakes every
+// group-commit waiter on l so no writer blocks on a durability
+// watermark that will never advance.
+func (w *wal) poison(l *shardLog, op, path string, err error) {
+	we := &WALError{Op: op, Path: path, Err: err}
+	w.failed.CompareAndSwap(nil, we)
+	walErrors.Inc()
+	if l != nil {
+		l.cond.Broadcast()
+	}
+}
+
+// append encodes and writes one record to shard si's segment. It must
+// run under that shard's mutex — the same critical section as the
+// table mutation — so the log replays in table order. Returns the
+// record's seq (0 when the log is poisoned or closed and nothing was
+// appended).
+func (w *wal) append(si int, key string, e Entry, purge bool) uint64 {
+	l := &w.logs[si]
+	l.mu.Lock()
+	if w.failed.Load() != nil {
+		l.mu.Unlock()
+		return 0
+	}
+	if w.closed.Load() {
+		w.poison(l, "write", l.path, errWALClosed)
+		l.mu.Unlock()
+		return 0
+	}
+	before := len(l.buf)
+	l.buf = appendRecord(l.buf, key, e, purge)
+	n := len(l.buf) - before
+	l.size += int64(n)
+	l.seq++
+	seq := l.seq
+	l.dirty = true
+	l.pendAppends++
+	l.pendBytes += uint64(n)
+	if len(l.buf) >= walFlushBytes {
+		w.flushBuf(l)
+		if w.failed.Load() != nil {
+			l.mu.Unlock()
+			return 0
+		}
+	}
+	size := l.size
+	l.mu.Unlock()
+	if size >= w.o.SnapshotBytes && !w.snapPending[si].Swap(true) {
+		select {
+		case w.snapC <- si:
+		default:
+			w.snapPending[si].Store(false)
+		}
+	}
+	return seq
+}
+
+// flushBuf writes shard log l's buffered records to its segment file.
+// The caller holds l.mu. A write error — a short write included, which
+// leaves a torn frame recovery will truncate — poisons the engine; the
+// buffer is consumed either way.
+func (w *wal) flushBuf(l *shardLog) {
+	if l.pendAppends > 0 {
+		walAppends.Add(l.pendAppends)
+		walAppendBytes.Add(l.pendBytes)
+		l.pendAppends, l.pendBytes = 0, 0
+	}
+	if len(l.buf) == 0 || w.failed.Load() != nil {
+		return
+	}
+	n, err := l.f.Write(l.buf)
+	if err == nil && n < len(l.buf) {
+		err = io.ErrShortWrite
+	}
+	l.buf = l.buf[:0]
+	if err != nil {
+		w.poison(l, "write", l.path, err)
+	}
+}
+
+// ack blocks until record seq of shard si is durable — only under
+// FsyncAlways; the other policies return immediately. It runs after
+// the shard mutex is released, so concurrent writers batch into one
+// group commit: the first to arrive becomes the fsync leader, seals
+// everything appended so far, and its Sync covers every waiter whose
+// seq is under the seal.
+func (w *wal) ack(si int, seq uint64) {
+	if w.o.Fsync != FsyncAlways || seq == 0 {
+		return
+	}
+	l := &w.logs[si]
+	l.mu.Lock()
+	for w.failed.Load() == nil && l.durable < seq {
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		// The leader's flush covers every record under the seal: waiters
+		// appended to the buffer, and durable may only pass their seq
+		// once those bytes are in the file and synced.
+		w.flushBuf(l)
+		if w.failed.Load() != nil {
+			l.syncing = false
+			l.cond.Broadcast()
+			break
+		}
+		sealed, f := l.seq, l.f
+		l.mu.Unlock()
+		start := obs.StartTimer()
+		err := f.Sync()
+		walFsyncLatency.ObserveSince(start)
+		walFsyncs.Inc()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			w.poison(l, "sync", l.path, err)
+		} else if sealed > l.durable {
+			l.durable = sealed
+		}
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// syncLog forces shard log l to stable storage (the FsyncInterval
+// ticker's worker, and the body of the manual Sync barrier). It
+// respects the group-commit leader latch so it never races a
+// same-file fsync or a rotation.
+func (w *wal) syncLog(l *shardLog) {
+	l.mu.Lock()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if w.failed.Load() != nil || !l.dirty {
+		l.mu.Unlock()
+		return
+	}
+	l.syncing = true
+	w.flushBuf(l)
+	if w.failed.Load() != nil {
+		l.syncing = false
+		l.cond.Broadcast()
+		l.mu.Unlock()
+		return
+	}
+	sealed, f := l.seq, l.f
+	l.dirty = false
+	l.mu.Unlock()
+	start := obs.StartTimer()
+	err := f.Sync()
+	walFsyncLatency.ObserveSince(start)
+	walFsyncs.Inc()
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		w.poison(l, "sync", l.path, err)
+	} else if sealed > l.durable {
+		l.durable = sealed
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// run is the engine's background persistence loop: interval fsyncs
+// (when the policy asks for them) and snapshot-triggered rotations.
+func (w *wal) run() {
+	defer close(w.done)
+	var tickC <-chan time.Time
+	if w.o.Fsync == FsyncInterval {
+		t := time.NewTicker(w.o.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-w.stop:
+			return
+		case si := <-w.snapC:
+			w.snapshotShard(si)
+			w.snapPending[si].Store(false)
+		case <-tickC:
+			for i := range w.logs {
+				w.syncLog(&w.logs[i])
+			}
+		}
+	}
+}
+
+// close stops the background loop and closes every segment; sync
+// forces a final flush first (false simulates a crash: buffered OS
+// state is simply abandoned, which the crash tests pair with
+// test-side truncation).
+func (w *wal) close(sync bool) error {
+	if w.closed.Swap(true) {
+		return w.errOrNil()
+	}
+	close(w.stop)
+	<-w.done
+	for i := range w.logs {
+		l := &w.logs[i]
+		l.mu.Lock()
+		for l.syncing {
+			l.cond.Wait()
+		}
+		if sync && w.failed.Load() == nil {
+			w.flushBuf(l)
+		}
+		if sync && w.failed.Load() == nil {
+			if err := l.f.Sync(); err != nil {
+				w.poison(l, "sync", l.path, err)
+			} else {
+				l.durable = l.seq
+				l.dirty = false
+			}
+		}
+		// On a crash-style close the buffer is simply dropped — the
+		// records in it were never acked durable.
+		l.buf = nil
+		l.f.Close()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	return w.errOrNil()
+}
+
+func (w *wal) errOrNil() error {
+	if e := w.failed.Load(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Path helpers.
+
+func (w *wal) segPath(si int, gen uint64) string {
+	return filepath.Join(w.o.Dir, fmt.Sprintf("s%d.wal.%d", si, gen))
+}
+
+func (w *wal) snapPath(si int, gen uint64) string {
+	return filepath.Join(w.o.Dir, fmt.Sprintf("s%d.snap.%d", si, gen))
+}
+
+// createSegment opens a fresh segment for appending and writes its
+// magic. The directory is fsynced so the new name survives a crash
+// alongside any record fsynced into it.
+func (w *wal) createSegment(si int, gen uint64) (WALFile, string, error) {
+	path := w.segPath(si, gen)
+	f, err := w.o.OpenFile(path)
+	if err != nil {
+		return nil, path, err
+	}
+	if n, err := f.Write([]byte(walMagic)); err != nil || n < magicLen {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		f.Close()
+		return nil, path, err
+	}
+	if err := syncDir(w.o.Dir); err != nil {
+		f.Close()
+		return nil, path, err
+	}
+	return f, path, nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Err reports the engine's sticky persistence failure: nil while the
+// log is healthy (or the engine is memory-only), the first *WALError
+// once a write, fsync, or rotation has failed. The csnet KV handler
+// checks it after every write op so a lost write is never acked over
+// the wire.
+func (s *Sharded) Err() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.errOrNil()
+}
+
+// Sync forces every shard's log to stable storage — a manual
+// durability barrier for any fsync policy — and returns the engine's
+// sticky error state.
+func (s *Sharded) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	for i := range s.wal.logs {
+		s.wal.syncLog(&s.wal.logs[i])
+	}
+	return s.wal.errOrNil()
+}
+
+// Close flushes and closes the engine's logs and stops its background
+// persistence loop. A memory-only engine returns nil. The engine must
+// not be used after Close.
+func (s *Sharded) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.close(true)
+}

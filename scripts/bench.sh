@@ -10,10 +10,13 @@
 # nothing, E31 cluster load: the distload acceptance suite — zipfian
 # hot-key reads through the coordinator cached vs uncached, and a
 # single backend at 2x capacity with admission-control shedding vs
-# without) and records the numbers as BENCH_<n>.json, continuing the
-# perf trajectory the README tracks.
+# without, E32 durability: the WAL write path per fsync policy vs the
+# in-memory engine on the pipelined 16-goroutine hot path, plus
+# snapshot+log replay recovery time at 10k/50k keys) and records the
+# numbers as BENCH_<n>.json, continuing the perf trajectory the README
+# tracks.
 #
-# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 8)
+# Usage: scripts/bench.sh [N]        -> writes BENCH_N.json (default 9)
 #        BENCHTIME=3s scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
@@ -31,11 +34,11 @@ BEGIN { print "{"; first = 1 }
 	printf "  \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7
 }
 END { print "\n}" }
-' >"BENCH_${1:-8}.json"
+' >"BENCH_${1:-9}.json"
 
 # The whole-cluster load numbers ride in the same artifact: distload's
 # acceptance suite merges its reports into the JSON the awk pass above
 # just wrote.
-go run ./cmd/distload -suite bench -json "BENCH_${1:-8}.json"
+go run ./cmd/distload -suite bench -json "BENCH_${1:-9}.json"
 
-echo "wrote BENCH_${1:-8}.json"
+echo "wrote BENCH_${1:-9}.json"
